@@ -1,0 +1,30 @@
+//! Experiment P2: front-end throughput — parse + elaborate + typecheck
+//! + split, on generated programs.
+//!
+//! * `module_chain`: n chained plain structures.
+//! * `rec_datatypes`: one recursive structure with k mutually recursive
+//!   datatypes (stresses rds resolution and coinductive equivalence).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recmod_bench::{gen_module_chain, gen_rec_datatypes};
+
+fn bench_elab(c: &mut Criterion) {
+    let mut group = c.benchmark_group("p2_elaboration");
+    group.sample_size(10);
+    for n in [4usize, 16, 64] {
+        let src = gen_module_chain(n);
+        group.bench_with_input(BenchmarkId::new("module_chain", n), &src, |b, src| {
+            b.iter(|| recmod::compile(src).unwrap())
+        });
+    }
+    for k in [1usize, 2, 4, 8] {
+        let src = gen_rec_datatypes(k);
+        group.bench_with_input(BenchmarkId::new("rec_datatypes", k), &src, |b, src| {
+            b.iter(|| recmod::compile(src).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_elab);
+criterion_main!(benches);

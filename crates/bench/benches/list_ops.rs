@@ -1,0 +1,31 @@
+//! Experiment E1 (paper §3.1/§4): opaque vs transparent recursive
+//! `List` — wall-clock time to build and sum an n-element list.
+//!
+//! The paper's claim: the opaque module's `cons`/`uncons` "must traverse
+//! the entire list, leading to poor behavior in practice", while the
+//! transparent (rds) module has constant-time operations. Expect the
+//! opaque series to grow quadratically and the transparent one linearly.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recmod_bench::list_term;
+
+fn bench_lists(c: &mut Criterion) {
+    let mut group = c.benchmark_group("e1_list_build_sum");
+    group.sample_size(10);
+    for n in [10usize, 20, 40, 80] {
+        for (label, opaque) in [("transparent", false), ("opaque", true)] {
+            let term = list_term(opaque, n);
+            group.bench_with_input(BenchmarkId::new(label, n), &term, |b, term| {
+                b.iter(|| {
+                    let mut interp = recmod::eval::Interp::new();
+                    let v = interp.run(term).expect("runs");
+                    assert!(v.as_int().is_ok());
+                })
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_lists);
+criterion_main!(benches);

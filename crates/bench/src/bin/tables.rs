@@ -1,0 +1,118 @@
+//! Regenerates every experiment table of `EXPERIMENTS.md`.
+//!
+//! ```sh
+//! cargo run -p recmod-bench --release --bin tables
+//! ```
+//!
+//! Unlike the Criterion benches (wall-clock), these tables use
+//! deterministic counters (interpreter steps, checker fuel) so the
+//! numbers are machine-independent and exactly reproducible.
+
+use recmod::kernel::{Ctx, RecMode, Tc};
+use recmod::syntax::ast::Kind;
+use recmod_bench as bench;
+
+fn main() {
+    table_e1();
+    table_p1();
+    table_e8();
+    table_p2();
+}
+
+/// E1: opaque vs transparent list, interpreter steps.
+fn table_e1() {
+    println!("Table E1 — build+sum an n-list: interpreter steps");
+    println!("{:>6} {:>14} {:>14} {:>8} {:>12} {:>12}",
+        "n", "opaque", "transparent", "ratio", "opaque/n^2", "transp/n");
+    for n in [10usize, 20, 40, 80, 160] {
+        let o = bench::list_steps(true, n);
+        let t = bench::list_steps(false, n);
+        println!(
+            "{:>6} {:>14} {:>14} {:>7.1}x {:>12.2} {:>12.2}",
+            n,
+            o,
+            t,
+            o as f64 / t as f64,
+            o as f64 / (n * n) as f64,
+            t as f64 / n as f64
+        );
+    }
+    println!();
+}
+
+/// P1: equivalence-checker fuel burned, by workload size and mode.
+fn table_p1() {
+    println!("Table P1 — definitional equality: checker fuel burned");
+    println!(
+        "{:>6} {:>16} {:>16} {:>18}",
+        "size", "μ vs unroll", "nested≃collapse", "iso+Shao μ=μ'"
+    );
+    let fuel = |mode: RecMode, pair: &(recmod::syntax::ast::Con, recmod::syntax::ast::Con)| {
+        let tc = Tc::with_mode(mode);
+        let before = tc.fuel();
+        let mut ctx = Ctx::new();
+        tc.con_equiv(&mut ctx, &pair.0, &pair.1, &Kind::Type).unwrap();
+        before - tc.fuel()
+    };
+    for size in [8usize, 16, 32, 64, 128] {
+        let unroll = fuel(RecMode::Equi, &bench::gen_unrolled_pair(size, 42));
+        let nested = fuel(RecMode::Equi, &bench::gen_nested_pair(size, 42));
+        let shao = fuel(RecMode::IsoShao, &bench::gen_shao_pair(size, 42));
+        println!("{size:>6} {unroll:>16} {nested:>16} {shao:>18}");
+    }
+    println!();
+}
+
+/// E8: which equalities hold in which theory.
+fn table_e8() {
+    use recmod::syntax::ast::Con;
+    use recmod::syntax::dsl::*;
+    use recmod::syntax::subst::shift_con;
+    println!("Table E8 — §5 equality theories (✓ = provable)");
+    let m = mu(tkind(), carrow(Con::Int, cvar(0)));
+    let shao = mu(tkind(), carrow(Con::Int, shift_con(&m, 1, 0)));
+    let unrolled = carrow(Con::Int, m.clone());
+    let nested = mu(tkind(), mu(tkind(), carrow(cvar(1), cvar(0))));
+    let flat = recmod::phase::iso::collapse_mu(&nested).unwrap();
+    let rows: Vec<(&str, &Con, &Con)> = vec![
+        ("Shao's equation  μc = μc(μc)", &m, &shao),
+        ("μ vs unrolling", &m, &unrolled),
+        ("nested-μ collapse", &nested, &flat),
+    ];
+    println!("{:<32} {:>6} {:>6} {:>9}", "equation", "equi", "iso", "iso+Shao");
+    for (name, a, b) in rows {
+        let mut row = format!("{name:<32}");
+        for mode in [RecMode::Equi, RecMode::Iso, RecMode::IsoShao] {
+            let tc = Tc::with_mode(mode);
+            let mut ctx = Ctx::new();
+            let ok = tc.con_equiv(&mut ctx, a, b, &Kind::Type).is_ok();
+            let w = match mode { RecMode::Equi => 6, RecMode::Iso => 6, RecMode::IsoShao => 9 };
+            row.push_str(&format!(" {:>w$}", if ok { "✓" } else { "✗" }, w = w));
+        }
+        println!("{row}");
+    }
+    println!();
+}
+
+/// P2: elaboration fuel, by program size.
+fn table_p2() {
+    println!("Table P2 — front-end cost (kernel fuel burned during compile)");
+    println!("{:>24} {:>10} {:>14}", "workload", "size", "fuel");
+    for n in [4usize, 16, 64] {
+        let src = bench::gen_module_chain(n);
+        let elab = recmod::surface::Elaborator::new();
+        let before = elab.tc.fuel();
+        let c = recmod::compile_with(elab, &src).unwrap();
+        let burned = before - c.elab.tc.fuel();
+        println!("{:>24} {n:>10} {burned:>14}", "module_chain");
+    }
+    for k in [1usize, 2, 4, 8] {
+        let src = bench::gen_rec_datatypes(k);
+        let elab = recmod::surface::Elaborator::new();
+        let before = elab.tc.fuel();
+        let c = recmod::compile_with(elab, &src).unwrap();
+        let burned = before - c.elab.tc.fuel();
+        println!("{:>24} {k:>10} {burned:>14}", "rec_datatypes");
+    }
+    println!();
+}

@@ -1,0 +1,111 @@
+//! `recmodc` — the command-line compiler/runner for the recursive-module
+//! language.
+//!
+//! ```text
+//! recmodc run  <file.rml>      compile and run, print the main value
+//! recmodc check <file.rml>     typecheck only, print binding signatures
+//! recmodc split <file.rml>     print each binding's phase-split parts
+//! recmodc -e "<expr>"          evaluate one expression
+//! ```
+//!
+//! Options: `--steps` prints the interpreter step count after `run`.
+
+use std::process::ExitCode;
+
+use recmod::syntax::pretty::{term_to_string, Names};
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: recmodc <run|check|split> <file> [--steps]\n       recmodc -e \"<expression>\""
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let steps_flag = args.iter().any(|a| a == "--steps");
+    let args: Vec<&String> = args.iter().filter(|a| *a != "--steps").collect();
+
+    match args.as_slice() {
+        [flag, expr] if flag.as_str() == "-e" => {
+            run_source(expr, steps_flag, Mode::Run)
+        }
+        [cmd, path] => {
+            let mode = match cmd.as_str() {
+                "run" => Mode::Run,
+                "check" => Mode::Check,
+                "split" => Mode::Split,
+                _ => return usage(),
+            };
+            let src = match std::fs::read_to_string(path) {
+                Ok(s) => s,
+                Err(e) => {
+                    eprintln!("recmodc: cannot read {path}: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            run_source(&src, steps_flag, mode)
+        }
+        _ => usage(),
+    }
+}
+
+enum Mode {
+    Run,
+    Check,
+    Split,
+}
+
+fn run_source(src: &str, steps_flag: bool, mode: Mode) -> ExitCode {
+    let compiled = match recmod::compile(src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("error: {}", e.render(src));
+            return ExitCode::FAILURE;
+        }
+    };
+    match mode {
+        Mode::Check => {
+            for (name, describe) in compiled.summaries() {
+                println!("{name} : {describe}");
+            }
+            println!("ok");
+            ExitCode::SUCCESS
+        }
+        Mode::Split => {
+            for b in &compiled.elab.bindings {
+                println!("── {} ──", b.name);
+                println!("  dynamic: {}", term_to_string(&b.dynamic, &mut Names::new()));
+            }
+            ExitCode::SUCCESS
+        }
+        Mode::Run => {
+            if compiled.main.is_none() {
+                for (name, describe) in compiled.summaries() {
+                    println!("{name} : {describe}");
+                }
+                eprintln!("(no main expression; add one after the declarations)");
+                return ExitCode::SUCCESS;
+            }
+            let term = compiled.program();
+            let outcome = recmod::eval::run_big_stack(512, move || {
+                let mut interp = recmod::eval::Interp::new();
+                let r = interp.run(&term).map(|v| v.to_string());
+                (r, interp.steps())
+            });
+            match outcome {
+                (Ok(v), steps) => {
+                    println!("{v}");
+                    if steps_flag {
+                        eprintln!("steps: {steps}");
+                    }
+                    ExitCode::SUCCESS
+                }
+                (Err(e), _) => {
+                    eprintln!("runtime error: {e}");
+                    ExitCode::FAILURE
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,241 @@
+//! The paper's worked examples, as surface-language programs.
+//!
+//! Each constant reproduces one of the programs discussed in §3–§4 of
+//! *"What is a Recursive Module?"*; `EXPERIMENTS.md` maps them to the
+//! paper's claims. Programs marked *ill-typed* are expected to be
+//! rejected, with the same reason the paper gives.
+
+/// §3.1 (E1): integer lists as an **opaque** recursive module. The
+/// module "defers recursively to itself for an implementation of the
+/// tail": because `List.t` is opaque inside the body, every `cons` and
+/// `uncons` must convert between the concrete datatype and the abstract
+/// `List.t` by going through the module's own operations — a full
+/// traversal per operation. Typechecks; asymptotically slow.
+pub const OPAQUE_LIST: &str = r#"
+signature LIST = sig
+  type t
+  val nil : t
+  val null : t -> bool
+  val cons : int * t -> t
+  val uncons : t -> int * t
+end
+
+structure rec List :> LIST = struct
+  datatype t = NIL | CONS of int * List.t
+  val nil = NIL
+  fun null (l : t) : bool = case l of NIL => true | CONS p => false
+  (* t -> List.t : constant-time shell, but List.cons recurses. *)
+  fun toSelf (l : t) : List.t =
+    case l of
+      NIL => List.nil
+    | CONS p => (case p of (m, rest) => List.cons (m, rest))
+  (* List.t -> t : constant-time shell, but List.uncons recurses. *)
+  fun fromSelf (x : List.t) : t =
+    if List.null x then NIL
+    else (case List.uncons x of (m, y) => CONS (m, y))
+  fun cons (p : int * t) : t =
+    case p of (n, l) => CONS (n, toSelf l)
+  fun uncons (l : t) : int * t =
+    case l of
+      NIL => (raise Fail : int * t)
+    | CONS p => (case p of (m, rest) => (m, fromSelf rest))
+end
+"#;
+
+/// §4 (E4): the same lists as a **transparent** recursive module, using
+/// a recursively-dependent signature whose `datatype` spec makes
+/// `List.t` equal to the implementation type inside the body. Constant
+/// time per operation.
+pub const TRANSPARENT_LIST: &str = r#"
+structure rec List : sig
+  datatype t = NIL | CONS of int * List.t
+  val nil : t
+  val null : t -> bool
+  val cons : int * t -> t
+  val uncons : t -> int * t
+end = struct
+  datatype t = NIL | CONS of int * List.t
+  val nil = NIL
+  fun null (l : t) : bool = case l of NIL => true | CONS p => false
+  fun cons (p : int * t) : t = CONS p
+  fun uncons (l : t) : int * t =
+    case l of NIL => (raise Fail : int * t) | CONS p => p
+end
+"#;
+
+/// §3.1 (E2): mutually recursive abstract-syntax modules with **opaque**
+/// signatures. Ill-typed: inside `Expr`, the call `Decl.make_val (id, e1)`
+/// requires `e1 : Decl.exp`, but the opacity of `Decl` hides the fact
+/// that `Decl.exp` equals `Expr`'s own `exp`.
+pub const EXPR_DECL_OPAQUE: &str = r#"
+signature EXPR = sig
+  type exp
+  type dec
+  val make_let : dec * exp -> exp
+  val make_let_val : int * exp * exp -> exp
+end
+
+signature DECL = sig
+  type dec
+  type exp
+  val make_val : int * exp -> dec
+end
+
+structure rec Expr :> EXPR = struct
+  datatype exp = VAR of int | LET of Decl.dec * exp
+  type dec = Decl.dec
+  fun make_let (p : dec * exp) : exp = LET p
+  fun make_let_val (q : int * exp * exp) : exp =
+    case q of (id, e1, e2) =>
+      make_let (Decl.make_val (id, e1), e2)
+end
+and Decl :> DECL = struct
+  datatype dec = VAL of int * Expr.exp
+  type exp = Expr.exp
+  fun make_val (p : int * exp) : dec = VAL p
+end
+"#;
+
+/// §4 (E3): the same modules with `where type` clauses propagating the
+/// recursive type equations — the recursively-dependent signature. Now
+/// `exp = Expr.exp = Decl.exp` holds inside the bodies and the program
+/// typechecks (and runs).
+pub const EXPR_DECL_RDS: &str = r#"
+signature EXPR = sig
+  type exp
+  type dec
+  val make_var : int -> exp
+  val make_let : dec * exp -> exp
+  val make_let_val : int * exp * exp -> exp
+  val size : exp -> int
+end
+
+signature DECL = sig
+  type dec
+  type exp
+  val make_val : int * exp -> dec
+  val dec_size : dec -> int
+end
+
+structure rec Expr :> EXPR where type dec = Decl.dec = struct
+  datatype exp = VAR of int | LET of Decl.dec * exp
+  type dec = Decl.dec
+  fun make_var (x : int) : exp = VAR x
+  fun make_let (p : dec * exp) : exp = LET p
+  fun make_let_val (q : int * exp * exp) : exp =
+    case q of (id, e1, e2) =>
+      make_let (Decl.make_val (id, e1), e2)
+  fun size (e : exp) : int =
+    case e of
+      VAR x => 1
+    | LET p => (case p of (d, body) => Decl.dec_size d + size body)
+end
+and Decl : DECL where type exp = Expr.exp = struct
+  datatype dec = VAL of int * Expr.exp
+  type exp = Expr.exp
+  fun make_val (p : int * exp) : dec = VAL p
+  fun dec_size (d : dec) : int =
+    case d of VAL p => (case p of (id, e) => 1 + Expr.size e)
+end
+"#;
+
+/// §4 (E5, failing direction): `BuildList` with a **plain** `LIST`
+/// parameter. Ill-typed: "the assumption governing the parameter List of
+/// BuildList does not propagate the critical recursive type equation".
+pub const BUILD_LIST_PLAIN: &str = r#"
+signature LIST = sig
+  type t
+  val nil : t
+  val null : t -> bool
+  val cons : int * t -> t
+  val uncons : t -> int * t
+end
+
+functor BuildList (structure List : LIST) = struct
+  datatype t = NIL | CONS of int * List.t
+  val nil = NIL
+  fun null (l : t) : bool = case l of NIL => true | CONS p => false
+  fun cons (p : int * t) : t = CONS p
+  fun uncons (l : t) : int * t =
+    case l of NIL => (raise Fail : int * t) | CONS p => p
+end
+"#;
+
+/// §4 (E5, succeeding direction): `BuildList` with a **recursively-
+/// dependent** parameter signature, and the recursive binding whose
+/// right-hand side is the functor application.
+pub const BUILD_LIST_RDS: &str = r#"
+functor BuildList (structure rec List : sig
+  datatype t = NIL | CONS of int * List.t
+  val nil : t
+  val null : t -> bool
+  val cons : int * t -> t
+  val uncons : t -> int * t
+end) = struct
+  datatype t = NIL | CONS of int * List.t
+  val nil = NIL
+  fun null (l : t) : bool = case l of NIL => true | CONS p => false
+  fun cons (p : int * t) : t = CONS p
+  fun uncons (l : t) : int * t =
+    case l of NIL => (raise Fail : int * t) | CONS p => p
+end
+
+structure rec List : sig
+  datatype t = NIL | CONS of int * List.t
+  val nil : t
+  val null : t -> bool
+  val cons : int * t -> t
+  val uncons : t -> int * t
+end = BuildList (structure List = List)
+"#;
+
+/// E9 (module level): a recursive module whose body *uses* the recursive
+/// variable's dynamic part outside a λ — rejected by the value
+/// restriction (the module analogue of `fix(x:int list. 1 :: x)`).
+pub const VALUE_RESTRICTION_MODULE: &str = r#"
+structure rec Bad : sig
+  val v : int
+end = struct
+  val v = Bad.v
+end
+"#;
+
+/// A driver appended to list programs: builds a list of the given length
+/// with `cons`, then sums it back with `uncons`. `{N}` is replaced by
+/// the length.
+pub const LIST_DRIVER_TEMPLATE: &str = r#"
+fun build (n : int) : List.t =
+  if n = 0 then List.nil else List.cons (n, build (n - 1))
+fun total (l : List.t) : int =
+  if List.null l then 0
+  else (case List.uncons l of (h, rest) => h + total rest)
+;
+total (build {N})
+"#;
+
+/// Builds a complete list benchmark program (opaque or transparent) for
+/// a given list length.
+pub fn list_program(opaque: bool, n: usize) -> String {
+    let base = if opaque { OPAQUE_LIST } else { TRANSPARENT_LIST };
+    format!("{base}\n{}", LIST_DRIVER_TEMPLATE.replace("{N}", &n.to_string()))
+}
+
+/// A driver for the Expr/Decl example: builds
+/// `let val 1 = VAR 7 in let val 2 = VAR 7 in VAR 9` and measures sizes.
+pub const EXPR_DECL_DRIVER: &str = r#"
+;
+Expr.size (Expr.make_let_val (1, Expr.make_var 7,
+  Expr.make_let_val (2, Expr.make_var 7, Expr.make_var 9)))
+"#;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn list_program_substitutes_length() {
+        let p = list_program(false, 17);
+        assert!(p.contains("build 17"));
+        assert!(p.contains("structure rec List"));
+    }
+}

@@ -1,0 +1,66 @@
+//! Evaluation errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// Why evaluation stopped without producing a value.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EvalError {
+    /// The program executed `fail[σ]` (the paper's `raise Fail`).
+    Failure,
+    /// A recursive binding was demanded before it was constructed — a
+    /// "black hole". The kernel's value restriction makes this
+    /// unreachable for well-typed programs; reaching it indicates an
+    /// unchecked term was evaluated.
+    BlackHole,
+    /// The term mentions a structure variable (`Fst`/`snd`); evaluate
+    /// only *phase-split, closed* programs.
+    OpenTerm,
+    /// A value had the wrong shape for the operation applied to it —
+    /// impossible for kernel-checked terms; indicates an unchecked term.
+    Stuck(&'static str),
+    /// The step budget was exhausted (the term may diverge).
+    FuelExhausted,
+    /// The recursion-depth limit was exceeded. The interpreter is a
+    /// recursive big-step evaluator, so object-level recursion consumes
+    /// host stack; this limit turns an impending stack overflow into an
+    /// error. Raise it (and run on a bigger stack via
+    /// [`run_big_stack`](crate::interp::run_big_stack)) for genuinely
+    /// deep programs.
+    DepthExceeded,
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::Failure => f.write_str("uncaught failure (raise Fail)"),
+            EvalError::BlackHole => {
+                f.write_str("recursive value demanded before its definition completed")
+            }
+            EvalError::OpenTerm => {
+                f.write_str("cannot evaluate a term with free structure variables")
+            }
+            EvalError::Stuck(what) => write!(f, "stuck evaluation: expected {what}"),
+            EvalError::FuelExhausted => f.write_str("evaluation step budget exhausted"),
+            EvalError::DepthExceeded => {
+                f.write_str("recursion depth limit exceeded (deep or divergent recursion)")
+            }
+        }
+    }
+}
+
+impl Error for EvalError {}
+
+/// The result type for evaluation.
+pub type EvalResult<T> = Result<T, EvalError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_are_lowercase() {
+        assert!(EvalError::Failure.to_string().starts_with("uncaught"));
+        assert!(EvalError::Stuck("a pair").to_string().contains("a pair"));
+    }
+}

@@ -1,0 +1,194 @@
+//! Typing contexts.
+//!
+//! A context `Γ` is a stack of declarations over the unified de Bruijn
+//! space of `recmod-syntax`: constructor variables `α:κ`, term variables
+//! `x:σ` (valuable) or `x↑σ` (typeable but not valuable — the paper's
+//! notation for recursively-bound variables inside their own definition),
+//! and structure variables `s:S` / `s↑S`.
+//!
+//! Stored classifiers are expressed in the *prefix* of the context strictly
+//! before the entry; lookups shift them by `index + 1` so they make sense
+//! at the use site.
+//!
+//! Invariant: structure-variable entries always carry a *flat* signature
+//! (`Sig::Struct`); recursively-dependent signatures are resolved to their
+//! Figure-5 interpretation before being pushed.
+
+use recmod_syntax::ast::{Kind, Sig, Ty};
+use recmod_syntax::subst::{shift_kind, shift_sig, shift_ty};
+
+use crate::error::{TcResult, TypeError};
+
+/// One context declaration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Entry {
+    /// `α : κ` — a constructor variable.
+    Con(Kind),
+    /// `x : σ` (valuable = `true`) or `x ↑ σ` (valuable = `false`).
+    Term(Ty, bool),
+    /// `s : S` (valuable = `true`) or `s ↑ S` (valuable = `false`).
+    Struct(Sig, bool),
+}
+
+/// A typing context.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct Ctx {
+    entries: Vec<Entry>,
+}
+
+impl Ctx {
+    /// The empty context.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of declarations.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the context is empty.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Raw access to an entry by de Bruijn index (0 = innermost).
+    pub fn entry(&self, index: usize) -> TcResult<&Entry> {
+        let len = self.entries.len();
+        if index < len {
+            Ok(&self.entries[len - 1 - index])
+        } else {
+            Err(TypeError::Unbound { what: "variable", index })
+        }
+    }
+
+    /// Looks up a constructor variable, shifting its kind to the use site.
+    pub fn lookup_con(&self, index: usize) -> TcResult<Kind> {
+        match self.entry(index)? {
+            Entry::Con(k) => Ok(shift_kind(k, (index + 1) as isize, 0)),
+            _ => Err(TypeError::Unbound { what: "constructor variable", index }),
+        }
+    }
+
+    /// Looks up a term variable, shifting its type to the use site.
+    /// Returns the type and the valuability of the variable.
+    pub fn lookup_term(&self, index: usize) -> TcResult<(Ty, bool)> {
+        match self.entry(index)? {
+            Entry::Term(t, v) => Ok((shift_ty(t, (index + 1) as isize, 0), *v)),
+            _ => Err(TypeError::Unbound { what: "term variable", index }),
+        }
+    }
+
+    /// Looks up a structure variable, shifting its signature to the use
+    /// site. Returns the signature and the valuability of the variable.
+    pub fn lookup_struct(&self, index: usize) -> TcResult<(Sig, bool)> {
+        match self.entry(index)? {
+            Entry::Struct(s, v) => Ok((shift_sig(s, (index + 1) as isize, 0), *v)),
+            _ => Err(TypeError::Unbound { what: "structure variable", index }),
+        }
+    }
+
+    /// Pushes a declaration. Callers that interleave pushes with other
+    /// work (e.g. the elaborator, which mirrors surface scopes) must
+    /// restore the context with [`Ctx::truncate`]; prefer [`Ctx::with`]
+    /// when the extent is lexical.
+    pub fn push(&mut self, entry: Entry) {
+        self.entries.push(entry);
+    }
+
+    /// Drops entries until only `len` remain.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the context is already shorter than `len`.
+    pub fn truncate(&mut self, len: usize) {
+        assert!(self.entries.len() >= len, "context shorter than truncation target");
+        self.entries.truncate(len);
+    }
+
+    /// Runs `f` with `entry` pushed, popping it afterwards (also on error).
+    pub fn with<T>(&mut self, entry: Entry, f: impl FnOnce(&mut Ctx) -> T) -> T {
+        self.entries.push(entry);
+        let out = f(self);
+        self.entries.pop();
+        out
+    }
+
+    /// Convenience: `with` for a constructor declaration `α:κ`.
+    pub fn with_con<T>(&mut self, k: Kind, f: impl FnOnce(&mut Ctx) -> T) -> T {
+        self.with(Entry::Con(k), f)
+    }
+
+    /// Convenience: `with` for a term declaration.
+    pub fn with_term<T>(&mut self, t: Ty, valuable: bool, f: impl FnOnce(&mut Ctx) -> T) -> T {
+        self.with(Entry::Term(t, valuable), f)
+    }
+
+    /// Convenience: `with` for a structure declaration.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts the invariant that pushed signatures are flat (rds
+    /// must be resolved first).
+    pub fn with_struct<T>(&mut self, s: Sig, valuable: bool, f: impl FnOnce(&mut Ctx) -> T) -> T {
+        debug_assert!(
+            matches!(s, Sig::Struct(_, _)),
+            "context invariant: structure entries carry flat signatures"
+        );
+        self.with(Entry::Struct(s, valuable), f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmod_syntax::ast::Con;
+
+    #[test]
+    fn lookup_shifts_to_use_site() {
+        let mut ctx = Ctx::new();
+        // Γ = α:T, β:Q(α)
+        ctx.with_con(Kind::Type, |ctx| {
+            ctx.with_con(Kind::Singleton(Con::Var(0)), |ctx| {
+                // β is index 0; its kind mentions α, which from here is index 1.
+                assert_eq!(ctx.lookup_con(0).unwrap(), Kind::Singleton(Con::Var(1)));
+                assert_eq!(ctx.lookup_con(1).unwrap(), Kind::Type);
+            })
+        });
+    }
+
+    #[test]
+    fn lookup_wrong_sort_fails() {
+        let mut ctx = Ctx::new();
+        ctx.with_term(Ty::Unit, true, |ctx| {
+            assert!(ctx.lookup_con(0).is_err());
+            assert!(ctx.lookup_struct(0).is_err());
+            assert!(ctx.lookup_term(0).is_ok());
+        });
+    }
+
+    #[test]
+    fn lookup_out_of_range_fails() {
+        let ctx = Ctx::new();
+        assert_eq!(
+            ctx.lookup_con(0),
+            Err(TypeError::Unbound { what: "variable", index: 0 })
+        );
+    }
+
+    #[test]
+    fn with_pops_after_use() {
+        let mut ctx = Ctx::new();
+        ctx.with_con(Kind::Type, |_| ());
+        assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn valuability_flag_round_trips() {
+        let mut ctx = Ctx::new();
+        ctx.with_term(Ty::Unit, false, |ctx| {
+            let (_, v) = ctx.lookup_term(0).unwrap();
+            assert!(!v);
+        });
+    }
+}

@@ -1,0 +1,393 @@
+//! Constructor equivalence.
+//!
+//! Equivalence is *kind-directed* (Stone–Harper): at kind `1` and at
+//! singleton kinds every pair of well-kinded constructors is equal; at
+//! `Π` and `Σ` kinds comparison is extensional; at kind `T` the
+//! constructors are weak-head normalized and compared structurally.
+//!
+//! Equi-recursive constructors are handled coinductively in the style of
+//! Amadio–Cardelli / Brandt–Henglein: when a `μ` appears at the head, the
+//! pair under comparison is added to a set of assumptions and the `μ` is
+//! unrolled; if the same pair recurs the comparison succeeds. For regular
+//! (first-order) recursive monotypes this is a decision procedure; at
+//! higher kinds (whose decidability the paper leaves open, §5) the fuel
+//! bound turns potential divergence into an explicit error.
+//!
+//! The [`crate::RecMode`] in force changes only the `μ` cases:
+//!
+//! * `Equi` — a `μ` is equal to its unrolling (either side may unroll);
+//! * `Iso` — `μ`s are compared by congruence only;
+//! * `IsoShao` — two `μ`s are compared by unrolling both under an
+//!   assumption (validating Shao's equation, paper §5), but a `μ` is
+//!   never equal to a non-`μ`.
+
+use std::collections::HashSet;
+
+use recmod_syntax::ast::{Con, Kind};
+use recmod_syntax::subst::{shift_con, shift_kind, subst_con_kind};
+
+use crate::ctx::Ctx;
+use crate::error::{TcResult, TypeError};
+use crate::show;
+use crate::whnf::{is_contractive, unroll_mu};
+use crate::{RecMode, Tc};
+
+/// The set of constructor pairs currently assumed equal (coinduction).
+type Seen = HashSet<(Con, Con)>;
+
+impl Tc {
+    /// `Γ ⊢ c₁ = c₂ : κ` — constructor equivalence at kind `κ`.
+    ///
+    /// Both constructors are assumed well-kinded at `κ`; the algorithm is
+    /// sound and complete for well-kinded inputs within the fuel budget.
+    pub fn con_equiv(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, k: &Kind) -> TcResult<()> {
+        let mut seen = Seen::new();
+        self.con_equiv_at(ctx, c1, c2, k, &mut seen)
+    }
+
+    fn con_equiv_at(
+        &self,
+        ctx: &mut Ctx,
+        c1: &Con,
+        c2: &Con,
+        k: &Kind,
+        seen: &mut Seen,
+    ) -> TcResult<()> {
+        self.burn("constructor equivalence")?;
+        match k {
+            // At kind 1 the only inhabitant is *, so anything equals anything.
+            Kind::Unit => Ok(()),
+            // At a singleton kind both sides equal the (same) definition.
+            Kind::Singleton(_) => Ok(()),
+            Kind::Pi(k1, k2) => ctx.with_con((**k1).clone(), |ctx| {
+                let a1 = Con::App(Box::new(shift_con(c1, 1, 0)), Box::new(Con::Var(0)));
+                let a2 = Con::App(Box::new(shift_con(c2, 1, 0)), Box::new(Con::Var(0)));
+                // Coinductive assumptions are de Bruijn syntax; under a new
+                // binder the same syntax denotes different variables, so
+                // start a fresh set rather than shift the old one.
+                self.con_equiv_at(ctx, &a1, &a2, k2, &mut Seen::new())
+            }),
+            Kind::Sigma(k1, k2) => {
+                let p1 = Con::Proj1(Box::new(c1.clone()));
+                let p2 = Con::Proj1(Box::new(c2.clone()));
+                self.con_equiv_at(ctx, &p1, &p2, k1, seen)?;
+                let k2i = subst_con_kind(k2, &p1);
+                self.con_equiv_at(
+                    ctx,
+                    &Con::Proj2(Box::new(c1.clone())),
+                    &Con::Proj2(Box::new(c2.clone())),
+                    &k2i,
+                    seen,
+                )
+            }
+            Kind::Type => self.con_eq_type(ctx, c1, c2, seen),
+        }
+    }
+
+    /// Structural comparison at kind `T`, after weak-head normalization,
+    /// under the coinductive assumption set.
+    fn con_eq_type(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, seen: &mut Seen) -> TcResult<()> {
+        self.burn("monotype equivalence")?;
+        let a = self.whnf(ctx, c1)?;
+        let b = self.whnf(ctx, c2)?;
+        if a == b {
+            return Ok(());
+        }
+        let key = (a.clone(), b.clone());
+        if seen.contains(&key) {
+            return Ok(());
+        }
+        match (&a, &b) {
+            // Only *contractive* μs participate in coinductive unrolling;
+            // vacuous constructors like μα:T.α are inert (equal only to
+            // themselves, which the syntactic fast path already handled).
+            (Con::Mu(ka, ba), Con::Mu(kb, bb)) => match self.mode() {
+                RecMode::Equi | RecMode::IsoShao
+                    if is_contractive(&a) && is_contractive(&b) =>
+                {
+                    seen.insert(key);
+                    let ua = unroll_mu(&a);
+                    let ub = unroll_mu(&b);
+                    self.con_eq_type(ctx, &ua, &ub, seen)
+                }
+                RecMode::Iso => {
+                    self.kind_eq(ctx, ka, kb)?;
+                    ctx.with_con((**ka).clone(), |ctx| {
+                        let kin = shift_kind(ka, 1, 0);
+                        // Fresh assumptions under the binder (see Pi case).
+                        self.con_equiv_at(ctx, ba, bb, &kin, &mut Seen::new())
+                    })
+                }
+                _ => Err(TypeError::ConMismatch {
+                    left: show::con(&a),
+                    right: show::con(&b),
+                    at: "T".to_string(),
+                }),
+            },
+            (Con::Mu(_, _), _) if self.mode() == RecMode::Equi && is_contractive(&a) => {
+                seen.insert(key);
+                let ua = unroll_mu(&a);
+                self.con_eq_type(ctx, &ua, &b, seen)
+            }
+            (_, Con::Mu(_, _)) if self.mode() == RecMode::Equi && is_contractive(&b) => {
+                seen.insert(key);
+                let ub = unroll_mu(&b);
+                self.con_eq_type(ctx, &a, &ub, seen)
+            }
+            (Con::Arrow(a1, a2), Con::Arrow(b1, b2))
+            | (Con::Prod(a1, a2), Con::Prod(b1, b2)) => {
+                self.con_eq_type(ctx, a1, b1, seen)?;
+                self.con_eq_type(ctx, a2, b2, seen)
+            }
+            (Con::Sum(xs), Con::Sum(ys)) if xs.len() == ys.len() => {
+                for (x, y) in xs.iter().zip(ys) {
+                    self.con_eq_type(ctx, x, y, seen)?;
+                }
+                Ok(())
+            }
+            (Con::Int, Con::Int)
+            | (Con::Bool, Con::Bool)
+            | (Con::UnitTy, Con::UnitTy) => Ok(()),
+            _ if is_path(&a) && is_path(&b) => {
+                self.path_equiv(ctx, &a, &b, seen).map(|_| ())
+            }
+            _ => Err(TypeError::ConMismatch {
+                left: show::con(&a),
+                right: show::con(&b),
+                at: "T".to_string(),
+            }),
+        }
+    }
+
+    /// Structural equivalence of stuck paths, returning their common
+    /// natural kind (used to compare spine arguments at the right kind).
+    fn path_equiv(&self, ctx: &mut Ctx, p1: &Con, p2: &Con, seen: &mut Seen) -> TcResult<Kind> {
+        self.burn("path equivalence")?;
+        match (p1, p2) {
+            (Con::Var(i), Con::Var(j)) if i == j => ctx.lookup_con(*i),
+            (Con::Fst(i), Con::Fst(j)) if i == j => {
+                match self.natural_kind(ctx, p1)? {
+                    Some(k) => Ok(k),
+                    None => unreachable!("Fst is a path"),
+                }
+            }
+            (Con::App(f1, a1), Con::App(f2, a2)) => {
+                let fk = self.path_equiv(ctx, f1, f2, seen)?;
+                let (k1, k2) = self.expect_pi(&fk)?;
+                self.con_equiv_at(ctx, a1, a2, &k1, seen)?;
+                Ok(subst_con_kind(&k2, a1))
+            }
+            (Con::Proj1(q1), Con::Proj1(q2)) => {
+                let qk = self.path_equiv(ctx, q1, q2, seen)?;
+                let (k1, _) = self.expect_sigma(&qk)?;
+                Ok(k1)
+            }
+            (Con::Proj2(q1), Con::Proj2(q2)) => {
+                let qk = self.path_equiv(ctx, q1, q2, seen)?;
+                let (_, k2) = self.expect_sigma(&qk)?;
+                Ok(subst_con_kind(&k2, &Con::Proj1(q1.clone())))
+            }
+            _ => Err(TypeError::ConMismatch {
+                left: show::con(p1),
+                right: show::con(p2),
+                at: "T".to_string(),
+            }),
+        }
+    }
+}
+
+fn is_path(c: &Con) -> bool {
+    matches!(
+        c,
+        Con::Var(_) | Con::Fst(_) | Con::App(_, _) | Con::Proj1(_) | Con::Proj2(_)
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use recmod_syntax::dsl::*;
+
+    fn equi() -> Tc {
+        Tc::new()
+    }
+
+    #[test]
+    fn mu_equals_unrolling_in_equi_mode() {
+        // μα:T.int ⇀ α  =  int ⇀ μα:T.int ⇀ α
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let m = mu(tkind(), carrow(Con::Int, cvar(0)));
+        let u = carrow(Con::Int, m.clone());
+        tc.con_equiv(&mut ctx, &m, &u, &tkind()).unwrap();
+    }
+
+    #[test]
+    fn mu_not_unrolled_in_iso_mode() {
+        let tc = Tc::with_mode(RecMode::Iso);
+        let mut ctx = Ctx::new();
+        let m = mu(tkind(), carrow(Con::Int, cvar(0)));
+        let u = carrow(Con::Int, m.clone());
+        assert!(tc.con_equiv(&mut ctx, &m, &u, &tkind()).is_err());
+        // ...but a μ is still equal to itself.
+        tc.con_equiv(&mut ctx, &m, &m, &tkind()).unwrap();
+    }
+
+    #[test]
+    fn shao_equation_holds_in_iso_shao_mode() {
+        // μα.c(α) ≡ μα.c(μα.c(α))  with c(α) = int ⇀ α    (paper §5)
+        let tc = Tc::with_mode(RecMode::IsoShao);
+        let mut ctx = Ctx::new();
+        let m = mu(tkind(), carrow(Con::Int, cvar(0)));
+        let m2 = mu(tkind(), carrow(Con::Int, recmod_syntax::subst::shift_con(&m, 1, 0)));
+        tc.con_equiv(&mut ctx, &m, &m2, &tkind()).unwrap();
+    }
+
+    #[test]
+    fn shao_mode_still_distinguishes_mu_from_unrolling() {
+        let tc = Tc::with_mode(RecMode::IsoShao);
+        let mut ctx = Ctx::new();
+        let m = mu(tkind(), carrow(Con::Int, cvar(0)));
+        let u = carrow(Con::Int, m.clone());
+        assert!(tc.con_equiv(&mut ctx, &m, &u, &tkind()).is_err());
+    }
+
+    #[test]
+    fn distinct_recursive_types_are_distinguished() {
+        // μα.int ⇀ α  ≠  μα.bool ⇀ α
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let m1 = mu(tkind(), carrow(Con::Int, cvar(0)));
+        let m2 = mu(tkind(), carrow(Con::Bool, cvar(0)));
+        assert!(tc.con_equiv(&mut ctx, &m1, &m2, &tkind()).is_err());
+    }
+
+    #[test]
+    fn bisimilar_but_syntactically_distinct_mus_are_equal() {
+        // μα.int ⇀ (int ⇀ α)  =  μα.int ⇀ α unrolled two ways:
+        // compare μα.int⇀α with μα.int⇀(int⇀α).
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let m1 = mu(tkind(), carrow(Con::Int, cvar(0)));
+        let m2 = mu(tkind(), carrow(Con::Int, carrow(Con::Int, cvar(0))));
+        tc.con_equiv(&mut ctx, &m1, &m2, &tkind()).unwrap();
+    }
+
+    #[test]
+    fn everything_equal_at_unit_kind() {
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        tc.con_equiv(&mut ctx, &Con::Star, &cproj1(cpair(Con::Star, Con::Star)), &unit_kind())
+            .unwrap();
+    }
+
+    #[test]
+    fn everything_equal_at_singleton_kind() {
+        // Both sides of kind Q(int) are equal without looking at them.
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        ctx.with_con(q(Con::Int), |ctx| {
+            tc.con_equiv(ctx, &cvar(0), &Con::Int, &q(Con::Int)).unwrap();
+        });
+    }
+
+    #[test]
+    fn extensionality_at_pi_kind() {
+        // λα:T.α  =  λβ:T.β applied pointwise; also a variable f of kind
+        // Πα:T.Q(int) equals λα:T.int.
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let k = pi(tkind(), q(Con::Int));
+        ctx.with_con(k.clone(), |ctx| {
+            let f = cvar(0);
+            let g = clam(tkind(), Con::Int);
+            tc.con_equiv(ctx, &f, &g, &k).unwrap();
+        });
+    }
+
+    #[test]
+    fn extensionality_at_sigma_kind() {
+        // p : Q(int)×Q(bool) equals ⟨int, bool⟩.
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let k = Kind::times(q(Con::Int), q(Con::Bool));
+        ctx.with_con(k.clone(), |ctx| {
+            let p = cvar(0);
+            let lit = cpair(Con::Int, Con::Bool);
+            tc.con_equiv(ctx, &p, &lit, &k).unwrap();
+        });
+    }
+
+    #[test]
+    fn path_spines_compare_argumentwise() {
+        // f : T → T (opaque); f int = f int but f int ≠ f bool.
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let k = pi(tkind(), tkind());
+        ctx.with_con(k, |ctx| {
+            let fi = capp(cvar(0), Con::Int);
+            let fb = capp(cvar(0), Con::Bool);
+            tc.con_equiv(ctx, &fi, &fi.clone(), &tkind()).unwrap();
+            assert!(tc.con_equiv(ctx, &fi, &fb, &tkind()).is_err());
+        });
+    }
+
+    #[test]
+    fn singleton_sharing_propagates_through_variables() {
+        // α:Q(int ⇀ int) ⊢ α = int ⇀ int : T
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let def = carrow(Con::Int, Con::Int);
+        ctx.with_con(q(def.clone()), |ctx| {
+            tc.con_equiv(ctx, &cvar(0), &def, &tkind()).unwrap();
+        });
+    }
+
+    #[test]
+    fn mu_mu_collapse_of_section_5() {
+        // μα.μβ.c(α,β) ≃ μβ.c(β,β)  with c(α,β) = α ⇀ β  — the paper's §5
+        // observation justifying the elimination of equi-recursive types.
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        // μα:T.μβ:T. α ⇀ β   (inside: α is index 1, β is index 0)
+        let nested = mu(tkind(), mu(tkind(), carrow(cvar(1), cvar(0))));
+        // μβ:T. β ⇀ β
+        let flat = mu(tkind(), carrow(cvar(0), cvar(0)));
+        tc.con_equiv(&mut ctx, &nested, &flat, &tkind()).unwrap();
+    }
+
+    #[test]
+    fn seen_set_does_not_leak_across_binders() {
+        // Regression (review finding): in ctx [d:Q(int)], comparing the
+        // pairs ⟨m1, λb:T.m1⟩ and ⟨m2, λb:T.m2⟩ at Σ(T, Πb:T.T) — where
+        // the λ bodies were built WITHOUT shifting, so inside the λ the
+        // index that meant `d` now means the opaque `b` — must fail: the
+        // coinductive assumption recorded for the first components (where
+        // Var(1) = d = int) must not leak into the λ comparison (where the
+        // same syntax denotes b).
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        ctx.with_con(q(Con::Int), |ctx| {
+            let m1 = mu(tkind(), carrow(cvar(1), cvar(0))); // μa. d ⇀ a (at depth 0)
+            let m2 = mu(tkind(), carrow(Con::Int, cvar(0))); // μa. int ⇀ a
+            let p1 = cpair(m1.clone(), clam(tkind(), m1.clone()));
+            let p2 = cpair(m2.clone(), clam(tkind(), m2.clone()));
+            let k = Kind::times(tkind(), pi(tkind(), tkind()));
+            // The λ components alone are inequivalent…
+            assert!(tc
+                .con_equiv(ctx, &clam(tkind(), m1), &clam(tkind(), m2), &pi(tkind(), tkind()))
+                .is_err());
+            // …so the pairs must be too, regardless of comparison order.
+            assert!(tc.con_equiv(ctx, &p1, &p2, &k).is_err());
+        });
+    }
+
+    #[test]
+    fn vacuous_mu_distinct_from_int_but_equal_to_itself() {
+        let tc = equi();
+        let mut ctx = Ctx::new();
+        let bot = mu(tkind(), cvar(0));
+        tc.con_equiv(&mut ctx, &bot, &bot, &tkind()).unwrap();
+        assert!(tc.con_equiv(&mut ctx, &bot, &Con::Int, &tkind()).is_err());
+    }
+}

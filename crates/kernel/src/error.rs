@@ -1,0 +1,205 @@
+//! Typechecking errors.
+
+use std::error::Error;
+use std::fmt;
+
+/// The reason a judgement failed to hold.
+///
+/// Payload strings are pretty-printed syntax (in the paper's notation),
+/// rendered at the point of failure so errors are self-contained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TypeError {
+    /// A de Bruijn index pointed past the end of the context, or at an
+    /// entry of the wrong sort.
+    Unbound {
+        /// What was being looked up (e.g. `"constructor variable"`).
+        what: &'static str,
+        /// The offending index.
+        index: usize,
+    },
+    /// A constructor was used at a `Π` kind but does not have one.
+    NotAPiKind(String),
+    /// A constructor was used at a `Σ` kind but does not have one.
+    NotASigmaKind(String),
+    /// A term was applied but has no (total or partial) arrow type.
+    NotAFunction(String),
+    /// A term was projected from but has no product type.
+    NotAProduct(String),
+    /// A term was instantiated but has no `∀` type.
+    NotPolymorphic(String),
+    /// A `case` scrutinee (or `inj` annotation) is not a sum monotype.
+    NotASum(String),
+    /// A `roll`/`unroll` subject is not a `μ` monotype.
+    NotAMu(String),
+    /// Two kinds failed to be equivalent.
+    KindMismatch {
+        /// The expected kind.
+        expected: String,
+        /// The kind actually found.
+        found: String,
+    },
+    /// Subkinding `found ≤ expected` failed.
+    NotASubkind {
+        /// The required superkind.
+        expected: String,
+        /// The kind actually found.
+        found: String,
+    },
+    /// Two constructors failed to be equivalent at the given kind.
+    ConMismatch {
+        /// The left-hand constructor.
+        left: String,
+        /// The right-hand constructor.
+        right: String,
+        /// The kind at which they were compared.
+        at: String,
+    },
+    /// Two types failed to be equivalent.
+    TyMismatch {
+        /// The expected type.
+        expected: String,
+        /// The type actually found.
+        found: String,
+    },
+    /// Subtyping `found ≤ expected` failed.
+    NotASubtype {
+        /// The required supertype.
+        expected: String,
+        /// The type actually found.
+        found: String,
+    },
+    /// Signature subtyping failed.
+    NotASubsignature {
+        /// The required supersignature.
+        expected: String,
+        /// The signature actually found.
+        found: String,
+    },
+    /// The value restriction (paper §2.1/§3): the body of a `fix` (or of a
+    /// `Λ`) is not valuable.
+    ValueRestriction(String),
+    /// An rds whose static part is not fully transparent (paper §4.1
+    /// formation rule), or whose stripped kind still depends on the
+    /// recursive structure variable.
+    RdsNotTransparent(String),
+    /// A `case` has the wrong number of branches for its scrutinee's sum.
+    BranchCount {
+        /// Number of summands in the scrutinee's type.
+        summands: usize,
+        /// Number of branches supplied.
+        branches: usize,
+    },
+    /// A primop was applied to the wrong number of arguments.
+    PrimArity {
+        /// The operator's name.
+        op: &'static str,
+        /// Expected argument count.
+        expected: usize,
+        /// Found argument count.
+        found: usize,
+    },
+    /// An `inj` index is out of range for its sum annotation.
+    InjIndex {
+        /// The injection index.
+        index: usize,
+        /// Number of summands.
+        summands: usize,
+    },
+    /// The module has no statically-computable compile-time part (e.g. a
+    /// module sealed with an opaque signature used where an rds requires
+    /// inspecting its static part).
+    OpaqueStaticPart(String),
+    /// The equivalence/normalization engine ran out of fuel. This is a
+    /// resource bound, not a semantic verdict; see `DESIGN.md` §2 on the
+    /// (open) decidability of equi-recursive equivalence at higher kinds.
+    FuelExhausted(&'static str),
+    /// Anything else, with a human-readable explanation.
+    Other(String),
+}
+
+impl fmt::Display for TypeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeError::Unbound { what, index } => {
+                write!(f, "unbound {what} (de Bruijn index {index})")
+            }
+            TypeError::NotAPiKind(k) => write!(f, "expected a \u{03a0} kind, found {k}"),
+            TypeError::NotASigmaKind(k) => write!(f, "expected a \u{03a3} kind, found {k}"),
+            TypeError::NotAFunction(t) => write!(f, "expected a function type, found {t}"),
+            TypeError::NotAProduct(t) => write!(f, "expected a product type, found {t}"),
+            TypeError::NotPolymorphic(t) => write!(f, "expected a \u{2200} type, found {t}"),
+            TypeError::NotASum(t) => write!(f, "expected a sum monotype, found {t}"),
+            TypeError::NotAMu(t) => write!(f, "expected a \u{03bc} monotype, found {t}"),
+            TypeError::KindMismatch { expected, found } => {
+                write!(f, "kind mismatch: expected {expected}, found {found}")
+            }
+            TypeError::NotASubkind { expected, found } => {
+                write!(f, "kind {found} is not a subkind of {expected}")
+            }
+            TypeError::ConMismatch { left, right, at } => {
+                write!(f, "constructors are not equivalent at kind {at}: {left} vs {right}")
+            }
+            TypeError::TyMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            TypeError::NotASubtype { expected, found } => {
+                write!(f, "type {found} is not a subtype of {expected}")
+            }
+            TypeError::NotASubsignature { expected, found } => {
+                write!(f, "signature {found} does not match {expected}")
+            }
+            TypeError::ValueRestriction(e) => {
+                write!(f, "value restriction violated: {e} is not valuable")
+            }
+            TypeError::RdsNotTransparent(s) => write!(
+                f,
+                "recursively-dependent signature does not have a fully transparent static part: {s}"
+            ),
+            TypeError::BranchCount { summands, branches } => write!(
+                f,
+                "case has {branches} branch(es) but the scrutinee has {summands} summand(s)"
+            ),
+            TypeError::PrimArity { op, expected, found } => {
+                write!(f, "primop `{op}` expects {expected} argument(s), found {found}")
+            }
+            TypeError::InjIndex { index, summands } => {
+                write!(f, "injection index {index} out of range for a {summands}-ary sum")
+            }
+            TypeError::OpaqueStaticPart(m) => {
+                write!(f, "cannot compute the static part of an opaque module: {m}")
+            }
+            TypeError::FuelExhausted(op) => {
+                write!(f, "normalization/equivalence fuel exhausted during {op}")
+            }
+            TypeError::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl Error for TypeError {}
+
+/// The result type used throughout the kernel.
+pub type TcResult<T> = Result<T, TypeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_lowercase_and_concise() {
+        let e = TypeError::Unbound { what: "constructor variable", index: 3 };
+        assert_eq!(e.to_string(), "unbound constructor variable (de Bruijn index 3)");
+    }
+
+    #[test]
+    fn error_trait_is_implemented() {
+        fn assert_err<E: Error>() {}
+        assert_err::<TypeError>();
+    }
+
+    #[test]
+    fn send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TypeError>();
+    }
+}

@@ -1,0 +1,160 @@
+//! # recmod-kernel
+//!
+//! The typechecker for the internal language of Crary, Harper, and Puri's
+//! *"What is a Recursive Module?"* (PLDI 1999): the phase-distinction
+//! calculus (a predicative variant of Fω with singleton kinds) extended
+//! with equi-recursive constructors, a valuability-restricted term-level
+//! fixed point, the structure calculus, recursive modules `fix(s:S.M)`,
+//! and recursively-dependent signatures `ρs.S`.
+//!
+//! The entry point is [`Tc`], which carries the recursion mode and a fuel
+//! budget and exposes one method per judgement of the paper's appendix:
+//!
+//! | Paper judgement | Method |
+//! |---|---|
+//! | `Γ ⊢ κ kind` | [`Tc::wf_kind`] |
+//! | `Γ ⊢ κ₁ = κ₂` | [`Tc::kind_eq`] |
+//! | `Γ ⊢ κ₁ ≤ κ₂` | [`Tc::subkind`] |
+//! | `Γ ⊢ c : κ` | [`Tc::synth_con`] / [`Tc::check_con`] |
+//! | `Γ ⊢ c₁ = c₂ : κ` | [`Tc::con_equiv`] |
+//! | `Γ ⊢ σ type` | [`Tc::wf_ty`] |
+//! | `Γ ⊢ σ₁ = σ₂ type` | [`Tc::ty_eq`] |
+//! | `Γ ⊢ e : σ` and `Γ ⊢ e ⇓ σ` | [`Tc::synth_term`] (returns valuability) |
+//! | `Γ ⊢ S sig`, `Γ ⊢ S₁ ≤ S₂` | [`Tc::wf_sig`], [`Tc::sig_sub`] |
+//! | `Γ ⊢ M : S` and `Γ ⊢ M ⇓ S` | [`Tc::synth_module`] |
+//!
+//! # Example
+//!
+//! The paper's §2.1 observation that `μα:Q(int).α` is equal to `int`:
+//!
+//! ```
+//! use recmod_kernel::{Tc, Ctx};
+//! use recmod_syntax::ast::{Con, Kind};
+//! use recmod_syntax::dsl::{mu, q, cvar};
+//!
+//! let tc = Tc::new();
+//! let mut ctx = Ctx::new();
+//! let c = mu(q(Con::Int), cvar(0));
+//! tc.con_equiv(&mut ctx, &c, &Con::Int, &Kind::Type).unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod con;
+pub mod ctx;
+pub mod equiv;
+pub mod error;
+pub mod kind;
+pub mod module;
+pub mod sig;
+pub mod singleton;
+pub mod term;
+pub mod termeq;
+pub mod ty;
+pub mod whnf;
+
+use std::cell::Cell;
+
+pub use ctx::{Ctx, Entry};
+pub use error::{TcResult, TypeError};
+
+/// How recursive constructors are treated by definitional equality.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RecMode {
+    /// Equi-recursive (the paper's primary system, §2.1): `μα:κ.c` is
+    /// definitionally equal to its unrolling.
+    #[default]
+    Equi,
+    /// Iso-recursive without Shao's equation: `μ` constructors are equal
+    /// only by congruence; `roll`/`unroll` are required coercions.
+    Iso,
+    /// Iso-recursive *with* Shao's equation (paper §5):
+    /// `μα.c(α) ≡ μα.c(μα.c(α))`, realized by a bisimulation that
+    /// compares the unrollings of two `μ` constructors — but never
+    /// equates a `μ` with a non-`μ`.
+    IsoShao,
+}
+
+/// The default fuel budget for normalization and equivalence checking.
+pub const DEFAULT_FUEL: u64 = 5_000_000;
+
+/// The typechecker: recursion mode plus a fuel budget.
+///
+/// Fuel bounds the total number of weak-head steps and coinductive
+/// equivalence expansions across a checking run; exhausting it yields
+/// [`TypeError::FuelExhausted`] rather than divergence. (Decidability of
+/// equi-recursive equivalence at higher kinds is open — paper §5.)
+#[derive(Debug)]
+pub struct Tc {
+    mode: RecMode,
+    fuel: Cell<u64>,
+}
+
+impl Default for Tc {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Tc {
+    /// A checker in equi-recursive mode with the default fuel budget.
+    pub fn new() -> Self {
+        Self::with_mode(RecMode::Equi)
+    }
+
+    /// A checker with an explicit recursion mode.
+    pub fn with_mode(mode: RecMode) -> Self {
+        Tc { mode, fuel: Cell::new(DEFAULT_FUEL) }
+    }
+
+    /// The recursion mode in force.
+    pub fn mode(&self) -> RecMode {
+        self.mode
+    }
+
+    /// Remaining fuel.
+    pub fn fuel(&self) -> u64 {
+        self.fuel.get()
+    }
+
+    /// Resets the fuel budget (e.g. between top-level declarations).
+    pub fn set_fuel(&self, fuel: u64) {
+        self.fuel.set(fuel);
+    }
+
+    pub(crate) fn burn(&self, op: &'static str) -> TcResult<()> {
+        let f = self.fuel.get();
+        if f == 0 {
+            return Err(TypeError::FuelExhausted(op));
+        }
+        self.fuel.set(f - 1);
+        Ok(())
+    }
+}
+
+pub(crate) mod show {
+    //! Pretty-printing helpers for error payloads.
+    use recmod_syntax::ast::{Con, Kind, Module, Sig, Term, Ty};
+    use recmod_syntax::pretty;
+
+    pub fn kind(k: &Kind) -> String {
+        pretty::kind_to_string(k, &mut pretty::Names::new())
+    }
+    pub fn con(c: &Con) -> String {
+        pretty::con_to_string(c, &mut pretty::Names::new())
+    }
+    pub fn ty(t: &Ty) -> String {
+        pretty::ty_to_string(t, &mut pretty::Names::new())
+    }
+    pub fn term(e: &Term) -> String {
+        pretty::term_to_string(e, &mut pretty::Names::new())
+    }
+    pub fn sig(s: &Sig) -> String {
+        pretty::sig_to_string(s, &mut pretty::Names::new())
+    }
+    #[allow(dead_code)]
+    pub fn module(m: &Module) -> String {
+        pretty::module_to_string(m, &mut pretty::Names::new())
+    }
+}

@@ -1,0 +1,488 @@
+//! The elaborator: external language → internal language.
+//!
+//! Elaboration follows Harper–Stone in outline: structures become pairs
+//! of right-nested tuples (static constructors / dynamic terms) with a
+//! [`Shape`](crate::shape::Shape) recording the field layout; signatures become
+//! `[α:κ.σ]` templates; functors become HMM pairs; `structure rec`
+//! becomes the internal `fix(s:S.M)` with the annotation rendered as a
+//! recursively-dependent signature exactly as the paper's §4.1
+//! prescribes ("the elaborator implicitly renders every recursively
+//! dependent signature to be fully transparent … by inspection of the
+//! module being defined").
+//!
+//! The elaborator keeps the kernel context in lockstep with its own
+//! scope structure: every internal binder it introduces is pushed onto
+//! the [`Ctx`], so de Bruijn indices are always `depth − 1 − position`.
+
+use recmod_kernel::{Ctx, Entry, Tc, TypeError};
+use recmod_syntax::ast::{Con, Kind, Term};
+use recmod_syntax::subst::shift_con;
+
+use crate::ast::{Path, TyExp};
+use crate::env::{depth_delta, ElabEnv, Entity, StructEntity};
+use crate::error::{ErrorKind, Span, SurfaceError, SurfaceResult};
+use crate::shape::{con_proj, term_proj, DataInfo, Item};
+
+/// One elaborated top-level binding, ready for linking.
+#[derive(Debug, Clone)]
+pub struct TopBinding {
+    /// The surface name (or a generated name for hidden bindings).
+    pub name: String,
+    /// The principal internal signature (for structures/functors) or
+    /// type (rendered) of the binding.
+    pub describe: String,
+    /// The dynamic part, used by the linker. References earlier
+    /// bindings via `snd(s)`/variables at matching indices.
+    pub dynamic: Term,
+    /// Whether the context entry is a structure (`snd` reference) or a
+    /// term variable.
+    pub is_structure: bool,
+}
+
+/// The elaborator state.
+#[derive(Debug)]
+pub struct Elaborator {
+    /// The kernel checker.
+    pub tc: Tc,
+    /// The internal typing context, mirroring elaborator scope.
+    pub ctx: Ctx,
+    /// The name environment.
+    pub env: ElabEnv,
+    /// Completed top-level bindings in order.
+    pub bindings: Vec<TopBinding>,
+    pub(crate) gensym: usize,
+}
+
+impl Elaborator {
+    /// A fresh elaborator with an equi-recursive kernel.
+    pub fn new() -> Self {
+        Elaborator {
+            tc: Tc::new(),
+            ctx: Ctx::new(),
+            env: ElabEnv::new(),
+            bindings: Vec::new(),
+            gensym: 0,
+        }
+    }
+
+    /// A fresh elaborator with a caller-provided kernel (e.g. a
+    /// different [`recmod_kernel::RecMode`] or fuel budget).
+    pub fn with_tc(tc: Tc) -> Self {
+        Elaborator { tc, ctx: Ctx::new(), env: ElabEnv::new(), bindings: Vec::new(), gensym: 0 }
+    }
+
+    /// Current internal-context depth.
+    pub fn depth(&self) -> usize {
+        self.ctx.len()
+    }
+
+    pub(crate) fn fresh(&mut self, prefix: &str) -> String {
+        self.gensym += 1;
+        format!("${prefix}${}", self.gensym)
+    }
+
+    pub(crate) fn err<T>(&self, span: Span, kind: ErrorKind) -> SurfaceResult<T> {
+        Err(SurfaceError::new(span, kind))
+    }
+
+    pub(crate) fn terr(&self, span: Span, e: TypeError) -> SurfaceError {
+        SurfaceError::new(span, ErrorKind::Type(e))
+    }
+
+    // ----- path resolution ------------------------------------------------
+
+    /// Resolves a (possibly dotted) structure path to a view of the
+    /// denoted structure, expressed at the current depth.
+    pub(crate) fn resolve_struct(&self, path: &Path) -> SurfaceResult<StructEntity> {
+        let first = &path.parts[0];
+        let entity = self.env.lookup(first).ok_or_else(|| {
+            SurfaceError::new(path.span, ErrorKind::Unbound(first.clone()))
+        })?;
+        let Entity::Struct(base) = entity else {
+            return Err(SurfaceError::new(
+                path.span,
+                ErrorKind::WrongEntity { name: first.clone(), expected: "a structure" },
+            ));
+        };
+        let mut cur = StructEntity {
+            shape: base.shape.clone(),
+            statics: base.statics_at(self.depth()),
+            dynamics: base.dynamics_at(self.depth()),
+            depth: self.depth(),
+        };
+        for part in &path.parts[1..] {
+            cur = self.project_substruct(&cur, part, path.span)?;
+        }
+        Ok(cur)
+    }
+
+    /// Resolves all but the last component of a dotted path to a
+    /// structure, returning the structure and the final field name.
+    pub(crate) fn resolve_prefix<'p>(
+        &self,
+        path: &'p Path,
+    ) -> SurfaceResult<(StructEntity, &'p str)> {
+        debug_assert!(path.parts.len() >= 2);
+        let prefix = Path {
+            parts: path.parts[..path.parts.len() - 1].to_vec(),
+            span: path.span,
+        };
+        let st = self.resolve_struct(&prefix)?;
+        Ok((st, path.parts.last().expect("nonempty").as_str()))
+    }
+
+    fn project_substruct(
+        &self,
+        parent: &StructEntity,
+        name: &str,
+        span: Span,
+    ) -> SurfaceResult<StructEntity> {
+        match parent.shape.find(name) {
+            Some(Item::Struct(sub_shape)) => {
+                let s_slot = parent
+                    .shape
+                    .static_slot(name)
+                    .expect("substructures have static slots");
+                let d_slot = parent
+                    .shape
+                    .dyn_slot(name)
+                    .expect("substructures have dynamic slots");
+                Ok(StructEntity {
+                    shape: sub_shape.clone(),
+                    statics: con_proj(
+                        parent.statics.clone(),
+                        s_slot,
+                        parent.shape.static_len(),
+                    ),
+                    dynamics: term_proj(
+                        parent.dynamics.clone(),
+                        d_slot,
+                        parent.shape.dyn_len(),
+                    ),
+                    depth: parent.depth,
+                })
+            }
+            Some(_) => Err(SurfaceError::new(
+                span,
+                ErrorKind::WrongEntity { name: name.to_string(), expected: "a structure" },
+            )),
+            None => Err(SurfaceError::new(span, ErrorKind::Unbound(name.to_string()))),
+        }
+    }
+
+    /// Resolves a type path to a constructor at the current depth.
+    pub(crate) fn resolve_ty_path(&self, path: &Path) -> SurfaceResult<Con> {
+        if path.parts.len() == 1 {
+            let name = &path.parts[0];
+            match self.env.lookup(name) {
+                Some(Entity::TyAlias { con, depth }) | Some(Entity::Data { con, depth, .. }) => {
+                    Ok(shift_con(con, depth_delta(*depth, self.depth()), 0))
+                }
+                Some(_) => self.err(
+                    path.span,
+                    ErrorKind::WrongEntity { name: name.clone(), expected: "a type" },
+                ),
+                None => self.err(path.span, ErrorKind::Unbound(name.clone())),
+            }
+        } else {
+            let (st, field) = self.resolve_prefix(path)?;
+            match st.shape.find(field) {
+                Some(Item::Ty) | Some(Item::Data(_)) => {
+                    let slot = st.shape.static_slot(field).expect("type items have slots");
+                    Ok(con_proj(st.statics, slot, st.shape.static_len()))
+                }
+                Some(_) => self.err(
+                    path.span,
+                    ErrorKind::WrongEntity { name: field.to_string(), expected: "a type" },
+                ),
+                None => self.err(path.span, ErrorKind::Unbound(path.dotted())),
+            }
+        }
+    }
+
+    /// Resolves a value path to a term at the current depth.
+    pub(crate) fn resolve_val_path(&self, path: &Path) -> SurfaceResult<Term> {
+        if path.parts.len() == 1 {
+            let name = &path.parts[0];
+            match self.env.lookup(name) {
+                Some(Entity::Val { pos }) => Ok(Term::Var(self.index_of(*pos))),
+                Some(Entity::Ctor(c)) => Ok(Term::Var(self.index_of(c.pos))),
+                Some(_) => self.err(
+                    path.span,
+                    ErrorKind::WrongEntity { name: name.clone(), expected: "a value" },
+                ),
+                None => self.err(path.span, ErrorKind::Unbound(name.clone())),
+            }
+        } else {
+            let (st, field) = self.resolve_prefix(path)?;
+            match st.shape.find(field) {
+                Some(Item::Val) => {
+                    let slot = st.shape.dyn_slot(field).expect("val items have dyn slots");
+                    Ok(term_proj(st.dynamics, slot, st.shape.dyn_len()))
+                }
+                Some(_) => self.err(
+                    path.span,
+                    ErrorKind::WrongEntity { name: field.to_string(), expected: "a value" },
+                ),
+                None => self.err(path.span, ErrorKind::Unbound(path.dotted())),
+            }
+        }
+    }
+
+    /// How a constructor used in an expression or pattern resolves.
+    pub(crate) fn resolve_ctor(&self, path: &Path) -> SurfaceResult<CtorRes> {
+        if path.parts.len() == 1 {
+            let name = &path.parts[0];
+            match self.env.lookup(name) {
+                Some(Entity::Ctor(c)) => Ok(CtorRes {
+                    data_con: shift_con(&c.data_con, depth_delta(c.depth, self.depth()), 0),
+                    index: c.index,
+                    has_arg: c.has_arg,
+                    info: c.info.clone(),
+                    value: Term::Var(self.index_of(c.pos)),
+                }),
+                _ => self.err(
+                    path.span,
+                    ErrorKind::WrongEntity {
+                        name: name.clone(),
+                        expected: "a datatype constructor",
+                    },
+                ),
+            }
+        } else {
+            let (st, field) = self.resolve_prefix(path)?;
+            let Some((ty_name, info)) = st.shape.data_of_ctor(field) else {
+                return self.err(
+                    path.span,
+                    ErrorKind::WrongEntity {
+                        name: field.to_string(),
+                        expected: "a datatype constructor",
+                    },
+                );
+            };
+            let (index, has_arg) = info.find(field).expect("data_of_ctor found it");
+            let t_slot = st.shape.static_slot(ty_name).expect("datatype has a slot");
+            let v_slot = st.shape.dyn_slot(field).expect("constructors are val fields");
+            Ok(CtorRes {
+                data_con: con_proj(st.statics.clone(), t_slot, st.shape.static_len()),
+                index,
+                has_arg,
+                info: info.clone(),
+                value: term_proj(st.dynamics, v_slot, st.shape.dyn_len()),
+            })
+        }
+    }
+
+    /// Does `name` denote a datatype constructor here? (Used to decide
+    /// whether a bare identifier pattern is a nullary-constructor pattern.)
+    pub(crate) fn is_ctor(&self, path: &Path) -> bool {
+        if path.parts.len() == 1 {
+            matches!(self.env.lookup(&path.parts[0]), Some(Entity::Ctor(_)))
+        } else {
+            self.resolve_prefix(path)
+                .map(|(st, field)| st.shape.data_of_ctor(field).is_some())
+                .unwrap_or(false)
+        }
+    }
+
+    /// Converts an absolute context position to a de Bruijn index at the
+    /// current depth.
+    pub(crate) fn index_of(&self, pos: usize) -> usize {
+        self.depth() - 1 - pos
+    }
+
+    // ----- types ------------------------------------------------------------
+
+    /// Elaborates a surface type to a monotype constructor.
+    pub fn elab_ty(&mut self, t: &TyExp) -> SurfaceResult<Con> {
+        match t {
+            TyExp::Int(_) => Ok(Con::Int),
+            TyExp::Bool(_) => Ok(Con::Bool),
+            TyExp::Unit(_) => Ok(Con::UnitTy),
+            TyExp::Path(p) => self.resolve_ty_path(p),
+            TyExp::Prod(parts, _) => {
+                let mut out = Vec::with_capacity(parts.len());
+                for p in parts {
+                    out.push(self.elab_ty(p)?);
+                }
+                Ok(prod_chain(out))
+            }
+            TyExp::Arrow(a, b, _) => {
+                let ca = self.elab_ty(a)?;
+                let cb = self.elab_ty(b)?;
+                Ok(Con::Arrow(Box::new(ca), Box::new(cb)))
+            }
+        }
+    }
+
+    /// Elaborates a datatype declaration's `μ` constructor and metadata.
+    /// The datatype's own name is in scope inside its constructors'
+    /// argument types (bound to the `μ` variable).
+    pub(crate) fn elab_datatype_con(
+        &mut self,
+        name: &str,
+        ctors: &[crate::ast::CtorDecl],
+    ) -> SurfaceResult<(Con, DataInfo)> {
+        // Elaborate summands under the μ binder.
+        self.ctx.push(Entry::Con(Kind::Type));
+        let mark = self.env.mark();
+        self.env.insert(
+            name,
+            Entity::TyAlias { con: Con::Var(0), depth: self.depth() },
+        );
+        let mut summands = Vec::with_capacity(ctors.len());
+        let mut info = Vec::with_capacity(ctors.len());
+        let mut result: SurfaceResult<()> = Ok(());
+        for c in ctors {
+            match &c.arg {
+                Some(t) => match self.elab_ty(t) {
+                    Ok(con) => {
+                        summands.push(con);
+                        info.push((c.name.clone(), true));
+                    }
+                    Err(e) => {
+                        result = Err(e);
+                        break;
+                    }
+                },
+                None => {
+                    summands.push(Con::UnitTy);
+                    info.push((c.name.clone(), false));
+                }
+            }
+        }
+        self.env.reset(mark);
+        self.ctx.truncate(self.depth() - 1);
+        result?;
+        let mu = Con::Mu(Box::new(Kind::Type), Box::new(Con::Sum(summands)));
+        Ok((mu, DataInfo { ctors: info }))
+    }
+
+    /// The sum constructor reached by unrolling a datatype's `μ` (needed
+    /// as the annotation on injections and for branch types). Recursive
+    /// modules wrap the datatype's own `μ` in a module-level `μ` (the §5
+    /// nested-tower situation), so unrolling repeats until the sum
+    /// appears.
+    pub(crate) fn unrolled_sum(&mut self, data_con: &Con, span: Span) -> SurfaceResult<Con> {
+        let mut cur = data_con.clone();
+        for _ in 0..64 {
+            let w = self.tc.whnf(&mut self.ctx, &cur).map_err(|e| self.terr(span, e))?;
+            match w {
+                Con::Sum(_) => return Ok(w),
+                Con::Mu(_, _) if recmod_kernel::whnf::is_contractive(&w) => {
+                    cur = recmod_kernel::whnf::unroll_mu(&w);
+                }
+                other => {
+                    return self.err(
+                        span,
+                        ErrorKind::Other(format!(
+                            "not a datatype: {}",
+                            recmod_syntax::pretty::con_to_string(
+                                &other,
+                                &mut recmod_syntax::pretty::Names::new()
+                            )
+                        )),
+                    )
+                }
+            }
+        }
+        self.err(span, ErrorKind::Other("datatype unrolling did not converge".into()))
+    }
+}
+
+impl Default for Elaborator {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// A resolved constructor occurrence, at the current depth.
+#[derive(Debug, Clone)]
+pub(crate) struct CtorRes {
+    /// The datatype's `μ` constructor.
+    pub data_con: Con,
+    /// The constructor's summand index.
+    pub index: usize,
+    /// Whether it carries an argument (recorded for completeness; the
+    /// pattern code recovers arity from `info`).
+    #[allow(dead_code)]
+    pub has_arg: bool,
+    /// All constructors of the datatype.
+    pub info: DataInfo,
+    /// The constructor *value* (a total function or a rolled value).
+    pub value: Term,
+}
+
+/// Builds a right-nested product monotype (`unit` when empty).
+pub(crate) fn prod_chain(mut parts: Vec<Con>) -> Con {
+    match parts.len() {
+        0 => Con::UnitTy,
+        1 => parts.pop().expect("len checked"),
+        _ => {
+            let first = parts.remove(0);
+            Con::Prod(Box::new(first), Box::new(prod_chain(parts)))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::CtorDecl;
+
+    #[test]
+    fn elab_base_types() {
+        let mut e = Elaborator::new();
+        assert_eq!(e.elab_ty(&TyExp::Int(Span::default())).unwrap(), Con::Int);
+        let t = TyExp::Prod(
+            vec![TyExp::Int(Span::default()), TyExp::Bool(Span::default())],
+            Span::default(),
+        );
+        assert_eq!(
+            e.elab_ty(&t).unwrap(),
+            Con::Prod(Box::new(Con::Int), Box::new(Con::Bool))
+        );
+    }
+
+    #[test]
+    fn datatype_builds_mu_of_sum() {
+        let mut e = Elaborator::new();
+        let ctors = vec![
+            CtorDecl { name: "NIL".into(), arg: None, span: Span::default() },
+            CtorDecl {
+                name: "CONS".into(),
+                arg: Some(TyExp::Prod(
+                    vec![
+                        TyExp::Int(Span::default()),
+                        TyExp::Path(Path::simple("t", Span::default())),
+                    ],
+                    Span::default(),
+                )),
+                span: Span::default(),
+            },
+        ];
+        let (mu, info) = e.elab_datatype_con("t", &ctors).unwrap();
+        assert_eq!(
+            mu,
+            Con::Mu(
+                Box::new(Kind::Type),
+                Box::new(Con::Sum(vec![
+                    Con::UnitTy,
+                    Con::Prod(Box::new(Con::Int), Box::new(Con::Var(0))),
+                ]))
+            )
+        );
+        assert_eq!(info.find("CONS"), Some((1, true)));
+        assert_eq!(e.depth(), 0, "μ binder popped");
+    }
+
+    #[test]
+    fn unbound_type_reported() {
+        let mut e = Elaborator::new();
+        let t = TyExp::Path(Path::simple("mystery", Span::default()));
+        assert!(matches!(
+            e.elab_ty(&t),
+            Err(SurfaceError { kind: ErrorKind::Unbound(_), .. })
+        ));
+    }
+}

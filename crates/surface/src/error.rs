@@ -1,0 +1,149 @@
+//! Surface-language errors: lexing, parsing, and elaboration.
+
+use std::error::Error;
+use std::fmt;
+
+use recmod_kernel::TypeError;
+
+/// A half-open byte range into the source text.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+}
+
+impl Span {
+    /// Builds a span.
+    pub fn new(start: usize, end: usize) -> Self {
+        Span { start, end }
+    }
+
+    /// The smallest span covering both.
+    pub fn to(self, other: Span) -> Span {
+        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+    }
+
+    /// 1-based line and column of the span start within `src`.
+    pub fn line_col(&self, src: &str) -> (usize, usize) {
+        let mut line = 1;
+        let mut col = 1;
+        for (i, ch) in src.char_indices() {
+            if i >= self.start {
+                break;
+            }
+            if ch == '\n' {
+                line += 1;
+                col = 1;
+            } else {
+                col += 1;
+            }
+        }
+        (line, col)
+    }
+}
+
+/// An error produced by the surface pipeline.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SurfaceError {
+    /// Where in the source the error was detected.
+    pub span: Span,
+    /// What went wrong.
+    pub kind: ErrorKind,
+}
+
+/// The category of a surface error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ErrorKind {
+    /// An unexpected character during lexing.
+    Lex(String),
+    /// A parse error with an explanation of what was expected.
+    Parse(String),
+    /// A name was not in scope.
+    Unbound(String),
+    /// A name was in scope but denotes the wrong kind of entity.
+    WrongEntity {
+        /// The name used.
+        name: String,
+        /// What the context required (e.g. `"a structure"`).
+        expected: &'static str,
+    },
+    /// A structure lacks a component required by a signature.
+    MissingComponent {
+        /// The component name.
+        name: String,
+    },
+    /// Duplicate binding within one structure or signature body.
+    Duplicate(String),
+    /// A kernel type error, with the elaborator's phase description.
+    Type(TypeError),
+    /// Anything else.
+    Other(String),
+}
+
+impl SurfaceError {
+    /// Builds an error.
+    pub fn new(span: Span, kind: ErrorKind) -> Self {
+        SurfaceError { span, kind }
+    }
+
+    /// Renders the error with line/column information from `src`.
+    pub fn render(&self, src: &str) -> String {
+        let (line, col) = self.span.line_col(src);
+        format!("{line}:{col}: {self}")
+    }
+}
+
+impl fmt::Display for SurfaceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match &self.kind {
+            ErrorKind::Lex(msg) => write!(f, "lexical error: {msg}"),
+            ErrorKind::Parse(msg) => write!(f, "parse error: {msg}"),
+            ErrorKind::Unbound(name) => write!(f, "unbound identifier `{name}`"),
+            ErrorKind::WrongEntity { name, expected } => {
+                write!(f, "`{name}` is not {expected}")
+            }
+            ErrorKind::MissingComponent { name } => {
+                write!(f, "structure is missing component `{name}` required by its signature")
+            }
+            ErrorKind::Duplicate(name) => write!(f, "duplicate binding `{name}`"),
+            ErrorKind::Type(e) => write!(f, "type error: {e}"),
+            ErrorKind::Other(msg) => f.write_str(msg),
+        }
+    }
+}
+
+impl Error for SurfaceError {}
+
+impl From<SurfaceError> for String {
+    fn from(e: SurfaceError) -> String {
+        e.to_string()
+    }
+}
+
+/// Result type for the surface pipeline.
+pub type SurfaceResult<T> = Result<T, SurfaceError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_col_computed() {
+        let src = "ab\ncd\nef";
+        let sp = Span::new(6, 7); // 'e'
+        assert_eq!(sp.line_col(src), (3, 1));
+    }
+
+    #[test]
+    fn span_join() {
+        assert_eq!(Span::new(3, 5).to(Span::new(1, 4)), Span::new(1, 5));
+    }
+
+    #[test]
+    fn render_includes_position() {
+        let e = SurfaceError::new(Span::new(0, 1), ErrorKind::Unbound("x".into()));
+        assert_eq!(e.render("x"), "1:1: unbound identifier `x`");
+    }
+}

@@ -1,0 +1,53 @@
+//! # recmod-surface
+//!
+//! The external language of the reproduction of Crary, Harper, and
+//! Puri's *"What is a Recursive Module?"* (PLDI 1999): an SML-like
+//! notation with `structure rec`, recursively-dependent signatures,
+//! `where type`, functors (including rds parameters, §4's `BuildList`),
+//! and structurally-interpreted datatypes — elaborated into the
+//! phase-distinction internal language checked by `recmod-kernel`.
+//!
+//! # Example
+//!
+//! ```
+//! use recmod_surface::compile;
+//!
+//! let program = "
+//!     structure rec Nat : sig
+//!       datatype t = Z | S of Nat.t
+//!       val toInt : t -> int
+//!     end = struct
+//!       datatype t = Z | S of Nat.t
+//!       fun toInt (n : t) : int =
+//!         case n of Z => 0 | S m => 1 + Nat.toInt m
+//!     end
+//!     Nat.toInt (Nat.S (Nat.S Nat.Z))
+//! ";
+//! let compiled = compile(program).map_err(|e| e.render(program)).unwrap();
+//! let linked = compiled.program();
+//! let v = recmod_eval::Interp::new().run(&linked).unwrap();
+//! assert_eq!(v.as_int().unwrap(), 2);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod ast;
+pub mod elab;
+mod elab_exp;
+mod elab_sig;
+mod elab_str;
+pub mod env;
+pub mod error;
+pub mod extrude;
+pub mod lexer;
+pub mod link;
+pub mod parser;
+pub mod pipeline;
+pub mod shape;
+pub mod token;
+
+pub use elab::Elaborator;
+pub use error::{ErrorKind, Span, SurfaceError, SurfaceResult};
+pub use parser::{parse, parse_exp};
+pub use pipeline::{compile, compile_with, Compiled};

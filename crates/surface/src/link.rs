@@ -1,0 +1,103 @@
+//! Linking: assembling the elaborated top-level bindings into one
+//! closed, evaluable term.
+//!
+//! After elaboration each top-level binding has a phase-split dynamic
+//! part referencing earlier bindings through `snd(s)` (structures) or
+//! plain variables (values). Linking wraps them in a `let` chain. Since
+//! one structure entry becomes one `let` binder, the de Bruijn indices
+//! line up exactly: `snd(i)` is rewritten to `Var(i)` — a change of
+//! *sort*, not of index.
+//!
+//! Static references (`Fst(s)`) may survive inside type annotations.
+//! The linked term is intended solely for the type-erased evaluator
+//! ([`recmod_eval`](https://docs.rs/recmod-eval)), which never inspects
+//! annotations; the linked term is *not* meant to be re-typechecked.
+//! (Typechecking already happened, binding by binding, during
+//! elaboration — with structure variables in the context.)
+
+use recmod_syntax::ast::{Con, Module, Term};
+use recmod_syntax::map::{map_term, VarMap};
+
+use crate::elab::TopBinding;
+
+struct Dynamize;
+
+impl VarMap for Dynamize {
+    fn cvar(&mut self, _d: usize, i: usize) -> Con {
+        Con::Var(i)
+    }
+    fn tvar(&mut self, _d: usize, i: usize) -> Term {
+        Term::Var(i)
+    }
+    fn fst(&mut self, _d: usize, i: usize) -> Con {
+        // Annotation-only residue; the evaluator never reads it.
+        Con::Fst(i)
+    }
+    fn snd(&mut self, _d: usize, i: usize) -> Term {
+        Term::Var(i)
+    }
+    fn mvar(&mut self, _d: usize, _i: usize) -> Module {
+        unreachable!("terms do not contain module expressions")
+    }
+}
+
+/// Rewrites `snd(s)` references to plain variables (sort change only).
+pub fn dynamize(t: &Term) -> Term {
+    map_term(t, 0, &mut Dynamize)
+}
+
+/// Builds the closed program term: a `let` chain over the bindings'
+/// dynamic parts, ending in `main` (or `*` when there is none).
+pub fn link_program(bindings: &[TopBinding], main: Option<&Term>) -> Term {
+    let mut term = dynamize(main.unwrap_or(&Term::Star));
+    for b in bindings.iter().rev() {
+        term = Term::Let(Box::new(dynamize(&b.dynamic)), Box::new(term));
+    }
+    term
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dynamize_changes_sort_not_index() {
+        let t = Term::App(Box::new(Term::Snd(2)), Box::new(Term::Var(0)));
+        assert_eq!(
+            dynamize(&t),
+            Term::App(Box::new(Term::Var(2)), Box::new(Term::Var(0)))
+        );
+    }
+
+    #[test]
+    fn link_wraps_in_lets() {
+        let bindings = vec![
+            TopBinding {
+                name: "a".into(),
+                describe: String::new(),
+                dynamic: Term::IntLit(1),
+                is_structure: false,
+            },
+            TopBinding {
+                name: "b".into(),
+                describe: String::new(),
+                dynamic: Term::Var(0),
+                is_structure: false,
+            },
+        ];
+        let main = Term::Var(0);
+        let linked = link_program(&bindings, Some(&main));
+        assert_eq!(
+            linked,
+            Term::Let(
+                Box::new(Term::IntLit(1)),
+                Box::new(Term::Let(Box::new(Term::Var(0)), Box::new(Term::Var(0))))
+            )
+        );
+    }
+
+    #[test]
+    fn empty_program_links_to_star() {
+        assert_eq!(link_program(&[], None), Term::Star);
+    }
+}

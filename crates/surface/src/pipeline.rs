@@ -1,0 +1,63 @@
+//! The compilation pipeline: parse → elaborate → typecheck → link.
+
+use recmod_syntax::ast::Term;
+
+use crate::elab::Elaborator;
+use crate::error::{ErrorKind, SurfaceError, SurfaceResult};
+use crate::link::link_program;
+use crate::parser::parse;
+
+/// The result of compiling a program.
+#[derive(Debug)]
+pub struct Compiled {
+    /// The elaborator, holding the final context, environment, and the
+    /// per-binding splits (useful for inspection and tests).
+    pub elab: Elaborator,
+    /// The elaborated main expression, if the program had one.
+    pub main: Option<Term>,
+}
+
+impl Compiled {
+    /// The closed, linked program term for the evaluator.
+    pub fn program(&self) -> Term {
+        link_program(&self.elab.bindings, self.main.as_ref())
+    }
+
+    /// `(name, description)` pairs for the top-level bindings.
+    pub fn summaries(&self) -> Vec<(String, String)> {
+        self.elab
+            .bindings
+            .iter()
+            .map(|b| (b.name.clone(), b.describe.clone()))
+            .collect()
+    }
+}
+
+/// Compiles a program with a default (equi-recursive) kernel.
+///
+/// # Errors
+///
+/// Lexical, syntax, scoping, and type errors, each carrying a source
+/// span (render with [`SurfaceError::render`]).
+pub fn compile(src: &str) -> SurfaceResult<Compiled> {
+    compile_with(Elaborator::new(), src)
+}
+
+/// Compiles with a caller-supplied elaborator (custom kernel mode/fuel).
+pub fn compile_with(mut elab: Elaborator, src: &str) -> SurfaceResult<Compiled> {
+    let prog = parse(src)?;
+    for d in &prog.decls {
+        elab.elab_topdec(d)?;
+    }
+    let main = match &prog.main {
+        Some(e) => {
+            let term = elab.elab_exp(e)?;
+            elab.tc
+                .synth_term(&mut elab.ctx, &term)
+                .map_err(|err| SurfaceError::new(e.span(), ErrorKind::Type(err)))?;
+            Some(term)
+        }
+        None => None,
+    };
+    Ok(Compiled { elab, main })
+}

@@ -1,0 +1,141 @@
+//! A generic traversal over variable occurrences.
+//!
+//! All binding-aware operations (shifting, the three substitution forms,
+//! the rds redirection used by phase splitting) are instances of a single
+//! traversal: walk the syntax tree, keep track of how many binders have
+//! been crossed, and ask a [`VarMap`] what to do at each variable
+//! occurrence.
+//!
+//! The five occurrence shapes are: constructor variables `α`, term
+//! variables `x`, the structure projections `Fst(s)` and `snd(s)`, and
+//! whole-module references `s`.
+
+use crate::ast::{Con, Index, Kind, Module, Sig, Term, Ty};
+
+/// A rewriting strategy for variable occurrences.
+///
+/// `d` is the number of binders crossed between the root of the traversal
+/// and the occurrence; `i` is the (absolute) de Bruijn index found there.
+/// Implementations typically compare `i` with `d` plus some target index.
+pub trait VarMap {
+    /// Rewrite a constructor-variable occurrence `α(i)`.
+    fn cvar(&mut self, d: usize, i: Index) -> Con;
+    /// Rewrite a term-variable occurrence `x(i)`.
+    fn tvar(&mut self, d: usize, i: Index) -> Term;
+    /// Rewrite an occurrence of `Fst(s(i))`.
+    fn fst(&mut self, d: usize, i: Index) -> Con;
+    /// Rewrite an occurrence of `snd(s(i))`.
+    fn snd(&mut self, d: usize, i: Index) -> Term;
+    /// Rewrite a whole-module occurrence of the structure variable `s(i)`.
+    fn mvar(&mut self, d: usize, i: Index) -> Module;
+}
+
+/// Applies `m` to every variable occurrence in `k`, starting at depth `d`.
+pub fn map_kind<M: VarMap>(k: &Kind, d: usize, m: &mut M) -> Kind {
+    match k {
+        Kind::Type => Kind::Type,
+        Kind::Unit => Kind::Unit,
+        Kind::Singleton(c) => Kind::Singleton(map_con(c, d, m)),
+        Kind::Pi(k1, k2) => Kind::Pi(
+            Box::new(map_kind(k1, d, m)),
+            Box::new(map_kind(k2, d + 1, m)),
+        ),
+        Kind::Sigma(k1, k2) => Kind::Sigma(
+            Box::new(map_kind(k1, d, m)),
+            Box::new(map_kind(k2, d + 1, m)),
+        ),
+    }
+}
+
+/// Applies `m` to every variable occurrence in `c`, starting at depth `d`.
+pub fn map_con<M: VarMap>(c: &Con, d: usize, m: &mut M) -> Con {
+    match c {
+        Con::Var(i) => m.cvar(d, *i),
+        Con::Fst(i) => m.fst(d, *i),
+        Con::Star => Con::Star,
+        Con::Lam(k, b) => Con::Lam(Box::new(map_kind(k, d, m)), Box::new(map_con(b, d + 1, m))),
+        Con::App(f, a) => Con::App(Box::new(map_con(f, d, m)), Box::new(map_con(a, d, m))),
+        Con::Pair(a, b) => Con::Pair(Box::new(map_con(a, d, m)), Box::new(map_con(b, d, m))),
+        Con::Proj1(a) => Con::Proj1(Box::new(map_con(a, d, m))),
+        Con::Proj2(a) => Con::Proj2(Box::new(map_con(a, d, m))),
+        Con::Mu(k, b) => Con::Mu(Box::new(map_kind(k, d, m)), Box::new(map_con(b, d + 1, m))),
+        Con::Int => Con::Int,
+        Con::Bool => Con::Bool,
+        Con::UnitTy => Con::UnitTy,
+        Con::Arrow(a, b) => Con::Arrow(Box::new(map_con(a, d, m)), Box::new(map_con(b, d, m))),
+        Con::Prod(a, b) => Con::Prod(Box::new(map_con(a, d, m)), Box::new(map_con(b, d, m))),
+        Con::Sum(cs) => Con::Sum(cs.iter().map(|c| map_con(c, d, m)).collect()),
+    }
+}
+
+/// Applies `m` to every variable occurrence in `t`, starting at depth `d`.
+pub fn map_ty<M: VarMap>(t: &Ty, d: usize, m: &mut M) -> Ty {
+    match t {
+        Ty::Con(c) => Ty::Con(map_con(c, d, m)),
+        Ty::Unit => Ty::Unit,
+        Ty::Total(a, b) => Ty::Total(Box::new(map_ty(a, d, m)), Box::new(map_ty(b, d, m))),
+        Ty::Partial(a, b) => Ty::Partial(Box::new(map_ty(a, d, m)), Box::new(map_ty(b, d, m))),
+        Ty::Prod(a, b) => Ty::Prod(Box::new(map_ty(a, d, m)), Box::new(map_ty(b, d, m))),
+        Ty::Forall(k, b) => Ty::Forall(Box::new(map_kind(k, d, m)), Box::new(map_ty(b, d + 1, m))),
+    }
+}
+
+/// Applies `m` to every variable occurrence in `e`, starting at depth `d`.
+pub fn map_term<M: VarMap>(e: &Term, d: usize, m: &mut M) -> Term {
+    match e {
+        Term::Var(i) => m.tvar(d, *i),
+        Term::Snd(i) => m.snd(d, *i),
+        Term::Star => Term::Star,
+        Term::Lam(t, b) => Term::Lam(Box::new(map_ty(t, d, m)), Box::new(map_term(b, d + 1, m))),
+        Term::App(f, a) => Term::App(Box::new(map_term(f, d, m)), Box::new(map_term(a, d, m))),
+        Term::Pair(a, b) => Term::Pair(Box::new(map_term(a, d, m)), Box::new(map_term(b, d, m))),
+        Term::Proj1(a) => Term::Proj1(Box::new(map_term(a, d, m))),
+        Term::Proj2(a) => Term::Proj2(Box::new(map_term(a, d, m))),
+        Term::TLam(k, b) => {
+            Term::TLam(Box::new(map_kind(k, d, m)), Box::new(map_term(b, d + 1, m)))
+        }
+        Term::TApp(f, c) => Term::TApp(Box::new(map_term(f, d, m)), map_con(c, d, m)),
+        Term::Fix(t, b) => Term::Fix(Box::new(map_ty(t, d, m)), Box::new(map_term(b, d + 1, m))),
+        Term::IntLit(n) => Term::IntLit(*n),
+        Term::BoolLit(b) => Term::BoolLit(*b),
+        Term::Prim(op, args) => Term::Prim(*op, args.iter().map(|a| map_term(a, d, m)).collect()),
+        Term::If(c, t, f) => Term::If(
+            Box::new(map_term(c, d, m)),
+            Box::new(map_term(t, d, m)),
+            Box::new(map_term(f, d, m)),
+        ),
+        Term::Inj(i, c, e) => Term::Inj(*i, map_con(c, d, m), Box::new(map_term(e, d, m))),
+        Term::Case(s, bs) => Term::Case(
+            Box::new(map_term(s, d, m)),
+            bs.iter().map(|b| map_term(b, d + 1, m)).collect(),
+        ),
+        Term::Roll(c, e) => Term::Roll(map_con(c, d, m), Box::new(map_term(e, d, m))),
+        Term::Unroll(e) => Term::Unroll(Box::new(map_term(e, d, m))),
+        Term::Fail(t) => Term::Fail(Box::new(map_ty(t, d, m))),
+        Term::Let(e, b) => Term::Let(Box::new(map_term(e, d, m)), Box::new(map_term(b, d + 1, m))),
+    }
+}
+
+/// Applies `m` to every variable occurrence in `s`, starting at depth `d`.
+pub fn map_sig<M: VarMap>(s: &Sig, d: usize, m: &mut M) -> Sig {
+    match s {
+        Sig::Struct(k, t) => Sig::Struct(Box::new(map_kind(k, d, m)), Box::new(map_ty(t, d + 1, m))),
+        Sig::Rds(s) => Sig::Rds(Box::new(map_sig(s, d + 1, m))),
+    }
+}
+
+/// Applies `m` to every variable occurrence in `md`, starting at depth `d`.
+pub fn map_module<M: VarMap>(md: &Module, d: usize, m: &mut M) -> Module {
+    match md {
+        Module::Var(i) => m.mvar(d, *i),
+        Module::Struct(c, e) => Module::Struct(map_con(c, d, m), map_term(e, d, m)),
+        Module::Fix(s, b) => Module::Fix(
+            Box::new(map_sig(s, d, m)),
+            Box::new(map_module(b, d + 1, m)),
+        ),
+        Module::Seal(b, s) => Module::Seal(
+            Box::new(map_module(b, d, m)),
+            Box::new(map_sig(s, d, m)),
+        ),
+    }
+}

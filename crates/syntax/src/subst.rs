@@ -1,0 +1,438 @@
+//! Shifting and capture-avoiding substitution.
+//!
+//! All operations are instances of the [`VarMap`] traversal. Because the
+//! binding space is unified (see [`crate::ast`]), shifting moves indices
+//! of *every* sort uniformly, and substituting away a binder decrements
+//! every index that pointed past it.
+//!
+//! # Panics
+//!
+//! Substitution functions panic (in debug builds, via `debug_assert!`;
+//! in release builds they substitute garbage of the wrong sort is never
+//! produced — they panic unconditionally) if the binder being eliminated
+//! is referenced at the *wrong sort*, e.g. a term variable occurrence
+//! pointing at a constructor binder. Well-sorted syntax, which is all the
+//! kernel ever produces, never triggers this.
+
+use crate::ast::{Con, Index, Kind, Module, Sig, Term, Ty};
+use crate::map::{map_con, map_kind, map_module, map_sig, map_term, map_ty, VarMap};
+
+// ---------------------------------------------------------------------------
+// Shifting
+// ---------------------------------------------------------------------------
+
+struct Shift {
+    by: isize,
+    cutoff: usize,
+}
+
+impl Shift {
+    fn adjust(&self, d: usize, i: Index) -> Index {
+        if i >= self.cutoff + d {
+            let j = i as isize + self.by;
+            debug_assert!(j >= d as isize, "shift produced a dangling index");
+            j as Index
+        } else {
+            i
+        }
+    }
+}
+
+impl VarMap for Shift {
+    fn cvar(&mut self, d: usize, i: Index) -> Con {
+        Con::Var(self.adjust(d, i))
+    }
+    fn tvar(&mut self, d: usize, i: Index) -> Term {
+        Term::Var(self.adjust(d, i))
+    }
+    fn fst(&mut self, d: usize, i: Index) -> Con {
+        Con::Fst(self.adjust(d, i))
+    }
+    fn snd(&mut self, d: usize, i: Index) -> Term {
+        Term::Snd(self.adjust(d, i))
+    }
+    fn mvar(&mut self, d: usize, i: Index) -> Module {
+        Module::Var(self.adjust(d, i))
+    }
+}
+
+/// Shifts all free indices `≥ cutoff` in `k` by `by`.
+pub fn shift_kind(k: &Kind, by: isize, cutoff: usize) -> Kind {
+    if by == 0 {
+        return k.clone();
+    }
+    map_kind(k, 0, &mut Shift { by, cutoff })
+}
+
+/// Shifts all free indices `≥ cutoff` in `c` by `by`.
+pub fn shift_con(c: &Con, by: isize, cutoff: usize) -> Con {
+    if by == 0 {
+        return c.clone();
+    }
+    map_con(c, 0, &mut Shift { by, cutoff })
+}
+
+/// Shifts all free indices `≥ cutoff` in `t` by `by`.
+pub fn shift_ty(t: &Ty, by: isize, cutoff: usize) -> Ty {
+    if by == 0 {
+        return t.clone();
+    }
+    map_ty(t, 0, &mut Shift { by, cutoff })
+}
+
+/// Shifts all free indices `≥ cutoff` in `e` by `by`.
+pub fn shift_term(e: &Term, by: isize, cutoff: usize) -> Term {
+    if by == 0 {
+        return e.clone();
+    }
+    map_term(e, 0, &mut Shift { by, cutoff })
+}
+
+/// Shifts all free indices `≥ cutoff` in `s` by `by`.
+pub fn shift_sig(s: &Sig, by: isize, cutoff: usize) -> Sig {
+    if by == 0 {
+        return s.clone();
+    }
+    map_sig(s, 0, &mut Shift { by, cutoff })
+}
+
+/// Shifts all free indices `≥ cutoff` in `m` by `by`.
+pub fn shift_module(m: &Module, by: isize, cutoff: usize) -> Module {
+    if by == 0 {
+        return m.clone();
+    }
+    map_module(m, 0, &mut Shift { by, cutoff })
+}
+
+// ---------------------------------------------------------------------------
+// Substitution for a constructor binder
+// ---------------------------------------------------------------------------
+
+/// Substitutes for the constructor binder at index `target` (counted from
+/// the root of the traversal) and removes that binder.
+struct SubstCon<'a> {
+    target: usize,
+    replacement: &'a Con,
+}
+
+impl SubstCon<'_> {
+    fn index(&self, d: usize, i: Index) -> Option<Index> {
+        let t = self.target + d;
+        if i == t {
+            None // hit: caller substitutes
+        } else if i > t {
+            Some(i - 1)
+        } else {
+            Some(i)
+        }
+    }
+}
+
+impl VarMap for SubstCon<'_> {
+    fn cvar(&mut self, d: usize, i: Index) -> Con {
+        match self.index(d, i) {
+            Some(j) => Con::Var(j),
+            None => shift_con(self.replacement, (self.target + d) as isize, 0),
+        }
+    }
+    fn tvar(&mut self, d: usize, i: Index) -> Term {
+        match self.index(d, i) {
+            Some(j) => Term::Var(j),
+            None => panic!("term variable occurrence at a constructor binder"),
+        }
+    }
+    fn fst(&mut self, d: usize, i: Index) -> Con {
+        match self.index(d, i) {
+            Some(j) => Con::Fst(j),
+            None => panic!("Fst occurrence at a constructor binder"),
+        }
+    }
+    fn snd(&mut self, d: usize, i: Index) -> Term {
+        match self.index(d, i) {
+            Some(j) => Term::Snd(j),
+            None => panic!("snd occurrence at a constructor binder"),
+        }
+    }
+    fn mvar(&mut self, d: usize, i: Index) -> Module {
+        match self.index(d, i) {
+            Some(j) => Module::Var(j),
+            None => panic!("module variable occurrence at a constructor binder"),
+        }
+    }
+}
+
+/// `k[c/α]` where `α` is the innermost binder of `k`'s context
+/// (index `0`); the binder is removed.
+pub fn subst_con_kind(k: &Kind, c: &Con) -> Kind {
+    map_kind(k, 0, &mut SubstCon { target: 0, replacement: c })
+}
+
+/// `body[c/α]` for constructors (index `0`; removes the binder).
+pub fn subst_con_con(body: &Con, c: &Con) -> Con {
+    map_con(body, 0, &mut SubstCon { target: 0, replacement: c })
+}
+
+/// `t[c/α]` for types (index `0`; removes the binder).
+pub fn subst_con_ty(t: &Ty, c: &Con) -> Ty {
+    map_ty(t, 0, &mut SubstCon { target: 0, replacement: c })
+}
+
+/// `e[c/α]` for terms (index `0`; removes the binder).
+pub fn subst_con_term(e: &Term, c: &Con) -> Term {
+    map_term(e, 0, &mut SubstCon { target: 0, replacement: c })
+}
+
+/// `s[c/α]` for signatures (index `0`; removes the binder).
+pub fn subst_con_sig(s: &Sig, c: &Con) -> Sig {
+    map_sig(s, 0, &mut SubstCon { target: 0, replacement: c })
+}
+
+// ---------------------------------------------------------------------------
+// Substitution for a term binder
+// ---------------------------------------------------------------------------
+
+struct SubstTerm<'a> {
+    replacement: &'a Term,
+}
+
+impl VarMap for SubstTerm<'_> {
+    fn cvar(&mut self, d: usize, i: Index) -> Con {
+        debug_assert_ne!(i, d, "constructor occurrence at a term binder");
+        Con::Var(if i > d { i - 1 } else { i })
+    }
+    fn tvar(&mut self, d: usize, i: Index) -> Term {
+        if i == d {
+            shift_term(self.replacement, d as isize, 0)
+        } else if i > d {
+            Term::Var(i - 1)
+        } else {
+            Term::Var(i)
+        }
+    }
+    fn fst(&mut self, d: usize, i: Index) -> Con {
+        debug_assert_ne!(i, d, "Fst occurrence at a term binder");
+        Con::Fst(if i > d { i - 1 } else { i })
+    }
+    fn snd(&mut self, d: usize, i: Index) -> Term {
+        debug_assert_ne!(i, d, "snd occurrence at a term binder");
+        Term::Snd(if i > d { i - 1 } else { i })
+    }
+    fn mvar(&mut self, d: usize, i: Index) -> Module {
+        debug_assert_ne!(i, d, "module occurrence at a term binder");
+        Module::Var(if i > d { i - 1 } else { i })
+    }
+}
+
+/// `body[e/x]` where `x` is the innermost binder (index `0`; removed).
+pub fn subst_term_term(body: &Term, e: &Term) -> Term {
+    map_term(body, 0, &mut SubstTerm { replacement: e })
+}
+
+// ---------------------------------------------------------------------------
+// Substitution for a structure binder
+// ---------------------------------------------------------------------------
+
+/// Replaces the structure binder at index `0`: occurrences of `Fst(s)`
+/// become `fst`, occurrences of `snd(s)` become `snd`, and whole-module
+/// occurrences of `s` become `[fst, snd]`.
+pub struct ModParts {
+    /// What `Fst(s)` becomes.
+    pub fst: Con,
+    /// What `snd(s)` becomes. `None` is permitted when the target is
+    /// known to occur only in static positions (e.g. inside signatures,
+    /// whose types cannot mention terms); a dynamic occurrence then
+    /// panics.
+    pub snd: Option<Term>,
+}
+
+struct SubstMod<'a> {
+    parts: &'a ModParts,
+}
+
+impl VarMap for SubstMod<'_> {
+    fn cvar(&mut self, d: usize, i: Index) -> Con {
+        debug_assert_ne!(i, d, "constructor occurrence at a structure binder");
+        Con::Var(if i > d { i - 1 } else { i })
+    }
+    fn tvar(&mut self, d: usize, i: Index) -> Term {
+        debug_assert_ne!(i, d, "term occurrence at a structure binder");
+        Term::Var(if i > d { i - 1 } else { i })
+    }
+    fn fst(&mut self, d: usize, i: Index) -> Con {
+        if i == d {
+            shift_con(&self.parts.fst, d as isize, 0)
+        } else if i > d {
+            Con::Fst(i - 1)
+        } else {
+            Con::Fst(i)
+        }
+    }
+    fn snd(&mut self, d: usize, i: Index) -> Term {
+        if i == d {
+            let e = self
+                .parts
+                .snd
+                .as_ref()
+                .expect("dynamic occurrence of a statically-substituted structure variable");
+            shift_term(e, d as isize, 0)
+        } else if i > d {
+            Term::Snd(i - 1)
+        } else {
+            Term::Snd(i)
+        }
+    }
+    fn mvar(&mut self, d: usize, i: Index) -> Module {
+        if i == d {
+            let fst = shift_con(&self.parts.fst, d as isize, 0);
+            let snd = self
+                .parts
+                .snd
+                .as_ref()
+                .map(|e| shift_term(e, d as isize, 0))
+                .expect("whole-module occurrence of a statically-substituted structure variable");
+            Module::Struct(fst, snd)
+        } else if i > d {
+            Module::Var(i - 1)
+        } else {
+            Module::Var(i)
+        }
+    }
+}
+
+/// `s[M/s₀]` for signatures, where `M`'s phase-split parts are `parts`
+/// (index `0`; removes the binder). Signatures can only mention `Fst(s)`,
+/// so `parts.snd` may be `None`.
+pub fn subst_mod_sig(s: &Sig, parts: &ModParts) -> Sig {
+    map_sig(s, 0, &mut SubstMod { parts })
+}
+
+/// `c[M/s₀]` for constructors (index `0`; removes the binder).
+pub fn subst_mod_con(c: &Con, parts: &ModParts) -> Con {
+    map_con(c, 0, &mut SubstMod { parts })
+}
+
+/// `t[M/s₀]` for types (index `0`; removes the binder).
+pub fn subst_mod_ty(t: &Ty, parts: &ModParts) -> Ty {
+    map_ty(t, 0, &mut SubstMod { parts })
+}
+
+/// `e[M/s₀]` for terms (index `0`; removes the binder).
+pub fn subst_mod_term(e: &Term, parts: &ModParts) -> Term {
+    map_term(e, 0, &mut SubstMod { parts })
+}
+
+/// `m[M/s₀]` for modules (index `0`; removes the binder).
+pub fn subst_mod_module(m: &Module, parts: &ModParts) -> Module {
+    map_module(m, 0, &mut SubstMod { parts })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shift_respects_cutoff() {
+        let c = Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(3)));
+        let shifted = shift_con(&c, 2, 1);
+        assert_eq!(
+            shifted,
+            Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(5)))
+        );
+    }
+
+    #[test]
+    fn shift_crosses_binders() {
+        // λα:T. α → β where β is free (index 1 inside the lambda).
+        let c = Con::Lam(
+            Box::new(Kind::Type),
+            Box::new(Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(1)))),
+        );
+        let shifted = shift_con(&c, 1, 0);
+        assert_eq!(
+            shifted,
+            Con::Lam(
+                Box::new(Kind::Type),
+                Box::new(Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(2))))
+            )
+        );
+    }
+
+    #[test]
+    fn shift_zero_is_identity() {
+        let c = Con::Mu(Box::new(Kind::Type), Box::new(Con::Var(0)));
+        assert_eq!(shift_con(&c, 0, 0), c);
+    }
+
+    #[test]
+    fn subst_con_beta() {
+        // (λα:T. α ⇀ β)[int] where β is the next binder out: the body is
+        // α(0) ⇀ β(1); substituting int for index 0 gives int ⇀ β(0).
+        let body = Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(1)));
+        let out = subst_con_con(&body, &Con::Int);
+        assert_eq!(out, Con::Arrow(Box::new(Con::Int), Box::new(Con::Var(0))));
+    }
+
+    #[test]
+    fn subst_con_avoids_capture() {
+        // body = λγ:T. α(1) ; substituting `β(0)` (a free var) for α must
+        // shift the replacement under the λ: result λγ:T. β(1).
+        let body = Con::Lam(Box::new(Kind::Type), Box::new(Con::Var(1)));
+        let out = subst_con_con(&body, &Con::Var(0));
+        assert_eq!(out, Con::Lam(Box::new(Kind::Type), Box::new(Con::Var(1))));
+    }
+
+    #[test]
+    fn subst_term_under_lambda() {
+        // body = λy:1. x(1); substitute 42 for x.
+        let body = Term::Lam(Box::new(Ty::Unit), Box::new(Term::Var(1)));
+        let out = subst_term_term(&body, &Term::IntLit(42));
+        assert_eq!(out, Term::Lam(Box::new(Ty::Unit), Box::new(Term::IntLit(42))));
+    }
+
+    #[test]
+    fn subst_mod_redirects_fst_and_snd() {
+        // e = snd(s₀) applied to Fst-typed thing… keep it simple:
+        // e = (snd(0), snd(1)); substituting [int, 42] for s₀ gives (42, snd(0)).
+        let e = Term::Pair(Box::new(Term::Snd(0)), Box::new(Term::Snd(1)));
+        let parts = ModParts { fst: Con::Int, snd: Some(Term::IntLit(42)) };
+        let out = subst_mod_term(&e, &parts);
+        assert_eq!(out, Term::Pair(Box::new(Term::IntLit(42)), Box::new(Term::Snd(0))));
+    }
+
+    #[test]
+    fn subst_mod_whole_module() {
+        let m = Module::Var(0);
+        let parts = ModParts { fst: Con::Int, snd: Some(Term::IntLit(7)) };
+        let out = subst_mod_module(&m, &parts);
+        assert_eq!(out, Module::Struct(Con::Int, Term::IntLit(7)));
+    }
+
+    #[test]
+    fn subst_mod_sig_static_only() {
+        // S = [α:Q(Fst(s₀)) . 1]; substituting fst=int gives [α:Q(int).1].
+        let s = Sig::Struct(
+            Box::new(Kind::Singleton(Con::Fst(0))),
+            Box::new(Ty::Unit),
+        );
+        let out = subst_mod_sig(&s, &ModParts { fst: Con::Int, snd: None });
+        assert_eq!(
+            out,
+            Sig::Struct(Box::new(Kind::Singleton(Con::Int)), Box::new(Ty::Unit))
+        );
+    }
+
+    #[test]
+    fn subst_mod_under_sig_binder_shifts() {
+        // S = [α:T . Con(Fst(s₀+1 under α = index 1))]: the type component
+        // sits under the α binder, so s₀ appears as index 1 there.
+        let s = Sig::Struct(
+            Box::new(Kind::Type),
+            Box::new(Ty::Con(Con::Fst(1))),
+        );
+        let out = subst_mod_sig(&s, &ModParts { fst: Con::Bool, snd: None });
+        assert_eq!(
+            out,
+            Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Bool)))
+        );
+    }
+}

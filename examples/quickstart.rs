@@ -1,0 +1,63 @@
+//! Quickstart: compile and run a recursive-module program end to end.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+//!
+//! The program defines a recursive `Tree` module whose signature is a
+//! recursively-dependent signature (the `datatype` spec mentions
+//! `Tree.t`), builds a small tree, and sums it.
+
+fn main() {
+    let program = r#"
+        (* A recursive module of integer binary trees. The signature is
+           recursively dependent: the datatype spec mentions Tree.t. *)
+        structure rec Tree : sig
+          datatype t = LEAF | NODE of Tree.t * int * Tree.t
+          val leaf : t
+          val node : t * int * t -> t
+          val sum : t -> int
+          val depth : t -> int
+        end = struct
+          datatype t = LEAF | NODE of Tree.t * int * Tree.t
+          val leaf = LEAF
+          fun node (p : t * int * t) : t = NODE p
+          fun sum (tr : t) : int =
+            case tr of
+              LEAF => 0
+            | NODE p => (case p of (l, n, r) => sum l + n + sum r)
+          fun depth (tr : t) : int =
+            case tr of
+              LEAF => 0
+            | NODE p => (case p of (l, n, r) =>
+                let val dl = 1 + depth l
+                    val dr = 1 + depth r
+                in if dl < dr then dr else dl end)
+        end
+
+        val t1 = Tree.node (Tree.leaf, 1, Tree.leaf)
+        val t2 = Tree.node (t1, 2, Tree.node (Tree.leaf, 3, Tree.leaf))
+        ;
+        (Tree.sum t2, Tree.depth t2)
+    "#;
+
+    println!("── compiling ────────────────────────────────────────────");
+    let outcome = match recmod::run(program) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(1);
+        }
+    };
+
+    println!("top-level bindings:");
+    for (name, describe) in outcome.compiled.summaries() {
+        println!("  {name} : {describe}");
+    }
+
+    println!("── running ──────────────────────────────────────────────");
+    if let Some(v) = &outcome.value {
+        println!("(sum, depth) = {v}");
+    }
+    println!("evaluation steps: {}", outcome.steps);
+}

@@ -1,0 +1,57 @@
+//! Corecursion through a recursive module: infinite streams.
+//!
+//! ```sh
+//! cargo run --example streams
+//! ```
+//!
+//! A stream is a thunk `unit -> int * stream` — a recursive *type* that
+//! the recursively-dependent signature lets us name directly
+//! (`type t = unit -> int * Stream.t`). The value restriction is what
+//! makes the recursive definitions safe: every self-reference sits under
+//! a λ, so the module fixed point never demands itself while being
+//! built. This is the §2 machinery (equi-recursive constructors + the
+//! valuability discipline) doing real work beyond the paper's List.
+
+const STREAMS: &str = r#"
+structure rec Stream : sig
+  type t = unit -> int * Stream.t
+  val from : int -> t
+  val map2x : t -> t
+  val nth : int * t -> int
+end = struct
+  type t = unit -> int * Stream.t
+  (* from n = n, n+1, n+2, … *)
+  fun from (n : int) : t = fn (u : unit) => (n, from (n + 1))
+  (* pointwise doubling *)
+  fun map2x (s : t) : t =
+    fn (u : unit) => case s () of (h, rest) => (2 * h, map2x rest)
+  (* index into a stream *)
+  fun nth (p : int * t) : int =
+    case p of (k, s) =>
+      (case s () of (h, rest) => if k = 0 then h else nth (k - 1, rest))
+end
+
+val naturals = Stream.from 0
+val evens = Stream.map2x naturals
+;
+(Stream.nth (10, naturals), Stream.nth (10, evens))
+"#;
+
+fn main() {
+    println!("── infinite streams via a recursive module ──");
+    match recmod::run(STREAMS) {
+        Ok(out) => {
+            println!("(nth 10 naturals, nth 10 evens) = {}", out.value.expect("value"));
+            println!("steps: {}", out.steps);
+            println!();
+            println!("The stream type `unit -> int * Stream.t` is recursive through");
+            println!("the module: the rds makes it available *inside* the body, and");
+            println!("the value restriction (§2.1) guarantees the corecursive");
+            println!("definitions are productive.");
+        }
+        Err(e) => {
+            eprintln!("error: {}", e.render(STREAMS));
+            std::process::exit(1);
+        }
+    }
+}

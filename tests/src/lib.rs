@@ -1,0 +1,2 @@
+//! Integration-test host crate for the recmod workspace; see `tests/`.
+#![forbid(unsafe_code)]

@@ -1,0 +1,132 @@
+//! Property tests for the kernel, using the bench crate's deterministic
+//! generators: equivalence is an equivalence relation and a congruence,
+//! normalization is idempotent and equivalence-preserving, and the
+//! phase-splitting translation always verifies.
+
+use proptest::prelude::*;
+use recmod::kernel::{Ctx, RecMode, Tc};
+use recmod::syntax::ast::Kind;
+use recmod::syntax::ast::Con;
+use recmod_bench::{gen_internal_fix, gen_nested_pair, gen_regular_mu, gen_unrolled_pair};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reflexivity at kind T for generated recursive monotypes.
+    #[test]
+    fn equiv_reflexive(seed in 0u64..500, size in 2usize..24) {
+        let c = gen_regular_mu(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        tc.con_equiv(&mut ctx, &c, &c, &Kind::Type).unwrap();
+    }
+
+    /// Symmetry on μ-vs-unrolling pairs.
+    #[test]
+    fn equiv_symmetric(seed in 0u64..500, size in 2usize..24) {
+        let (a, b) = gen_unrolled_pair(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        tc.con_equiv(&mut ctx, &a, &b, &Kind::Type).unwrap();
+        tc.con_equiv(&mut ctx, &b, &a, &Kind::Type).unwrap();
+    }
+
+    /// Transitivity through the nested-collapse chain:
+    /// nested = flat and flat = unroll(flat) imply nested = unroll(flat).
+    #[test]
+    fn equiv_transitive_chain(seed in 0u64..200, size in 2usize..16) {
+        let (nested, flat) = gen_nested_pair(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        tc.con_equiv(&mut ctx, &nested, &flat, &Kind::Type).unwrap();
+        let unrolled = recmod::kernel::whnf::unroll_mu(&flat);
+        tc.con_equiv(&mut ctx, &flat, &unrolled, &Kind::Type).unwrap();
+        tc.con_equiv(&mut ctx, &nested, &unrolled, &Kind::Type).unwrap();
+    }
+
+    /// Congruence: equal components make equal arrows/products/sums.
+    #[test]
+    fn equiv_congruence(seed in 0u64..200, size in 2usize..16) {
+        let (a, b) = gen_unrolled_pair(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        let arrow_a = Con::Arrow(Box::new(a.clone()), Box::new(b.clone()));
+        let arrow_b = Con::Arrow(Box::new(b.clone()), Box::new(a.clone()));
+        tc.con_equiv(&mut ctx, &arrow_a, &arrow_b, &Kind::Type).unwrap();
+        let sum_a = Con::Sum(vec![a.clone(), b.clone()]);
+        let sum_b = Con::Sum(vec![b, a]);
+        tc.con_equiv(&mut ctx, &sum_a, &sum_b, &Kind::Type).unwrap();
+    }
+
+    /// Weak-head normalization is idempotent.
+    #[test]
+    fn whnf_idempotent(seed in 0u64..500, size in 2usize..24) {
+        let c = gen_regular_mu(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        let w1 = tc.whnf(&mut ctx, &c).unwrap();
+        let w2 = tc.whnf(&mut ctx, &w1).unwrap();
+        prop_assert_eq!(w1, w2);
+    }
+
+    /// Normalization preserves definitional equality.
+    #[test]
+    fn whnf_preserves_equiv(seed in 0u64..500, size in 2usize..24) {
+        let (_, b) = gen_unrolled_pair(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        let w = tc.whnf(&mut ctx, &b).unwrap();
+        tc.con_equiv(&mut ctx, &b, &w, &Kind::Type).unwrap();
+    }
+
+    /// Plain iso mode refuses μ-vs-unrolling (unless syntactically equal).
+    #[test]
+    fn iso_mode_is_strictly_weaker(seed in 0u64..200, size in 2usize..16) {
+        let (a, b) = gen_unrolled_pair(size, seed);
+        prop_assume!(a != b);
+        let tc = Tc::with_mode(RecMode::Iso);
+        let mut ctx = Ctx::new();
+        // The unrolling of a contractive μ is never itself the same μ,
+        // so plain iso mode cannot identify them…
+        let equal = tc.con_equiv(&mut ctx, &a, &b, &Kind::Type).is_ok();
+        // …except when whnf already collapses both to the same head
+        // (possible when the μ is vacuous in its variable).
+        if equal {
+            let e = Tc::new();
+            let wa = e.whnf(&mut ctx, &a).unwrap();
+            let wb = e.whnf(&mut ctx, &b).unwrap();
+            prop_assert!(wa == wb || !matches!(wa, Con::Mu(_, _)));
+        }
+    }
+
+    /// The §5 elimination pass clears every kind-homogeneous tower and
+    /// preserves equi-equality.
+    #[test]
+    fn elimination_sound(seed in 0u64..200, size in 2usize..16) {
+        let (nested, _) = gen_nested_pair(size, seed);
+        let out = recmod::phase::iso::eliminate_nested_mu(&nested);
+        prop_assert_eq!(recmod::phase::iso::nested_mu_count(&out), 0);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        tc.con_equiv(&mut ctx, &nested, &out, &Kind::Type).unwrap();
+    }
+
+    /// Figure-4 splitting verifies for arbitrary static widths.
+    #[test]
+    fn split_always_verifies(width in 1usize..12) {
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        let m = gen_internal_fix(width);
+        recmod::phase::check_split(&tc, &mut ctx, &m).unwrap();
+    }
+
+    /// Generated kinds: selfification yields a subkind of the original.
+    #[test]
+    fn selfification_is_a_subkind(seed in 0u64..500, size in 2usize..24) {
+        let c = gen_regular_mu(size, seed);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        let k = tc.synth_con(&mut ctx, &c).unwrap();
+        tc.subkind(&mut ctx, &k, &Kind::Type).unwrap();
+    }
+}

@@ -1,0 +1,119 @@
+//! E1 (observational half): the paper says the opaque recursive List
+//! "is observationally equivalent to a conventional implementation" —
+//! only its *cost* differs. This differential test runs random operation
+//! sequences against a native Rust `Vec` model and against both module
+//! implementations, checking all three agree.
+
+use proptest::prelude::*;
+
+/// One abstract list operation.
+#[derive(Debug, Clone)]
+enum Op {
+    /// Push a value with `cons`.
+    Cons(i8),
+    /// Pop with `uncons` (skipped by the model when empty; the driver
+    /// guards with `null`).
+    Uncons,
+    /// Observe emptiness with `null`.
+    Null,
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
+    proptest::collection::vec(
+        prop_oneof![
+            (0i8..100).prop_map(Op::Cons),
+            Just(Op::Uncons),
+            Just(Op::Null),
+        ],
+        1..12,
+    )
+}
+
+/// The model: a Rust Vec, producing the same checksum the driver does.
+fn model(ops: &[Op]) -> i64 {
+    let mut stack: Vec<i64> = Vec::new();
+    let mut acc: i64 = 0;
+    for op in ops {
+        match op {
+            Op::Cons(v) => stack.push(*v as i64),
+            Op::Uncons => {
+                if let Some(h) = stack.pop() {
+                    acc = acc * 7 + h;
+                }
+            }
+            Op::Null => {
+                acc = acc * 7 + if stack.is_empty() { 1 } else { 2 };
+            }
+        }
+    }
+    acc
+}
+
+/// Builds a driver expression performing the same sequence against the
+/// module, accumulating the same checksum.
+fn driver(ops: &[Op]) -> String {
+    let mut body = String::from("val l0 = List.nil\nval acc0 = 0\n");
+    let mut li = 0usize;
+    let mut ai = 0usize;
+    for op in ops {
+        match op {
+            Op::Cons(v) => {
+                body.push_str(&format!("val l{} = List.cons ({v}, l{li})\n", li + 1));
+                li += 1;
+            }
+            Op::Uncons => {
+                // Guarded pop: if null, keep both; else take head into acc.
+                body.push_str(&format!(
+                    "val s{ai} = if List.null l{li} then (acc{ai}, l{li}) \
+                     else (case List.uncons l{li} of (h, r) => (acc{ai} * 7 + h, r))\n"
+                ));
+                body.push_str(&format!("val acc{} = case s{ai} of (a, r) => a\n", ai + 1));
+                body.push_str(&format!("val l{} = case s{ai} of (a, r) => r\n", li + 1));
+                ai += 1;
+                li += 1;
+            }
+            Op::Null => {
+                body.push_str(&format!(
+                    "val acc{} = acc{ai} * 7 + (if List.null l{li} then 1 else 2)\n",
+                    ai + 1
+                ));
+                ai += 1;
+            }
+        }
+    }
+    format!("{body};\nacc{ai}")
+}
+
+fn run_module(opaque: bool, ops: &[Op]) -> i64 {
+    let base = if opaque {
+        recmod::corpus::OPAQUE_LIST
+    } else {
+        recmod::corpus::TRANSPARENT_LIST
+    };
+    let program = format!("{base}\n{}", driver(ops));
+    recmod::run(&program)
+        .map_err(|e| format!("{e}\n{}", driver(ops)))
+        .unwrap()
+        .value_int()
+        .expect("checksum is an integer")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// All three implementations compute the same observable checksum.
+    #[test]
+    fn opaque_and_transparent_agree_with_the_model(ops in arb_ops()) {
+        let expected = model(&ops);
+        prop_assert_eq!(run_module(false, &ops), expected);
+        prop_assert_eq!(run_module(true, &ops), expected);
+    }
+}
+
+#[test]
+fn fixed_sequence_sanity() {
+    let ops = vec![Op::Cons(3), Op::Null, Op::Cons(5), Op::Uncons, Op::Uncons, Op::Uncons, Op::Null];
+    let expected = model(&ops);
+    assert_eq!(run_module(false, &ops), expected);
+    assert_eq!(run_module(true, &ops), expected);
+}

@@ -1,0 +1,108 @@
+//! Integration tests: every worked example of the paper, end to end.
+//! See `DESIGN.md` §6 and `EXPERIMENTS.md` for the mapping to the
+//! paper's claims.
+
+use recmod::corpus;
+use recmod::surface::ErrorKind;
+
+#[test]
+fn e1_opaque_list_typechecks_and_runs() {
+    // §3.1: "This implementation typechecks properly, and it is
+    // observationally equivalent to a conventional implementation."
+    let program = corpus::list_program(true, 10);
+    let out = recmod::run(&program).unwrap();
+    assert_eq!(out.value_int(), Some(55));
+}
+
+#[test]
+fn e4_transparent_list_typechecks_and_runs() {
+    let program = corpus::list_program(false, 10);
+    let out = recmod::run(&program).unwrap();
+    assert_eq!(out.value_int(), Some(55));
+}
+
+#[test]
+fn e1_opaque_list_is_asymptotically_slower() {
+    // §3.1: "each use of cons and uncons must traverse the entire list,
+    // leading to poor behavior in practice." Building and consuming an
+    // n-list costs Θ(n²) steps opaquely vs Θ(n) transparently.
+    fn steps(opaque: bool, n: usize) -> u64 {
+        // Deep object-level recursion needs a deep host stack.
+        recmod::eval::run_big_stack(256, move || {
+            let program = corpus::list_program(opaque, n);
+            recmod::run(&program).unwrap().steps
+        })
+    }
+    let (t40, t80) = (steps(false, 40), steps(false, 80));
+    let (o40, o80) = (steps(true, 40), steps(true, 80));
+    // Transparent: linear — doubling n roughly doubles the steps.
+    let t_ratio = t80 as f64 / t40 as f64;
+    assert!(t_ratio < 3.0, "transparent ratio {t_ratio} should be ~2");
+    // Opaque: quadratic — doubling n roughly quadruples the steps.
+    let o_ratio = o80 as f64 / o40 as f64;
+    assert!(o_ratio > 3.0, "opaque ratio {o_ratio} should be ~4");
+    // And the opaque version is much slower at the same size.
+    assert!(o80 > 5 * t80, "opaque {o80} vs transparent {t80}");
+}
+
+#[test]
+fn e2_expr_decl_opaque_fails_with_the_papers_error() {
+    // §3.1: "the call to make_val within make_let_val expects an argument
+    // with type Decl.exp, which, because of the opacity of Decl, is not
+    // known to be the same type as exp".
+    let err = recmod::compile(corpus::EXPR_DECL_OPAQUE).unwrap_err();
+    match &err.kind {
+        ErrorKind::Type(te) => {
+            let msg = te.to_string();
+            assert!(
+                msg.contains("not a subtype") || msg.contains("not equivalent"),
+                "unexpected type error: {msg}"
+            );
+        }
+        other => panic!("expected a type error, got {other:?}"),
+    }
+}
+
+#[test]
+fn e3_expr_decl_rds_typechecks_and_runs() {
+    // §4: with `where type` the equations Expr.dec = Decl.dec and
+    // Decl.exp = Expr.exp are propagated into the bindings.
+    let program = format!("{}{}", corpus::EXPR_DECL_RDS, corpus::EXPR_DECL_DRIVER);
+    let out = recmod::run(&program).unwrap();
+    // size(let val 1 = VAR 7 in (let val 2 = VAR 7 in VAR 9)) =
+    //   (1 + size(VAR 7)) + ((1 + size(VAR 7)) + size(VAR 9)) = 2 + 2 + 1 = 5... 
+    // computed: make_let_val(1, VAR 7, inner): LET(VAL(1, VAR 7), inner)
+    // size = dec_size(VAL(1,VAR 7)) + size(inner) = (1+1) + ((1+1)+1) = 5.
+    assert_eq!(out.value_int(), Some(5));
+}
+
+#[test]
+fn e5_buildlist_plain_parameter_fails() {
+    // §4: "the efficient implementation of lists no longer typechecks
+    // since the assumption governing the parameter List of BuildList
+    // does not propagate the critical recursive type equation".
+    let err = recmod::compile(corpus::BUILD_LIST_PLAIN).unwrap_err();
+    assert!(matches!(err.kind, ErrorKind::Type(_)), "got {err:?}");
+}
+
+#[test]
+fn e5_buildlist_rds_parameter_succeeds() {
+    let program = format!(
+        "{}\n{}",
+        corpus::BUILD_LIST_RDS,
+        corpus::LIST_DRIVER_TEMPLATE.replace("{N}", "10")
+    );
+    let out = recmod::run(&program).unwrap();
+    assert_eq!(out.value_int(), Some(55));
+}
+
+#[test]
+fn e9_value_restriction_on_recursive_modules() {
+    let err = recmod::compile(corpus::VALUE_RESTRICTION_MODULE).unwrap_err();
+    match &err.kind {
+        ErrorKind::Type(te) => {
+            assert!(te.to_string().contains("value restriction"), "{te}");
+        }
+        other => panic!("expected a value-restriction error, got {other:?}"),
+    }
+}

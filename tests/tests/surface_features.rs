@@ -1,0 +1,274 @@
+//! Feature coverage for the surface language and elaborator, beyond the
+//! paper corpus: sealing semantics, nested structures, functor plumbing,
+//! scoping, and error reporting.
+
+use recmod::surface::ErrorKind;
+
+fn run_int(src: &str) -> i64 {
+    recmod::run(src)
+        .map_err(|e| format!("{e}"))
+        .unwrap()
+        .value_int()
+        .expect("integer result")
+}
+
+fn compile_err(src: &str) -> ErrorKind {
+    recmod::compile(src).unwrap_err().kind
+}
+
+#[test]
+fn transparent_ascription_keeps_type_equalities() {
+    let src = "
+        structure S : sig type t val x : t end =
+          struct type t = int val x = 3 end
+        ;
+        S.x + 1";
+    assert_eq!(run_int(src), 4);
+}
+
+#[test]
+fn opaque_sealing_hides_type_identities() {
+    // Same program with `:>` — S.t is abstract, so S.x + 1 is ill-typed.
+    let src = "
+        structure S :> sig type t val x : t end =
+          struct type t = int val x = 3 end
+        ;
+        S.x + 1";
+    assert!(matches!(compile_err(src), ErrorKind::Type(_)));
+}
+
+#[test]
+fn sealing_hides_extra_components() {
+    let src = "
+        structure S :> sig val x : int end =
+          struct val hidden = 10 val x = hidden + 1 end
+        ;
+        S.hidden";
+    assert!(matches!(compile_err(src), ErrorKind::Unbound(_)));
+}
+
+#[test]
+fn nested_structures_and_deep_paths() {
+    let src = "
+        structure Outer = struct
+          structure Inner = struct
+            type t = int
+            val v = 21
+            fun double (x : t) : t = x * 2
+          end
+          val w = Inner.double Inner.v
+        end
+        ;
+        Outer.Inner.double Outer.w";
+    assert_eq!(run_int(src), 84);
+}
+
+#[test]
+fn signature_ascription_reorders_components() {
+    // The structure declares components in a different order than the
+    // signature; coercion re-tuples them.
+    let src = "
+        structure S : sig val a : int val b : int end =
+          struct val b = 2 val a = 1 end
+        ;
+        S.a * 10 + S.b";
+    assert_eq!(run_int(src), 12);
+}
+
+#[test]
+fn functor_applied_twice_generatively() {
+    let src = "
+        signature CELL = sig type t val init : t end
+        functor MkPair (structure C : CELL) = struct
+          val fstv = C.init
+          val pair = (C.init, C.init)
+        end
+        structure IntCell = struct type t = int val init = 7 end
+        structure BoolCell = struct type t = bool val init = true end
+        structure P1 = MkPair (IntCell)
+        structure P2 = MkPair (BoolCell)
+        ;
+        if P2.fstv then P1.fstv else 0";
+    assert_eq!(run_int(src), 7);
+}
+
+#[test]
+fn functor_of_functor_result() {
+    let src = "
+        functor Inc (structure X : sig val n : int end) =
+          struct val n = X.n + 1 end
+        structure A = struct val n = 0 end
+        structure B = Inc (Inc (Inc (A)))
+        ;
+        B.n";
+    assert_eq!(run_int(src), 3);
+}
+
+#[test]
+fn shadowing_resolves_innermost() {
+    let src = "
+        val x = 1
+        val x = x + 10
+        structure S = struct val x = 100 end
+        ;
+        x + S.x";
+    assert_eq!(run_int(src), 111);
+}
+
+#[test]
+fn let_bindings_including_datatypes() {
+    let src = "
+        let datatype opt = NONE | SOME of int
+            fun get (o : opt) : int = case o of NONE => 0 | SOME n => n
+            val a = get (SOME 40)
+            val b = get NONE
+        in a + b + 2 end";
+    assert_eq!(run_int(src), 42);
+}
+
+#[test]
+fn case_with_catch_all() {
+    let src = "
+        structure D = struct
+          datatype t = A | B | C of int
+          fun classify (x : t) : int =
+            case x of C n => n | other => 0 - 1
+        end
+        ;
+        D.classify (D.C 9) + D.classify D.A";
+    assert_eq!(run_int(src), 8);
+}
+
+#[test]
+fn nonexhaustive_case_rejected() {
+    let src = "
+        structure D = struct
+          datatype t = A | B
+          fun f (x : t) : int = case x of A => 1
+        end";
+    match compile_err(src) {
+        ErrorKind::Other(msg) => assert!(msg.contains("nonexhaustive"), "{msg}"),
+        other => panic!("expected nonexhaustive error, got {other:?}"),
+    }
+}
+
+#[test]
+fn where_type_on_named_signature() {
+    let src = "
+        signature S = sig type t val x : t end
+        structure M : S where type t = int =
+          struct type t = int val x = 5 end
+        ;
+        M.x + 1";
+    assert_eq!(run_int(src), 6);
+}
+
+#[test]
+fn and_group_of_plain_structures() {
+    let src = "
+        structure A = struct val x = 1 end
+        and B = struct val y = 2 end
+        ;
+        A.x + B.y";
+    assert_eq!(run_int(src), 3);
+}
+
+#[test]
+fn missing_component_reported() {
+    let src = "
+        structure S : sig val x : int val y : int end =
+          struct val x = 1 end";
+    assert!(matches!(
+        compile_err(src),
+        ErrorKind::MissingComponent { .. }
+    ));
+}
+
+#[test]
+fn duplicate_binding_in_signature_rejected() {
+    let src = "signature S = sig type t type t end";
+    assert!(matches!(compile_err(src), ErrorKind::Duplicate(_)));
+}
+
+#[test]
+fn wrong_entity_reported() {
+    assert!(matches!(
+        compile_err("val x = 1 structure T = x"),
+        ErrorKind::WrongEntity { .. }
+    ));
+}
+
+#[test]
+fn annotations_check() {
+    assert_eq!(run_int("val x : int = 2; (x : int) + 1"), 3);
+    assert!(matches!(
+        compile_err("val x : bool = 2"),
+        ErrorKind::Type(_)
+    ));
+}
+
+#[test]
+fn higher_order_functions() {
+    let src = "
+        val twice = fn (f : int -> int) => fn (x : int) => f (f x)
+        fun inc (n : int) : int = n + 1
+        ;
+        twice inc 40";
+    assert_eq!(run_int(src), 42);
+}
+
+#[test]
+fn recursive_function_through_two_structures() {
+    // Mutual recursion across two members of a rec group, at the value
+    // level (through the module fix), with transparent types.
+    let src = "
+        structure rec Even : sig
+          val test : int -> bool
+        end = struct
+          fun test (n : int) : bool = if n = 0 then true else Odd.test (n - 1)
+        end
+        and Odd : sig
+          val test : int -> bool
+        end = struct
+          fun test (n : int) : bool = if n = 0 then false else Even.test (n - 1)
+        end
+        ;
+        if Even.test 10 then 1 else 0";
+    assert_eq!(run_int(src), 1);
+}
+
+#[test]
+fn datatype_constructors_are_first_class() {
+    let src = "
+        structure L = struct
+          datatype t = N | C of int * t
+          fun fold (f : int * t -> t) : t = f (1, f (2, N))
+        end
+        ;
+        case L.fold L.C of L.N => 0 | L.C p => (case p of (h, r) => h)";
+    assert_eq!(run_int(src), 1);
+}
+
+#[test]
+fn comments_are_ignored() {
+    assert_eq!(run_int("(* a (* nested *) comment *) 1 + 1"), 2);
+}
+
+#[test]
+fn rec_structure_value_components_see_each_other() {
+    // A recursive structure whose functions call each other through the
+    // recursive variable *and* directly.
+    let src = "
+        structure rec M : sig
+          datatype t = Z | S of M.t
+          val fromInt : int -> t
+          val toInt : t -> int
+        end = struct
+          datatype t = Z | S of M.t
+          fun fromInt (n : int) : t = if n = 0 then Z else S (fromInt (n - 1))
+          fun toInt (x : t) : int = case x of Z => 0 | S y => 1 + M.toInt y
+        end
+        ;
+        M.toInt (M.fromInt 9)";
+    assert_eq!(run_int(src), 9);
+}
