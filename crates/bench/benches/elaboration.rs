@@ -5,26 +5,21 @@
 //! * `rec_datatypes`: one recursive structure with k mutually recursive
 //!   datatypes (stresses rds resolution and coinductive equivalence).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recmod_bench::harness::{bench, group, sink};
 use recmod_bench::{gen_module_chain, gen_rec_datatypes};
 
-fn bench_elab(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p2_elaboration");
-    group.sample_size(10);
+fn main() {
+    group("p2_elaboration");
     for n in [4usize, 16, 64] {
         let src = gen_module_chain(n);
-        group.bench_with_input(BenchmarkId::new("module_chain", n), &src, |b, src| {
-            b.iter(|| recmod::compile(src).unwrap())
+        bench(&format!("module_chain/{n}"), || {
+            sink(recmod::compile(&src).unwrap());
         });
     }
     for k in [1usize, 2, 4, 8] {
         let src = gen_rec_datatypes(k);
-        group.bench_with_input(BenchmarkId::new("rec_datatypes", k), &src, |b, src| {
-            b.iter(|| recmod::compile(src).unwrap())
+        bench(&format!("rec_datatypes/{k}"), || {
+            sink(recmod::compile(&src).unwrap());
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_elab);
-criterion_main!(benches);

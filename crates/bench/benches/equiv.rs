@@ -6,70 +6,44 @@
 //! * `singleton_chain`: weak-head normalization through n chained
 //!   singleton kinds (the sharing-propagation cost).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recmod::kernel::{Ctx, RecMode, Tc};
-use recmod_bench::{gen_shao_pair, gen_unrolled_pair, singleton_chain};
-
 use recmod::syntax::ast::Kind as K;
+use recmod_bench::harness::{bench, group};
+use recmod_bench::{gen_nested_pair, gen_shao_pair, gen_unrolled_pair, singleton_chain};
 
-fn bench_equiv(c: &mut Criterion) {
-    let mut group = c.benchmark_group("p1_equivalence");
+fn main() {
+    group("p1_equivalence");
     for size in [8usize, 16, 32, 64] {
         let (a, b) = gen_unrolled_pair(size, 42);
-        group.bench_with_input(
-            BenchmarkId::new("equi_mu_vs_unrolling", size),
-            &(a, b),
-            |bench, (a, b)| {
-                bench.iter(|| {
-                    let tc = Tc::new();
-                    let mut ctx = Ctx::new();
-                    tc.con_equiv(&mut ctx, a, b, &K::Type).unwrap();
-                })
-            },
-        );
-        let (a, b) = recmod_bench::gen_nested_pair(size, 42);
-        group.bench_with_input(
-            BenchmarkId::new("equi_nested_collapse", size),
-            &(a, b),
-            |bench, (a, b)| {
-                bench.iter(|| {
-                    let tc = Tc::new();
-                    let mut ctx = Ctx::new();
-                    tc.con_equiv(&mut ctx, a, b, &K::Type).unwrap();
-                })
-            },
-        );
-        let (a, b) = gen_shao_pair(size, 42);
-        group.bench_with_input(
-            BenchmarkId::new("iso_shao_pair", size),
-            &(a, b),
-            |bench, (a, b)| {
-                bench.iter(|| {
-                    let tc = Tc::with_mode(RecMode::IsoShao);
-                    let mut ctx = Ctx::new();
-                    tc.con_equiv(&mut ctx, a, b, &K::Type).unwrap();
-                })
-            },
-        );
-    }
-    group.finish();
-
-    let mut group = c.benchmark_group("singleton_chain_whnf");
-    for n in [10usize, 100, 1000] {
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |bench, &n| {
-            let (mut ctx, con) = singleton_chain(n);
+        bench(&format!("equi_mu_vs_unrolling/{size}"), || {
             let tc = Tc::new();
-            bench.iter(|| {
-                // The checker is reused across Criterion iterations; reset
-                // its fuel so the budget bounds one query, not the batch.
-                tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
-                let w = tc.whnf(&mut ctx, &con).unwrap();
-                assert!(matches!(w, recmod::syntax::ast::Con::Int));
-            })
+            let mut ctx = Ctx::new();
+            tc.con_equiv(&mut ctx, &a, &b, &K::Type).unwrap();
+        });
+        let (a, b) = gen_nested_pair(size, 42);
+        bench(&format!("equi_nested_collapse/{size}"), || {
+            let tc = Tc::new();
+            let mut ctx = Ctx::new();
+            tc.con_equiv(&mut ctx, &a, &b, &K::Type).unwrap();
+        });
+        let (a, b) = gen_shao_pair(size, 42);
+        bench(&format!("iso_shao_pair/{size}"), || {
+            let tc = Tc::with_mode(RecMode::IsoShao);
+            let mut ctx = Ctx::new();
+            tc.con_equiv(&mut ctx, &a, &b, &K::Type).unwrap();
         });
     }
-    group.finish();
-}
 
-criterion_group!(benches, bench_equiv);
-criterion_main!(benches);
+    group("singleton_chain_whnf");
+    for n in [10usize, 100, 1000] {
+        let (mut ctx, con) = singleton_chain(n);
+        let tc = Tc::new();
+        bench(&format!("chain/{n}"), || {
+            // The checker is reused across iterations; reset its fuel
+            // so the budget bounds one query, not the batch.
+            tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+            let w = tc.whnf(&mut ctx, &con).unwrap();
+            assert!(matches!(w, recmod::syntax::ast::Con::Int));
+        });
+    }
+}

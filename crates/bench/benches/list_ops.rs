@@ -6,26 +6,19 @@
 //! transparent (rds) module has constant-time operations. Expect the
 //! opaque series to grow quadratically and the transparent one linearly.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use recmod_bench::harness::{bench, group, sink};
 use recmod_bench::list_term;
 
-fn bench_lists(c: &mut Criterion) {
-    let mut group = c.benchmark_group("e1_list_build_sum");
-    group.sample_size(10);
+fn main() {
+    group("e1_list_build_sum");
     for n in [10usize, 20, 40, 80] {
         for (label, opaque) in [("transparent", false), ("opaque", true)] {
             let term = list_term(opaque, n);
-            group.bench_with_input(BenchmarkId::new(label, n), &term, |b, term| {
-                b.iter(|| {
-                    let mut interp = recmod::eval::Interp::new();
-                    let v = interp.run(term).expect("runs");
-                    assert!(v.as_int().is_ok());
-                })
+            bench(&format!("{label}/{n}"), || {
+                let mut interp = recmod::eval::Interp::new();
+                let v = interp.run(&term).expect("runs");
+                assert!(sink(v).as_int().is_ok());
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_lists);
-criterion_main!(benches);

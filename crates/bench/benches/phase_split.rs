@@ -2,30 +2,26 @@
 //! recursive modules (by static width) and of resolving
 //! recursively-dependent signatures.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use recmod::kernel::{Ctx, Tc};
 use recmod::phase::split_module;
 use recmod::syntax::ast::{Con, Sig, Ty};
 use recmod::syntax::dsl::*;
 use recmod_bench::gen_internal_fix;
+use recmod_bench::harness::{bench, group};
 
-fn bench_split(c: &mut Criterion) {
-    let mut group = c.benchmark_group("fig4_split_module");
+fn main() {
+    group("fig4_split_module");
     for width in [1usize, 4, 16, 64] {
         let m = gen_internal_fix(width);
-        group.bench_with_input(BenchmarkId::from_parameter(width), &m, |b, m| {
-            let tc = Tc::new();
-            let mut ctx = Ctx::new();
-            b.iter(|| {
-                tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
-                split_module(&tc, &mut ctx, m).unwrap()
-            })
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        bench(&format!("width/{width}"), || {
+            tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+            split_module(&tc, &mut ctx, &m).unwrap();
         });
     }
-    group.finish();
 
-    let mut group = c.benchmark_group("fig5_resolve_rds");
-    group.sample_size(10);
+    group("fig5_resolve_rds");
     for width in [1usize, 4, 16, 32] {
         // ρs.[α : Σᵢ Q(int ⇀ πᵢ₊₁(Fst s)) . 1]
         // Slot i sits under i Σ binders, so its Fst(s) reference shifts.
@@ -44,17 +40,11 @@ fn bench_split(c: &mut Criterion) {
             .reduce(|acc, k| recmod::syntax::ast::Kind::Sigma(Box::new(k), Box::new(acc)))
             .unwrap();
         let s = rds(Sig::Struct(Box::new(kind), Box::new(Ty::Unit)));
-        group.bench_with_input(BenchmarkId::from_parameter(width), &s, |b, s| {
-            let tc = Tc::new();
-            let mut ctx = Ctx::new();
-            b.iter(|| {
-                tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
-                tc.resolve_sig(&mut ctx, s).unwrap()
-            })
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        bench(&format!("width/{width}"), || {
+            tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+            tc.resolve_sig(&mut ctx, &s).unwrap();
         });
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_split);
-criterion_main!(benches);

@@ -4,9 +4,9 @@
 //! cargo run -p recmod-bench --release --bin tables
 //! ```
 //!
-//! Unlike the Criterion benches (wall-clock), these tables use
-//! deterministic counters (interpreter steps, checker fuel) so the
-//! numbers are machine-independent and exactly reproducible.
+//! Unlike the wall-clock benches (`benches/`), these tables use
+//! deterministic counters (interpreter steps, checker fuel, μ-unrolls)
+//! so the numbers are machine-independent and exactly reproducible.
 
 use recmod::kernel::{Ctx, RecMode, Tc};
 use recmod::syntax::ast::Kind;
@@ -19,46 +19,68 @@ fn main() {
     table_p2();
 }
 
-/// E1: opaque vs transparent list, interpreter steps.
+/// E1: opaque vs transparent list — interpreter steps at run time,
+/// kernel fuel and μ-unrolls at compile time.
 fn table_e1() {
-    println!("Table E1 — build+sum an n-list: interpreter steps");
-    println!("{:>6} {:>14} {:>14} {:>8} {:>12} {:>12}",
-        "n", "opaque", "transparent", "ratio", "opaque/n^2", "transp/n");
+    println!("Table E1 — build+sum an n-list: interpreter steps / checker counters");
+    println!(
+        "{:>6} {:>12} {:>12} {:>7} {:>11} {:>10} {:>11} {:>11}",
+        "n", "opaque", "transp", "ratio", "opaque/n^2", "transp/n", "fuel(op)", "fuel(tr)"
+    );
     for n in [10usize, 20, 40, 80, 160] {
-        let o = bench::list_steps(true, n);
-        let t = bench::list_steps(false, n);
+        let (oe, ok) = bench::list_run_stats(true, n);
+        let (te, tk) = bench::list_run_stats(false, n);
         println!(
-            "{:>6} {:>14} {:>14} {:>7.1}x {:>12.2} {:>12.2}",
+            "{:>6} {:>12} {:>12} {:>6.1}x {:>11.2} {:>10.2} {:>11} {:>11}",
             n,
-            o,
-            t,
-            o as f64 / t as f64,
-            o as f64 / (n * n) as f64,
-            t as f64 / n as f64
+            oe.steps,
+            te.steps,
+            oe.steps as f64 / te.steps as f64,
+            oe.steps as f64 / (n * n) as f64,
+            te.steps as f64 / n as f64,
+            ok.fuel_used(),
+            tk.fuel_used(),
         );
     }
+    // Compile-time μ-unroll counts are size-independent; report once.
+    let (_, ok) = bench::list_run_stats(true, 10);
+    let (_, tk) = bench::list_run_stats(false, 10);
+    println!(
+        "  (compile-time μ-unrolls: opaque {}, transparent {})",
+        ok.mu_unrolls, tk.mu_unrolls
+    );
     println!();
 }
 
-/// P1: equivalence-checker fuel burned, by workload size and mode.
+/// P1: equivalence-checker fuel and μ-unrolls, by workload size and mode.
 fn table_p1() {
-    println!("Table P1 — definitional equality: checker fuel burned");
+    println!("Table P1 — definitional equality: checker fuel burned (μ-unrolls)");
     println!(
-        "{:>6} {:>16} {:>16} {:>18}",
-        "size", "μ vs unroll", "nested≃collapse", "iso+Shao μ=μ'"
+        "{:>6} {:>18} {:>18} {:>18} {:>8}",
+        "size", "μ vs unroll", "nested≃collapse", "iso+Shao μ=μ'", "hwm"
     );
-    let fuel = |mode: RecMode, pair: &(recmod::syntax::ast::Con, recmod::syntax::ast::Con)| {
+    // Fuel burned plus the stats snapshot for one equivalence query.
+    let profile = |mode: RecMode,
+                   pair: &(recmod::syntax::ast::Con, recmod::syntax::ast::Con)|
+     -> (u64, recmod::kernel::KernelStats) {
         let tc = Tc::with_mode(mode);
         let before = tc.fuel();
         let mut ctx = Ctx::new();
-        tc.con_equiv(&mut ctx, &pair.0, &pair.1, &Kind::Type).unwrap();
-        before - tc.fuel()
+        tc.con_equiv(&mut ctx, &pair.0, &pair.1, &Kind::Type)
+            .unwrap();
+        (before - tc.fuel(), tc.stats())
     };
     for size in [8usize, 16, 32, 64, 128] {
-        let unroll = fuel(RecMode::Equi, &bench::gen_unrolled_pair(size, 42));
-        let nested = fuel(RecMode::Equi, &bench::gen_nested_pair(size, 42));
-        let shao = fuel(RecMode::IsoShao, &bench::gen_shao_pair(size, 42));
-        println!("{size:>6} {unroll:>16} {nested:>16} {shao:>18}");
+        let (uf, us) = profile(RecMode::Equi, &bench::gen_unrolled_pair(size, 42));
+        let (nf, ns) = profile(RecMode::Equi, &bench::gen_nested_pair(size, 42));
+        let (sf, ss) = profile(RecMode::IsoShao, &bench::gen_shao_pair(size, 42));
+        println!(
+            "{size:>6} {:>18} {:>18} {:>18} {:>8}",
+            format!("{uf} ({})", us.mu_unrolls),
+            format!("{nf} ({})", ns.mu_unrolls),
+            format!("{sf} ({})", ss.mu_unrolls),
+            ns.assumption_hwm,
+        );
     }
     println!();
 }
@@ -79,14 +101,21 @@ fn table_e8() {
         ("μ vs unrolling", &m, &unrolled),
         ("nested-μ collapse", &nested, &flat),
     ];
-    println!("{:<32} {:>6} {:>6} {:>9}", "equation", "equi", "iso", "iso+Shao");
+    println!(
+        "{:<32} {:>6} {:>6} {:>9}",
+        "equation", "equi", "iso", "iso+Shao"
+    );
     for (name, a, b) in rows {
         let mut row = format!("{name:<32}");
         for mode in [RecMode::Equi, RecMode::Iso, RecMode::IsoShao] {
             let tc = Tc::with_mode(mode);
             let mut ctx = Ctx::new();
             let ok = tc.con_equiv(&mut ctx, a, b, &Kind::Type).is_ok();
-            let w = match mode { RecMode::Equi => 6, RecMode::Iso => 6, RecMode::IsoShao => 9 };
+            let w = match mode {
+                RecMode::Equi => 6,
+                RecMode::Iso => 6,
+                RecMode::IsoShao => 9,
+            };
             row.push_str(&format!(" {:>w$}", if ok { "✓" } else { "✗" }, w = w));
         }
         println!("{row}");
@@ -94,25 +123,29 @@ fn table_e8() {
     println!();
 }
 
-/// P2: elaboration fuel, by program size.
+/// P2: elaboration fuel, μ-unrolls, and whnf steps, by program size.
 fn table_p2() {
-    println!("Table P2 — front-end cost (kernel fuel burned during compile)");
-    println!("{:>24} {:>10} {:>14}", "workload", "size", "fuel");
-    for n in [4usize, 16, 64] {
-        let src = bench::gen_module_chain(n);
+    println!("Table P2 — front-end cost (kernel counters burned during compile)");
+    println!(
+        "{:>24} {:>10} {:>14} {:>12} {:>12}",
+        "workload", "size", "fuel", "μ-unrolls", "whnf steps"
+    );
+    let row = |workload: &str, size: usize, src: &str| {
         let elab = recmod::surface::Elaborator::new();
         let before = elab.tc.fuel();
-        let c = recmod::compile_with(elab, &src).unwrap();
+        let c = recmod::compile_with(elab, src).unwrap();
         let burned = before - c.elab.tc.fuel();
-        println!("{:>24} {n:>10} {burned:>14}", "module_chain");
+        let stats = c.elab.tc.stats();
+        println!(
+            "{workload:>24} {size:>10} {burned:>14} {:>12} {:>12}",
+            stats.mu_unrolls, stats.whnf_steps
+        );
+    };
+    for n in [4usize, 16, 64] {
+        row("module_chain", n, &bench::gen_module_chain(n));
     }
     for k in [1usize, 2, 4, 8] {
-        let src = bench::gen_rec_datatypes(k);
-        let elab = recmod::surface::Elaborator::new();
-        let before = elab.tc.fuel();
-        let c = recmod::compile_with(elab, &src).unwrap();
-        let burned = before - c.elab.tc.fuel();
-        println!("{:>24} {k:>10} {burned:>14}", "rec_datatypes");
+        row("rec_datatypes", k, &bench::gen_rec_datatypes(k));
     }
     println!();
 }

@@ -1,0 +1,147 @@
+//! A minimal wall-clock benchmark harness: warm up, pick an iteration
+//! count that makes one sample meaningful, take a fixed number of
+//! samples, and report robust statistics. No external crates; the
+//! benches in `benches/` are plain `main()` binaries built on this.
+
+use std::time::{Duration, Instant};
+
+/// Statistics for one benchmark case, in nanoseconds per iteration.
+#[derive(Debug, Clone, Copy)]
+pub struct Stats {
+    /// Median of the per-sample means.
+    pub median_ns: u64,
+    /// Fastest sample.
+    pub min_ns: u64,
+    /// Slowest sample.
+    pub max_ns: u64,
+    /// Iterations per sample.
+    pub iters: u64,
+    /// Number of samples taken.
+    pub samples: usize,
+}
+
+impl Stats {
+    /// Renders the median as a human unit (ns/µs/ms/s).
+    pub fn human_median(&self) -> String {
+        human_ns(self.median_ns)
+    }
+}
+
+/// Renders nanoseconds with an adaptive unit.
+pub fn human_ns(ns: u64) -> String {
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.2} s", ns as f64 / 1e9)
+    }
+}
+
+/// Benchmark configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct BenchConfig {
+    /// Samples per case.
+    pub samples: usize,
+    /// Target wall-clock per sample — iteration count is chosen so one
+    /// sample takes at least this long.
+    pub sample_target: Duration,
+    /// Hard cap on iterations per sample (for very fast bodies).
+    pub max_iters: u64,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        BenchConfig {
+            samples: 11,
+            sample_target: Duration::from_millis(20),
+            max_iters: 100_000,
+        }
+    }
+}
+
+/// Runs `f` under the default config and prints one result line.
+pub fn bench(label: &str, f: impl FnMut()) -> Stats {
+    bench_with(BenchConfig::default(), label, f)
+}
+
+/// Runs `f` repeatedly: one calibration pass sizes the per-sample
+/// iteration count, then `config.samples` timed samples run. Prints a
+/// `label ... median [min .. max]` line and returns the stats.
+pub fn bench_with(config: BenchConfig, label: &str, mut f: impl FnMut()) -> Stats {
+    // Calibration: run once (also the warm-up), then scale.
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (config.sample_target.as_nanos() / once.as_nanos()).max(1) as u64;
+    let iters = iters.min(config.max_iters);
+
+    let mut per_iter: Vec<u64> = Vec::with_capacity(config.samples);
+    for _ in 0..config.samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let total = start.elapsed().as_nanos() as u64;
+        per_iter.push(total / iters);
+    }
+    per_iter.sort_unstable();
+    let stats = Stats {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        iters,
+        samples: config.samples,
+    };
+    println!(
+        "{label:<44} {:>12} [{} .. {}]  ({} iters × {} samples)",
+        stats.human_median(),
+        human_ns(stats.min_ns),
+        human_ns(stats.max_ns),
+        stats.iters,
+        stats.samples,
+    );
+    stats
+}
+
+/// Prints a section header for a group of related cases.
+pub fn group(title: &str) {
+    println!("\n== {title} ==");
+}
+
+/// Opaque sink that defeats value-based dead-code elimination in bench
+/// bodies (reads the value through a volatile-ish black box).
+pub fn sink<T>(v: T) -> T {
+    std::hint::black_box(v)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_returns_sane_stats() {
+        let cfg = BenchConfig {
+            samples: 3,
+            sample_target: Duration::from_micros(200),
+            max_iters: 1_000,
+        };
+        let mut n = 0u64;
+        let stats = bench_with(cfg, "self-test", || {
+            n = sink(n.wrapping_add(1));
+        });
+        assert!(stats.iters >= 1);
+        assert!(stats.min_ns <= stats.median_ns && stats.median_ns <= stats.max_ns);
+        assert_eq!(stats.samples, 3);
+    }
+
+    #[test]
+    fn human_units() {
+        assert_eq!(human_ns(999), "999 ns");
+        assert_eq!(human_ns(1_500), "1.50 µs");
+        assert_eq!(human_ns(2_000_000), "2.00 ms");
+        assert_eq!(human_ns(3_000_000_000), "3.00 s");
+    }
+}

@@ -2,19 +2,23 @@
 //!
 //! Workload generators and measurement helpers for the benchmark
 //! harness. Every table and figure of `EXPERIMENTS.md` is regenerated
-//! either by a Criterion bench (`benches/`) or by the `tables` binary
-//! (`src/bin/tables.rs`), both of which build their inputs here.
+//! either by a wall-clock bench binary (`benches/`, built on
+//! [`harness`]) or by the `tables` binary (`src/bin/tables.rs`), both
+//! of which build their inputs here.
 //!
-//! Generators are deterministic (seeded) so runs are reproducible.
+//! Generators are deterministic (seeded [`rng::Rng`], a SplitMix64) so
+//! runs are reproducible without any external crates.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+pub mod harness;
+pub mod rng;
+
 use recmod::kernel::{Ctx, RecMode, Tc};
 use recmod::syntax::ast::{Con, Kind};
 use recmod::syntax::dsl::*;
+use rng::Rng;
 
 /// Re-export of the paper corpus for the benches.
 pub use recmod::corpus;
@@ -38,7 +42,28 @@ pub fn list_steps(opaque: bool, n: usize) -> u64 {
 /// of top-level bindings (used by wall-clock benches).
 pub fn list_term(opaque: bool, n: usize) -> recmod::syntax::ast::Term {
     let program = corpus::list_program(opaque, n);
-    recmod::compile(&program).expect("list program compiles").program()
+    recmod::compile(&program)
+        .expect("list program compiles")
+        .program()
+}
+
+/// Full counter profile of one list run: evaluator counters plus the
+/// kernel judgement counters burned compiling the program. Used by the
+/// `tables` binary and the E1 asymptotic-counters test.
+pub fn list_run_stats(
+    opaque: bool,
+    n: usize,
+) -> (recmod::eval::EvalStats, recmod::kernel::KernelStats) {
+    recmod::eval::run_big_stack(512, move || {
+        let program = corpus::list_program(opaque, n);
+        let compiled = recmod::compile(&program).expect("list program compiles");
+        let kernel = compiled.elab.tc.stats();
+        let term = compiled.program();
+        let mut interp = recmod::eval::Interp::new();
+        let v = interp.run(&term).expect("list program runs");
+        assert_eq!(v.as_int().ok(), Some((n * (n + 1) / 2) as i64));
+        (interp.stats(), kernel)
+    })
 }
 
 // ---------------------------------------------------------------------
@@ -49,24 +74,24 @@ pub fn list_term(opaque: bool, n: usize) -> recmod::syntax::ast::Term {
 /// `size` constructor nodes. The μ-bound variable appears guarded, so
 /// the constructor is contractive.
 pub fn gen_regular_mu(size: usize, seed: u64) -> Con {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let body = gen_body(&mut rng, size, 1);
     mu(tkind(), body)
 }
 
-fn gen_body(rng: &mut StdRng, size: usize, depth_vars: usize) -> Con {
+fn gen_body(rng: &mut Rng, size: usize, depth_vars: usize) -> Con {
     if size <= 1 {
-        return match rng.gen_range(0..4u8) {
+        return match rng.below(4) {
             0 => Con::Int,
             1 => Con::Bool,
             2 => Con::UnitTy,
             // A guarded occurrence of an enclosing μ variable.
-            _ => carrow(Con::Int, cvar(rng.gen_range(0..depth_vars))),
+            _ => carrow(Con::Int, cvar(rng.range(0, depth_vars))),
         };
     }
     let left = size / 2;
     let right = size - 1 - left;
-    match rng.gen_range(0..3u8) {
+    match rng.below(3) {
         0 => carrow(
             gen_body(rng, left, depth_vars),
             gen_body(rng, right, depth_vars),
@@ -89,7 +114,9 @@ fn gen_body(rng: &mut StdRng, size: usize, depth_vars: usize) -> Con {
 pub fn gen_shao_pair(size: usize, seed: u64) -> (Con, Con) {
     use recmod::syntax::subst::{shift_con, subst_con_con};
     let m = gen_regular_mu(size, seed);
-    let Con::Mu(_, body) = &m else { unreachable!("gen_regular_mu returns μ") };
+    let Con::Mu(_, body) = &m else {
+        unreachable!("gen_regular_mu returns μ")
+    };
     let unrolled = subst_con_con(body, &m);
     let rewrapped = mu(tkind(), shift_con(&unrolled, 1, 0));
     (m, rewrapped)
@@ -107,7 +134,7 @@ pub fn gen_unrolled_pair(size: usize, seed: u64) -> (Con, Con) {
 /// everywhere, so the coinductive engine does work proportional to the
 /// body size (no syntactic fast path).
 pub fn gen_nested_pair(size: usize, seed: u64) -> (Con, Con) {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = Rng::new(seed);
     let body = gen_body(&mut rng, size, 2);
     let nested = mu(tkind(), mu(tkind(), body));
     let flat = recmod::phase::iso::collapse_mu(&nested).expect("nested towers collapse");
@@ -202,10 +229,7 @@ pub fn gen_internal_fix(width: usize) -> recmod::syntax::ast::Module {
     let parts: Vec<Con> = (0..width)
         .map(|i| {
             let next = (i + 1) % width;
-            carrow(
-                Con::Int,
-                crate::proj_n(Con::Fst(0), next, width),
-            )
+            carrow(Con::Int, crate::proj_n(Con::Fst(0), next, width))
         })
         .collect();
     let body = strct(tuple_con(parts), recmod::syntax::ast::Term::Star);

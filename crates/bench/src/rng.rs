@@ -1,0 +1,106 @@
+//! A tiny deterministic PRNG (SplitMix64) so workload generation needs
+//! no external crates. Streams are fully determined by the seed, and
+//! the algorithm is fixed, so generated workloads are stable across
+//! platforms and toolchain updates.
+
+/// SplitMix64: passes BigCrush, one u64 of state, two multiplies per
+/// output. Plenty for workload generation (not for cryptography).
+#[derive(Debug, Clone)]
+pub struct Rng(u64);
+
+impl Rng {
+    /// A generator seeded with `seed`.
+    pub fn new(seed: u64) -> Self {
+        Rng(seed)
+    }
+
+    /// The next 64 random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform value in `0..n` (`n > 0`). Uses Lemire-style widening
+    /// multiplication with a rejection pass, so the result is unbiased.
+    pub fn below(&mut self, n: u64) -> u64 {
+        assert!(n > 0, "Rng::below(0)");
+        let mut x = self.next_u64();
+        let mut m = (x as u128) * (n as u128);
+        let mut lo = m as u64;
+        if lo < n {
+            let threshold = n.wrapping_neg() % n;
+            while lo < threshold {
+                x = self.next_u64();
+                m = (x as u128) * (n as u128);
+                lo = m as u64;
+            }
+        }
+        (m >> 64) as u64
+    }
+
+    /// A uniform `usize` in `lo..hi` (`lo < hi`).
+    pub fn range(&mut self, lo: usize, hi: usize) -> usize {
+        assert!(lo < hi, "Rng::range empty");
+        lo + self.below((hi - lo) as u64) as usize
+    }
+
+    /// A uniform `i64` in `lo..=hi`.
+    pub fn range_i64(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo <= hi, "Rng::range_i64 empty");
+        lo.wrapping_add(self.below((hi - lo) as u64 + 1) as i64)
+    }
+
+    /// A coin flip with probability `num/den` of `true`.
+    pub fn chance(&mut self, num: u64, den: u64) -> bool {
+        self.below(den) < num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        let b: Vec<u64> = {
+            let mut r = Rng::new(7);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_eq!(a, b);
+        let c: Vec<u64> = {
+            let mut r = Rng::new(8);
+            (0..8).map(|_| r.next_u64()).collect()
+        };
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn below_in_range_and_covers() {
+        let mut r = Rng::new(42);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = r.below(5);
+            assert!(v < 5);
+            seen[v as usize] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all residues hit in 200 draws");
+    }
+
+    #[test]
+    fn range_bounds() {
+        let mut r = Rng::new(1);
+        for _ in 0..100 {
+            let v = r.range(3, 9);
+            assert!((3..9).contains(&v));
+            let w = r.range_i64(-2, 2);
+            assert!((-2..=2).contains(&w));
+        }
+    }
+}

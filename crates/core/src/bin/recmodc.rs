@@ -8,28 +8,92 @@
 //! recmodc -e "<expr>"          evaluate one expression
 //! ```
 //!
-//! Options: `--steps` prints the interpreter step count after `run`.
+//! Options:
+//!
+//! * `--steps` — print the interpreter step count after `run`;
+//! * `--fuel N` — set the kernel's normalization/equivalence fuel budget;
+//! * `--stats` / `--stats=json` — print pipeline counters (kernel fuel
+//!   by operation, μ-unrolls, whnf steps, per-binding elaboration
+//!   timings, phase-split node counts, evaluator counters) as text or as
+//!   one JSON document on stdout;
+//! * `--trace` / `--trace=DEPTH` — print the kernel's judgement-level
+//!   derivation trace (indented, depth-limited) to stderr.
 
 use std::process::ExitCode;
 
-use recmod::syntax::pretty::{term_to_string, Names};
+use recmod::stats::StatsReport;
+use recmod::syntax::pretty::{con_to_string, term_to_string, Names};
+
+/// Depth limit used by a bare `--trace` (override with `--trace=DEPTH`).
+const DEFAULT_TRACE_DEPTH: usize = 8;
 
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: recmodc <run|check|split> <file> [--steps]\n       recmodc -e \"<expression>\""
+        "usage: recmodc <run|check|split> <file> [options]\n       \
+         recmodc -e \"<expression>\" [options]\n\
+         options: --steps --fuel N --stats[=json] --trace[=DEPTH]"
     );
     ExitCode::from(2)
 }
 
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum StatsMode {
+    Off,
+    Text,
+    Json,
+}
+
+struct Options {
+    steps: bool,
+    stats: StatsMode,
+    trace: Option<usize>,
+    fuel: Option<u64>,
+}
+
+fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
+    let mut rest = Vec::new();
+    let mut opts = Options {
+        steps: false,
+        stats: StatsMode::Off,
+        trace: None,
+        fuel: None,
+    };
+    let mut it = args.into_iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--steps" => opts.steps = true,
+            "--stats" => opts.stats = StatsMode::Text,
+            "--stats=json" => opts.stats = StatsMode::Json,
+            "--trace" => opts.trace = Some(DEFAULT_TRACE_DEPTH),
+            "--fuel" => {
+                let n = it.next().ok_or("--fuel needs a number")?;
+                opts.fuel = Some(n.parse().map_err(|_| format!("bad fuel budget: {n}"))?);
+            }
+            _ if a.starts_with("--trace=") => {
+                let d = &a["--trace=".len()..];
+                opts.trace = Some(d.parse().map_err(|_| format!("bad trace depth: {d}"))?);
+            }
+            _ if a.starts_with("--stats=") => {
+                return Err(format!("unknown stats format: {a} (try --stats=json)"));
+            }
+            _ => rest.push(a),
+        }
+    }
+    Ok((rest, opts))
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let steps_flag = args.iter().any(|a| a == "--steps");
-    let args: Vec<&String> = args.iter().filter(|a| *a != "--steps").collect();
+    let (args, opts) = match parse_options(args) {
+        Ok(x) => x,
+        Err(msg) => {
+            eprintln!("recmodc: {msg}");
+            return ExitCode::from(2);
+        }
+    };
 
     match args.as_slice() {
-        [flag, expr] if flag.as_str() == "-e" => {
-            run_source(expr, steps_flag, Mode::Run)
-        }
+        [flag, expr] if flag.as_str() == "-e" => run_source(expr, &opts, Mode::Run),
         [cmd, path] => {
             let mode = match cmd.as_str() {
                 "run" => Mode::Run,
@@ -44,7 +108,7 @@ fn main() -> ExitCode {
                     return ExitCode::FAILURE;
                 }
             };
-            run_source(&src, steps_flag, mode)
+            run_source(&src, &opts, mode)
         }
         _ => usage(),
     }
@@ -56,54 +120,113 @@ enum Mode {
     Split,
 }
 
-fn run_source(src: &str, steps_flag: bool, mode: Mode) -> ExitCode {
-    let compiled = match recmod::compile(src) {
+fn run_source(src: &str, opts: &Options, mode: Mode) -> ExitCode {
+    let observing = opts.stats != StatsMode::Off || opts.trace.is_some();
+    if observing {
+        let config = match opts.trace {
+            Some(depth) => recmod::telemetry::Config::with_trace(depth),
+            None => recmod::telemetry::Config::default(),
+        };
+        recmod::telemetry::install(config);
+    }
+    let (code, observed) = run_source_inner(src, opts, mode);
+    let report = if observing {
+        recmod::telemetry::uninstall()
+    } else {
+        None
+    };
+    if opts.trace.is_some() {
+        if let Some(r) = &report {
+            eprint!("{}", r.render_trace());
+        }
+    }
+    if opts.stats != StatsMode::Off {
+        if let Some((compiled, eval)) = observed {
+            let stats = StatsReport::collect(&compiled, eval, report);
+            match opts.stats {
+                StatsMode::Json => println!("{}", stats.to_json().to_pretty()),
+                StatsMode::Text => print!("{}", stats.render_text()),
+                StatsMode::Off => unreachable!(),
+            }
+        }
+    }
+    code
+}
+
+type Observed = Option<(recmod::Compiled, Option<recmod::eval::EvalStats>)>;
+
+fn run_source_inner(src: &str, opts: &Options, mode: Mode) -> (ExitCode, Observed) {
+    // With `--stats=json`, stdout must carry exactly one JSON document;
+    // the usual human-readable output moves to stderr.
+    macro_rules! out {
+        ($($t:tt)*) => {
+            if opts.stats == StatsMode::Json {
+                eprintln!($($t)*)
+            } else {
+                println!($($t)*)
+            }
+        };
+    }
+    let elab = match opts.fuel {
+        Some(fuel) => recmod::surface::Elaborator::with_tc(recmod::kernel::Tc::with_fuel(fuel)),
+        None => recmod::surface::Elaborator::new(),
+    };
+    let compiled = match recmod::compile_with(elab, src) {
         Ok(c) => c,
         Err(e) => {
             eprintln!("error: {}", e.render(src));
-            return ExitCode::FAILURE;
+            return (ExitCode::FAILURE, None);
         }
     };
     match mode {
         Mode::Check => {
             for (name, describe) in compiled.summaries() {
-                println!("{name} : {describe}");
+                out!("{name} : {describe}");
             }
-            println!("ok");
-            ExitCode::SUCCESS
+            out!("ok");
+            (ExitCode::SUCCESS, Some((compiled, None)))
         }
         Mode::Split => {
             for b in &compiled.elab.bindings {
-                println!("── {} ──", b.name);
-                println!("  dynamic: {}", term_to_string(&b.dynamic, &mut Names::new()));
+                out!("── {} ──", b.name);
+                match &b.static_part {
+                    Some(con) => {
+                        out!("  static:  {}", con_to_string(con, &mut Names::new()))
+                    }
+                    None => out!("  static:  (none — value binding)"),
+                }
+                out!(
+                    "  dynamic: {}",
+                    term_to_string(&b.dynamic, &mut Names::new())
+                );
             }
-            ExitCode::SUCCESS
+            (ExitCode::SUCCESS, Some((compiled, None)))
         }
         Mode::Run => {
             if compiled.main.is_none() {
                 for (name, describe) in compiled.summaries() {
-                    println!("{name} : {describe}");
+                    out!("{name} : {describe}");
                 }
                 eprintln!("(no main expression; add one after the declarations)");
-                return ExitCode::SUCCESS;
+                return (ExitCode::SUCCESS, Some((compiled, None)));
             }
             let term = compiled.program();
             let outcome = recmod::eval::run_big_stack(512, move || {
                 let mut interp = recmod::eval::Interp::new();
                 let r = interp.run(&term).map(|v| v.to_string());
-                (r, interp.steps())
+                (r, interp.stats())
             });
             match outcome {
-                (Ok(v), steps) => {
-                    println!("{v}");
-                    if steps_flag {
-                        eprintln!("steps: {steps}");
+                (Ok(v), stats) => {
+                    out!("{v}");
+                    if opts.steps {
+                        eprintln!("steps: {}", stats.steps);
                     }
-                    ExitCode::SUCCESS
+                    (ExitCode::SUCCESS, Some((compiled, Some(stats))))
                 }
                 (Err(e), _) => {
                     eprintln!("runtime error: {e}");
-                    ExitCode::FAILURE
+                    (ExitCode::FAILURE, None)
                 }
             }
         }

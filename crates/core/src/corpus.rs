@@ -216,8 +216,15 @@ total (build {N})
 /// Builds a complete list benchmark program (opaque or transparent) for
 /// a given list length.
 pub fn list_program(opaque: bool, n: usize) -> String {
-    let base = if opaque { OPAQUE_LIST } else { TRANSPARENT_LIST };
-    format!("{base}\n{}", LIST_DRIVER_TEMPLATE.replace("{N}", &n.to_string()))
+    let base = if opaque {
+        OPAQUE_LIST
+    } else {
+        TRANSPARENT_LIST
+    };
+    format!(
+        "{base}\n{}",
+        LIST_DRIVER_TEMPLATE.replace("{N}", &n.to_string())
+    )
 }
 
 /// A driver for the Expr/Decl example: builds

@@ -34,6 +34,7 @@
 #![warn(missing_docs)]
 
 pub mod corpus;
+pub mod stats;
 
 use std::rc::Rc;
 
@@ -42,6 +43,9 @@ pub use recmod_kernel as kernel;
 pub use recmod_phase as phase;
 pub use recmod_surface as surface;
 pub use recmod_syntax as syntax;
+pub use recmod_telemetry as telemetry;
+
+pub use stats::StatsReport;
 
 pub use recmod_surface::{compile, compile_with, Compiled, SurfaceError};
 
@@ -137,7 +141,11 @@ pub fn run_with_fuel(src: &str, fuel: u64) -> Result<Outcome, PipelineError> {
         }
         None => (None, 0),
     };
-    Ok(Outcome { compiled, value, steps })
+    Ok(Outcome {
+        compiled,
+        value,
+        steps,
+    })
 }
 
 #[cfg(test)]

@@ -30,10 +30,25 @@ pub const DEFAULT_EVAL_FUEL: u64 = 500_000_000;
 /// debug builds.
 pub const DEFAULT_MAX_DEPTH: u64 = 50_000;
 
+/// Counters accumulated during evaluation. Plain data (`Copy`, `Send`),
+/// so a [`run_big_stack`] closure can ship them back across the thread
+/// boundary alongside the result.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct EvalStats {
+    /// Evaluation steps (one per `eval` entry).
+    pub steps: u64,
+    /// Function and type-function closures allocated.
+    pub closures: u64,
+    /// `fix` promises created and backpatched.
+    pub backpatches: u64,
+    /// Deepest environment extended during the run.
+    pub max_env_depth: u64,
+}
+
 /// An instrumented evaluator.
 #[derive(Debug)]
 pub struct Interp {
-    steps: u64,
+    stats: EvalStats,
     fuel: u64,
     depth: u64,
     max_depth: u64,
@@ -58,17 +73,27 @@ impl Interp {
 
     /// A fresh evaluator with explicit fuel and recursion-depth limits.
     pub fn with_limits(fuel: u64, max_depth: u64) -> Self {
-        Interp { steps: 0, fuel, depth: 0, max_depth }
+        Interp {
+            stats: EvalStats::default(),
+            fuel,
+            depth: 0,
+            max_depth,
+        }
     }
 
     /// Steps taken so far.
     pub fn steps(&self) -> u64 {
-        self.steps
+        self.stats.steps
+    }
+
+    /// All counters accumulated so far.
+    pub fn stats(&self) -> EvalStats {
+        self.stats
     }
 
     /// Resets the step counter (fuel is unaffected).
     pub fn reset_steps(&mut self) {
-        self.steps = 0;
+        self.stats = EvalStats::default();
     }
 
     /// Evaluates a closed term in the empty environment.
@@ -89,18 +114,21 @@ impl Interp {
     }
 
     fn eval_inner(&mut self, env: &Env, e: &Term) -> EvalResult<Rc<Value>> {
-        self.steps += 1;
-        if self.steps > self.fuel {
+        self.stats.steps += 1;
+        if self.stats.steps > self.fuel {
             return Err(EvalError::FuelExhausted);
         }
         match e {
             Term::Var(i) => env.lookup(*i)?.force(),
             Term::Snd(_) => Err(EvalError::OpenTerm),
             Term::Star => Ok(Rc::new(Value::Unit)),
-            Term::Lam(_, body) => Ok(Rc::new(Value::Closure {
-                env: env.clone(),
-                body: Rc::new((**body).clone()),
-            })),
+            Term::Lam(_, body) => {
+                self.stats.closures += 1;
+                Ok(Rc::new(Value::Closure {
+                    env: env.clone(),
+                    body: Rc::new((**body).clone()),
+                }))
+            }
             Term::App(f, a) => {
                 let fv = self.eval(env, f)?;
                 let av = self.eval(env, a)?;
@@ -119,17 +147,20 @@ impl Interp {
                 Value::Pair(_, b) => Ok(b.clone()),
                 _ => Err(EvalError::Stuck("a pair")),
             },
-            Term::TLam(_, body) => Ok(Rc::new(Value::TClosure {
-                env: env.clone(),
-                body: Rc::new((**body).clone()),
-            })),
+            Term::TLam(_, body) => {
+                self.stats.closures += 1;
+                Ok(Rc::new(Value::TClosure {
+                    env: env.clone(),
+                    body: Rc::new((**body).clone()),
+                }))
+            }
             Term::TApp(f, _) => {
                 let fv = self.eval(env, f)?.force()?;
                 match &*fv {
                     Value::TClosure { env: cenv, body } => {
                         // The constructor argument is erased; bind a dummy
                         // so de Bruijn indices line up.
-                        let inner = cenv.push(Rc::new(Value::Unit));
+                        let inner = self.extend(cenv, Rc::new(Value::Unit));
                         self.eval(&inner, body)
                     }
                     _ => Err(EvalError::Stuck("a type function")),
@@ -138,9 +169,10 @@ impl Interp {
             Term::Fix(_, body) => {
                 let cell = Rc::new(RefCell::new(None));
                 let promise = Rc::new(Value::Promise(cell.clone()));
-                let inner = env.push(promise);
+                let inner = self.extend(env, promise);
                 let v = self.eval(&inner, body)?;
                 *cell.borrow_mut() = Some(v.clone());
+                self.stats.backpatches += 1;
                 Ok(v)
             }
             Term::IntLit(n) => Ok(Rc::new(Value::Int(*n))),
@@ -172,7 +204,7 @@ impl Interp {
                 match &*sv {
                     Value::Inj(i, payload) => match branches.get(*i) {
                         Some(branch) => {
-                            let inner = env.push(payload.clone());
+                            let inner = self.extend(env, payload.clone());
                             self.eval(&inner, branch)
                         }
                         None => Err(EvalError::Stuck("a branch for this injection")),
@@ -185,16 +217,24 @@ impl Interp {
             Term::Fail(_) => Err(EvalError::Failure),
             Term::Let(bound, body) => {
                 let v = self.eval(env, bound)?;
-                let inner = env.push(v);
+                let inner = self.extend(env, v);
                 self.eval(&inner, body)
             }
         }
     }
 
+    /// `env.push` plus max-env-depth bookkeeping (O(1): `Env::len` is
+    /// cached on each node).
+    fn extend(&mut self, env: &Env, v: Rc<Value>) -> Env {
+        let inner = env.push(v);
+        self.stats.max_env_depth = self.stats.max_env_depth.max(inner.len() as u64);
+        inner
+    }
+
     fn apply(&mut self, f: &Rc<Value>, arg: Rc<Value>) -> EvalResult<Rc<Value>> {
         match &*f.force()? {
             Value::Closure { env, body } => {
-                let inner = env.push(arg);
+                let inner = self.extend(env, arg);
                 self.eval(&inner, body)
             }
             _ => Err(EvalError::Stuck("a function")),
@@ -245,7 +285,10 @@ mod tests {
 
     #[test]
     fn beta_reduction() {
-        let e = app(lam(tcon(Con::Int), prim(PrimOp::Add, var(0), int(1))), int(41));
+        let e = app(
+            lam(tcon(Con::Int), prim(PrimOp::Add, var(0), int(1))),
+            int(41),
+        );
         assert_eq!(run(&e).unwrap().as_int().unwrap(), 42);
     }
 
@@ -295,7 +338,10 @@ mod tests {
             ),
         );
         let p = fix(tprod(fun_ty.clone(), fun_ty), pair(even, odd));
-        assert!(run(&app(proj1(p.clone()), int(10))).unwrap().as_bool().unwrap());
+        assert!(run(&app(proj1(p.clone()), int(10)))
+            .unwrap()
+            .as_bool()
+            .unwrap());
         assert!(!run(&app(proj2(p), int(10))).unwrap().as_bool().unwrap());
     }
 
@@ -306,10 +352,7 @@ mod tests {
         let unrolled = csum([Con::UnitTy, cprod(Con::Int, listc.clone())]);
         let nil = roll(listc.clone(), inj(0, unrolled.clone(), Term::Star));
         let one = roll(listc.clone(), inj(1, unrolled, pair(int(1), nil)));
-        let head = case(
-            unroll(one),
-            [fail(tcon(Con::Int)), proj1(var(0))],
-        );
+        let head = case(unroll(one), [fail(tcon(Con::Int)), proj1(var(0))]);
         assert_eq!(run(&head).unwrap().as_int().unwrap(), 1);
     }
 
@@ -361,10 +404,7 @@ mod tests {
     #[test]
     fn case_selects_branch() {
         let sum = csum([Con::Int, Con::Bool]);
-        let e = case(
-            inj(1, sum, boolean(true)),
-            [boolean(false), var(0)],
-        );
+        let e = case(inj(1, sum, boolean(true)), [boolean(false), var(0)]);
         assert!(run(&e).unwrap().as_bool().unwrap());
     }
 }

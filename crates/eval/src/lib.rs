@@ -35,5 +35,5 @@ pub mod interp;
 pub mod value;
 
 pub use error::{EvalError, EvalResult};
-pub use interp::{run_big_stack, Interp, DEFAULT_EVAL_FUEL};
+pub use interp::{run_big_stack, EvalStats, Interp, DEFAULT_EVAL_FUEL};
 pub use value::{Env, Value};

@@ -98,6 +98,7 @@ pub struct Env(Option<Rc<Node>>);
 #[derive(Debug)]
 struct Node {
     value: Rc<Value>,
+    len: usize,
     next: Env,
 }
 
@@ -109,7 +110,11 @@ impl Env {
 
     /// Extends the environment with one binding (index 0 of the result).
     pub fn push(&self, value: Rc<Value>) -> Env {
-        Env(Some(Rc::new(Node { value, next: self.clone() })))
+        Env(Some(Rc::new(Node {
+            value,
+            len: self.len() + 1,
+            next: self.clone(),
+        })))
     }
 
     /// Looks up a de Bruijn index.
@@ -127,15 +132,12 @@ impl Env {
         }
     }
 
-    /// Number of bindings (O(n); for diagnostics only).
+    /// Number of bindings (O(1); cached on each node).
     pub fn len(&self) -> usize {
-        let mut n = 0;
-        let mut cur = self;
-        while let Some(node) = &cur.0 {
-            n += 1;
-            cur = &node.next;
+        match &self.0 {
+            Some(node) => node.len,
+            None => 0,
         }
-        n
     }
 
     /// True when no bindings are present.

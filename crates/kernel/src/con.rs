@@ -18,7 +18,8 @@ use crate::Tc;
 impl Tc {
     /// `Γ ⊢ c : κ` — synthesizes the principal kind of `c`.
     pub fn synth_con(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Kind> {
-        self.burn("constructor kinding")?;
+        self.burn(crate::stats::FuelOp::ConKinding)?;
+        let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", show::con(c)));
         match c {
             Con::Var(i) => {
                 let k = ctx.lookup_con(*i)?;
@@ -166,7 +167,10 @@ mod tests {
         let p = cpair(Con::Int, Con::Bool);
         let k = tc.synth_con(&mut ctx, &p).unwrap();
         assert_eq!(k, Kind::times(q(Con::Int), q(Con::Bool)));
-        assert_eq!(tc.synth_con(&mut ctx, &cproj1(p.clone())).unwrap(), q(Con::Int));
+        assert_eq!(
+            tc.synth_con(&mut ctx, &cproj1(p.clone())).unwrap(),
+            q(Con::Int)
+        );
         assert_eq!(tc.synth_con(&mut ctx, &cproj2(p)).unwrap(), q(Con::Bool));
     }
 

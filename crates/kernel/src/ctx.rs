@@ -58,7 +58,10 @@ impl Ctx {
         if index < len {
             Ok(&self.entries[len - 1 - index])
         } else {
-            Err(TypeError::Unbound { what: "variable", index })
+            Err(TypeError::Unbound {
+                what: "variable",
+                index,
+            })
         }
     }
 
@@ -66,7 +69,10 @@ impl Ctx {
     pub fn lookup_con(&self, index: usize) -> TcResult<Kind> {
         match self.entry(index)? {
             Entry::Con(k) => Ok(shift_kind(k, (index + 1) as isize, 0)),
-            _ => Err(TypeError::Unbound { what: "constructor variable", index }),
+            _ => Err(TypeError::Unbound {
+                what: "constructor variable",
+                index,
+            }),
         }
     }
 
@@ -75,7 +81,10 @@ impl Ctx {
     pub fn lookup_term(&self, index: usize) -> TcResult<(Ty, bool)> {
         match self.entry(index)? {
             Entry::Term(t, v) => Ok((shift_ty(t, (index + 1) as isize, 0), *v)),
-            _ => Err(TypeError::Unbound { what: "term variable", index }),
+            _ => Err(TypeError::Unbound {
+                what: "term variable",
+                index,
+            }),
         }
     }
 
@@ -84,7 +93,10 @@ impl Ctx {
     pub fn lookup_struct(&self, index: usize) -> TcResult<(Sig, bool)> {
         match self.entry(index)? {
             Entry::Struct(s, v) => Ok((shift_sig(s, (index + 1) as isize, 0), *v)),
-            _ => Err(TypeError::Unbound { what: "structure variable", index }),
+            _ => Err(TypeError::Unbound {
+                what: "structure variable",
+                index,
+            }),
         }
     }
 
@@ -102,7 +114,10 @@ impl Ctx {
     ///
     /// Panics if the context is already shorter than `len`.
     pub fn truncate(&mut self, len: usize) {
-        assert!(self.entries.len() >= len, "context shorter than truncation target");
+        assert!(
+            self.entries.len() >= len,
+            "context shorter than truncation target"
+        );
         self.entries.truncate(len);
     }
 
@@ -172,7 +187,10 @@ mod tests {
         let ctx = Ctx::new();
         assert_eq!(
             ctx.lookup_con(0),
-            Err(TypeError::Unbound { what: "variable", index: 0 })
+            Err(TypeError::Unbound {
+                what: "variable",
+                index: 0
+            })
         );
     }
 

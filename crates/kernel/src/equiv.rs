@@ -53,12 +53,18 @@ impl Tc {
         k: &Kind,
         seen: &mut Seen,
     ) -> TcResult<()> {
-        self.burn("constructor equivalence")?;
+        self.burn(crate::stats::FuelOp::ConEquiv)?;
+        let _trace = recmod_telemetry::trace_span(|| {
+            format!("{} = {} : {}", show::con(c1), show::con(c2), show::kind(k))
+        });
         match k {
             // At kind 1 the only inhabitant is *, so anything equals anything.
             Kind::Unit => Ok(()),
             // At a singleton kind both sides equal the (same) definition.
-            Kind::Singleton(_) => Ok(()),
+            Kind::Singleton(_) => {
+                crate::stats::TcStats::bump(&self.stat_cells().singleton_shortcuts);
+                Ok(())
+            }
             Kind::Pi(k1, k2) => ctx.with_con((**k1).clone(), |ctx| {
                 let a1 = Con::App(Box::new(shift_con(c1, 1, 0)), Box::new(Con::Var(0)));
                 let a2 = Con::App(Box::new(shift_con(c2, 1, 0)), Box::new(Con::Var(0)));
@@ -87,7 +93,7 @@ impl Tc {
     /// Structural comparison at kind `T`, after weak-head normalization,
     /// under the coinductive assumption set.
     fn con_eq_type(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, seen: &mut Seen) -> TcResult<()> {
-        self.burn("monotype equivalence")?;
+        self.burn(crate::stats::FuelOp::MonoEquiv)?;
         let a = self.whnf(ctx, c1)?;
         let b = self.whnf(ctx, c2)?;
         if a == b {
@@ -102,10 +108,10 @@ impl Tc {
             // vacuous constructors like μα:T.α are inert (equal only to
             // themselves, which the syntactic fast path already handled).
             (Con::Mu(ka, ba), Con::Mu(kb, bb)) => match self.mode() {
-                RecMode::Equi | RecMode::IsoShao
-                    if is_contractive(&a) && is_contractive(&b) =>
-                {
-                    seen.insert(key);
+                RecMode::Equi | RecMode::IsoShao if is_contractive(&a) && is_contractive(&b) => {
+                    self.note_assumption(seen, key);
+                    let st = self.stat_cells();
+                    st.mu_unrolls.set(st.mu_unrolls.get() + 2);
                     let ua = unroll_mu(&a);
                     let ub = unroll_mu(&b);
                     self.con_eq_type(ctx, &ua, &ub, seen)
@@ -125,17 +131,18 @@ impl Tc {
                 }),
             },
             (Con::Mu(_, _), _) if self.mode() == RecMode::Equi && is_contractive(&a) => {
-                seen.insert(key);
+                self.note_assumption(seen, key);
+                crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                 let ua = unroll_mu(&a);
                 self.con_eq_type(ctx, &ua, &b, seen)
             }
             (_, Con::Mu(_, _)) if self.mode() == RecMode::Equi && is_contractive(&b) => {
-                seen.insert(key);
+                self.note_assumption(seen, key);
+                crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                 let ub = unroll_mu(&b);
                 self.con_eq_type(ctx, &a, &ub, seen)
             }
-            (Con::Arrow(a1, a2), Con::Arrow(b1, b2))
-            | (Con::Prod(a1, a2), Con::Prod(b1, b2)) => {
+            (Con::Arrow(a1, a2), Con::Arrow(b1, b2)) | (Con::Prod(a1, a2), Con::Prod(b1, b2)) => {
                 self.con_eq_type(ctx, a1, b1, seen)?;
                 self.con_eq_type(ctx, a2, b2, seen)
             }
@@ -145,12 +152,8 @@ impl Tc {
                 }
                 Ok(())
             }
-            (Con::Int, Con::Int)
-            | (Con::Bool, Con::Bool)
-            | (Con::UnitTy, Con::UnitTy) => Ok(()),
-            _ if is_path(&a) && is_path(&b) => {
-                self.path_equiv(ctx, &a, &b, seen).map(|_| ())
-            }
+            (Con::Int, Con::Int) | (Con::Bool, Con::Bool) | (Con::UnitTy, Con::UnitTy) => Ok(()),
+            _ if is_path(&a) && is_path(&b) => self.path_equiv(ctx, &a, &b, seen).map(|_| ()),
             _ => Err(TypeError::ConMismatch {
                 left: show::con(&a),
                 right: show::con(&b),
@@ -159,18 +162,25 @@ impl Tc {
         }
     }
 
+    /// Adds a pair to the coinductive assumption set, recording the
+    /// insert and the set's high-water mark.
+    fn note_assumption(&self, seen: &mut Seen, key: (Con, Con)) {
+        seen.insert(key);
+        let st = self.stat_cells();
+        crate::stats::TcStats::bump(&st.assumption_inserts);
+        crate::stats::TcStats::raise(&st.assumption_hwm, seen.len() as u64);
+    }
+
     /// Structural equivalence of stuck paths, returning their common
     /// natural kind (used to compare spine arguments at the right kind).
     fn path_equiv(&self, ctx: &mut Ctx, p1: &Con, p2: &Con, seen: &mut Seen) -> TcResult<Kind> {
-        self.burn("path equivalence")?;
+        self.burn(crate::stats::FuelOp::PathEquiv)?;
         match (p1, p2) {
             (Con::Var(i), Con::Var(j)) if i == j => ctx.lookup_con(*i),
-            (Con::Fst(i), Con::Fst(j)) if i == j => {
-                match self.natural_kind(ctx, p1)? {
-                    Some(k) => Ok(k),
-                    None => unreachable!("Fst is a path"),
-                }
-            }
+            (Con::Fst(i), Con::Fst(j)) if i == j => match self.natural_kind(ctx, p1)? {
+                Some(k) => Ok(k),
+                None => unreachable!("Fst is a path"),
+            },
             (Con::App(f1, a1), Con::App(f2, a2)) => {
                 let fk = self.path_equiv(ctx, f1, f2, seen)?;
                 let (k1, k2) = self.expect_pi(&fk)?;
@@ -239,7 +249,10 @@ mod tests {
         let tc = Tc::with_mode(RecMode::IsoShao);
         let mut ctx = Ctx::new();
         let m = mu(tkind(), carrow(Con::Int, cvar(0)));
-        let m2 = mu(tkind(), carrow(Con::Int, recmod_syntax::subst::shift_con(&m, 1, 0)));
+        let m2 = mu(
+            tkind(),
+            carrow(Con::Int, recmod_syntax::subst::shift_con(&m, 1, 0)),
+        );
         tc.con_equiv(&mut ctx, &m, &m2, &tkind()).unwrap();
     }
 
@@ -277,8 +290,13 @@ mod tests {
     fn everything_equal_at_unit_kind() {
         let tc = equi();
         let mut ctx = Ctx::new();
-        tc.con_equiv(&mut ctx, &Con::Star, &cproj1(cpair(Con::Star, Con::Star)), &unit_kind())
-            .unwrap();
+        tc.con_equiv(
+            &mut ctx,
+            &Con::Star,
+            &cproj1(cpair(Con::Star, Con::Star)),
+            &unit_kind(),
+        )
+        .unwrap();
     }
 
     #[test]
@@ -287,7 +305,8 @@ mod tests {
         let tc = equi();
         let mut ctx = Ctx::new();
         ctx.with_con(q(Con::Int), |ctx| {
-            tc.con_equiv(ctx, &cvar(0), &Con::Int, &q(Con::Int)).unwrap();
+            tc.con_equiv(ctx, &cvar(0), &Con::Int, &q(Con::Int))
+                .unwrap();
         });
     }
 
@@ -375,7 +394,12 @@ mod tests {
             let k = Kind::times(tkind(), pi(tkind(), tkind()));
             // The λ components alone are inequivalent…
             assert!(tc
-                .con_equiv(ctx, &clam(tkind(), m1), &clam(tkind(), m2), &pi(tkind(), tkind()))
+                .con_equiv(
+                    ctx,
+                    &clam(tkind(), m1),
+                    &clam(tkind(), m2),
+                    &pi(tkind(), tkind())
+                )
                 .is_err());
             // …so the pairs must be too, regardless of comparison order.
             assert!(tc.con_equiv(ctx, &p1, &p2, &k).is_err());

@@ -112,7 +112,14 @@ pub enum TypeError {
     /// The equivalence/normalization engine ran out of fuel. This is a
     /// resource bound, not a semantic verdict; see `DESIGN.md` §2 on the
     /// (open) decidability of equi-recursive equivalence at higher kinds.
-    FuelExhausted(&'static str),
+    FuelExhausted {
+        /// The operation that burned the final unit of fuel.
+        op: &'static str,
+        /// The budget the run started from.
+        budget: u64,
+        /// The top fuel-consuming operations, descending by count.
+        top: Vec<(&'static str, u64)>,
+    },
     /// Anything else, with a human-readable explanation.
     Other(String),
 }
@@ -137,7 +144,10 @@ impl fmt::Display for TypeError {
                 write!(f, "kind {found} is not a subkind of {expected}")
             }
             TypeError::ConMismatch { left, right, at } => {
-                write!(f, "constructors are not equivalent at kind {at}: {left} vs {right}")
+                write!(
+                    f,
+                    "constructors are not equivalent at kind {at}: {left} vs {right}"
+                )
             }
             TypeError::TyMismatch { expected, found } => {
                 write!(f, "type mismatch: expected {expected}, found {found}")
@@ -159,17 +169,38 @@ impl fmt::Display for TypeError {
                 f,
                 "case has {branches} branch(es) but the scrutinee has {summands} summand(s)"
             ),
-            TypeError::PrimArity { op, expected, found } => {
-                write!(f, "primop `{op}` expects {expected} argument(s), found {found}")
+            TypeError::PrimArity {
+                op,
+                expected,
+                found,
+            } => {
+                write!(
+                    f,
+                    "primop `{op}` expects {expected} argument(s), found {found}"
+                )
             }
             TypeError::InjIndex { index, summands } => {
-                write!(f, "injection index {index} out of range for a {summands}-ary sum")
+                write!(
+                    f,
+                    "injection index {index} out of range for a {summands}-ary sum"
+                )
             }
             TypeError::OpaqueStaticPart(m) => {
                 write!(f, "cannot compute the static part of an opaque module: {m}")
             }
-            TypeError::FuelExhausted(op) => {
-                write!(f, "normalization/equivalence fuel exhausted during {op}")
+            TypeError::FuelExhausted { op, budget, top } => {
+                write!(
+                    f,
+                    "normalization/equivalence fuel exhausted during {op} (budget {budget}"
+                )?;
+                if !top.is_empty() {
+                    let list: Vec<String> = top
+                        .iter()
+                        .map(|(name, n)| format!("{name} \u{00d7}{n}"))
+                        .collect();
+                    write!(f, "; top consumers: {}", list.join(", "))?;
+                }
+                write!(f, ")")
             }
             TypeError::Other(msg) => f.write_str(msg),
         }
@@ -187,8 +218,14 @@ mod tests {
 
     #[test]
     fn display_is_lowercase_and_concise() {
-        let e = TypeError::Unbound { what: "constructor variable", index: 3 };
-        assert_eq!(e.to_string(), "unbound constructor variable (de Bruijn index 3)");
+        let e = TypeError::Unbound {
+            what: "constructor variable",
+            index: 3,
+        };
+        assert_eq!(
+            e.to_string(),
+            "unbound constructor variable (de Bruijn index 3)"
+        );
     }
 
     #[test]

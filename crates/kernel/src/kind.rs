@@ -24,11 +24,8 @@ impl Tc {
     pub fn kind_eq(&self, ctx: &mut Ctx, k1: &Kind, k2: &Kind) -> TcResult<()> {
         match (k1, k2) {
             (Kind::Type, Kind::Type) | (Kind::Unit, Kind::Unit) => Ok(()),
-            (Kind::Singleton(c1), Kind::Singleton(c2)) => {
-                self.con_equiv(ctx, c1, c2, &Kind::Type)
-            }
-            (Kind::Pi(a1, b1), Kind::Pi(a2, b2))
-            | (Kind::Sigma(a1, b1), Kind::Sigma(a2, b2)) => {
+            (Kind::Singleton(c1), Kind::Singleton(c2)) => self.con_equiv(ctx, c1, c2, &Kind::Type),
+            (Kind::Pi(a1, b1), Kind::Pi(a2, b2)) | (Kind::Sigma(a1, b1), Kind::Sigma(a2, b2)) => {
                 self.kind_eq(ctx, a1, a2)?;
                 ctx.with_con((**a1).clone(), |ctx| self.kind_eq(ctx, b1, b2))
             }
@@ -46,9 +43,7 @@ impl Tc {
         match (k1, k2) {
             (Kind::Type, Kind::Type) | (Kind::Unit, Kind::Unit) => Ok(()),
             (Kind::Singleton(_), Kind::Type) => Ok(()),
-            (Kind::Singleton(c1), Kind::Singleton(c2)) => {
-                self.con_equiv(ctx, c1, c2, &Kind::Type)
-            }
+            (Kind::Singleton(c1), Kind::Singleton(c2)) => self.con_equiv(ctx, c1, c2, &Kind::Type),
             (Kind::Pi(a1, b1), Kind::Pi(a2, b2)) => {
                 self.subkind(ctx, a2, a1)?;
                 // The common context uses the smaller domain (a2).

@@ -49,6 +49,7 @@ pub mod kind;
 pub mod module;
 pub mod sig;
 pub mod singleton;
+pub mod stats;
 pub mod term;
 pub mod termeq;
 pub mod ty;
@@ -58,6 +59,7 @@ use std::cell::Cell;
 
 pub use ctx::{Ctx, Entry};
 pub use error::{TcResult, TypeError};
+pub use stats::{FuelOp, KernelStats, TcStats};
 
 /// How recursive constructors are treated by definitional equality.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -89,6 +91,8 @@ pub const DEFAULT_FUEL: u64 = 5_000_000;
 pub struct Tc {
     mode: RecMode,
     fuel: Cell<u64>,
+    budget: Cell<u64>,
+    stats: stats::TcStats,
 }
 
 impl Default for Tc {
@@ -105,7 +109,22 @@ impl Tc {
 
     /// A checker with an explicit recursion mode.
     pub fn with_mode(mode: RecMode) -> Self {
-        Tc { mode, fuel: Cell::new(DEFAULT_FUEL) }
+        Self::with_mode_and_fuel(mode, DEFAULT_FUEL)
+    }
+
+    /// A checker in equi-recursive mode with an explicit fuel budget.
+    pub fn with_fuel(fuel: u64) -> Self {
+        Self::with_mode_and_fuel(RecMode::Equi, fuel)
+    }
+
+    /// A checker with both an explicit mode and an explicit fuel budget.
+    pub fn with_mode_and_fuel(mode: RecMode, fuel: u64) -> Self {
+        Tc {
+            mode,
+            fuel: Cell::new(fuel),
+            budget: Cell::new(fuel),
+            stats: stats::TcStats::default(),
+        }
     }
 
     /// The recursion mode in force.
@@ -118,18 +137,43 @@ impl Tc {
         self.fuel.get()
     }
 
+    /// The budget fuel was last reset to (reported on exhaustion).
+    pub fn fuel_budget(&self) -> u64 {
+        self.budget.get()
+    }
+
     /// Resets the fuel budget (e.g. between top-level declarations).
     pub fn set_fuel(&self, fuel: u64) {
         self.fuel.set(fuel);
+        self.budget.set(fuel);
     }
 
-    pub(crate) fn burn(&self, op: &'static str) -> TcResult<()> {
+    /// A snapshot of the judgement counters accumulated so far.
+    pub fn stats(&self) -> stats::KernelStats {
+        self.stats.snapshot()
+    }
+
+    /// Zeroes the judgement counters (fuel itself is left alone).
+    pub fn reset_stats(&self) {
+        self.stats.reset();
+    }
+
+    pub(crate) fn burn(&self, op: stats::FuelOp) -> TcResult<()> {
+        self.stats.record_fuel(op);
         let f = self.fuel.get();
         if f == 0 {
-            return Err(TypeError::FuelExhausted(op));
+            return Err(TypeError::FuelExhausted {
+                op: op.name(),
+                budget: self.budget.get(),
+                top: self.stats.top_fuel(3),
+            });
         }
         self.fuel.set(f - 1);
         Ok(())
+    }
+
+    pub(crate) fn stat_cells(&self) -> &stats::TcStats {
+        &self.stats
     }
 }
 
@@ -153,7 +197,6 @@ pub(crate) mod show {
     pub fn sig(s: &Sig) -> String {
         pretty::sig_to_string(s, &mut pretty::Names::new())
     }
-    #[allow(dead_code)]
     pub fn module(m: &Module) -> String {
         pretty::module_to_string(m, &mut pretty::Names::new())
     }

@@ -38,17 +38,24 @@ impl Tc {
     /// `Γ ⊢ M : S` and `Γ ⊢ M ⇓ S` — synthesizes the principal signature
     /// and valuability of `M`.
     pub fn synth_module(&self, ctx: &mut Ctx, m: &Module) -> TcResult<ModTyping> {
-        self.burn("module typing")?;
+        self.burn(crate::stats::FuelOp::ModuleTyping)?;
+        let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", crate::show::module(m)));
         match m {
             Module::Var(i) => {
                 let (s, valuable) = ctx.lookup_struct(*i)?;
-                Ok(ModTyping { sig: selfify_sig(*i, &s), valuable })
+                Ok(ModTyping {
+                    sig: selfify_sig(*i, &s),
+                    valuable,
+                })
             }
             Module::Struct(c, e) => {
                 let k = self.synth_con(ctx, c)?;
                 let te = self.synth_term(ctx, e)?;
                 let sig = Sig::Struct(Box::new(k), Box::new(shift_ty(&te.ty, 1, 0)));
-                Ok(ModTyping { sig, valuable: te.valuable })
+                Ok(ModTyping {
+                    sig,
+                    valuable: te.valuable,
+                })
             }
             Module::Seal(body, s) => {
                 self.wf_sig(ctx, s)?;
@@ -57,7 +64,10 @@ impl Tc {
                 self.sig_sub(ctx, &bt.sig, &target)?;
                 // Sealing forgets extra transparency: the result is the
                 // ascribed signature, not the principal one.
-                Ok(ModTyping { sig: target, valuable: bt.valuable })
+                Ok(ModTyping {
+                    sig: target,
+                    valuable: bt.valuable,
+                })
             }
             Module::Fix(ann, body) => {
                 self.wf_sig(ctx, ann)?;
@@ -74,7 +84,10 @@ impl Tc {
                     Ok(inner)
                 })?;
                 let _ = bt;
-                Ok(ModTyping { sig: target, valuable: true })
+                Ok(ModTyping {
+                    sig: target,
+                    valuable: true,
+                })
             }
         }
     }
@@ -84,7 +97,10 @@ impl Tc {
         let target = self.resolve_sig(ctx, s)?;
         let mt = self.synth_module(ctx, m)?;
         self.sig_sub(ctx, &mt.sig, &target)?;
-        Ok(ModTyping { sig: target, valuable: mt.valuable })
+        Ok(ModTyping {
+            sig: target,
+            valuable: mt.valuable,
+        })
     }
 
     /// The compile-time part of a module, as a constructor — the `Fst`
@@ -134,10 +150,7 @@ mod tests {
         let mut ctx = Ctx::new();
         let m = strct(Con::Int, int(42));
         let mt = tc.synth_module(&mut ctx, &m).unwrap();
-        assert_eq!(
-            mt.sig,
-            sig(q(Con::Int), tcon(Con::Int))
-        );
+        assert_eq!(mt.sig, sig(q(Con::Int), tcon(Con::Int)));
         assert!(mt.valuable);
     }
 

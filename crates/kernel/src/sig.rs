@@ -37,7 +37,11 @@ struct RetargetFstToCvar {
 
 impl VarMap for RetargetFstToCvar {
     fn cvar(&mut self, d: usize, i: usize) -> Con {
-        debug_assert_ne!(i, self.target + d, "constructor use of the structure binder");
+        debug_assert_ne!(
+            i,
+            self.target + d,
+            "constructor use of the structure binder"
+        );
         Con::Var(i)
     }
     fn tvar(&mut self, _d: usize, i: usize) -> Term {
@@ -51,11 +55,19 @@ impl VarMap for RetargetFstToCvar {
         }
     }
     fn snd(&mut self, d: usize, i: usize) -> Term {
-        debug_assert_ne!(i, self.target + d, "dynamic use of a static-only structure binder");
+        debug_assert_ne!(
+            i,
+            self.target + d,
+            "dynamic use of a static-only structure binder"
+        );
         Term::Snd(i)
     }
     fn mvar(&mut self, d: usize, i: usize) -> Module {
-        debug_assert_ne!(i, self.target + d, "module use of a static-only structure binder");
+        debug_assert_ne!(
+            i,
+            self.target + d,
+            "module use of a static-only structure binder"
+        );
         Module::Var(i)
     }
 }
@@ -159,8 +171,7 @@ impl Tc {
                 // ρ, so outer references in the frame drop one index. (The μ
                 // body keeps its indices: the binder swap is one-for-one.)
                 let base = recmod_syntax::subst::shift_kind(&base, -1, 0);
-                let def = kind_definition(k)
-                    .expect("fully transparent kinds have definitions");
+                let def = kind_definition(k).expect("fully transparent kinds have definitions");
                 // c(Fst s) ↦ c(β): the structure binder becomes the μ binder.
                 let mu_body = retarget_fst_to_cvar(&def, 0);
                 let mu_con = Con::Mu(Box::new(base.clone()), Box::new(mu_body));
@@ -198,19 +209,19 @@ impl Tc {
         let b = self.resolve_sig(ctx, s2)?;
         match (&a, &b) {
             (Sig::Struct(k1, t1), Sig::Struct(k2, t2)) => {
-                self.subkind(ctx, k1, k2).map_err(|_| TypeError::NotASubsignature {
-                    expected: show::sig(&b),
-                    found: show::sig(&a),
-                })?;
-                ctx.with_con((**k1).clone(), |ctx| self.ty_sub(ctx, t1, t2)).map_err(|e| {
-                    match e {
-                        TypeError::FuelExhausted(op) => TypeError::FuelExhausted(op),
+                self.subkind(ctx, k1, k2)
+                    .map_err(|_| TypeError::NotASubsignature {
+                        expected: show::sig(&b),
+                        found: show::sig(&a),
+                    })?;
+                ctx.with_con((**k1).clone(), |ctx| self.ty_sub(ctx, t1, t2))
+                    .map_err(|e| match e {
+                        e @ TypeError::FuelExhausted { .. } => e,
                         _ => TypeError::NotASubsignature {
                             expected: show::sig(&b),
                             found: show::sig(&a),
                         },
-                    }
-                })
+                    })
             }
             _ => unreachable!("resolve_sig returns flat signatures"),
         }
@@ -265,9 +276,7 @@ fn kind_mentions_wrong_sort(k: &recmod_syntax::ast::Kind, target: usize) -> bool
 /// selfification rule; the module-level analogue of Figure 2).
 pub fn selfify_sig(index: usize, s: &Sig) -> Sig {
     match s {
-        Sig::Struct(k, t) => {
-            Sig::Struct(Box::new(selfify(&Con::Fst(index), k)), t.clone())
-        }
+        Sig::Struct(k, t) => Sig::Struct(Box::new(selfify(&Con::Fst(index), k)), t.clone()),
         Sig::Rds(_) => s.clone(),
     }
 }
@@ -388,10 +397,8 @@ mod tests {
         let mut ctx = Ctx::new();
         ctx.with_con(Kind::Type, |ctx| {
             // Inside the rds: ρ = 0, β = 1. Codomain adds γ: γ=0, ρ=1, β=2.
-            let kappa = recmod_syntax::dsl::pi(
-                q(cvar(1)),
-                q(carrow(cvar(0), capp(fst(1), cvar(0)))),
-            );
+            let kappa =
+                recmod_syntax::dsl::pi(q(cvar(1)), q(carrow(cvar(0), capp(fst(1), cvar(0)))));
             let s = rds(Sig::Struct(Box::new(kappa), Box::new(Ty::Unit)));
             let r = tc.resolve_sig(ctx, &s).unwrap();
             // The resolution must be well-formed in [β:T] — with the fix the
@@ -414,9 +421,10 @@ mod tests {
         let r = tc.resolve_sig(&mut ctx, &s).unwrap();
         tc.wf_sig(&mut ctx, &r).unwrap();
         // The resolved static kind must be fully transparent and closed.
-        let Sig::Struct(rk, _) = &r else { panic!("flat expected") };
+        let Sig::Struct(rk, _) = &r else {
+            panic!("flat expected")
+        };
         assert!(crate::singleton::fully_transparent(rk));
         assert!(!crate::kind::kind_mentions(rk, 0));
     }
-
 }

@@ -123,10 +123,7 @@ mod tests {
         // Q(c : T×T) = Q(π₁c) × Q(π₂c)
         let k = sigma(tkind(), tkind());
         let out = selfify(&cvar(0), &k);
-        assert_eq!(
-            out,
-            Kind::times(q(cproj1(cvar(0))), q(cproj2(cvar(0))))
-        );
+        assert_eq!(out, Kind::times(q(cproj1(cvar(0))), q(cproj2(cvar(0)))));
     }
 
     #[test]

@@ -51,7 +51,8 @@ impl Tc {
     /// `Γ ⊢ e : σ` and `Γ ⊢ e ⇓ σ` — synthesizes the principal type and
     /// valuability of `e`.
     pub fn synth_term(&self, ctx: &mut Ctx, e: &Term) -> TcResult<Typing> {
-        self.burn("term typing")?;
+        self.burn(crate::stats::FuelOp::TermTyping)?;
+        let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", crate::show::term(e)));
         match e {
             Term::Var(i) => {
                 let (ty, valuable) = ctx.lookup_term(*i)?;
@@ -60,9 +61,7 @@ impl Tc {
             Term::Snd(i) => {
                 let (sig, valuable) = ctx.lookup_struct(*i)?;
                 match sig {
-                    Sig::Struct(_, t) => {
-                        Ok(Typing::new(subst_con_ty(&t, &Con::Fst(*i)), valuable))
-                    }
+                    Sig::Struct(_, t) => Ok(Typing::new(subst_con_ty(&t, &Con::Fst(*i)), valuable)),
                     s => Err(TypeError::Other(format!(
                         "structure variable with unresolved signature {}",
                         show::sig(&s)
@@ -179,7 +178,10 @@ impl Tc {
                     return Err(TypeError::NotASum(show::con(&w)));
                 };
                 if *i >= cs.len() {
-                    return Err(TypeError::InjIndex { index: *i, summands: cs.len() });
+                    return Err(TypeError::InjIndex {
+                        index: *i,
+                        summands: cs.len(),
+                    });
                 }
                 let bt = self.synth_term(ctx, body)?;
                 self.ty_sub(ctx, &bt.ty, &Ty::Con(cs[*i].clone()))?;
@@ -244,10 +246,12 @@ impl Tc {
             }
             Term::Let(bound, body) => {
                 let et = self.synth_term(ctx, bound)?;
-                let bt = ctx.with_term(et.ty.clone(), et.valuable, |ctx| {
-                    self.synth_term(ctx, body)
-                })?;
-                Ok(Typing::new(strengthen_ty(&bt.ty), et.valuable && bt.valuable))
+                let bt =
+                    ctx.with_term(et.ty.clone(), et.valuable, |ctx| self.synth_term(ctx, body))?;
+                Ok(Typing::new(
+                    strengthen_ty(&bt.ty),
+                    et.valuable && bt.valuable,
+                ))
             }
         }
     }
@@ -267,7 +271,10 @@ impl Tc {
         } else if self.ty_sub(ctx, b, a).is_ok() {
             Ok(a.clone())
         } else {
-            Err(TypeError::TyMismatch { expected: show::ty(a), found: show::ty(b) })
+            Err(TypeError::TyMismatch {
+                expected: show::ty(a),
+                found: show::ty(b),
+            })
         }
     }
 }
@@ -319,10 +326,7 @@ mod tests {
         // fix(x : μt.1 + int×t . roll(inj₂ (1, x))) — the unguarded x makes
         // the body non-valuable... actually inj/pair of a non-valuable
         // variable is non-valuable, exactly the paper's 1 :: x example.
-        let listc = mu(
-            tkind(),
-            csum([Con::UnitTy, cprod(Con::Int, cvar(0))]),
-        );
+        let listc = mu(tkind(), csum([Con::UnitTy, cprod(Con::Int, cvar(0))]));
         let body = roll(
             listc.clone(),
             inj(
@@ -406,7 +410,12 @@ mod tests {
         let t = synth(&prim(recmod_syntax::ast::PrimOp::Add, int(1), int(2))).unwrap();
         assert_eq!(t.ty, tcon(Con::Int));
         assert!(t.valuable);
-        let t = synth(&prim(recmod_syntax::ast::PrimOp::Lt, int(1), fail(tcon(Con::Int)))).unwrap();
+        let t = synth(&prim(
+            recmod_syntax::ast::PrimOp::Lt,
+            int(1),
+            fail(tcon(Con::Int)),
+        ))
+        .unwrap();
         assert_eq!(t.ty, tcon(Con::Bool));
         assert!(!t.valuable);
     }
@@ -421,7 +430,10 @@ mod tests {
 
     #[test]
     fn let_propagates_valuability() {
-        let e = let_(int(1), prim(recmod_syntax::ast::PrimOp::Add, var(0), int(1)));
+        let e = let_(
+            int(1),
+            prim(recmod_syntax::ast::PrimOp::Add, var(0), int(1)),
+        );
         let t = synth(&e).unwrap();
         assert_eq!(t.ty, tcon(Con::Int));
         assert!(t.valuable);

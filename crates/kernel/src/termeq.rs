@@ -31,7 +31,7 @@ impl Tc {
     /// `Γ ⊢ e₁ = e₂` — bounded βη equality (see module docs). The terms
     /// are assumed well-typed at a common type.
     pub fn term_eq(&self, ctx: &mut Ctx, e1: &Term, e2: &Term) -> TcResult<()> {
-        self.burn("term equality")?;
+        self.burn(crate::stats::FuelOp::TermEq)?;
         let a = self.term_whnf(e1)?;
         let b = self.term_whnf(e2)?;
         match (&a, &b) {
@@ -43,11 +43,10 @@ impl Tc {
             }
             // η: λx. e x = e
             (Term::Lam(t, body), other) | (other, Term::Lam(t, body)) => {
-                let expanded = Term::App(
-                    Box::new(shift_term(other, 1, 0)),
-                    Box::new(Term::Var(0)),
-                );
-                ctx.with_term((**t).clone(), true, |ctx| self.term_eq(ctx, body, &expanded))
+                let expanded = Term::App(Box::new(shift_term(other, 1, 0)), Box::new(Term::Var(0)));
+                ctx.with_term((**t).clone(), true, |ctx| {
+                    self.term_eq(ctx, body, &expanded)
+                })
             }
             (Term::TLam(k1, b1), Term::TLam(k2, b2)) => {
                 self.kind_eq(ctx, k1, k2)?;
@@ -123,7 +122,7 @@ impl Tc {
     pub fn term_whnf(&self, e: &Term) -> TcResult<Term> {
         let mut cur = e.clone();
         loop {
-            self.burn("term normalization")?;
+            self.burn(crate::stats::FuelOp::TermNorm)?;
             match cur {
                 Term::App(f, a) => {
                     let f = self.term_whnf(&f)?;
@@ -265,7 +264,13 @@ mod tests {
     #[test]
     fn beta_for_functions() {
         // (λx:int. x + 1) 2 = 3
-        let lhs = app(lam(tcon(Con::Int), prim(recmod_syntax::ast::PrimOp::Add, var(0), int(1))), int(2));
+        let lhs = app(
+            lam(
+                tcon(Con::Int),
+                prim(recmod_syntax::ast::PrimOp::Add, var(0), int(1)),
+            ),
+            int(2),
+        );
         let mut ctx = Ctx::new();
         tc().term_eq(&mut ctx, &lhs, &int(3)).unwrap();
     }
@@ -273,8 +278,10 @@ mod tests {
     #[test]
     fn beta_for_pairs_and_projections() {
         let mut ctx = Ctx::new();
-        tc().term_eq(&mut ctx, &proj1(pair(int(1), int(2))), &int(1)).unwrap();
-        tc().term_eq(&mut ctx, &proj2(pair(int(1), int(2))), &int(2)).unwrap();
+        tc().term_eq(&mut ctx, &proj1(pair(int(1), int(2))), &int(1))
+            .unwrap();
+        tc().term_eq(&mut ctx, &proj2(pair(int(1), int(2))), &int(2))
+            .unwrap();
     }
 
     #[test]
@@ -302,7 +309,8 @@ mod tests {
         let sum = csum([Con::UnitTy, m.clone()]);
         let e = unroll(roll(m, inj(0, sum.clone(), Term::Star)));
         let mut ctx = Ctx::new();
-        tc().term_eq(&mut ctx, &e, &inj(0, sum, Term::Star)).unwrap();
+        tc().term_eq(&mut ctx, &e, &inj(0, sum, Term::Star))
+            .unwrap();
     }
 
     #[test]
@@ -312,7 +320,10 @@ mod tests {
             ite(
                 prim(recmod_syntax::ast::PrimOp::Eq, var(0), int(0)),
                 int(0),
-                app(var(1), prim(recmod_syntax::ast::PrimOp::Sub, var(0), int(1))),
+                app(
+                    var(1),
+                    prim(recmod_syntax::ast::PrimOp::Sub, var(0), int(1)),
+                ),
             ),
         );
         let f = fix(partial(tcon(Con::Int), tcon(Con::Int)), body.clone());
@@ -349,6 +360,7 @@ mod tests {
         let m = mu(tkind(), carrow(Con::Int, cvar(0)));
         let u = carrow(Con::Int, m.clone());
         let mut ctx = Ctx::new();
-        tc().term_eq(&mut ctx, &fail(tcon(m)), &fail(tcon(u))).unwrap();
+        tc().term_eq(&mut ctx, &fail(tcon(m)), &fail(tcon(u)))
+            .unwrap();
     }
 }

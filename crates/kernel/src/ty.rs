@@ -63,7 +63,7 @@ impl Tc {
             if !self.unrollable(c) {
                 break;
             }
-            self.burn("deep type exposure")?;
+            self.burn(crate::stats::FuelOp::TypeExpose)?;
             let u = crate::whnf::unroll_mu(c);
             e = self.expose(ctx, &Ty::Con(u))?;
         }
@@ -80,7 +80,7 @@ impl Tc {
 
     /// `Γ ⊢ σ₁ = σ₂ type` — type equivalence.
     pub fn ty_eq(&self, ctx: &mut Ctx, t1: &Ty, t2: &Ty) -> TcResult<()> {
-        self.burn("type equivalence")?;
+        self.burn(crate::stats::FuelOp::TypeEquiv)?;
         let mut a = self.expose(ctx, t1)?;
         let mut b = self.expose(ctx, t2)?;
         loop {
@@ -102,12 +102,12 @@ impl Tc {
                 // One side is a μ monotype, the other has type-level
                 // structure: unroll the μ (equi mode) and retry.
                 (Ty::Con(c), _) if self.unrollable(c) => {
-                    self.burn("type equivalence")?;
+                    self.burn(crate::stats::FuelOp::TypeEquiv)?;
                     let u = crate::whnf::unroll_mu(c);
                     a = self.expose(ctx, &Ty::Con(u))?;
                 }
                 (_, Ty::Con(c)) if self.unrollable(c) => {
-                    self.burn("type equivalence")?;
+                    self.burn(crate::stats::FuelOp::TypeEquiv)?;
                     let u = crate::whnf::unroll_mu(c);
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
@@ -124,7 +124,7 @@ impl Tc {
     /// `σ₁ ≤ σ₂` — subtyping: `→ ≤ ⇀` with contravariant domains,
     /// covariant products, invariant `∀`-kinds, equivalence on monotypes.
     pub fn ty_sub(&self, ctx: &mut Ctx, t1: &Ty, t2: &Ty) -> TcResult<()> {
-        self.burn("subtyping")?;
+        self.burn(crate::stats::FuelOp::Subtype)?;
         let mut a = self.expose(ctx, t1)?;
         let mut b = self.expose(ctx, t2)?;
         loop {
@@ -148,12 +148,12 @@ impl Tc {
                     return ctx.with_con((**k1).clone(), |ctx| self.ty_sub(ctx, b1, b2));
                 }
                 (Ty::Con(c), _) if self.unrollable(c) => {
-                    self.burn("subtyping")?;
+                    self.burn(crate::stats::FuelOp::Subtype)?;
                     let u = crate::whnf::unroll_mu(c);
                     a = self.expose(ctx, &Ty::Con(u))?;
                 }
                 (_, Ty::Con(c)) if self.unrollable(c) => {
-                    self.burn("subtyping")?;
+                    self.burn(crate::stats::FuelOp::Subtype)?;
                     let u = crate::whnf::unroll_mu(c);
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }

@@ -107,7 +107,11 @@ impl Tree {
         match (self, path.split_first()) {
             (Tree::Leaf(i), _) => Some(*i),
             (Tree::Pair(l, r), Some((&step, rest))) => {
-                if step { r.resolve(rest) } else { l.resolve(rest) }
+                if step {
+                    r.resolve(rest)
+                } else {
+                    l.resolve(rest)
+                }
             }
             // Path exhausted at an internal node: the reference grabs a
             // whole subtree; defer to every leaf underneath (handled by
@@ -220,15 +224,17 @@ impl Tc {
     /// Fails on fuel exhaustion or on ill-sorted input (e.g. applying a
     /// constructor whose natural kind is not a `Π`).
     pub fn whnf(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
+        let _trace = recmod_telemetry::trace_span(|| format!("whnf {}", crate::show::con(c)));
         let mut c = c.clone();
         loop {
-            self.burn("weak-head normalization")?;
+            self.burn(crate::stats::FuelOp::Whnf)?;
             match c {
                 Con::App(f, a) => {
                     let f = self.whnf(ctx, &f)?;
                     match f {
                         Con::Lam(_, body) => c = subst_con_con(&body, &a),
                         Con::Mu(_, _) if is_contractive(&f) => {
+                            crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                             c = Con::App(Box::new(unroll_mu(&f)), a);
                         }
                         _ => {
@@ -245,6 +251,7 @@ impl Tc {
                     match p {
                         Con::Pair(l, _) => c = *l,
                         Con::Mu(_, _) if is_contractive(&p) => {
+                            crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                             c = Con::Proj1(Box::new(unroll_mu(&p)));
                         }
                         _ => {
@@ -261,6 +268,7 @@ impl Tc {
                     match p {
                         Con::Pair(_, r) => c = *r,
                         Con::Mu(_, _) if is_contractive(&p) => {
+                            crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                             c = Con::Proj2(Box::new(unroll_mu(&p)));
                         }
                         _ => {
@@ -279,11 +287,13 @@ impl Tc {
                 Con::Mu(ref k, _) if fully_transparent(k) => {
                     // μα:κ.b = the canonical inhabitant of κ when κ pins
                     // down its inhabitant completely (e.g. μα:Q(int).α = int).
-                    c = kind_definition(k)
-                        .expect("fully transparent kinds have definitions");
+                    c = kind_definition(k).expect("fully transparent kinds have definitions");
                 }
                 _ => return Ok(c),
             }
+            // Every arm either returned (head normal / stuck) or reduced
+            // and fell through to here: count one head-reduction step.
+            crate::stats::TcStats::bump(&self.stat_cells().whnf_steps);
         }
     }
 
@@ -328,9 +338,7 @@ impl Tc {
                     return Ok(None);
                 };
                 match pk {
-                    Kind::Sigma(_, k2) => {
-                        Ok(Some(subst_con_kind(&k2, &Con::Proj1(p.clone()))))
-                    }
+                    Kind::Sigma(_, k2) => Ok(Some(subst_con_kind(&k2, &Con::Proj1(p.clone())))),
                     k => Err(TypeError::NotASigmaKind(show::kind(&k))),
                 }
             }
@@ -369,7 +377,8 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         assert_eq!(
-            tc.whnf(&mut ctx, &cproj2(cpair(Con::Int, Con::Bool))).unwrap(),
+            tc.whnf(&mut ctx, &cproj2(cpair(Con::Int, Con::Bool)))
+                .unwrap(),
             Con::Bool
         );
     }
@@ -504,7 +513,7 @@ mod tests {
         let omega = capp(omega_half.clone(), omega_half);
         assert!(matches!(
             tc.whnf(&mut ctx, &omega),
-            Err(TypeError::FuelExhausted(_))
+            Err(TypeError::FuelExhausted { .. })
         ));
     }
 }

@@ -60,7 +60,10 @@ pub fn functor_pair(param_kind: &Kind, param_ty: &Ty, body: Split) -> Split {
         Box::new(param_kind.clone()),
         Box::new(Term::Lam(Box::new(param_ty.clone()), Box::new(dyn_body))),
     );
-    Split { con: static_part, term: dynamic }
+    Split {
+        con: static_part,
+        term: dynamic,
+    }
 }
 
 /// Applies a phase-split functor to a phase-split argument:
@@ -150,13 +153,13 @@ mod tests {
     /// The identity functor on [α:T. Con(α)]: body is just the parameter.
     #[test]
     fn identity_functor_pair_typechecks() {
-        let body = Split { con: fst(0), term: snd(0) };
+        let body = Split {
+            con: fst(0),
+            term: snd(0),
+        };
         let pair = functor_pair(&tkind(), &tcon(cvar(0)), body);
         assert_eq!(pair.con, clam(tkind(), cvar(0)));
-        assert_eq!(
-            pair.term,
-            tlam(tkind(), lam(tcon(cvar(0)), var(0)))
-        );
+        assert_eq!(pair.term, tlam(tkind(), lam(tcon(cvar(0)), var(0))));
         // The pair typechecks in the kernel.
         let tc = Tc::new();
         let mut ctx = Ctx::new();
@@ -167,9 +170,15 @@ mod tests {
 
     #[test]
     fn application_beta_reduces_to_argument() {
-        let body = Split { con: fst(0), term: snd(0) };
+        let body = Split {
+            con: fst(0),
+            term: snd(0),
+        };
         let f = functor_pair(&tkind(), &tcon(cvar(0)), body);
-        let arg = Split { con: Con::Int, term: int(5) };
+        let arg = Split {
+            con: Con::Int,
+            term: int(5),
+        };
         let applied = apply_functor(&f, &arg);
         // Statically: (λα:T.α) int — whnf's to int.
         let tc = Tc::new();
@@ -206,10 +215,7 @@ mod tests {
         let s = functor_sig(tkind(), tcon(cvar(0)), tkind(), tcon(cvar(1)));
         let Sig::Struct(k, t) = &s else { panic!() };
         assert_eq!(**k, pi(tkind(), tkind()));
-        assert_eq!(
-            **t,
-            forall(tkind(), partial(tcon(cvar(0)), tcon(cvar(1))))
-        );
+        assert_eq!(**t, forall(tkind(), partial(tcon(cvar(0)), tcon(cvar(1)))));
     }
 
     #[test]
@@ -218,7 +224,10 @@ mod tests {
         // the functor): [Fst(1), snd(1)] — after pairing, static index is
         // still 1 (one binder replaced by one), dynamic index becomes 2
         // (one binder became two).
-        let body = Split { con: fst(1), term: snd(1) };
+        let body = Split {
+            con: fst(1),
+            term: snd(1),
+        };
         let f = functor_pair(&tkind(), &tcon(cvar(0)), body);
         assert_eq!(f.con, clam(tkind(), fst(1)));
         assert_eq!(f.term, tlam(tkind(), lam(tcon(cvar(0)), snd(2))));

@@ -27,8 +27,12 @@ use recmod_syntax::map::{map_con, VarMap};
 /// nested shape or the two kinds differ (the collapse is only justified
 /// kind-homogeneously).
 pub fn collapse_mu(c: &Con) -> Option<Con> {
-    let Con::Mu(k_outer, body) = c else { return None };
-    let Con::Mu(k_inner, inner_body) = &**body else { return None };
+    let Con::Mu(k_outer, body) = c else {
+        return None;
+    };
+    let Con::Mu(k_inner, inner_body) = &**body else {
+        return None;
+    };
     // The inner kind is under the outer binder; for the collapse we need
     // it to be the same (closed) kind, e.g. both T.
     if **k_inner != recmod_syntax::subst::shift_kind(k_outer, 1, 0) {
@@ -204,7 +208,10 @@ mod tests {
         // μα.μβ.μγ. α ⇀ (β × γ)  —  collapse twice.
         let c = mu(
             tkind(),
-            mu(tkind(), mu(tkind(), carrow(cvar(2), cprod(cvar(1), cvar(0))))),
+            mu(
+                tkind(),
+                mu(tkind(), carrow(cvar(2), cprod(cvar(1), cvar(0)))),
+            ),
         );
         let out = eliminate_nested_mu(&c);
         assert_eq!(nested_mu_count(&out), 0);

@@ -22,6 +22,7 @@
 use recmod_kernel::{Ctx, Entry, Tc, TcResult, TypeError};
 use recmod_syntax::ast::{Con, Kind, Module, Sig, Term, Ty};
 use recmod_syntax::map::{map_con, map_term, VarMap};
+use recmod_syntax::size::{con_size, module_size, term_size};
 use recmod_syntax::subst::{shift_con, subst_con_ty};
 
 /// The two phases of a module: its compile-time constructor and its
@@ -90,10 +91,28 @@ impl VarMap for FixBodyRedirect<'_> {
 /// Propagates kernel errors from resolving rds annotations; the input is
 /// assumed well-typed (run the kernel first).
 pub fn split_module(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
+    let _span = recmod_telemetry::span("phase.split");
+    recmod_telemetry::count("phase.split_calls", 1);
+    let split = split_inner(tc, ctx, m)?;
+    if recmod_telemetry::enabled() {
+        recmod_telemetry::count("phase.nodes_in", module_size(m) as u64);
+        recmod_telemetry::count("phase.nodes_out_static", con_size(&split.con) as u64);
+        recmod_telemetry::count("phase.nodes_out_dynamic", term_size(&split.term) as u64);
+    }
+    Ok(split)
+}
+
+fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
     match m {
-        Module::Var(i) => Ok(Split { con: Con::Fst(*i), term: Term::Snd(*i) }),
-        Module::Struct(c, e) => Ok(Split { con: c.clone(), term: e.clone() }),
-        Module::Seal(body, _) => split_module(tc, ctx, body),
+        Module::Var(i) => Ok(Split {
+            con: Con::Fst(*i),
+            term: Term::Snd(*i),
+        }),
+        Module::Struct(c, e) => Ok(Split {
+            con: c.clone(),
+            term: e.clone(),
+        }),
+        Module::Seal(body, _) => split_inner(tc, ctx, body),
         Module::Fix(ann, body) => {
             let resolved = tc.resolve_sig(ctx, ann)?;
             let Sig::Struct(kappa, sigma) = &resolved else {
@@ -101,16 +120,20 @@ pub fn split_module(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
             };
             let base = strip(kappa);
             let inner = ctx.with(Entry::Struct(resolved.clone(), false), |ctx| {
-                split_module(tc, ctx, body)
+                split_inner(tc, ctx, body)
             })?;
             // Static half: μα:κ. c(α)   — the structure binder becomes α.
             let mu_body = retarget_fst(&inner.con, 0);
             let static_part = Con::Mu(Box::new(base), Box::new(mu_body));
             // Dynamic half: fix(x : σ[μ.../α] . e(μ..., x)).
             let fix_ty: Ty = subst_con_ty(sigma, &static_part);
-            let fix_body = map_term(&inner.term, 0, &mut FixBodyRedirect {
-                static_part: &static_part,
-            });
+            let fix_body = map_term(
+                &inner.term,
+                0,
+                &mut FixBodyRedirect {
+                    static_part: &static_part,
+                },
+            );
             Ok(Split {
                 con: static_part,
                 term: Term::Fix(Box::new(fix_ty), Box::new(fix_body)),
@@ -233,10 +256,7 @@ mod tests {
         };
         assert_eq!(**fix_ty, partial(tcon(Con::Int), tcon(expected_mu.clone())));
         // Inside the λ (depth 1 under the fix binder), Fst(s) became the μ.
-        assert_eq!(
-            **fix_body,
-            lam(tcon(Con::Int), fail(tcon(expected_mu)))
-        );
+        assert_eq!(**fix_body, lam(tcon(Con::Int), fail(tcon(expected_mu))));
     }
 
     #[test]
@@ -256,13 +276,12 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let ann = sig(unit_kind(), partial(tcon(Con::Int), tcon(Con::Int)));
-        let body = strct(
-            Con::Star,
-            lam(tcon(Con::Int), app(snd(1), var(0))),
-        );
+        let body = strct(Con::Star, lam(tcon(Con::Int), app(snd(1), var(0))));
         let m = mfix(ann, body);
         let s = split_module(&tc, &mut ctx, &m).unwrap();
-        let Term::Fix(_, fix_body) = &s.term else { panic!() };
+        let Term::Fix(_, fix_body) = &s.term else {
+            panic!()
+        };
         // snd(s) became the fix-bound variable: λx. f x with f = Var(1).
         assert_eq!(**fix_body, lam(tcon(Con::Int), app(var(1), var(0))));
     }

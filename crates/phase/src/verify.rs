@@ -37,12 +37,8 @@ pub struct Verified {
 /// Fails when the static parts are not equivalent constructors or the
 /// dynamic parts are not provably βη-equal (the term procedure is sound
 /// but incomplete; see `recmod_kernel::termeq`).
-pub fn module_eq(
-    tc: &Tc,
-    ctx: &mut Ctx,
-    m1: &Module,
-    m2: &Module,
-) -> TcResult<()> {
+pub fn module_eq(tc: &Tc, ctx: &mut Ctx, m1: &Module, m2: &Module) -> TcResult<()> {
+    let _span = recmod_telemetry::span("phase.module_eq");
     let s1 = split_module(tc, ctx, m1)?;
     let s2 = split_module(tc, ctx, m2)?;
     recmod_kernel::termeq::parts_eq(tc, ctx, (&s1.con, &s1.term), (&s2.con, &s2.term))
@@ -60,6 +56,8 @@ pub fn module_eq(
 /// signature match. [`TypeError::Other`] if the split output escapes the
 /// pure structure fragment.
 pub fn check_split(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Verified> {
+    let _span = recmod_telemetry::span("phase.verify");
+    recmod_telemetry::count("phase.verify_calls", 1);
     let original = tc.synth_module(ctx, m)?;
     let split = split_module(tc, ctx, m)?;
     let reassembled = split.clone().into_module();
@@ -68,9 +66,16 @@ pub fn check_split(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Verified> {
             "phase splitting produced a non-structure module".to_string(),
         ));
     }
-    let translated = tc.synth_module(ctx, &reassembled)?;
+    let translated = {
+        let _span = recmod_telemetry::span("phase.verify.recheck");
+        tc.synth_module(ctx, &reassembled)?
+    };
     tc.sig_sub(ctx, &translated.sig, &original.sig)?;
-    Ok(Verified { split, original, translated })
+    Ok(Verified {
+        split,
+        original,
+        translated,
+    })
 }
 
 #[cfg(test)]
@@ -134,7 +139,10 @@ mod tests {
                 prim(
                     recmod_syntax::ast::PrimOp::Mul,
                     var(0),
-                    app(snd(1), prim(recmod_syntax::ast::PrimOp::Sub, var(0), int(1))),
+                    app(
+                        snd(1),
+                        prim(recmod_syntax::ast::PrimOp::Sub, var(0), int(1)),
+                    ),
                 ),
             ),
         );

@@ -17,7 +17,10 @@ pub struct Path {
 impl Path {
     /// A single-part path.
     pub fn simple(name: impl Into<String>, span: Span) -> Self {
-        Path { parts: vec![name.into()], span }
+        Path {
+            parts: vec![name.into()],
+            span,
+        }
     }
 
     /// Renders as dotted text.
@@ -47,7 +50,10 @@ impl TyExp {
     /// The source span.
     pub fn span(&self) -> Span {
         match self {
-            TyExp::Int(s) | TyExp::Bool(s) | TyExp::Unit(s) | TyExp::Prod(_, s)
+            TyExp::Int(s)
+            | TyExp::Bool(s)
+            | TyExp::Unit(s)
+            | TyExp::Prod(_, s)
             | TyExp::Arrow(_, _, s) => *s,
             TyExp::Path(p) => p.span,
         }

@@ -34,9 +34,18 @@ pub struct TopBinding {
     /// The dynamic part, used by the linker. References earlier
     /// bindings via `snd(s)`/variables at matching indices.
     pub dynamic: Term,
+    /// The static (constructor) part, when the binding has one
+    /// (structures and functors; `None` for plain values).
+    pub static_part: Option<Con>,
     /// Whether the context entry is a structure (`snd` reference) or a
     /// term variable.
     pub is_structure: bool,
+    /// Wall-clock nanoseconds spent elaborating (and kernel-checking)
+    /// this binding's top-level declaration.
+    pub elab_nanos: u64,
+    /// Kernel judgement counters attributable to this binding's
+    /// declaration (a delta over the elaborator's shared checker).
+    pub kernel: recmod_kernel::KernelStats,
 }
 
 /// The elaborator state.
@@ -68,7 +77,13 @@ impl Elaborator {
     /// A fresh elaborator with a caller-provided kernel (e.g. a
     /// different [`recmod_kernel::RecMode`] or fuel budget).
     pub fn with_tc(tc: Tc) -> Self {
-        Elaborator { tc, ctx: Ctx::new(), env: ElabEnv::new(), bindings: Vec::new(), gensym: 0 }
+        Elaborator {
+            tc,
+            ctx: Ctx::new(),
+            env: ElabEnv::new(),
+            bindings: Vec::new(),
+            gensym: 0,
+        }
     }
 
     /// Current internal-context depth.
@@ -95,13 +110,17 @@ impl Elaborator {
     /// denoted structure, expressed at the current depth.
     pub(crate) fn resolve_struct(&self, path: &Path) -> SurfaceResult<StructEntity> {
         let first = &path.parts[0];
-        let entity = self.env.lookup(first).ok_or_else(|| {
-            SurfaceError::new(path.span, ErrorKind::Unbound(first.clone()))
-        })?;
+        let entity = self
+            .env
+            .lookup(first)
+            .ok_or_else(|| SurfaceError::new(path.span, ErrorKind::Unbound(first.clone())))?;
         let Entity::Struct(base) = entity else {
             return Err(SurfaceError::new(
                 path.span,
-                ErrorKind::WrongEntity { name: first.clone(), expected: "a structure" },
+                ErrorKind::WrongEntity {
+                    name: first.clone(),
+                    expected: "a structure",
+                },
             ));
         };
         let mut cur = StructEntity {
@@ -149,24 +168,22 @@ impl Elaborator {
                     .expect("substructures have dynamic slots");
                 Ok(StructEntity {
                     shape: sub_shape.clone(),
-                    statics: con_proj(
-                        parent.statics.clone(),
-                        s_slot,
-                        parent.shape.static_len(),
-                    ),
-                    dynamics: term_proj(
-                        parent.dynamics.clone(),
-                        d_slot,
-                        parent.shape.dyn_len(),
-                    ),
+                    statics: con_proj(parent.statics.clone(), s_slot, parent.shape.static_len()),
+                    dynamics: term_proj(parent.dynamics.clone(), d_slot, parent.shape.dyn_len()),
                     depth: parent.depth,
                 })
             }
             Some(_) => Err(SurfaceError::new(
                 span,
-                ErrorKind::WrongEntity { name: name.to_string(), expected: "a structure" },
+                ErrorKind::WrongEntity {
+                    name: name.to_string(),
+                    expected: "a structure",
+                },
             )),
-            None => Err(SurfaceError::new(span, ErrorKind::Unbound(name.to_string()))),
+            None => Err(SurfaceError::new(
+                span,
+                ErrorKind::Unbound(name.to_string()),
+            )),
         }
     }
 
@@ -180,7 +197,10 @@ impl Elaborator {
                 }
                 Some(_) => self.err(
                     path.span,
-                    ErrorKind::WrongEntity { name: name.clone(), expected: "a type" },
+                    ErrorKind::WrongEntity {
+                        name: name.clone(),
+                        expected: "a type",
+                    },
                 ),
                 None => self.err(path.span, ErrorKind::Unbound(name.clone())),
             }
@@ -193,7 +213,10 @@ impl Elaborator {
                 }
                 Some(_) => self.err(
                     path.span,
-                    ErrorKind::WrongEntity { name: field.to_string(), expected: "a type" },
+                    ErrorKind::WrongEntity {
+                        name: field.to_string(),
+                        expected: "a type",
+                    },
                 ),
                 None => self.err(path.span, ErrorKind::Unbound(path.dotted())),
             }
@@ -209,7 +232,10 @@ impl Elaborator {
                 Some(Entity::Ctor(c)) => Ok(Term::Var(self.index_of(c.pos))),
                 Some(_) => self.err(
                     path.span,
-                    ErrorKind::WrongEntity { name: name.clone(), expected: "a value" },
+                    ErrorKind::WrongEntity {
+                        name: name.clone(),
+                        expected: "a value",
+                    },
                 ),
                 None => self.err(path.span, ErrorKind::Unbound(name.clone())),
             }
@@ -222,7 +248,10 @@ impl Elaborator {
                 }
                 Some(_) => self.err(
                     path.span,
-                    ErrorKind::WrongEntity { name: field.to_string(), expected: "a value" },
+                    ErrorKind::WrongEntity {
+                        name: field.to_string(),
+                        expected: "a value",
+                    },
                 ),
                 None => self.err(path.span, ErrorKind::Unbound(path.dotted())),
             }
@@ -262,7 +291,10 @@ impl Elaborator {
             };
             let (index, has_arg) = info.find(field).expect("data_of_ctor found it");
             let t_slot = st.shape.static_slot(ty_name).expect("datatype has a slot");
-            let v_slot = st.shape.dyn_slot(field).expect("constructors are val fields");
+            let v_slot = st
+                .shape
+                .dyn_slot(field)
+                .expect("constructors are val fields");
             Ok(CtorRes {
                 data_con: con_proj(st.statics.clone(), t_slot, st.shape.static_len()),
                 index,
@@ -328,7 +360,10 @@ impl Elaborator {
         let mark = self.env.mark();
         self.env.insert(
             name,
-            Entity::TyAlias { con: Con::Var(0), depth: self.depth() },
+            Entity::TyAlias {
+                con: Con::Var(0),
+                depth: self.depth(),
+            },
         );
         let mut summands = Vec::with_capacity(ctors.len());
         let mut info = Vec::with_capacity(ctors.len());
@@ -366,7 +401,10 @@ impl Elaborator {
     pub(crate) fn unrolled_sum(&mut self, data_con: &Con, span: Span) -> SurfaceResult<Con> {
         let mut cur = data_con.clone();
         for _ in 0..64 {
-            let w = self.tc.whnf(&mut self.ctx, &cur).map_err(|e| self.terr(span, e))?;
+            let w = self
+                .tc
+                .whnf(&mut self.ctx, &cur)
+                .map_err(|e| self.terr(span, e))?;
             match w {
                 Con::Sum(_) => return Ok(w),
                 Con::Mu(_, _) if recmod_kernel::whnf::is_contractive(&w) => {
@@ -386,7 +424,10 @@ impl Elaborator {
                 }
             }
         }
-        self.err(span, ErrorKind::Other("datatype unrolling did not converge".into()))
+        self.err(
+            span,
+            ErrorKind::Other("datatype unrolling did not converge".into()),
+        )
     }
 }
 
@@ -448,7 +489,11 @@ mod tests {
     fn datatype_builds_mu_of_sum() {
         let mut e = Elaborator::new();
         let ctors = vec![
-            CtorDecl { name: "NIL".into(), arg: None, span: Span::default() },
+            CtorDecl {
+                name: "NIL".into(),
+                arg: None,
+                span: Span::default(),
+            },
             CtorDecl {
                 name: "CONS".into(),
                 arg: Some(TyExp::Prod(
@@ -482,7 +527,10 @@ mod tests {
         let t = TyExp::Path(Path::simple("mystery", Span::default()));
         assert!(matches!(
             e.elab_ty(&t),
-            Err(SurfaceError { kind: ErrorKind::Unbound(_), .. })
+            Err(SurfaceError {
+                kind: ErrorKind::Unbound(_),
+                ..
+            })
         ));
     }
 }

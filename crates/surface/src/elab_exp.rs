@@ -72,7 +72,10 @@ impl Elaborator {
                 let con = self.elab_ty(def)?;
                 self.env.insert(
                     name.clone(),
-                    crate::env::Entity::TyAlias { con: con.clone(), depth: self.depth() },
+                    crate::env::Entity::TyAlias {
+                        con: con.clone(),
+                        depth: self.depth(),
+                    },
                 );
                 acc.statics.push((name.clone(), con, self.depth()));
                 acc.fields.push((name.clone(), Item::Ty));
@@ -137,28 +140,44 @@ impl Elaborator {
                 }
                 Ok(())
             }
-            Dec::Val { name, ann, exp, span } => {
+            Dec::Val {
+                name,
+                ann,
+                exp,
+                span,
+            } => {
                 let mut term = self.elab_exp(exp)?;
                 if let Some(t) = ann {
                     term = self.ascribe(term, t)?;
                 }
                 let pos = self.push_dynamic(acc, term, *span)?;
-                self.env.insert(name.clone(), crate::env::Entity::Val { pos });
+                self.env
+                    .insert(name.clone(), crate::env::Entity::Val { pos });
                 acc.fields.push((name.clone(), Item::Val));
                 Ok(())
             }
-            Dec::Fun { name, param, param_ty, ret_ty, body, span } => {
+            Dec::Fun {
+                name,
+                param,
+                param_ty,
+                ret_ty,
+                body,
+                span,
+            } => {
                 let term = self.elab_fun(name, param, param_ty, ret_ty, body)?;
                 let pos = self.push_dynamic(acc, term, *span)?;
-                self.env.insert(name.clone(), crate::env::Entity::Val { pos });
+                self.env
+                    .insert(name.clone(), crate::env::Entity::Val { pos });
                 acc.fields.push((name.clone(), Item::Val));
                 Ok(())
             }
             Dec::Structure(bind) => {
                 let st = self.elab_strbind_inner(bind)?;
-                acc.statics.push((bind.name.clone(), st.statics.clone(), self.depth()));
+                acc.statics
+                    .push((bind.name.clone(), st.statics.clone(), self.depth()));
                 let pos = self.push_dynamic(acc, st.dynamics.clone(), bind.span)?;
-                acc.fields.push((bind.name.clone(), Item::Struct(st.shape.clone())));
+                acc.fields
+                    .push((bind.name.clone(), Item::Struct(st.shape.clone())));
                 self.env.insert(
                     bind.name.clone(),
                     crate::env::Entity::Struct(crate::env::StructEntity {
@@ -189,9 +208,20 @@ impl Elaborator {
         // fix(f : pty ⇀ rty. λx:pty. (body : rty))
         let env_mark = self.env.mark();
         self.ctx.push(Entry::Term(fn_ty.clone(), false));
-        self.env.insert(name.to_string(), crate::env::Entity::Val { pos: self.depth() - 1 });
-        self.ctx.push(Entry::Term(Ty::Con(shift_con(&pc, 1, 0)), true));
-        self.env.insert(param.to_string(), crate::env::Entity::Val { pos: self.depth() - 1 });
+        self.env.insert(
+            name.to_string(),
+            crate::env::Entity::Val {
+                pos: self.depth() - 1,
+            },
+        );
+        self.ctx
+            .push(Entry::Term(Ty::Con(shift_con(&pc, 1, 0)), true));
+        self.env.insert(
+            param.to_string(),
+            crate::env::Entity::Val {
+                pos: self.depth() - 1,
+            },
+        );
         let body_res = self.elab_exp(body);
         self.ctx.truncate(self.depth() - 2);
         self.env.reset(env_mark);
@@ -273,8 +303,12 @@ impl Elaborator {
                 let con = self.elab_ty(ty)?;
                 let mark = self.env.mark();
                 self.ctx.push(Entry::Term(Ty::Con(con.clone()), true));
-                self.env
-                    .insert(x.clone(), crate::env::Entity::Val { pos: self.depth() - 1 });
+                self.env.insert(
+                    x.clone(),
+                    crate::env::Entity::Val {
+                        pos: self.depth() - 1,
+                    },
+                );
                 let body_res = self.elab_exp(body);
                 self.ctx.truncate(self.depth() - 1);
                 self.env.reset(mark);
@@ -347,7 +381,9 @@ impl Elaborator {
                         match p {
                             Pat::Var(x, _) => self.env.insert(
                                 x.clone(),
-                                crate::env::Entity::Val { pos: self.depth() - 1 },
+                                crate::env::Entity::Val {
+                                    pos: self.depth() - 1,
+                                },
                             ),
                             Pat::Wild(_) => {}
                             other => {
@@ -384,8 +420,12 @@ impl Elaborator {
                         .map_err(|e| self.terr(span, e))?;
                     let mark = self.env.mark();
                     self.ctx.push(Entry::Term(typing.ty, typing.valuable));
-                    self.env
-                        .insert(x.clone(), crate::env::Entity::Val { pos: self.depth() - 1 });
+                    self.env.insert(
+                        x.clone(),
+                        crate::env::Entity::Val {
+                            pos: self.depth() - 1,
+                        },
+                    );
                     let body = self.elab_exp(&arms[0].1);
                     self.ctx.truncate(self.depth() - 1);
                     self.env.reset(mark);
@@ -393,7 +433,10 @@ impl Elaborator {
                 }
                 Pat::Wild(_) => {
                     let body = self.elab_exp(&arms[0].1)?;
-                    return Ok(Term::Let(Box::new(scrut_term), Box::new(shift_term(&body, 1, 0))));
+                    return Ok(Term::Let(
+                        Box::new(scrut_term),
+                        Box::new(shift_term(&body, 1, 0)),
+                    ));
                 }
                 _ => {}
             }
@@ -425,7 +468,10 @@ impl Elaborator {
 
         let sum = self.unrolled_sum(&data_con, span)?;
         let Con::Sum(summands) = sum.clone() else {
-            return self.err(span, ErrorKind::Other("case scrutinee is not a datatype".into()));
+            return self.err(
+                span,
+                ErrorKind::Other("case scrutinee is not a datatype".into()),
+            );
         };
 
         // Bind the scrutinee once so catch-all arms can refer to it.
@@ -467,10 +513,8 @@ impl Elaborator {
                 None => match catch_all {
                     Some((pat, body)) => {
                         if let Pat::Var(x, _) = pat {
-                            self.env.insert(
-                                x.clone(),
-                                crate::env::Entity::Val { pos: scrut_pos },
-                            );
+                            self.env
+                                .insert(x.clone(), crate::env::Entity::Val { pos: scrut_pos });
                         }
                         self.elab_exp(body)
                     }
@@ -498,7 +542,10 @@ impl Elaborator {
         }
         Ok(Term::Let(
             Box::new(scrut_term),
-            Box::new(Term::Case(Box::new(Term::Unroll(Box::new(Term::Var(0)))), branches)),
+            Box::new(Term::Case(
+                Box::new(Term::Unroll(Box::new(Term::Var(0)))),
+                branches,
+            )),
         ))
     }
 
@@ -515,7 +562,8 @@ impl Elaborator {
         match pat {
             None | Some(Pat::Wild(_)) => self.elab_exp(body),
             Some(Pat::Var(x, _)) => {
-                self.env.insert(x.clone(), crate::env::Entity::Val { pos: payload_pos });
+                self.env
+                    .insert(x.clone(), crate::env::Entity::Val { pos: payload_pos });
                 self.elab_exp(body)
             }
             Some(Pat::Tuple(parts, psp)) => {
@@ -531,7 +579,9 @@ impl Elaborator {
                         Pat::Var(x, _) => {
                             self.env.insert(
                                 x.clone(),
-                                crate::env::Entity::Val { pos: self.depth() - 1 },
+                                crate::env::Entity::Val {
+                                    pos: self.depth() - 1,
+                                },
                             );
                         }
                         Pat::Wild(_) => {}

@@ -31,12 +31,20 @@ impl Elaborator {
                 Some(Entity::SigDef(t)) => Ok(self.retarget_template(t.clone())),
                 Some(_) => self.err(
                     *span,
-                    ErrorKind::WrongEntity { name: name.clone(), expected: "a signature" },
+                    ErrorKind::WrongEntity {
+                        name: name.clone(),
+                        expected: "a signature",
+                    },
                 ),
                 None => self.err(*span, ErrorKind::Unbound(name.clone())),
             },
             SigExp::Body(specs, span) => self.elab_sig_body(specs, *span),
-            SigExp::WhereType { base, path, def, span } => {
+            SigExp::WhereType {
+                base,
+                path,
+                def,
+                span,
+            } => {
                 let tmpl = self.elab_sigexp(base)?;
                 let con = self.elab_ty(def)?;
                 self.refine_template(tmpl, &path.parts, &con, *span)
@@ -140,11 +148,18 @@ impl Elaborator {
             match item {
                 Item::Ty => self.env.insert(
                     name.to_string(),
-                    Entity::TyAlias { con: proj, depth: alpha_depth },
+                    Entity::TyAlias {
+                        con: proj,
+                        depth: alpha_depth,
+                    },
                 ),
                 Item::Data(info) => self.env.insert(
                     name.to_string(),
-                    Entity::Data { con: proj, depth: alpha_depth, info: info.clone() },
+                    Entity::Data {
+                        con: proj,
+                        depth: alpha_depth,
+                        info: info.clone(),
+                    },
                 ),
                 Item::Struct(sub_shape) => self.env.insert(
                     name.to_string(),
@@ -203,12 +218,8 @@ impl Elaborator {
                         // under `binders_before` sibling Σ binders plus its
                         // own α_sub. Remap sibling references to α
                         // projections and α_sub to this slot's projection.
-                        let remapped = remap_slot_refs_ty(
-                            sub_ty,
-                            *binders_before,
-                            n_static,
-                            &shape,
-                        );
+                        let remapped =
+                            remap_slot_refs_ty(sub_ty, *binders_before, n_static, &shape);
                         dyn_tys.push(subst_con_ty(&remapped, &proj));
                     }
                 }
@@ -223,7 +234,13 @@ impl Elaborator {
         let ty = ty_tuple(dyn_tys);
 
         let _ = span;
-        Ok(SigTemplate { kind, ty, shape, depth: base_depth, rds: false })
+        Ok(SigTemplate {
+            kind,
+            ty,
+            shape,
+            depth: base_depth,
+            rds: false,
+        })
     }
 
     /// Pushes a `Σ` binder for a static slot and binds its surface name.
@@ -236,7 +253,10 @@ impl Elaborator {
                 // kinds).
                 self.env.insert(
                     name.to_string(),
-                    Entity::TyAlias { con: Con::Var(0), depth: self.depth() },
+                    Entity::TyAlias {
+                        con: Con::Var(0),
+                        depth: self.depth(),
+                    },
                 );
             }
             Some(shape) => {
@@ -299,9 +319,7 @@ fn refine_kind(
             }
         } else {
             match item {
-                Item::Struct(sub_shape) => {
-                    refine_kind(target, sub_shape, &parts[1..], def, total)
-                }
+                Item::Struct(sub_shape) => refine_kind(target, sub_shape, &parts[1..], def, total),
                 _ => Err(ErrorKind::WrongEntity {
                     name: name.clone(),
                     expected: "a substructure",
@@ -331,7 +349,9 @@ fn rewrite_sigma(
             return f(kind, crossed);
         }
         let Kind::Sigma(k1, k2) = kind else {
-            return Err(ErrorKind::Other("signature kind shape mismatch".to_string()));
+            return Err(ErrorKind::Other(
+                "signature kind shape mismatch".to_string(),
+            ));
         };
         if slot == 0 {
             Ok(Kind::Sigma(Box::new(f(k1, crossed)?), k2.clone()))
@@ -341,22 +361,18 @@ fn rewrite_sigma(
         }
     }
     if n == 0 {
-        return Err(ErrorKind::Other("empty signature has no type components".to_string()));
+        return Err(ErrorKind::Other(
+            "empty signature has no type components".to_string(),
+        ));
     }
     go(kind, slot, n, 0, f)
 }
-
 
 /// Remaps a substructure's pass-1 type (expressed under `binders_before`
 /// sibling Σ binders plus its own α_sub) into the pass-2 context (the
 /// single signature binder α plus α_sub): sibling binder references
 /// become projections of α, outer references shift accordingly.
-fn remap_slot_refs_ty(
-    ty: &Ty,
-    binders_before: usize,
-    n_static: usize,
-    shape: &Shape,
-) -> Ty {
+fn remap_slot_refs_ty(ty: &Ty, binders_before: usize, n_static: usize, shape: &Shape) -> Ty {
     struct Remap<'a> {
         s: usize,
         n: usize,
@@ -423,19 +439,25 @@ fn remap_slot_refs_ty(
     recmod_syntax::map::map_ty(
         ty,
         0,
-        &mut Remap { s: binders_before, n: n_static, shape },
+        &mut Remap {
+            s: binders_before,
+            n: n_static,
+            shape,
+        },
     )
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::parser::parse;
     use crate::ast::TopDec;
+    use crate::parser::parse;
 
     fn elab_named_sig(src: &str) -> SurfaceResult<SigTemplate> {
         let p = parse(src).expect("parse");
-        let TopDec::Signature { sig, .. } = &p.decls[0] else { panic!("expected signature") };
+        let TopDec::Signature { sig, .. } = &p.decls[0] else {
+            panic!("expected signature")
+        };
         let mut e = Elaborator::new();
         e.elab_sigexp(sig)
     }
@@ -456,7 +478,9 @@ mod tests {
         assert_eq!(t.shape.static_len(), 1);
         assert_eq!(t.shape.dyn_len(), 4);
         // ty = Con(α) × (Con(α ⇀ bool) × …): first val's type mentions α.
-        let Ty::Prod(first, _) = &t.ty else { panic!("{:?}", t.ty) };
+        let Ty::Prod(first, _) = &t.ty else {
+            panic!("{:?}", t.ty)
+        };
         assert_eq!(**first, Ty::Con(Con::Var(0)));
     }
 
@@ -472,7 +496,9 @@ mod tests {
     fn dependent_type_specs() {
         // type t; type u = t * t — the second kind mentions the first Σ binder.
         let t = elab_named_sig("signature S = sig type t type u = t * t end").unwrap();
-        let Kind::Sigma(k1, k2) = &t.kind else { panic!("{:?}", t.kind) };
+        let Kind::Sigma(k1, k2) = &t.kind else {
+            panic!("{:?}", t.kind)
+        };
         assert_eq!(**k1, Kind::Type);
         assert_eq!(
             **k2,
@@ -482,11 +508,12 @@ mod tests {
 
     #[test]
     fn datatype_spec_is_structural() {
-        let t = elab_named_sig(
-            "signature L = sig datatype t = NIL | CONS of int * t val x : t end",
-        )
-        .unwrap();
-        let Kind::Singleton(mu) = &t.kind else { panic!("{:?}", t.kind) };
+        let t =
+            elab_named_sig("signature L = sig datatype t = NIL | CONS of int * t val x : t end")
+                .unwrap();
+        let Kind::Singleton(mu) = &t.kind else {
+            panic!("{:?}", t.kind)
+        };
         assert!(matches!(mu, Con::Mu(_, _)));
         // Constructors contribute value components: NIL, CONS, then x.
         assert_eq!(t.shape.dyn_len(), 3);
@@ -496,13 +523,17 @@ mod tests {
     fn where_type_refines_opaque_component() {
         let src = "signature S = sig type t type u val x : t end";
         let p = parse(src).unwrap();
-        let TopDec::Signature { sig, .. } = &p.decls[0] else { panic!() };
+        let TopDec::Signature { sig, .. } = &p.decls[0] else {
+            panic!()
+        };
         let mut e = Elaborator::new();
         let tmpl = e.elab_sigexp(sig).unwrap();
         let refined = e
             .refine_template(tmpl, &["u".to_string()], &Con::Bool, Span::default())
             .unwrap();
-        let Kind::Sigma(_, k2) = &refined.kind else { panic!() };
+        let Kind::Sigma(_, k2) = &refined.kind else {
+            panic!()
+        };
         assert_eq!(**k2, Kind::Singleton(Con::Bool));
         // Refining an already-transparent component fails.
         let again = e.refine_template(refined, &["u".to_string()], &Con::Int, Span::default());
@@ -513,7 +544,10 @@ mod tests {
     fn duplicate_spec_rejected() {
         assert!(matches!(
             elab_named_sig("signature S = sig type t type t end"),
-            Err(SurfaceError { kind: ErrorKind::Duplicate(_), .. })
+            Err(SurfaceError {
+                kind: ErrorKind::Duplicate(_),
+                ..
+            })
         ));
     }
 
@@ -530,7 +564,9 @@ mod tests {
         assert_eq!(t.shape.dyn_len(), 2);
         // use : Sub.v -> int where Sub.v projects α (arity-1 outer tuple,
         // arity-1 inner tuple → just α).
-        let Ty::Prod(_, second) = &t.ty else { panic!("{:?}", t.ty) };
+        let Ty::Prod(_, second) = &t.ty else {
+            panic!("{:?}", t.ty)
+        };
         assert_eq!(
             **second,
             Ty::Con(Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Int)))
@@ -541,7 +577,9 @@ mod tests {
     fn elaboration_restores_depth() {
         let mut e = Elaborator::new();
         let p = parse("signature S = sig type t val x : t end").unwrap();
-        let TopDec::Signature { sig, .. } = &p.decls[0] else { panic!() };
+        let TopDec::Signature { sig, .. } = &p.decls[0] else {
+            panic!()
+        };
         let _ = e.elab_sigexp(sig).unwrap();
         assert_eq!(e.depth(), 0);
     }

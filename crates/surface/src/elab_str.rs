@@ -36,7 +36,12 @@ impl Elaborator {
         match se {
             StrExp::Path(p) => self.resolve_struct(p),
             StrExp::Body(decs, span) => self.elab_struct_body(decs, *span),
-            StrExp::Ascribe { body, sig, opaque, span } => {
+            StrExp::Ascribe {
+                body,
+                sig,
+                opaque,
+                span,
+            } => {
                 let tmpl = self.elab_sigexp(sig)?;
                 let src = self.elab_strexp(body)?;
                 let coerced = self.coerce(&src, &tmpl.shape, *span)?;
@@ -50,7 +55,10 @@ impl Elaborator {
                     .check_module(&mut self.ctx, &module, &target)
                     .map_err(|e| self.terr(*span, e))?;
                 let _ = opaque;
-                Ok(StructEntity { shape: tmpl.shape, ..coerced })
+                Ok(StructEntity {
+                    shape: tmpl.shape,
+                    ..coerced
+                })
             }
             StrExp::App { functor, arg, span } => {
                 let Some(Entity::Functor(fe)) = self.env.lookup(functor) else {
@@ -71,7 +79,9 @@ impl Elaborator {
                 // Check the (coerced) argument against the parameter
                 // signature — this is where an rds parameter's recursive
                 // type equations are demanded of the argument.
-                let param_sig = self.retarget_template(fe.param.clone()).instantiate(self.depth());
+                let param_sig = self
+                    .retarget_template(fe.param.clone())
+                    .instantiate(self.depth());
                 let arg_mod = Module::Struct(coerced.statics.clone(), coerced.dynamics.clone());
                 self.tc
                     .check_module(&mut self.ctx, &arg_mod, &param_sig)
@@ -116,7 +126,9 @@ impl Elaborator {
         // Assemble before restoring the context.
         let result = if failure.is_none() {
             let tuple = term_tuple(
-                (0..n_dyn).map(|i| Term::Var(n_dyn - 1 - i)).collect::<Vec<_>>(),
+                (0..n_dyn)
+                    .map(|i| Term::Var(n_dyn - 1 - i))
+                    .collect::<Vec<_>>(),
             );
             let mut term = tuple;
             for bound in acc.lets.iter().rev() {
@@ -129,7 +141,9 @@ impl Elaborator {
                     .collect(),
             );
             Some(StructEntity {
-                shape: Shape { fields: acc.fields.clone() },
+                shape: Shape {
+                    fields: acc.fields.clone(),
+                },
                 statics,
                 dynamics: term,
                 depth: base,
@@ -167,7 +181,12 @@ impl Elaborator {
         }
         let statics = self.coerce_statics(&src.statics, &src.shape, target, span)?;
         let dynamics = self.coerce_dynamics(src.dynamics.clone(), &src.shape, target, span)?;
-        Ok(StructEntity { shape: target.clone(), statics, dynamics, depth: src.depth })
+        Ok(StructEntity {
+            shape: target.clone(),
+            statics,
+            dynamics,
+            depth: src.depth,
+        })
     }
 
     fn coerce_statics(
@@ -184,10 +203,20 @@ impl Elaborator {
         let mut parts = Vec::new();
         for (name, item, _) in target.static_fields() {
             let Some(src_item) = src_shape.find(name) else {
-                return self.err(span, ErrorKind::MissingComponent { name: name.to_string() });
+                return self.err(
+                    span,
+                    ErrorKind::MissingComponent {
+                        name: name.to_string(),
+                    },
+                );
             };
             let Some(slot) = src_shape.static_slot(name) else {
-                return self.err(span, ErrorKind::MissingComponent { name: name.to_string() });
+                return self.err(
+                    span,
+                    ErrorKind::MissingComponent {
+                        name: name.to_string(),
+                    },
+                );
             };
             let proj = con_proj(src_con.clone(), slot, n_src);
             match (item, src_item) {
@@ -223,10 +252,20 @@ impl Elaborator {
         let mut parts = Vec::new();
         for (name, item, _) in target.dyn_fields() {
             let Some(src_item) = src_shape.find(name) else {
-                return self.err(span, ErrorKind::MissingComponent { name: name.to_string() });
+                return self.err(
+                    span,
+                    ErrorKind::MissingComponent {
+                        name: name.to_string(),
+                    },
+                );
             };
             let Some(slot) = src_shape.dyn_slot(name) else {
-                return self.err(span, ErrorKind::MissingComponent { name: name.to_string() });
+                return self.err(
+                    span,
+                    ErrorKind::MissingComponent {
+                        name: name.to_string(),
+                    },
+                );
             };
             // Under the let binder, the source tuple is Var(0).
             let proj = term_proj(Term::Var(0), slot, n_src);
@@ -256,36 +295,76 @@ impl Elaborator {
     /// Elaborates one top-level declaration, extending the context,
     /// environment, and binding list.
     pub fn elab_topdec(&mut self, dec: &TopDec) -> SurfaceResult<()> {
+        let _span = recmod_telemetry::span("surface.elab_topdec");
+        recmod_telemetry::count("surface.topdecs", 1);
         match dec {
             TopDec::Signature { name, sig, .. } => {
                 let tmpl = self.elab_sigexp(sig)?;
                 self.env.insert(name.clone(), Entity::SigDef(tmpl));
                 Ok(())
             }
-            TopDec::Val { name, ann, exp, span } => {
-                let mut term = self.elab_exp(exp)?;
+            TopDec::Val {
+                name,
+                ann,
+                exp,
+                span,
+            } => self.measured(|e| {
+                let mut term = e.elab_exp(exp)?;
                 if let Some(t) = ann {
-                    term = self.ascribe(term, t)?;
+                    term = e.ascribe(term, t)?;
                 }
-                self.bind_value(name, term, *span)
-            }
-            TopDec::Fun { name, param, param_ty, ret_ty, body, span } => {
-                let term = self.elab_fun(name, param, param_ty, ret_ty, body)?;
-                self.bind_value(name, term, *span)
-            }
-            TopDec::Structure { rec_: false, binds, .. } => {
+                e.bind_value(name, term, *span)
+            }),
+            TopDec::Fun {
+                name,
+                param,
+                param_ty,
+                ret_ty,
+                body,
+                span,
+            } => self.measured(|e| {
+                let term = e.elab_fun(name, param, param_ty, ret_ty, body)?;
+                e.bind_value(name, term, *span)
+            }),
+            TopDec::Structure {
+                rec_: false, binds, ..
+            } => {
                 for bind in binds {
-                    self.elab_plain_structure(bind)?;
+                    self.measured(|e| e.elab_plain_structure(bind))?;
                 }
                 Ok(())
             }
-            TopDec::Structure { rec_: true, binds, span } => {
-                self.elab_rec_group(binds, *span)
-            }
-            TopDec::Functor { name, param, param_rec, param_sig, body, span } => {
-                self.elab_functor(name, param, *param_rec, param_sig, body, *span)
-            }
+            TopDec::Structure {
+                rec_: true,
+                binds,
+                span,
+            } => self.measured(|e| e.elab_rec_group(binds, *span)),
+            TopDec::Functor {
+                name,
+                param,
+                param_rec,
+                param_sig,
+                body,
+                span,
+            } => self.measured(|e| e.elab_functor(name, param, *param_rec, param_sig, body, *span)),
         }
+    }
+
+    /// Runs one declaration's elaboration, stamping every binding it
+    /// produces with the elapsed wall-clock time and the kernel
+    /// judgement-counter delta it incurred.
+    fn measured(&mut self, f: impl FnOnce(&mut Self) -> SurfaceResult<()>) -> SurfaceResult<()> {
+        let mark = self.bindings.len();
+        let before = self.tc.stats();
+        let t0 = std::time::Instant::now();
+        let result = f(self);
+        let nanos = t0.elapsed().as_nanos() as u64;
+        let delta = self.tc.stats().delta_since(&before);
+        for b in &mut self.bindings[mark..] {
+            b.elab_nanos = nanos;
+            b.kernel = delta;
+        }
+        result
     }
 
     fn bind_value(&mut self, name: &str, term: Term, span: Span) -> SurfaceResult<()> {
@@ -298,13 +377,20 @@ impl Elaborator {
             &mut recmod_syntax::pretty::Names::new(),
         );
         self.ctx.push(Entry::Term(typing.ty, typing.valuable));
-        self.env
-            .insert(name.to_string(), Entity::Val { pos: self.depth() - 1 });
+        self.env.insert(
+            name.to_string(),
+            Entity::Val {
+                pos: self.depth() - 1,
+            },
+        );
         self.bindings.push(TopBinding {
             name: name.to_string(),
             describe,
             dynamic: term,
+            static_part: None,
             is_structure: false,
+            elab_nanos: 0,
+            kernel: recmod_kernel::KernelStats::default(),
         });
         Ok(())
     }
@@ -327,10 +413,8 @@ impl Elaborator {
             .map_err(|e| self.terr(bind.span, e))?;
         let split = recmod_phase::split_module(&self.tc, &mut self.ctx, &module)
             .map_err(|e| self.terr(bind.span, e))?;
-        let describe = recmod_syntax::pretty::sig_to_string(
-            &mt.sig,
-            &mut recmod_syntax::pretty::Names::new(),
-        );
+        let describe =
+            recmod_syntax::pretty::sig_to_string(&mt.sig, &mut recmod_syntax::pretty::Names::new());
         self.ctx.push(Entry::Struct(mt.sig, mt.valuable));
         self.env.insert(
             bind.name.clone(),
@@ -345,7 +429,10 @@ impl Elaborator {
             name: bind.name.clone(),
             describe,
             dynamic: split.term,
+            static_part: Some(split.con),
             is_structure: true,
+            elab_nanos: 0,
+            kernel: recmod_kernel::KernelStats::default(),
         });
         Ok(())
     }
@@ -415,10 +502,8 @@ impl Elaborator {
             .map_err(|e| self.terr(span, e))?;
         let split = recmod_phase::split_module(&self.tc, &mut self.ctx, &module)
             .map_err(|e| self.terr(span, e))?;
-        let describe = recmod_syntax::pretty::sig_to_string(
-            &mt.sig,
-            &mut recmod_syntax::pretty::Names::new(),
-        );
+        let describe =
+            recmod_syntax::pretty::sig_to_string(&mt.sig, &mut recmod_syntax::pretty::Names::new());
         let param_record = param_tmpl;
         self.ctx.push(Entry::Struct(mt.sig, mt.valuable));
         self.env.insert(
@@ -438,7 +523,10 @@ impl Elaborator {
             name: name.to_string(),
             describe,
             dynamic: split.term,
+            static_part: Some(split.con),
             is_structure: true,
+            elab_nanos: 0,
+            kernel: recmod_kernel::KernelStats::default(),
         });
         Ok(())
     }
@@ -554,9 +642,9 @@ impl Elaborator {
 
         // 4. Opaque (§3) or transparent (§4)? Opaque iff every member is
         //    `:>`-sealed and no signature mentions the recursive binder.
-        let mentions = tmpls.iter().any(|t| {
-            recmod_kernel::kind::kind_mentions(&t.kind, 0) || ty_mentions(&t.ty, 1)
-        });
+        let mentions = tmpls
+            .iter()
+            .any(|t| recmod_kernel::kind::kind_mentions(&t.kind, 0) || ty_mentions(&t.ty, 1));
         let all_opaque = binds.iter().all(|b| matches!(&b.ann, Some((_, true))));
         let opaque_group = all_opaque && !mentions;
 
@@ -597,14 +685,8 @@ impl Elaborator {
                 continue;
             }
             let (body_con, body_shape) = self.statics_of_strexp(&b.body)?;
-            let kind = fill_opaque_slots(
-                &tmpl.kind,
-                &tmpl.shape,
-                &body_con,
-                &body_shape,
-                0,
-            )
-            .map_err(|k| SurfaceError::new(span, k))?;
+            let kind = fill_opaque_slots(&tmpl.kind, &tmpl.shape, &body_con, &body_shape, 0)
+                .map_err(|k| SurfaceError::new(span, k))?;
             out.push(SigTemplate { kind, ..tmpl });
         }
         Ok(out)
@@ -663,7 +745,10 @@ impl Elaborator {
         // and are gone; rebind below.
 
         let ann_sig = if transparent {
-            Sig::Rds(Box::new(Sig::Struct(Box::new(comb_kind), Box::new(comb_ty))))
+            Sig::Rds(Box::new(Sig::Struct(
+                Box::new(comb_kind),
+                Box::new(comb_ty),
+            )))
         } else {
             Sig::Struct(
                 Box::new(shift_kind(&comb_kind, -1, 0)),
@@ -727,10 +812,8 @@ impl Elaborator {
             .map_err(|e| self.terr(span, e))?;
         let split = recmod_phase::split_module(&self.tc, &mut self.ctx, &fix_mod)
             .map_err(|e| self.terr(span, e))?;
-        let describe = recmod_syntax::pretty::sig_to_string(
-            &mt.sig,
-            &mut recmod_syntax::pretty::Names::new(),
-        );
+        let describe =
+            recmod_syntax::pretty::sig_to_string(&mt.sig, &mut recmod_syntax::pretty::Names::new());
 
         let hidden = self.fresh("rec");
         self.ctx.push(Entry::Struct(mt.sig, true));
@@ -758,7 +841,10 @@ impl Elaborator {
             name: hidden,
             describe,
             dynamic: split.term,
+            static_part: Some(split.con),
             is_structure: true,
+            elab_nanos: 0,
+            kernel: recmod_kernel::KernelStats::default(),
         });
         Ok(())
     }
@@ -770,16 +856,15 @@ impl Elaborator {
     /// Computes just the static part (constructor tuple + shape) of a
     /// structure expression, without elaborating any terms. Used to fill
     /// opaque signature slots by body inspection.
-    pub(crate) fn statics_of_strexp(
-        &mut self,
-        se: &StrExp,
-    ) -> SurfaceResult<(Con, Shape)> {
+    pub(crate) fn statics_of_strexp(&mut self, se: &StrExp) -> SurfaceResult<(Con, Shape)> {
         match se {
             StrExp::Path(p) => {
                 let st = self.resolve_struct(p)?;
                 Ok((st.statics, st.shape))
             }
-            StrExp::Ascribe { body, sig, span, .. } => {
+            StrExp::Ascribe {
+                body, sig, span, ..
+            } => {
                 let tmpl = self.elab_sigexp(sig)?;
                 let (c, shape) = self.statics_of_strexp(body)?;
                 let coerced = self.coerce_statics(&c, &shape, &tmpl.shape, *span)?;
@@ -794,7 +879,10 @@ impl Elaborator {
                 let coerced = self.coerce_statics(&ac, &ashape, &fe.param.shape, *span)?;
                 let delta = self.depth() as isize + 1 - fe.body_depth as isize;
                 let body_con = shift_con(&fe.body_con, delta, 1);
-                let parts = recmod_syntax::subst::ModParts { fst: coerced, snd: None };
+                let parts = recmod_syntax::subst::ModParts {
+                    fst: coerced,
+                    snd: None,
+                };
                 Ok((
                     recmod_syntax::subst::subst_mod_con(&body_con, &parts),
                     fe.result_shape.clone(),
@@ -812,7 +900,10 @@ impl Elaborator {
                                 let con = self.elab_ty(def)?;
                                 self.env.insert(
                                     name.clone(),
-                                    Entity::TyAlias { con: con.clone(), depth: self.depth() },
+                                    Entity::TyAlias {
+                                        con: con.clone(),
+                                        depth: self.depth(),
+                                    },
                                 );
                                 statics.push(con);
                                 fields.push((name.clone(), Item::Ty));
@@ -871,7 +962,10 @@ impl Elaborator {
                 Some(Entity::SigDef(t)) => Ok(t.shape.clone()),
                 Some(_) => self.err(
                     *span,
-                    ErrorKind::WrongEntity { name: name.clone(), expected: "a signature" },
+                    ErrorKind::WrongEntity {
+                        name: name.clone(),
+                        expected: "a signature",
+                    },
                 ),
                 None => self.err(*span, ErrorKind::Unbound(name.clone())),
             },
@@ -963,7 +1057,9 @@ fn fill_opaque_slots(
             (kind.clone(), None)
         } else {
             let Kind::Sigma(k1, k2) = kind else {
-                return Err(ErrorKind::Other("signature kind shape mismatch".to_string()));
+                return Err(ErrorKind::Other(
+                    "signature kind shape mismatch".to_string(),
+                ));
             };
             ((**k1).clone(), Some((**k2).clone()))
         };
@@ -972,8 +1068,7 @@ fn fill_opaque_slots(
         match rest {
             None => Ok(filled),
             Some(k2) => {
-                let rest_filled =
-                    go(&k2, slots, idx + 1, body_con, body_shape, crossed + 1)?;
+                let rest_filled = go(&k2, slots, idx + 1, body_con, body_shape, crossed + 1)?;
                 Ok(Kind::Sigma(Box::new(filled), Box::new(rest_filled)))
             }
         }
@@ -997,7 +1092,9 @@ fn fill_opaque_slots(
             ItemKind::Leaf => match kind {
                 Kind::Type => {
                     let Some(slot) = body_shape.static_slot(name) else {
-                        return Err(ErrorKind::MissingComponent { name: name.to_string() });
+                        return Err(ErrorKind::MissingComponent {
+                            name: name.to_string(),
+                        });
                     };
                     let comp = con_proj(
                         shift_con(body_con, crossed as isize, 0),
@@ -1010,7 +1107,9 @@ fn fill_opaque_slots(
             },
             ItemKind::Sub(sub_sig_shape) => {
                 let Some(slot) = body_shape.static_slot(name) else {
-                    return Err(ErrorKind::MissingComponent { name: name.to_string() });
+                    return Err(ErrorKind::MissingComponent {
+                        name: name.to_string(),
+                    });
                 };
                 let Some(Item::Struct(sub_body_shape)) = body_shape.find(name) else {
                     return Err(ErrorKind::WrongEntity {

@@ -180,7 +180,11 @@ impl ElabEnv {
 
     /// Looks a name up, innermost binding first.
     pub fn lookup(&self, name: &str) -> Option<&Entity> {
-        self.entries.iter().rev().find(|(n, _)| n == name).map(|(_, e)| e)
+        self.entries
+            .iter()
+            .rev()
+            .find(|(n, _)| n == name)
+            .map(|(_, e)| e)
     }
 
     /// A scope marker to pass to [`ElabEnv::reset`].
@@ -233,8 +237,12 @@ mod tests {
             rds: true,
         };
         let s = t.instantiate(4);
-        let recmod_syntax::ast::Sig::Rds(inner) = s else { panic!() };
-        let recmod_syntax::ast::Sig::Struct(k, ty) = *inner else { panic!() };
+        let recmod_syntax::ast::Sig::Rds(inner) = s else {
+            panic!()
+        };
+        let recmod_syntax::ast::Sig::Struct(k, ty) = *inner else {
+            panic!()
+        };
         // The ρ-bound Fst(0) in the kind did not move.
         assert_eq!(
             *k,
@@ -256,7 +264,9 @@ mod tests {
             depth: 3,
             rds: false,
         };
-        let recmod_syntax::ast::Sig::Struct(k, ty) = t.instantiate(5) else { panic!() };
+        let recmod_syntax::ast::Sig::Struct(k, ty) = t.instantiate(5) else {
+            panic!()
+        };
         assert_eq!(*k, Kind::Singleton(Con::Var(4)));
         assert_eq!(*ty, Ty::Con(Con::Var(0)));
     }

@@ -22,7 +22,10 @@ impl Span {
 
     /// The smallest span covering both.
     pub fn to(self, other: Span) -> Span {
-        Span { start: self.start.min(other.start), end: self.end.max(other.end) }
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+        }
     }
 
     /// 1-based line and column of the span start within `src`.
@@ -105,7 +108,10 @@ impl fmt::Display for SurfaceError {
                 write!(f, "`{name}` is not {expected}")
             }
             ErrorKind::MissingComponent { name } => {
-                write!(f, "structure is missing component `{name}` required by its signature")
+                write!(
+                    f,
+                    "structure is missing component `{name}` required by its signature"
+                )
             }
             ErrorKind::Duplicate(name) => write!(f, "duplicate binding `{name}`"),
             ErrorKind::Type(e) => write!(f, "type error: {e}"),

@@ -49,10 +49,14 @@ pub struct Extruded {
 /// the transparentized signature fails.
 pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     let Sig::Rds(inner) = s else {
-        return Err(TypeError::Other("extrude expects a recursively-dependent signature".into()));
+        return Err(TypeError::Other(
+            "extrude expects a recursively-dependent signature".into(),
+        ));
     };
     let Sig::Struct(kappa, sigma) = &**inner else {
-        return Err(TypeError::Other("extrude expects an rds over a flat signature".into()));
+        return Err(TypeError::Other(
+            "extrude expects an rds over a flat signature".into(),
+        ));
     };
 
     // Count the opaque leaves.
@@ -60,7 +64,10 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     if m == 0 {
         // Nothing to do: resolve directly.
         let resolved = tc.resolve_sig(ctx, s)?;
-        return Ok(Extruded { hoisted: 0, sig: resolved });
+        return Ok(Extruded {
+            hoisted: 0,
+            sig: resolved,
+        });
     }
 
     // Insert m binders *outside* the ρ binder: the rds self-variable
@@ -75,7 +82,10 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     let filled = fill(&shifted_kind, m, 0, &mut next);
     debug_assert_eq!(next, m);
 
-    let transparent_rds = Sig::Rds(Box::new(Sig::Struct(Box::new(filled), Box::new(shifted_ty))));
+    let transparent_rds = Sig::Rds(Box::new(Sig::Struct(
+        Box::new(filled),
+        Box::new(shifted_ty),
+    )));
 
     // Resolve under the hoisted binders.
     let base = ctx.len();
@@ -106,7 +116,10 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     // of this transformation we expose the dynamic part of the rds
     // unchanged except that its α now projects past the hoisted types.
     let ty = reproject_ty(&rt, m);
-    Ok(Extruded { hoisted: m, sig: Sig::Struct(Box::new(kind), Box::new(ty)) })
+    Ok(Extruded {
+        hoisted: m,
+        sig: Sig::Struct(Box::new(kind), Box::new(ty)),
+    })
 }
 
 fn count_opaque(k: &Kind) -> usize {
@@ -129,9 +142,7 @@ fn fill(k: &Kind, m: usize, crossed: usize, next: &mut usize) -> Kind {
             Kind::Singleton(Con::Var(crossed + 1 + (m - 1 - j)))
         }
         Kind::Unit | Kind::Singleton(_) => k.clone(),
-        Kind::Pi(k1, k2) => {
-            Kind::Pi(k1.clone(), Box::new(fill(k2, m, crossed + 1, next)))
-        }
+        Kind::Pi(k1, k2) => Kind::Pi(k1.clone(), Box::new(fill(k2, m, crossed + 1, next))),
         Kind::Sigma(k1, k2) => {
             let l = fill(k1, m, crossed, next);
             let r = fill(k2, m, crossed + 1, next);
@@ -163,7 +174,11 @@ fn reproject_ty(t: &Ty, m: usize) -> Ty {
                 Err(crate::shape::con_proj(Con::Var(d), self.m, self.m + 1))
             } else if rel <= self.m {
                 // β_{m−rel} ↦ projection (m − rel) of α.
-                Err(crate::shape::con_proj(Con::Var(d), self.m - rel, self.m + 1))
+                Err(crate::shape::con_proj(
+                    Con::Var(d),
+                    self.m - rel,
+                    self.m + 1,
+                ))
             } else {
                 Ok(i - self.m)
             }
@@ -248,8 +263,12 @@ mod tests {
         let out = extrude(&tc, &mut ctx, &paper_example()).unwrap();
         assert_eq!(out.hoisted, 1);
         // Result kind: Σ β:T. (resolved, fully transparent).
-        let Sig::Struct(k, _) = &out.sig else { panic!() };
-        let Kind::Sigma(k1, k2) = &**k else { panic!("{k:?}") };
+        let Sig::Struct(k, _) = &out.sig else {
+            panic!()
+        };
+        let Kind::Sigma(k1, k2) = &**k else {
+            panic!("{k:?}")
+        };
         assert_eq!(**k1, Kind::Type);
         assert!(
             recmod_kernel::singleton::fully_transparent(k2),
@@ -267,11 +286,19 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let out = extrude(&tc, &mut ctx, &paper_example()).unwrap();
-        let Sig::Struct(k, _) = &out.sig else { panic!() };
-        let Kind::Sigma(_, inner) = &**k else { panic!() };
+        let Sig::Struct(k, _) = &out.sig else {
+            panic!()
+        };
+        let Kind::Sigma(_, inner) = &**k else {
+            panic!()
+        };
         // inner is under the β binder; its first slot is t.
-        let Kind::Sigma(t_slot, _) = &**inner else { panic!("{inner:?}") };
-        let Kind::Singleton(t_def) = &**t_slot else { panic!("{t_slot:?}") };
+        let Kind::Sigma(t_slot, _) = &**inner else {
+            panic!("{inner:?}")
+        };
+        let Kind::Singleton(t_def) = &**t_slot else {
+            panic!("{t_slot:?}")
+        };
         ctx.with_con(Kind::Type, |ctx| {
             tc.con_equiv(ctx, t_def, &cvar(0), &Kind::Type).unwrap();
         });

@@ -46,67 +46,115 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
                 }
             }
             '(' => {
-                out.push(Spanned { tok: Tok::LParen, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::LParen,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             ')' => {
-                out.push(Spanned { tok: Tok::RParen, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::RParen,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             ',' => {
-                out.push(Spanned { tok: Tok::Comma, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Comma,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '.' => {
-                out.push(Spanned { tok: Tok::Dot, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Dot,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '|' => {
-                out.push(Spanned { tok: Tok::Bar, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Bar,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '_' => {
-                out.push(Spanned { tok: Tok::Wild, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Wild,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             ';' => {
-                out.push(Spanned { tok: Tok::Semi, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Semi,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '*' => {
-                out.push(Spanned { tok: Tok::Star, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Star,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '+' => {
-                out.push(Spanned { tok: Tok::Plus, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Plus,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '<' => {
-                out.push(Spanned { tok: Tok::Lt, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Lt,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '-' if bytes.get(i + 1) == Some(&b'>') => {
-                out.push(Spanned { tok: Tok::Arrow, span: Span::new(i, i + 2) });
+                out.push(Spanned {
+                    tok: Tok::Arrow,
+                    span: Span::new(i, i + 2),
+                });
                 i += 2;
             }
             '-' => {
-                out.push(Spanned { tok: Tok::Minus, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Minus,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '=' if bytes.get(i + 1) == Some(&b'>') => {
-                out.push(Spanned { tok: Tok::DArrow, span: Span::new(i, i + 2) });
+                out.push(Spanned {
+                    tok: Tok::DArrow,
+                    span: Span::new(i, i + 2),
+                });
                 i += 2;
             }
             '=' => {
-                out.push(Spanned { tok: Tok::Eq, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Eq,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             ':' if bytes.get(i + 1) == Some(&b'>') => {
-                out.push(Spanned { tok: Tok::Seal, span: Span::new(i, i + 2) });
+                out.push(Spanned {
+                    tok: Tok::Seal,
+                    span: Span::new(i, i + 2),
+                });
                 i += 2;
             }
             ':' => {
-                out.push(Spanned { tok: Tok::Colon, span: Span::new(i, i + 1) });
+                out.push(Spanned {
+                    tok: Tok::Colon,
+                    span: Span::new(i, i + 1),
+                });
                 i += 1;
             }
             '0'..='9' => {
@@ -121,7 +169,10 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
                         ErrorKind::Lex(format!("integer literal `{text}` out of range")),
                     )
                 })?;
-                out.push(Spanned { tok: Tok::Int(n), span: Span::new(i, j) });
+                out.push(Spanned {
+                    tok: Tok::Int(n),
+                    span: Span::new(i, j),
+                });
                 i = j;
             }
             'a'..='z' | 'A'..='Z' => {
@@ -159,7 +210,10 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
                     "false" => Tok::False,
                     _ => Tok::Ident(word.to_string()),
                 };
-                out.push(Spanned { tok, span: Span::new(i, j) });
+                out.push(Spanned {
+                    tok,
+                    span: Span::new(i, j),
+                });
                 i = j;
             }
             _ => {
@@ -173,7 +227,10 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
             }
         }
     }
-    out.push(Spanned { tok: Tok::Eof, span: Span::new(src.len(), src.len()) });
+    out.push(Spanned {
+        tok: Tok::Eof,
+        span: Span::new(src.len(), src.len()),
+    });
     Ok(out)
 }
 
@@ -218,11 +275,10 @@ mod tests {
 
     #[test]
     fn nested_comments() {
-        assert_eq!(toks("a (* x (* y *) z *) b"), vec![
-            Tok::Ident("a".into()),
-            Tok::Ident("b".into()),
-            Tok::Eof
-        ]);
+        assert_eq!(
+            toks("a (* x (* y *) z *) b"),
+            vec![Tok::Ident("a".into()), Tok::Ident("b".into()), Tok::Eof]
+        );
     }
 
     #[test]

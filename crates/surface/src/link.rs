@@ -76,13 +76,19 @@ mod tests {
                 name: "a".into(),
                 describe: String::new(),
                 dynamic: Term::IntLit(1),
+                static_part: None,
                 is_structure: false,
+                elab_nanos: 0,
+                kernel: Default::default(),
             },
             TopBinding {
                 name: "b".into(),
                 describe: String::new(),
                 dynamic: Term::Var(0),
+                static_part: None,
                 is_structure: false,
+                elab_nanos: 0,
+                kernel: Default::default(),
             },
         ];
         let main = Term::Var(0);

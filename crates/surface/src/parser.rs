@@ -119,7 +119,10 @@ impl Parser {
                 _ => {
                     let main = self.exp()?;
                     self.expect(Tok::Eof)?;
-                    return Ok(Program { decls, main: Some(main) });
+                    return Ok(Program {
+                        decls,
+                        main: Some(main),
+                    });
                 }
             }
         }
@@ -132,7 +135,11 @@ impl Parser {
                 let (name, _) = self.ident()?;
                 self.expect(Tok::Eq)?;
                 let sig = self.sigexp()?;
-                Ok(TopDec::Signature { name, span: sp.to(sig.span()), sig })
+                Ok(TopDec::Signature {
+                    name,
+                    span: sp.to(sig.span()),
+                    sig,
+                })
             }
             Tok::Structure => {
                 let sp = self.bump().span;
@@ -142,7 +149,11 @@ impl Parser {
                     binds.push(self.strbind()?);
                 }
                 let end = binds.last().map(|b| b.span).unwrap_or(sp);
-                Ok(TopDec::Structure { rec_, binds, span: sp.to(end) })
+                Ok(TopDec::Structure {
+                    rec_,
+                    binds,
+                    span: sp.to(end),
+                })
             }
             Tok::Functor => {
                 let sp = self.bump().span;
@@ -168,14 +179,30 @@ impl Parser {
             Tok::Val => {
                 let sp = self.bump().span;
                 let (name, _) = self.ident()?;
-                let ann = if self.eat(Tok::Colon) { Some(self.tyexp()?) } else { None };
+                let ann = if self.eat(Tok::Colon) {
+                    Some(self.tyexp()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Eq)?;
                 let exp = self.exp()?;
-                Ok(TopDec::Val { name, ann, span: sp.to(exp.span()), exp })
+                Ok(TopDec::Val {
+                    name,
+                    ann,
+                    span: sp.to(exp.span()),
+                    exp,
+                })
             }
             Tok::Fun => {
                 let (name, param, param_ty, ret_ty, body, span) = self.fun_tail()?;
-                Ok(TopDec::Fun { name, param, param_ty, ret_ty, body, span })
+                Ok(TopDec::Fun {
+                    name,
+                    param,
+                    param_ty,
+                    ret_ty,
+                    body,
+                    span,
+                })
             }
             other => Err(self.err(format!("expected a declaration, found `{other}`"))),
         }
@@ -210,7 +237,12 @@ impl Parser {
         };
         self.expect(Tok::Eq)?;
         let body = self.strexp()?;
-        Ok(StrBind { name, ann, span: sp.to(body.span()), body })
+        Ok(StrBind {
+            name,
+            ann,
+            span: sp.to(body.span()),
+            body,
+        })
     }
 
     // ----- structures ---------------------------------------------------
@@ -221,11 +253,21 @@ impl Parser {
             if self.eat(Tok::Colon) {
                 let sig = self.sigexp()?;
                 let span = base.span().to(sig.span());
-                base = StrExp::Ascribe { body: Box::new(base), sig, opaque: false, span };
+                base = StrExp::Ascribe {
+                    body: Box::new(base),
+                    sig,
+                    opaque: false,
+                    span,
+                };
             } else if self.eat(Tok::Seal) {
                 let sig = self.sigexp()?;
                 let span = base.span().to(sig.span());
-                base = StrExp::Ascribe { body: Box::new(base), sig, opaque: true, span };
+                base = StrExp::Ascribe {
+                    body: Box::new(base),
+                    sig,
+                    opaque: true,
+                    span,
+                };
             } else {
                 return Ok(base);
             }
@@ -258,7 +300,11 @@ impl Parser {
                         self.strexp()?
                     };
                     let end = self.expect(Tok::RParen)?;
-                    Ok(StrExp::App { functor, arg: Box::new(arg), span: sp.to(end) })
+                    Ok(StrExp::App {
+                        functor,
+                        arg: Box::new(arg),
+                        span: sp.to(end),
+                    })
                 } else {
                     Ok(StrExp::Path(self.path()?))
                 }
@@ -295,7 +341,12 @@ impl Parser {
             self.expect(Tok::Eq)?;
             let def = self.tyexp()?;
             let span = base.span().to(def.span());
-            base = SigExp::WhereType { base: Box::new(base), path, def, span };
+            base = SigExp::WhereType {
+                base: Box::new(base),
+                path,
+                def,
+                span,
+            };
         }
         Ok(base)
     }
@@ -307,9 +358,17 @@ impl Parser {
                 let (name, nsp) = self.ident()?;
                 if self.eat(Tok::Eq) {
                     let def = self.tyexp()?;
-                    Ok(Spec::Type { name, span: sp.to(def.span()), def: Some(def) })
+                    Ok(Spec::Type {
+                        name,
+                        span: sp.to(def.span()),
+                        def: Some(def),
+                    })
                 } else {
-                    Ok(Spec::Type { name, def: None, span: sp.to(nsp) })
+                    Ok(Spec::Type {
+                        name,
+                        def: None,
+                        span: sp.to(nsp),
+                    })
                 }
             }
             Tok::Datatype => {
@@ -321,14 +380,22 @@ impl Parser {
                 let (name, _) = self.ident()?;
                 self.expect(Tok::Colon)?;
                 let ty = self.tyexp()?;
-                Ok(Spec::Val { name, span: sp.to(ty.span()), ty })
+                Ok(Spec::Val {
+                    name,
+                    span: sp.to(ty.span()),
+                    ty,
+                })
             }
             Tok::Structure => {
                 let sp = self.bump().span;
                 let (name, _) = self.ident()?;
                 self.expect(Tok::Colon)?;
                 let sig = self.sigexp()?;
-                Ok(Spec::Structure { name, span: sp.to(sig.span()), sig })
+                Ok(Spec::Structure {
+                    name,
+                    span: sp.to(sig.span()),
+                    sig,
+                })
             }
             other => Err(self.err(format!("expected a specification, found `{other}`"))),
         }
@@ -341,9 +408,17 @@ impl Parser {
         let mut ctors = Vec::new();
         loop {
             let (cname, csp) = self.ident()?;
-            let arg = if self.eat(Tok::Of) { Some(self.tyexp()?) } else { None };
+            let arg = if self.eat(Tok::Of) {
+                Some(self.tyexp()?)
+            } else {
+                None
+            };
             let cspan = arg.as_ref().map(|t| csp.to(t.span())).unwrap_or(csp);
-            ctors.push(CtorDecl { name: cname, arg, span: cspan });
+            ctors.push(CtorDecl {
+                name: cname,
+                arg,
+                span: cspan,
+            });
             if !self.eat(Tok::Bar) {
                 break;
             }
@@ -361,7 +436,11 @@ impl Parser {
                 let (name, _) = self.ident()?;
                 self.expect(Tok::Eq)?;
                 let def = self.tyexp()?;
-                Ok(Dec::Type { name, span: sp.to(def.span()), def })
+                Ok(Dec::Type {
+                    name,
+                    span: sp.to(def.span()),
+                    def,
+                })
             }
             Tok::Datatype => {
                 let (name, ctors, span) = self.datatype_tail()?;
@@ -370,14 +449,30 @@ impl Parser {
             Tok::Val => {
                 let sp = self.bump().span;
                 let (name, _) = self.ident()?;
-                let ann = if self.eat(Tok::Colon) { Some(self.tyexp()?) } else { None };
+                let ann = if self.eat(Tok::Colon) {
+                    Some(self.tyexp()?)
+                } else {
+                    None
+                };
                 self.expect(Tok::Eq)?;
                 let exp = self.exp()?;
-                Ok(Dec::Val { name, ann, span: sp.to(exp.span()), exp })
+                Ok(Dec::Val {
+                    name,
+                    ann,
+                    span: sp.to(exp.span()),
+                    exp,
+                })
             }
             Tok::Fun => {
                 let (name, param, param_ty, ret_ty, body, span) = self.fun_tail()?;
-                Ok(Dec::Fun { name, param, param_ty, ret_ty, body, span })
+                Ok(Dec::Fun {
+                    name,
+                    param,
+                    param_ty,
+                    ret_ty,
+                    body,
+                    span,
+                })
             }
             Tok::Structure => {
                 let sp = self.bump().span;
@@ -463,7 +558,10 @@ impl Parser {
                             Ok(Pat::Con(path, None, span))
                         } else {
                             let span = path.span;
-                            Ok(Pat::Var(path.parts.into_iter().next().expect("nonempty"), span))
+                            Ok(Pat::Var(
+                                path.parts.into_iter().next().expect("nonempty"),
+                                span,
+                            ))
                         }
                     }
                 }
@@ -484,7 +582,10 @@ impl Parser {
                 if path.parts.len() > 1 {
                     Ok(Pat::Con(path, None, span))
                 } else {
-                    Ok(Pat::Var(path.parts.into_iter().next().expect("nonempty"), span))
+                    Ok(Pat::Var(
+                        path.parts.into_iter().next().expect("nonempty"),
+                        span,
+                    ))
                 }
             }
             Tok::LParen => {
@@ -675,14 +776,18 @@ mod tests {
     #[test]
     fn parses_arithmetic_with_precedence() {
         let e = parse_exp("1 + 2 * 3").unwrap();
-        let Exp::Bin(BinOp::Add, _, rhs, _) = e else { panic!("{e:?}") };
+        let Exp::Bin(BinOp::Add, _, rhs, _) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(*rhs, Exp::Bin(BinOp::Mul, _, _, _)));
     }
 
     #[test]
     fn application_binds_tighter_than_operators() {
         let e = parse_exp("f 1 + g 2").unwrap();
-        let Exp::Bin(BinOp::Add, lhs, _, _) = e else { panic!("{e:?}") };
+        let Exp::Bin(BinOp::Add, lhs, _, _) = e else {
+            panic!("{e:?}")
+        };
         assert!(matches!(*lhs, Exp::App(_, _)));
     }
 
@@ -690,10 +795,20 @@ mod tests {
     fn arrow_is_right_associative_and_looser_than_star() {
         let src = "signature S = sig val f : int * int -> int -> bool end";
         let p = parse(src).unwrap();
-        let TopDec::Signature { sig: SigExp::Body(specs, _), .. } = &p.decls[0] else {
+        let TopDec::Signature {
+            sig: SigExp::Body(specs, _),
+            ..
+        } = &p.decls[0]
+        else {
             panic!()
         };
-        let Spec::Val { ty: TyExp::Arrow(dom, cod, _), .. } = &specs[0] else { panic!() };
+        let Spec::Val {
+            ty: TyExp::Arrow(dom, cod, _),
+            ..
+        } = &specs[0]
+        else {
+            panic!()
+        };
         assert!(matches!(**dom, TyExp::Prod(_, _)));
         assert!(matches!(**cod, TyExp::Arrow(_, _, _)));
     }
@@ -709,7 +824,12 @@ mod tests {
               val uncons : t -> int * t
             end";
         let p = parse(src).unwrap();
-        let TopDec::Signature { name, sig: SigExp::Body(specs, _), .. } = &p.decls[0] else {
+        let TopDec::Signature {
+            name,
+            sig: SigExp::Body(specs, _),
+            ..
+        } = &p.decls[0]
+        else {
             panic!()
         };
         assert_eq!(name, "LIST");
@@ -728,11 +848,17 @@ mod tests {
               fun cons (p : int * t) : t = CONS p
             end";
         let p = parse(src).unwrap();
-        let TopDec::Structure { rec_, binds, .. } = &p.decls[0] else { panic!() };
+        let TopDec::Structure { rec_, binds, .. } = &p.decls[0] else {
+            panic!()
+        };
         assert!(rec_);
         assert_eq!(binds[0].name, "List");
-        let Some((SigExp::Body(specs, _), false)) = &binds[0].ann else { panic!() };
-        let Spec::Datatype { ctors, .. } = &specs[0] else { panic!() };
+        let Some((SigExp::Body(specs, _), false)) = &binds[0].ann else {
+            panic!()
+        };
+        let Spec::Datatype { ctors, .. } = &specs[0] else {
+            panic!()
+        };
         assert_eq!(ctors.len(), 2);
         assert_eq!(ctors[1].name, "CONS");
     }
@@ -743,10 +869,14 @@ mod tests {
             structure rec Expr :> EXPR where type dec = Decl.dec = struct end
             and Decl :> DECL where type exp = Expr.exp = struct end";
         let p = parse(src).unwrap();
-        let TopDec::Structure { rec_, binds, .. } = &p.decls[0] else { panic!() };
+        let TopDec::Structure { rec_, binds, .. } = &p.decls[0] else {
+            panic!()
+        };
         assert!(rec_);
         assert_eq!(binds.len(), 2);
-        let Some((SigExp::WhereType { path, .. }, true)) = &binds[0].ann else { panic!() };
+        let Some((SigExp::WhereType { path, .. }, true)) = &binds[0].ann else {
+            panic!()
+        };
         assert_eq!(path.dotted(), "dec");
     }
 
@@ -757,10 +887,17 @@ mod tests {
               struct end
             structure L = BuildList (structure List = L0)";
         let p = parse(src).unwrap();
-        let TopDec::Functor { name, param_rec, .. } = &p.decls[0] else { panic!() };
+        let TopDec::Functor {
+            name, param_rec, ..
+        } = &p.decls[0]
+        else {
+            panic!()
+        };
         assert_eq!(name, "BuildList");
         assert!(param_rec);
-        let TopDec::Structure { binds, .. } = &p.decls[1] else { panic!() };
+        let TopDec::Structure { binds, .. } = &p.decls[1] else {
+            panic!()
+        };
         assert!(matches!(binds[0].body, StrExp::App { .. }));
     }
 
@@ -770,7 +907,9 @@ mod tests {
         let Exp::Case(_, arms, _) = e else { panic!() };
         assert_eq!(arms.len(), 2);
         assert!(matches!(&arms[0].0, Pat::Var(n, _) if n == "NIL"));
-        let Pat::Con(p, Some(arg), _) = &arms[1].0 else { panic!() };
+        let Pat::Con(p, Some(arg), _) = &arms[1].0 else {
+            panic!()
+        };
         assert_eq!(p.dotted(), "CONS");
         assert!(matches!(**arg, Pat::Tuple(_, _)));
     }
@@ -800,7 +939,9 @@ mod tests {
     fn parses_sealed_structure() {
         let src = "structure S :> sig type t val x : t end = struct type t = int val x = 3 end";
         let p = parse(src).unwrap();
-        let TopDec::Structure { binds, .. } = &p.decls[0] else { panic!() };
+        let TopDec::Structure { binds, .. } = &p.decls[0] else {
+            panic!()
+        };
         assert!(matches!(&binds[0].ann, Some((_, true))));
     }
 

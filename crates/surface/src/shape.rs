@@ -222,16 +222,22 @@ mod tests {
     fn sample() -> Shape {
         Shape {
             fields: vec![
-                ("t".into(), Item::Data(DataInfo {
-                    ctors: vec![("NIL".into(), false), ("CONS".into(), true)],
-                })),
+                (
+                    "t".into(),
+                    Item::Data(DataInfo {
+                        ctors: vec![("NIL".into(), false), ("CONS".into(), true)],
+                    }),
+                ),
                 ("NIL".into(), Item::Val),
                 ("CONS".into(), Item::Val),
                 ("u".into(), Item::Ty),
                 ("cons".into(), Item::Val),
-                ("Sub".into(), Item::Struct(Shape {
-                    fields: vec![("v".into(), Item::Ty)],
-                })),
+                (
+                    "Sub".into(),
+                    Item::Struct(Shape {
+                        fields: vec![("v".into(), Item::Ty)],
+                    }),
+                ),
             ],
         }
     }
@@ -265,7 +271,10 @@ mod tests {
     fn projections_match_tuple_layout() {
         // A 3-tuple ⟨a, ⟨b, c⟩⟩: slot 0 = π1, slot 1 = π1 π2, slot 2 = π2 π2.
         let base = Con::Var(0);
-        assert_eq!(con_proj(base.clone(), 0, 3), Con::Proj1(Box::new(base.clone())));
+        assert_eq!(
+            con_proj(base.clone(), 0, 3),
+            Con::Proj1(Box::new(base.clone()))
+        );
         assert_eq!(
             con_proj(base.clone(), 1, 3),
             Con::Proj1(Box::new(Con::Proj2(Box::new(base.clone()))))

@@ -297,10 +297,7 @@ mod tests {
         let k = Kind::arrow(Kind::Type, Kind::Singleton(Con::Var(0)));
         assert_eq!(
             k,
-            Kind::Pi(
-                Box::new(Kind::Type),
-                Box::new(Kind::Singleton(Con::Var(1)))
-            )
+            Kind::Pi(Box::new(Kind::Type), Box::new(Kind::Singleton(Con::Var(1))))
         );
     }
 

@@ -38,6 +38,7 @@ pub mod ast;
 pub mod dsl;
 pub mod map;
 pub mod pretty;
+pub mod size;
 pub mod subst;
 
 pub use ast::{Con, Index, Kind, Module, PrimOp, Sig, Term, Ty};

@@ -119,7 +119,9 @@ pub fn map_term<M: VarMap>(e: &Term, d: usize, m: &mut M) -> Term {
 /// Applies `m` to every variable occurrence in `s`, starting at depth `d`.
 pub fn map_sig<M: VarMap>(s: &Sig, d: usize, m: &mut M) -> Sig {
     match s {
-        Sig::Struct(k, t) => Sig::Struct(Box::new(map_kind(k, d, m)), Box::new(map_ty(t, d + 1, m))),
+        Sig::Struct(k, t) => {
+            Sig::Struct(Box::new(map_kind(k, d, m)), Box::new(map_ty(t, d + 1, m)))
+        }
         Sig::Rds(s) => Sig::Rds(Box::new(map_sig(s, d + 1, m))),
     }
 }
@@ -133,9 +135,8 @@ pub fn map_module<M: VarMap>(md: &Module, d: usize, m: &mut M) -> Module {
             Box::new(map_sig(s, d, m)),
             Box::new(map_module(b, d + 1, m)),
         ),
-        Module::Seal(b, s) => Module::Seal(
-            Box::new(map_module(b, d, m)),
-            Box::new(map_sig(s, d, m)),
-        ),
+        Module::Seal(b, s) => {
+            Module::Seal(Box::new(map_module(b, d, m)), Box::new(map_sig(s, d, m)))
+        }
     }
 }

@@ -129,7 +129,11 @@ pub fn module_to_string(m: &Module, names: &mut Names) -> String {
 
 // Precedence levels: 0 = loosest (arrows), 1 = products/sums, 2 = application,
 // 3 = atomic.
-fn paren(f: &mut String, need: bool, inner: impl FnOnce(&mut String) -> fmt::Result) -> fmt::Result {
+fn paren(
+    f: &mut String,
+    need: bool,
+    inner: impl FnOnce(&mut String) -> fmt::Result,
+) -> fmt::Result {
     if need {
         f.push('(');
         inner(f)?;
@@ -487,10 +491,7 @@ mod tests {
     #[test]
     fn prints_singleton_mu() {
         // μa:Q(int).a
-        let c = Con::Mu(
-            Box::new(Kind::Singleton(Con::Int)),
-            Box::new(Con::Var(0)),
-        );
+        let c = Con::Mu(Box::new(Kind::Singleton(Con::Int)), Box::new(Con::Var(0)));
         assert_eq!(con_to_string(&c, &mut Names::new()), "\u{03bc}a:Q(int).a");
     }
 

@@ -1,0 +1,105 @@
+//! AST node counts.
+//!
+//! Every function counts one node per syntax-tree constructor, recursing
+//! into embedded classes (a `Q(c)` kind counts `1 + con_size(c)`, and so
+//! on). The phase splitter uses these to report its input/output sizes
+//! and blowup factor; they are also handy for quick complexity checks in
+//! tests and benches.
+
+use crate::ast::{Con, Kind, Module, Sig, Term, Ty};
+
+/// Node count of a kind.
+pub fn kind_size(k: &Kind) -> usize {
+    match k {
+        Kind::Type | Kind::Unit => 1,
+        Kind::Singleton(c) => 1 + con_size(c),
+        Kind::Pi(k1, k2) | Kind::Sigma(k1, k2) => 1 + kind_size(k1) + kind_size(k2),
+    }
+}
+
+/// Node count of a constructor.
+pub fn con_size(c: &Con) -> usize {
+    match c {
+        Con::Var(_) | Con::Fst(_) | Con::Star | Con::Int | Con::Bool | Con::UnitTy => 1,
+        Con::Lam(k, body) | Con::Mu(k, body) => 1 + kind_size(k) + con_size(body),
+        Con::App(a, b) | Con::Pair(a, b) | Con::Arrow(a, b) | Con::Prod(a, b) => {
+            1 + con_size(a) + con_size(b)
+        }
+        Con::Proj1(a) | Con::Proj2(a) => 1 + con_size(a),
+        Con::Sum(cs) => 1 + cs.iter().map(con_size).sum::<usize>(),
+    }
+}
+
+/// Node count of a type.
+pub fn ty_size(t: &Ty) -> usize {
+    match t {
+        Ty::Con(c) => 1 + con_size(c),
+        Ty::Unit => 1,
+        Ty::Total(a, b) | Ty::Partial(a, b) | Ty::Prod(a, b) => 1 + ty_size(a) + ty_size(b),
+        Ty::Forall(k, t) => 1 + kind_size(k) + ty_size(t),
+    }
+}
+
+/// Node count of a term.
+pub fn term_size(e: &Term) -> usize {
+    match e {
+        Term::Var(_) | Term::Snd(_) | Term::Star | Term::IntLit(_) | Term::BoolLit(_) => 1,
+        Term::Lam(t, body) | Term::Fix(t, body) => 1 + ty_size(t) + term_size(body),
+        Term::App(a, b) | Term::Pair(a, b) | Term::Let(a, b) => 1 + term_size(a) + term_size(b),
+        Term::Proj1(a) | Term::Proj2(a) | Term::Unroll(a) => 1 + term_size(a),
+        Term::TLam(k, body) => 1 + kind_size(k) + term_size(body),
+        Term::TApp(e, c) => 1 + term_size(e) + con_size(c),
+        Term::Prim(_, args) => 1 + args.iter().map(term_size).sum::<usize>(),
+        Term::If(a, b, c) => 1 + term_size(a) + term_size(b) + term_size(c),
+        Term::Inj(_, c, e) => 1 + con_size(c) + term_size(e),
+        Term::Case(scrut, branches) => {
+            1 + term_size(scrut) + branches.iter().map(term_size).sum::<usize>()
+        }
+        Term::Roll(c, e) => 1 + con_size(c) + term_size(e),
+        Term::Fail(t) => 1 + ty_size(t),
+    }
+}
+
+/// Node count of a signature.
+pub fn sig_size(s: &Sig) -> usize {
+    match s {
+        Sig::Struct(k, t) => 1 + kind_size(k) + ty_size(t),
+        Sig::Rds(s) => 1 + sig_size(s),
+    }
+}
+
+/// Node count of a module.
+pub fn module_size(m: &Module) -> usize {
+    match m {
+        Module::Var(_) => 1,
+        Module::Struct(c, e) => 1 + con_size(c) + term_size(e),
+        Module::Fix(s, m) => 1 + sig_size(s) + module_size(m),
+        Module::Seal(m, s) => 1 + module_size(m) + sig_size(s),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::{cvar, mu, q};
+
+    #[test]
+    fn leaf_sizes() {
+        assert_eq!(con_size(&Con::Int), 1);
+        assert_eq!(kind_size(&Kind::Type), 1);
+        assert_eq!(term_size(&Term::Star), 1);
+    }
+
+    #[test]
+    fn mu_counts_kind_and_body() {
+        // μα:Q(int).α = Mu + (Singleton + Int) + Var = 4
+        let c = mu(q(Con::Int), cvar(0));
+        assert_eq!(con_size(&c), 4);
+    }
+
+    #[test]
+    fn module_counts_both_phases() {
+        let m = Module::Struct(Con::Int, Term::IntLit(7));
+        assert_eq!(module_size(&m), 3);
+    }
+}

@@ -164,27 +164,62 @@ impl VarMap for SubstCon<'_> {
 /// `k[c/α]` where `α` is the innermost binder of `k`'s context
 /// (index `0`); the binder is removed.
 pub fn subst_con_kind(k: &Kind, c: &Con) -> Kind {
-    map_kind(k, 0, &mut SubstCon { target: 0, replacement: c })
+    map_kind(
+        k,
+        0,
+        &mut SubstCon {
+            target: 0,
+            replacement: c,
+        },
+    )
 }
 
 /// `body[c/α]` for constructors (index `0`; removes the binder).
 pub fn subst_con_con(body: &Con, c: &Con) -> Con {
-    map_con(body, 0, &mut SubstCon { target: 0, replacement: c })
+    map_con(
+        body,
+        0,
+        &mut SubstCon {
+            target: 0,
+            replacement: c,
+        },
+    )
 }
 
 /// `t[c/α]` for types (index `0`; removes the binder).
 pub fn subst_con_ty(t: &Ty, c: &Con) -> Ty {
-    map_ty(t, 0, &mut SubstCon { target: 0, replacement: c })
+    map_ty(
+        t,
+        0,
+        &mut SubstCon {
+            target: 0,
+            replacement: c,
+        },
+    )
 }
 
 /// `e[c/α]` for terms (index `0`; removes the binder).
 pub fn subst_con_term(e: &Term, c: &Con) -> Term {
-    map_term(e, 0, &mut SubstCon { target: 0, replacement: c })
+    map_term(
+        e,
+        0,
+        &mut SubstCon {
+            target: 0,
+            replacement: c,
+        },
+    )
 }
 
 /// `s[c/α]` for signatures (index `0`; removes the binder).
 pub fn subst_con_sig(s: &Sig, c: &Con) -> Sig {
-    map_sig(s, 0, &mut SubstCon { target: 0, replacement: c })
+    map_sig(
+        s,
+        0,
+        &mut SubstCon {
+            target: 0,
+            replacement: c,
+        },
+    )
 }
 
 // ---------------------------------------------------------------------------
@@ -386,7 +421,10 @@ mod tests {
         // body = λy:1. x(1); substitute 42 for x.
         let body = Term::Lam(Box::new(Ty::Unit), Box::new(Term::Var(1)));
         let out = subst_term_term(&body, &Term::IntLit(42));
-        assert_eq!(out, Term::Lam(Box::new(Ty::Unit), Box::new(Term::IntLit(42))));
+        assert_eq!(
+            out,
+            Term::Lam(Box::new(Ty::Unit), Box::new(Term::IntLit(42)))
+        );
     }
 
     #[test]
@@ -394,15 +432,24 @@ mod tests {
         // e = snd(s₀) applied to Fst-typed thing… keep it simple:
         // e = (snd(0), snd(1)); substituting [int, 42] for s₀ gives (42, snd(0)).
         let e = Term::Pair(Box::new(Term::Snd(0)), Box::new(Term::Snd(1)));
-        let parts = ModParts { fst: Con::Int, snd: Some(Term::IntLit(42)) };
+        let parts = ModParts {
+            fst: Con::Int,
+            snd: Some(Term::IntLit(42)),
+        };
         let out = subst_mod_term(&e, &parts);
-        assert_eq!(out, Term::Pair(Box::new(Term::IntLit(42)), Box::new(Term::Snd(0))));
+        assert_eq!(
+            out,
+            Term::Pair(Box::new(Term::IntLit(42)), Box::new(Term::Snd(0)))
+        );
     }
 
     #[test]
     fn subst_mod_whole_module() {
         let m = Module::Var(0);
-        let parts = ModParts { fst: Con::Int, snd: Some(Term::IntLit(7)) };
+        let parts = ModParts {
+            fst: Con::Int,
+            snd: Some(Term::IntLit(7)),
+        };
         let out = subst_mod_module(&m, &parts);
         assert_eq!(out, Module::Struct(Con::Int, Term::IntLit(7)));
     }
@@ -410,11 +457,14 @@ mod tests {
     #[test]
     fn subst_mod_sig_static_only() {
         // S = [α:Q(Fst(s₀)) . 1]; substituting fst=int gives [α:Q(int).1].
-        let s = Sig::Struct(
-            Box::new(Kind::Singleton(Con::Fst(0))),
-            Box::new(Ty::Unit),
+        let s = Sig::Struct(Box::new(Kind::Singleton(Con::Fst(0))), Box::new(Ty::Unit));
+        let out = subst_mod_sig(
+            &s,
+            &ModParts {
+                fst: Con::Int,
+                snd: None,
+            },
         );
-        let out = subst_mod_sig(&s, &ModParts { fst: Con::Int, snd: None });
         assert_eq!(
             out,
             Sig::Struct(Box::new(Kind::Singleton(Con::Int)), Box::new(Ty::Unit))
@@ -425,11 +475,14 @@ mod tests {
     fn subst_mod_under_sig_binder_shifts() {
         // S = [α:T . Con(Fst(s₀+1 under α = index 1))]: the type component
         // sits under the α binder, so s₀ appears as index 1 there.
-        let s = Sig::Struct(
-            Box::new(Kind::Type),
-            Box::new(Ty::Con(Con::Fst(1))),
+        let s = Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Fst(1))));
+        let out = subst_mod_sig(
+            &s,
+            &ModParts {
+                fst: Con::Bool,
+                snd: None,
+            },
         );
-        let out = subst_mod_sig(&s, &ModParts { fst: Con::Bool, snd: None });
         assert_eq!(
             out,
             Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Bool)))

@@ -1,0 +1,547 @@
+//! # recmod-telemetry
+//!
+//! A zero-external-dependency telemetry layer for the recmod pipeline:
+//!
+//! * **counters** — named monotone counters and high-water marks;
+//! * **spans** — hierarchical wall-clock timings (via
+//!   [`std::time::Instant`]) assembled into a tree;
+//! * **trace** — a derivation-trace sink recording indented judgement
+//!   lines, bounded in both depth and total width;
+//! * **JSON** — a hand-rolled emitter (and minimal parser, for tests)
+//!   in [`json`].
+//!
+//! The sink is *runtime-checked and thread-local*: instrumented code
+//! calls [`count`], [`span`], or [`trace_span`] unconditionally, and
+//! each call first reads a thread-local flag. When no sink is installed
+//! (the default), every entry point is a branch on a `Cell<bool>` and
+//! nothing else — the disabled path allocates nothing and never reads
+//! the clock. A test in the workspace asserts this stays within noise
+//! of the pre-instrumentation baseline.
+//!
+//! Because the sink is thread-local, an evaluation running on a
+//! dedicated big-stack thread must install its own sink and ship the
+//! resulting [`Report`] back (reports are `Send`); [`Report::absorb`]
+//! merges two reports.
+//!
+//! # Example
+//!
+//! ```
+//! use recmod_telemetry as telemetry;
+//!
+//! telemetry::install(telemetry::Config::default());
+//! {
+//!     let _outer = telemetry::span("compile");
+//!     telemetry::count("parser.tokens", 42);
+//! }
+//! let report = telemetry::uninstall().unwrap();
+//! assert_eq!(report.counter("parser.tokens"), 42);
+//! assert_eq!(report.spans[0].name, "compile");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+
+use std::cell::{Cell, RefCell};
+use std::collections::BTreeMap;
+use std::time::Instant;
+
+// ---------------------------------------------------------------------
+// Thread-local sink state
+// ---------------------------------------------------------------------
+
+thread_local! {
+    /// Fast-path flag: is a sink installed on this thread?
+    static ACTIVE: Cell<bool> = const { Cell::new(false) };
+    /// Fast-path flag: is derivation tracing requested?
+    static TRACING: Cell<bool> = const { Cell::new(false) };
+    static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
+}
+
+/// Sink configuration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Record derivation-trace lines at most this deep (`None` disables
+    /// tracing entirely; depth 0 records only top-level judgements).
+    pub trace_depth: Option<usize>,
+    /// Maximum number of trace lines retained (width limit); further
+    /// lines are counted as dropped, not stored.
+    pub trace_max_lines: usize,
+    /// Maximum number of span nodes retained; further spans still time
+    /// their parents correctly but are not recorded individually.
+    pub span_max_nodes: usize,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        Config {
+            trace_depth: None,
+            trace_max_lines: 10_000,
+            span_max_nodes: 10_000,
+        }
+    }
+}
+
+impl Config {
+    /// A config with derivation tracing enabled to `depth`.
+    pub fn with_trace(depth: usize) -> Self {
+        Config {
+            trace_depth: Some(depth),
+            ..Config::default()
+        }
+    }
+}
+
+/// One recorded span: a name, its wall-clock duration, and children.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Span {
+    /// The span label.
+    pub name: &'static str,
+    /// Elapsed wall-clock nanoseconds.
+    pub nanos: u64,
+    /// Nested spans, in completion order.
+    pub children: Vec<Span>,
+}
+
+/// An open span: children accumulate until the guard closes it.
+#[derive(Debug)]
+struct OpenSpan {
+    name: &'static str,
+    start: Instant,
+    children: Vec<Span>,
+}
+
+/// One recorded trace line: nesting depth plus rendered judgement.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TraceLine {
+    /// Nesting depth of the judgement (0 = top level).
+    pub depth: usize,
+    /// The rendered judgement.
+    pub text: String,
+}
+
+#[derive(Debug)]
+struct Sink {
+    config: Config,
+    counters: BTreeMap<&'static str, u64>,
+    span_roots: Vec<Span>,
+    span_stack: Vec<OpenSpan>,
+    span_nodes: usize,
+    span_dropped: u64,
+    trace_lines: Vec<TraceLine>,
+    trace_depth: usize,
+    trace_dropped: u64,
+}
+
+impl Sink {
+    fn new(config: Config) -> Self {
+        Sink {
+            config,
+            counters: BTreeMap::new(),
+            span_roots: Vec::new(),
+            span_stack: Vec::new(),
+            span_nodes: 0,
+            span_dropped: 0,
+            trace_lines: Vec::new(),
+            trace_depth: 0,
+            trace_dropped: 0,
+        }
+    }
+
+    fn into_report(mut self) -> Report {
+        // Close any spans left open (e.g. uninstall inside a guard):
+        // attribute the time measured so far so the tree stays a tree.
+        while let Some(open) = self.span_stack.pop() {
+            let span = Span {
+                name: open.name,
+                nanos: open.start.elapsed().as_nanos() as u64,
+                children: open.children,
+            };
+            match self.span_stack.last_mut() {
+                Some(parent) => parent.children.push(span),
+                None => self.span_roots.push(span),
+            }
+        }
+        Report {
+            counters: self.counters,
+            spans: self.span_roots,
+            spans_dropped: self.span_dropped,
+            trace: self.trace_lines,
+            trace_dropped: self.trace_dropped,
+        }
+    }
+}
+
+/// Everything one sink recorded. Plain data: `Send`, mergeable.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Report {
+    /// Counter totals, keyed by counter name.
+    pub counters: BTreeMap<&'static str, u64>,
+    /// Completed top-level spans in completion order.
+    pub spans: Vec<Span>,
+    /// Spans not recorded because the node limit was hit.
+    pub spans_dropped: u64,
+    /// Recorded derivation-trace lines, in emission order.
+    pub trace: Vec<TraceLine>,
+    /// Trace lines not recorded because of the depth or width limits.
+    pub trace_dropped: u64,
+}
+
+impl Report {
+    /// The value of a counter (0 when never touched).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Merges `other` into `self`: counters add (high-water marks take
+    /// the max — names ending in `.hwm` are treated as marks), spans
+    /// and trace lines append.
+    pub fn absorb(&mut self, other: Report) {
+        for (k, v) in other.counters {
+            let slot = self.counters.entry(k).or_insert(0);
+            if k.ends_with(".hwm") {
+                *slot = (*slot).max(v);
+            } else {
+                *slot += v;
+            }
+        }
+        self.spans.extend(other.spans);
+        self.spans_dropped += other.spans_dropped;
+        self.trace.extend(other.trace);
+        self.trace_dropped += other.trace_dropped;
+    }
+
+    /// Renders the trace as an indented listing (two spaces per level).
+    pub fn render_trace(&self) -> String {
+        let mut out = String::new();
+        for line in &self.trace {
+            for _ in 0..line.depth {
+                out.push_str("  ");
+            }
+            out.push_str(&line.text);
+            out.push('\n');
+        }
+        if self.trace_dropped > 0 {
+            out.push_str(&format!(
+                "… {} trace line(s) beyond the depth/width limits\n",
+                self.trace_dropped
+            ));
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
+// Install / uninstall
+// ---------------------------------------------------------------------
+
+/// Installs a fresh sink on the current thread, replacing (and
+/// discarding) any previous one.
+pub fn install(config: Config) {
+    TRACING.with(|t| t.set(config.trace_depth.is_some()));
+    ACTIVE.with(|a| a.set(true));
+    SINK.with(|s| *s.borrow_mut() = Some(Sink::new(config)));
+}
+
+/// Removes the current thread's sink and returns what it recorded.
+pub fn uninstall() -> Option<Report> {
+    ACTIVE.with(|a| a.set(false));
+    TRACING.with(|t| t.set(false));
+    SINK.with(|s| s.borrow_mut().take()).map(Sink::into_report)
+}
+
+/// Is a sink installed on this thread? (The fast-path check every
+/// instrumented call performs first.)
+#[inline]
+pub fn enabled() -> bool {
+    ACTIVE.with(|a| a.get())
+}
+
+/// Is derivation tracing requested? Callers use this to skip building
+/// trace payloads (rendering judgements is far more expensive than the
+/// check).
+#[inline]
+pub fn trace_enabled() -> bool {
+    TRACING.with(|t| t.get())
+}
+
+fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> Option<R> {
+    SINK.with(|s| s.borrow_mut().as_mut().map(f))
+}
+
+// ---------------------------------------------------------------------
+// Counters
+// ---------------------------------------------------------------------
+
+/// Adds `n` to the named counter. No-op without a sink.
+#[inline]
+pub fn count(name: &'static str, n: u64) {
+    if enabled() {
+        with_sink(|s| *s.counters.entry(name).or_insert(0) += n);
+    }
+}
+
+/// Raises the named high-water mark to at least `v`. No-op without a
+/// sink. By convention mark names end in `.hwm` (so [`Report::absorb`]
+/// merges them with `max` rather than `+`).
+#[inline]
+pub fn count_max(name: &'static str, v: u64) {
+    if enabled() {
+        with_sink(|s| {
+            let slot = s.counters.entry(name).or_insert(0);
+            *slot = (*slot).max(v);
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Spans
+// ---------------------------------------------------------------------
+
+/// Opens a hierarchical timed span; the returned guard closes it on
+/// drop. Without a sink the guard is inert and the clock is never read.
+#[must_use = "a span measures until the guard is dropped"]
+pub fn span(name: &'static str) -> SpanGuard {
+    if !enabled() {
+        return SpanGuard { active: false };
+    }
+    with_sink(|s| {
+        s.span_stack.push(OpenSpan {
+            name,
+            start: Instant::now(),
+            children: Vec::new(),
+        })
+    });
+    SpanGuard { active: true }
+}
+
+/// Guard for an open [`span`]; closes the span when dropped.
+#[derive(Debug)]
+pub struct SpanGuard {
+    active: bool,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        with_sink(|s| {
+            // Tolerate a sink swapped out mid-span: nothing to close.
+            let Some(open) = s.span_stack.pop() else {
+                return;
+            };
+            let node = Span {
+                name: open.name,
+                nanos: open.start.elapsed().as_nanos() as u64,
+                children: open.children,
+            };
+            if s.span_nodes >= s.config.span_max_nodes {
+                s.span_dropped += 1;
+                // Still merge the children upward so completed subtrees
+                // are not silently lost.
+                let kids = node.children;
+                match s.span_stack.last_mut() {
+                    Some(parent) => parent.children.extend(kids),
+                    None => s.span_roots.extend(kids),
+                }
+                return;
+            }
+            s.span_nodes += 1;
+            match s.span_stack.last_mut() {
+                Some(parent) => parent.children.push(node),
+                None => s.span_roots.push(node),
+            }
+        });
+    }
+}
+
+// ---------------------------------------------------------------------
+// Derivation trace
+// ---------------------------------------------------------------------
+
+/// Records one derivation step at the current nesting depth and deepens
+/// the nesting until the guard drops. `render` is only invoked when the
+/// line will actually be stored (within the depth and width limits), so
+/// the disabled path never formats anything.
+#[must_use = "the trace guard tracks judgement nesting until dropped"]
+pub fn trace_span(render: impl FnOnce() -> String) -> TraceGuard {
+    if !trace_enabled() {
+        return TraceGuard { active: false };
+    }
+    let mut render = Some(render);
+    with_sink(|s| {
+        let within_depth = s.config.trace_depth.is_some_and(|d| s.trace_depth <= d);
+        let within_width = s.trace_lines.len() < s.config.trace_max_lines;
+        if within_depth && within_width {
+            let text = (render.take().expect("render used once"))();
+            s.trace_lines.push(TraceLine {
+                depth: s.trace_depth,
+                text,
+            });
+        } else {
+            s.trace_dropped += 1;
+        }
+        s.trace_depth += 1;
+    });
+    TraceGuard { active: true }
+}
+
+/// Guard for a [`trace_span`]; shallows the nesting when dropped.
+#[derive(Debug)]
+pub struct TraceGuard {
+    active: bool,
+}
+
+impl Drop for TraceGuard {
+    fn drop(&mut self) {
+        if self.active {
+            with_sink(|s| s.trace_depth = s.trace_depth.saturating_sub(1));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_sink_records_nothing() {
+        assert!(!enabled());
+        count("x", 5);
+        let _g = span("nothing");
+        drop(_g);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn counters_add_and_marks_max() {
+        install(Config::default());
+        count("a", 2);
+        count("a", 3);
+        count_max("d.hwm", 7);
+        count_max("d.hwm", 4);
+        let r = uninstall().unwrap();
+        assert_eq!(r.counter("a"), 5);
+        assert_eq!(r.counter("d.hwm"), 7);
+        assert_eq!(r.counter("untouched"), 0);
+    }
+
+    #[test]
+    fn spans_nest_into_a_tree() {
+        install(Config::default());
+        {
+            let _outer = span("outer");
+            {
+                let _inner = span("inner");
+            }
+            {
+                let _inner2 = span("inner2");
+            }
+        }
+        let r = uninstall().unwrap();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "outer");
+        let kids: Vec<_> = r.spans[0].children.iter().map(|s| s.name).collect();
+        assert_eq!(kids, ["inner", "inner2"]);
+    }
+
+    #[test]
+    fn span_guard_outliving_sink_is_harmless() {
+        install(Config::default());
+        let g = span("orphan");
+        let _ = uninstall().unwrap();
+        drop(g); // must not panic
+        assert!(!enabled());
+    }
+
+    #[test]
+    fn uninstall_closes_open_spans() {
+        install(Config::default());
+        let _g1 = span("a");
+        let _g2 = span("b");
+        let r = uninstall().unwrap();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "a");
+        assert_eq!(r.spans[0].children[0].name, "b");
+    }
+
+    #[test]
+    fn trace_respects_depth_limit() {
+        install(Config::with_trace(1));
+        {
+            let _a = trace_span(|| "level0".into());
+            {
+                let _b = trace_span(|| "level1".into());
+                {
+                    let _c = trace_span(|| "level2 (dropped)".into());
+                }
+            }
+        }
+        let r = uninstall().unwrap();
+        let depths: Vec<_> = r.trace.iter().map(|l| l.depth).collect();
+        assert_eq!(depths, [0, 1]);
+        assert_eq!(r.trace_dropped, 1);
+    }
+
+    #[test]
+    fn trace_respects_width_limit() {
+        install(Config {
+            trace_depth: Some(10),
+            trace_max_lines: 3,
+            ..Config::default()
+        });
+        for i in 0..5 {
+            let _g = trace_span(|| format!("line {i}"));
+        }
+        let r = uninstall().unwrap();
+        assert_eq!(r.trace.len(), 3);
+        assert_eq!(r.trace_dropped, 2);
+    }
+
+    #[test]
+    fn trace_render_closure_not_called_when_dropped() {
+        install(Config::with_trace(0));
+        let _a = trace_span(|| "kept".into());
+        let _b = trace_span(|| panic!("must not render beyond the depth limit"));
+        drop(_b);
+        drop(_a);
+        let r = uninstall().unwrap();
+        assert_eq!(r.trace.len(), 1);
+    }
+
+    #[test]
+    fn absorb_merges_counters_spans_and_trace() {
+        install(Config::with_trace(2));
+        count("n", 1);
+        count_max("m.hwm", 9);
+        let _ = trace_span(|| "one".into());
+        let mut a = uninstall().unwrap();
+
+        install(Config::with_trace(2));
+        count("n", 2);
+        count_max("m.hwm", 4);
+        {
+            let _s = span("child");
+        }
+        let b = uninstall().unwrap();
+
+        a.absorb(b);
+        assert_eq!(a.counter("n"), 3);
+        assert_eq!(a.counter("m.hwm"), 9);
+        assert_eq!(a.spans.len(), 1);
+        assert_eq!(a.trace.len(), 1);
+    }
+
+    #[test]
+    fn render_trace_indents() {
+        install(Config::with_trace(3));
+        {
+            let _a = trace_span(|| "outer".into());
+            let _b = trace_span(|| "inner".into());
+        }
+        let r = uninstall().unwrap();
+        assert_eq!(r.render_trace(), "outer\n  inner\n");
+    }
+}

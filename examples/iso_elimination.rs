@@ -58,16 +58,23 @@ fn main() {
     let flat = collapse_mu(&nested).expect("nested towers collapse");
     println!("  nested = {}", show(&nested));
     println!("  flat   = {}", show(&flat));
-    println!("  bisimilarity (equi engine): {}", verdict(RecMode::Equi, &nested, &flat));
-    println!("  nested μμ towers after elimination: {}",
-        nested_mu_count(&eliminate_nested_mu(&nested)));
+    println!(
+        "  bisimilarity (equi engine): {}",
+        verdict(RecMode::Equi, &nested, &flat)
+    );
+    println!(
+        "  nested μμ towers after elimination: {}",
+        nested_mu_count(&eliminate_nested_mu(&nested))
+    );
 
     println!();
     println!("── In practice: the transparent List's static part ─────────");
     let compiled = recmod::compile(recmod::corpus::TRANSPARENT_LIST).expect("compiles");
     let mut elab = compiled.elab;
     let (sig, _) = elab.ctx.lookup_struct(0).expect("one binding");
-    let recmod::syntax::ast::Sig::Struct(k, _) = sig else { unreachable!() };
+    let recmod::syntax::ast::Sig::Struct(k, _) = sig else {
+        unreachable!()
+    };
     let def = recmod::kernel::singleton::kind_definition(&k).expect("transparent");
     let tc = Tc::new();
     let w = tc.whnf(&mut elab.ctx, &def).expect("normalizes");
@@ -75,7 +82,9 @@ fn main() {
     println!("    {}", show(&w));
     println!("  nested μμ towers: {}", nested_mu_count(&w));
     let eliminated = eliminate_nested_mu(&w);
-    println!("  after §5 elimination: {} towers, equal in equi theory: {}",
+    println!(
+        "  after §5 elimination: {} towers, equal in equi theory: {}",
         nested_mu_count(&eliminated),
-        verdict(RecMode::Equi, &w, &eliminated));
+        verdict(RecMode::Equi, &w, &eliminated)
+    );
 }

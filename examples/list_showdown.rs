@@ -26,7 +26,10 @@ fn steps(opaque: bool, n: usize) -> u64 {
 fn main() {
     println!("experiment E1: opaque (§3) vs transparent (§4) recursive List");
     println!();
-    println!("{:>6} {:>14} {:>14} {:>9}", "n", "opaque steps", "transp. steps", "ratio");
+    println!(
+        "{:>6} {:>14} {:>14} {:>9}",
+        "n", "opaque steps", "transp. steps", "ratio"
+    );
     let mut prev: Option<(u64, u64)> = None;
     for n in [10usize, 20, 40, 80, 160] {
         let o = steps(true, n);

@@ -96,7 +96,10 @@ fn main() {
             std::process::exit(1);
         }
     };
-    println!("object programs evaluated: {}", out.value.as_ref().expect("value"));
+    println!(
+        "object programs evaluated: {}",
+        out.value.as_ref().expect("value")
+    );
     println!("interpreter-of-interpreter steps: {}", out.steps);
     println!();
     println!("The Expr/Decl pair is one internal fix(s:S.M); the `where type`");

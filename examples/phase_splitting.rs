@@ -13,7 +13,9 @@ use recmod::kernel::{Ctx, Tc};
 use recmod::phase::{check_split, split_module};
 use recmod::syntax::ast::{Con, Sig, Ty};
 use recmod::syntax::dsl::*;
-use recmod::syntax::pretty::{con_to_string, module_to_string, sig_to_string, term_to_string, Names};
+use recmod::syntax::pretty::{
+    con_to_string, module_to_string, sig_to_string, term_to_string, Names,
+};
 
 fn main() {
     let tc = Tc::new();
@@ -52,7 +54,8 @@ fn main() {
     let resolved = tc.resolve_sig(&mut ctx, &rds_sig).expect("resolves");
     println!("resolution (an ordinary signature):");
     println!("  {}", sig_to_string(&resolved, &mut Names::new()));
-    tc.sig_eq(&mut ctx, &rds_sig, &resolved).expect("definitionally equal");
+    tc.sig_eq(&mut ctx, &rds_sig, &resolved)
+        .expect("definitionally equal");
     println!("kernel confirms: ρs.S = its resolution (signature equality).");
 
     println!();
@@ -66,7 +69,10 @@ fn main() {
             prim(
                 recmod::syntax::ast::PrimOp::Mul,
                 var(0),
-                app(snd(1), prim(recmod::syntax::ast::PrimOp::Sub, var(0), int(1))),
+                app(
+                    snd(1),
+                    prim(recmod::syntax::ast::PrimOp::Sub, var(0), int(1)),
+                ),
             ),
         ),
     );

@@ -41,7 +41,10 @@ fn main() {
     println!("── infinite streams via a recursive module ──");
     match recmod::run(STREAMS) {
         Ok(out) => {
-            println!("(nth 10 naturals, nth 10 evens) = {}", out.value.expect("value"));
+            println!(
+                "(nth 10 naturals, nth 10 evens) = {}",
+                out.value.expect("value")
+            );
             println!("steps: {}", out.steps);
             println!();
             println!("The stream type `unit -> int * Stream.t` is recursive through");

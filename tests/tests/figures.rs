@@ -109,7 +109,8 @@ fn fig3_structures_and_projections() {
     // [int, 42] : [α:Q(int). Con(α)] and Fst/snd typing for variables.
     let m = strct(Con::Int, int(42));
     let mt = tc.synth_module(&mut ctx, &m).unwrap();
-    tc.sig_sub(&mut ctx, &mt.sig, &sig(tkind(), tcon(cvar(0)))).unwrap();
+    tc.sig_sub(&mut ctx, &mt.sig, &sig(tkind(), tcon(cvar(0))))
+        .unwrap();
 
     ctx.with(Entry::Struct(sig(tkind(), tcon(cvar(0))), true), |ctx| {
         // Fst(s) : T and snd(s) : Con(Fst(s)).
@@ -157,12 +158,10 @@ fn fig4_translation_preserves_typing() {
     let tc = Tc::new();
     let mut ctx = Ctx::new();
     let ann = sig(unit_kind(), partial(tcon(Con::Int), tcon(Con::Int)));
-    let body = strct(
-        Con::Star,
-        lam(tcon(Con::Int), app(snd(1), var(0))),
-    );
+    let body = strct(Con::Star, lam(tcon(Con::Int), app(snd(1), var(0))));
     let v = check_split(&tc, &mut ctx, &mfix(ann, body)).unwrap();
-    tc.sig_sub(&mut ctx, &v.translated.sig, &v.original.sig).unwrap();
+    tc.sig_sub(&mut ctx, &v.translated.sig, &v.original.sig)
+        .unwrap();
 }
 
 #[test]
@@ -180,15 +179,16 @@ fn fig4_split_output_evaluates() {
             prim(
                 recmod::syntax::ast::PrimOp::Mul,
                 var(0),
-                app(snd(1), prim(recmod::syntax::ast::PrimOp::Sub, var(0), int(1))),
+                app(
+                    snd(1),
+                    prim(recmod::syntax::ast::PrimOp::Sub, var(0), int(1)),
+                ),
             ),
         ),
     );
     let m = mfix(ann, strct(Con::Star, fact));
     let s = split_module(&tc, &mut ctx, &m).unwrap();
-    let result = Interp::new()
-        .run(&app(s.term, int(5)))
-        .unwrap();
+    let result = Interp::new().run(&app(s.term, int(5))).unwrap();
     assert_eq!(result.as_int().unwrap(), 120);
 }
 
@@ -255,8 +255,12 @@ fn e6_extrusion_of_the_papers_example() {
     ));
     let out = extrude(&tc, &mut ctx, &s).unwrap();
     assert_eq!(out.hoisted, 1);
-    let Sig::Struct(k, _) = &out.sig else { panic!() };
-    let Kind::Sigma(hoisted, inner) = &**k else { panic!() };
+    let Sig::Struct(k, _) = &out.sig else {
+        panic!()
+    };
+    let Kind::Sigma(hoisted, inner) = &**k else {
+        panic!()
+    };
     assert_eq!(**hoisted, Kind::Type);
     assert!(recmod::kernel::singleton::fully_transparent(inner));
     tc.wf_sig(&mut ctx, &out.sig).unwrap();
@@ -276,7 +280,9 @@ fn e7_mu_at_singleton_kind_equals_its_definition() {
     // "...although μα:T.α is a vacuous, uninhabited type (as usual)."
     let vacuous = mu(tkind(), cvar(0));
     tc.check_con(&mut ctx, &vacuous, &tkind()).unwrap();
-    assert!(tc.con_equiv(&mut ctx, &vacuous, &Con::Int, &tkind()).is_err());
+    assert!(tc
+        .con_equiv(&mut ctx, &vacuous, &Con::Int, &tkind())
+        .is_err());
 }
 
 // ---------------------------------------------------------------------
@@ -336,7 +342,9 @@ fn e8_transparent_list_static_part_is_a_nested_mu_that_collapses() {
     let def = recmod::kernel::singleton::kind_definition(&k).unwrap();
     let tc = Tc::new();
     let w = tc.whnf(&mut elab.ctx, &def).unwrap();
-    let Con::Mu(_, _) = &w else { panic!("expected a μ, got {w:?}") };
+    let Con::Mu(_, _) = &w else {
+        panic!("expected a μ, got {w:?}")
+    };
     if nested_mu_count(&w) > 0 {
         let flat = collapse_mu(&w).expect("nested towers collapse");
         tc.con_equiv(&mut elab.ctx, &w, &flat, &tkind()).unwrap();

@@ -88,7 +88,10 @@ fn inj_index_out_of_range() {
     let sum = csum([Con::Int]);
     assert!(matches!(
         tc().synth_term(&mut ctx, &inj(3, sum, int(1))),
-        Err(TypeError::InjIndex { index: 3, summands: 1 })
+        Err(TypeError::InjIndex {
+            index: 3,
+            summands: 1
+        })
     ));
 }
 
@@ -98,7 +101,10 @@ fn branch_count_mismatch() {
     let sum = csum([Con::Int, Con::Bool, Con::UnitTy]);
     assert!(matches!(
         tc().synth_term(&mut ctx, &case(inj(0, sum, int(1)), [var(0)])),
-        Err(TypeError::BranchCount { summands: 3, branches: 1 })
+        Err(TypeError::BranchCount {
+            summands: 3,
+            branches: 1
+        })
     ));
 }
 
@@ -108,7 +114,11 @@ fn prim_arity_mismatch() {
     let bad = Term::Prim(recmod::syntax::ast::PrimOp::Add, vec![int(1)]);
     assert!(matches!(
         tc().synth_term(&mut ctx, &bad),
-        Err(TypeError::PrimArity { expected: 2, found: 1, .. })
+        Err(TypeError::PrimArity {
+            expected: 2,
+            found: 1,
+            ..
+        })
     ));
 }
 
@@ -168,7 +178,7 @@ fn fuel_exhaustion_is_reported_not_hung() {
     let (a, b) = recmod_bench::gen_nested_pair(64, 1);
     assert!(matches!(
         t.con_equiv(&mut ctx, &a, &b, &Kind::Type),
-        Err(TypeError::FuelExhausted(_))
+        Err(TypeError::FuelExhausted { .. })
     ));
 }
 
@@ -215,5 +225,8 @@ fn surface_spans_point_into_the_source() {
     let src = "val x = 1\nval y = unknown_name";
     let err = recmod::compile(src).unwrap_err();
     let rendered = err.render(src);
-    assert!(rendered.starts_with("2:"), "span should be on line 2: {rendered}");
+    assert!(
+        rendered.starts_with("2:"),
+        "span should be on line 2: {rendered}"
+    );
 }

@@ -4,7 +4,7 @@
 //! sequences against a native Rust `Vec` model and against both module
 //! implementations, checking all three agree.
 
-use proptest::prelude::*;
+use recmod_bench::rng::Rng;
 
 /// One abstract list operation.
 #[derive(Debug, Clone)]
@@ -18,15 +18,16 @@ enum Op {
     Null,
 }
 
-fn arb_ops() -> impl Strategy<Value = Vec<Op>> {
-    proptest::collection::vec(
-        prop_oneof![
-            (0i8..100).prop_map(Op::Cons),
-            Just(Op::Uncons),
-            Just(Op::Null),
-        ],
-        1..12,
-    )
+/// A random operation sequence of length 1..12.
+fn gen_ops(rng: &mut Rng) -> Vec<Op> {
+    let len = rng.range(1, 12);
+    (0..len)
+        .map(|_| match rng.below(3) {
+            0 => Op::Cons(rng.range_i64(0, 99) as i8),
+            1 => Op::Uncons,
+            _ => Op::Null,
+        })
+        .collect()
 }
 
 /// The model: a Rust Vec, producing the same checksum the driver does.
@@ -98,21 +99,37 @@ fn run_module(opaque: bool, ops: &[Op]) -> i64 {
         .expect("checksum is an integer")
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(16))]
-
-    /// All three implementations compute the same observable checksum.
-    #[test]
-    fn opaque_and_transparent_agree_with_the_model(ops in arb_ops()) {
+/// All three implementations compute the same observable checksum.
+#[test]
+fn opaque_and_transparent_agree_with_the_model() {
+    let mut rng = Rng::new(0xE1);
+    for case in 0..16 {
+        let ops = gen_ops(&mut rng);
         let expected = model(&ops);
-        prop_assert_eq!(run_module(false, &ops), expected);
-        prop_assert_eq!(run_module(true, &ops), expected);
+        assert_eq!(
+            run_module(false, &ops),
+            expected,
+            "case={case} ops={ops:?} (transparent)"
+        );
+        assert_eq!(
+            run_module(true, &ops),
+            expected,
+            "case={case} ops={ops:?} (opaque)"
+        );
     }
 }
 
 #[test]
 fn fixed_sequence_sanity() {
-    let ops = vec![Op::Cons(3), Op::Null, Op::Cons(5), Op::Uncons, Op::Uncons, Op::Uncons, Op::Null];
+    let ops = vec![
+        Op::Cons(3),
+        Op::Null,
+        Op::Cons(5),
+        Op::Uncons,
+        Op::Uncons,
+        Op::Uncons,
+        Op::Null,
+    ];
     let expected = model(&ops);
     assert_eq!(run_module(false, &ops), expected);
     assert_eq!(run_module(true, &ops), expected);

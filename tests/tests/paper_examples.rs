@@ -70,7 +70,7 @@ fn e3_expr_decl_rds_typechecks_and_runs() {
     let program = format!("{}{}", corpus::EXPR_DECL_RDS, corpus::EXPR_DECL_DRIVER);
     let out = recmod::run(&program).unwrap();
     // size(let val 1 = VAR 7 in (let val 2 = VAR 7 in VAR 9)) =
-    //   (1 + size(VAR 7)) + ((1 + size(VAR 7)) + size(VAR 9)) = 2 + 2 + 1 = 5... 
+    //   (1 + size(VAR 7)) + ((1 + size(VAR 7)) + size(VAR 9)) = 2 + 2 + 1 = 5...
     // computed: make_let_val(1, VAR 7, inner): LET(VAL(1, VAR 7), inner)
     // size = dec_size(VAL(1,VAR 7)) + size(inner) = (1+1) + ((1+1)+1) = 5.
     assert_eq!(out.value_int(), Some(5));
