@@ -125,7 +125,7 @@ pub fn gen_shao_pair(size: usize, seed: u64) -> (Con, Con) {
 /// A μ paired with its one-step unrolling (equal only in equi mode).
 pub fn gen_unrolled_pair(size: usize, seed: u64) -> (Con, Con) {
     let m = gen_regular_mu(size, seed);
-    let u = recmod::kernel::whnf::unroll_mu(&m);
+    let u = recmod::kernel::whnf::unroll_mu(&m).expect("generated constructor is a μ");
     (m, u)
 }
 

@@ -8,32 +8,54 @@
 //! recmodc -e "<expr>"          evaluate one expression
 //! ```
 //!
+//! `<file.rml>` may be `-` to read the program from stdin.
+//!
 //! Options:
 //!
 //! * `--steps` — print the interpreter step count after `run`;
 //! * `--fuel N` — set the kernel's normalization/equivalence fuel budget;
+//! * `--limits K=V,...` — set resource limits (`depth`, `nodes`, `fuel`,
+//!   `eval-fuel`, `eval-depth`);
+//! * `--deadline-ms N` — abort any stage once `N` ms of wall clock pass;
+//! * `--max-errors N` — print at most `N` diagnostics (default 20);
 //! * `--stats` / `--stats=json` — print pipeline counters (kernel fuel
 //!   by operation, μ-unrolls, whnf steps, per-binding elaboration
 //!   timings, phase-split node counts, evaluator counters) as text or as
 //!   one JSON document on stdout;
 //! * `--trace` / `--trace=DEPTH` — print the kernel's judgement-level
 //!   derivation trace (indented, depth-limited) to stderr.
+//!
+//! Exit codes: `0` success, `1` program error (syntax/type/runtime),
+//! `2` usage, `3` resource limit hit, `4` internal error (a compiler
+//! bug — every panic is caught at this boundary and reported as one).
 
 use std::process::ExitCode;
 
 use recmod::stats::StatsReport;
+use recmod::surface::SurfaceError;
 use recmod::syntax::pretty::{con_to_string, term_to_string, Names};
+use recmod::telemetry::Limits;
 
 /// Depth limit used by a bare `--trace` (override with `--trace=DEPTH`).
 const DEFAULT_TRACE_DEPTH: usize = 8;
 
+/// Default cap on printed diagnostics (override with `--max-errors`).
+const DEFAULT_MAX_ERRORS: usize = 20;
+
+const EXIT_USER: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_LIMIT: u8 = 3;
+const EXIT_INTERNAL: u8 = 4;
+
 fn usage() -> ExitCode {
     eprintln!(
-        "usage: recmodc <run|check|split> <file> [options]\n       \
+        "usage: recmodc <run|check|split> <file|-> [options]\n       \
          recmodc -e \"<expression>\" [options]\n\
-         options: --steps --fuel N --stats[=json] --trace[=DEPTH]"
+         options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
+         --max-errors N --stats[=json] --trace[=DEPTH]\n\
+         exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error"
     );
-    ExitCode::from(2)
+    ExitCode::from(EXIT_USAGE)
 }
 
 #[derive(Clone, Copy, PartialEq, Eq)]
@@ -43,11 +65,13 @@ enum StatsMode {
     Json,
 }
 
+#[derive(Clone, Copy)]
 struct Options {
     steps: bool,
     stats: StatsMode,
     trace: Option<usize>,
-    fuel: Option<u64>,
+    max_errors: usize,
+    limits: Limits,
 }
 
 fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
@@ -56,8 +80,10 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         steps: false,
         stats: StatsMode::Off,
         trace: None,
-        fuel: None,
+        max_errors: DEFAULT_MAX_ERRORS,
+        limits: Limits::default(),
     };
+    let mut deadline_ms: Option<u64> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
@@ -67,7 +93,22 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             "--trace" => opts.trace = Some(DEFAULT_TRACE_DEPTH),
             "--fuel" => {
                 let n = it.next().ok_or("--fuel needs a number")?;
-                opts.fuel = Some(n.parse().map_err(|_| format!("bad fuel budget: {n}"))?);
+                opts.limits.fuel = n.parse().map_err(|_| format!("bad fuel budget: {n}"))?;
+            }
+            "--limits" => {
+                let spec = it.next().ok_or("--limits needs key=value,...")?;
+                let parsed = recmod::telemetry::parse_limits_spec(&spec)?;
+                // The spec replaces every keyed limit but must not drop
+                // an already-parsed --deadline-ms.
+                opts.limits = parsed;
+            }
+            "--deadline-ms" => {
+                let n = it.next().ok_or("--deadline-ms needs a number")?;
+                deadline_ms = Some(n.parse().map_err(|_| format!("bad deadline: {n}"))?);
+            }
+            "--max-errors" => {
+                let n = it.next().ok_or("--max-errors needs a number")?;
+                opts.max_errors = n.parse().map_err(|_| format!("bad error cap: {n}"))?;
             }
             _ if a.starts_with("--trace=") => {
                 let d = &a["--trace=".len()..];
@@ -79,6 +120,9 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             _ => rest.push(a),
         }
     }
+    if let Some(ms) = deadline_ms {
+        opts.limits = opts.limits.with_deadline_ms(ms);
+    }
     Ok((rest, opts))
 }
 
@@ -88,12 +132,12 @@ fn main() -> ExitCode {
         Ok(x) => x,
         Err(msg) => {
             eprintln!("recmodc: {msg}");
-            return ExitCode::from(2);
+            return ExitCode::from(EXIT_USAGE);
         }
     };
 
     match args.as_slice() {
-        [flag, expr] if flag.as_str() == "-e" => run_source(expr, &opts, Mode::Run),
+        [flag, expr] if flag.as_str() == "-e" => run_source("<expr>", expr, &opts, Mode::Run),
         [cmd, path] => {
             let mode = match cmd.as_str() {
                 "run" => Mode::Run,
@@ -101,26 +145,56 @@ fn main() -> ExitCode {
                 "split" => Mode::Split,
                 _ => return usage(),
             };
-            let src = match std::fs::read_to_string(path) {
-                Ok(s) => s,
-                Err(e) => {
-                    eprintln!("recmodc: cannot read {path}: {e}");
-                    return ExitCode::FAILURE;
+            let (name, src) = if path == "-" {
+                let mut buf = String::new();
+                use std::io::Read;
+                if let Err(e) = std::io::stdin().read_to_string(&mut buf) {
+                    eprintln!("recmodc: cannot read stdin: {e}");
+                    return ExitCode::from(EXIT_USER);
+                }
+                ("<stdin>".to_string(), buf)
+            } else {
+                match std::fs::read_to_string(path) {
+                    Ok(s) => (path.clone(), s),
+                    Err(e) => {
+                        eprintln!("recmodc: cannot read {path}: {e}");
+                        return ExitCode::from(EXIT_USER);
+                    }
                 }
             };
-            run_source(&src, &opts, mode)
+            run_source(&name, &src, &opts, mode)
         }
         _ => usage(),
     }
 }
 
+#[derive(Clone, Copy)]
 enum Mode {
     Run,
     Check,
     Split,
 }
 
-fn run_source(src: &str, opts: &Options, mode: Mode) -> ExitCode {
+/// Stack size for the pipeline thread. Parsing, elaboration, and
+/// evaluation are all recursive; running them on a dedicated big stack
+/// guarantees the [`Limits`] depth guards fire long before the host
+/// stack is at risk, even in debug builds with fat frames.
+const PIPELINE_STACK_MB: usize = 512;
+
+fn run_source(file: &str, src: &str, opts: &Options, mode: Mode) -> ExitCode {
+    let file = file.to_string();
+    let src = src.to_string();
+    let opts = *opts;
+    // Telemetry state is thread-local, so the whole observed pipeline
+    // (install → compile/run → uninstall → print) lives on the big-stack
+    // thread.
+    let code = recmod::eval::run_big_stack(PIPELINE_STACK_MB, move || {
+        run_pipeline(&file, &src, &opts, mode)
+    });
+    ExitCode::from(code)
+}
+
+fn run_pipeline(file: &str, src: &str, opts: &Options, mode: Mode) -> u8 {
     let observing = opts.stats != StatsMode::Off || opts.trace.is_some();
     if observing {
         let config = match opts.trace {
@@ -129,7 +203,22 @@ fn run_source(src: &str, opts: &Options, mode: Mode) -> ExitCode {
         };
         recmod::telemetry::install(config);
     }
-    let (code, observed) = run_source_inner(src, opts, mode);
+    // The last line of defense: any panic that slips past the
+    // structured error paths is a compiler bug, reported as an
+    // internal-error diagnostic rather than an unwound process.
+    let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+        run_source_inner(file, src, opts, mode)
+    }));
+    let (code, observed) = match caught {
+        Ok(x) => x,
+        Err(payload) => {
+            recmod::telemetry::count("internal.panics", 1);
+            let msg = panic_message(&payload);
+            eprintln!("{file}: internal error: panic: {msg}");
+            eprintln!("{file}: this is a bug in recmodc, not in your program");
+            (EXIT_INTERNAL, None)
+        }
+    };
     let report = if observing {
         recmod::telemetry::uninstall()
     } else {
@@ -153,9 +242,42 @@ fn run_source(src: &str, opts: &Options, mode: Mode) -> ExitCode {
     code
 }
 
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "(non-string panic payload)".to_string()
+    }
+}
+
+/// Prints up to `max_errors` diagnostics as `file:line:col: error: …`
+/// and classifies the batch into an exit code: internal errors dominate,
+/// then resource limits, then ordinary program errors.
+fn report_errors(file: &str, src: &str, errors: &[SurfaceError], max_errors: usize) -> u8 {
+    for e in errors.iter().take(max_errors) {
+        let (line, col) = e.span.line_col(src);
+        eprintln!("{file}:{line}:{col}: error: {e}");
+    }
+    if errors.len() > max_errors {
+        eprintln!(
+            "{file}: ... and {} more error(s) (raise --max-errors to see them)",
+            errors.len() - max_errors
+        );
+    }
+    if errors.iter().any(|e| e.is_internal()) {
+        EXIT_INTERNAL
+    } else if errors.iter().any(|e| e.is_limit()) {
+        EXIT_LIMIT
+    } else {
+        EXIT_USER
+    }
+}
+
 type Observed = Option<(recmod::Compiled, Option<recmod::eval::EvalStats>)>;
 
-fn run_source_inner(src: &str, opts: &Options, mode: Mode) -> (ExitCode, Observed) {
+fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, Observed) {
     // With `--stats=json`, stdout must carry exactly one JSON document;
     // the usual human-readable output moves to stderr.
     macro_rules! out {
@@ -167,15 +289,11 @@ fn run_source_inner(src: &str, opts: &Options, mode: Mode) -> (ExitCode, Observe
             }
         };
     }
-    let elab = match opts.fuel {
-        Some(fuel) => recmod::surface::Elaborator::with_tc(recmod::kernel::Tc::with_fuel(fuel)),
-        None => recmod::surface::Elaborator::new(),
-    };
-    let compiled = match recmod::compile_with(elab, src) {
+    let compiled = match recmod::surface::compile_with_limits(src, &opts.limits) {
         Ok(c) => c,
-        Err(e) => {
-            eprintln!("error: {}", e.render(src));
-            return (ExitCode::FAILURE, None);
+        Err(errors) => {
+            let code = report_errors(file, src, &errors, opts.max_errors);
+            return (code, None);
         }
     };
     match mode {
@@ -184,7 +302,7 @@ fn run_source_inner(src: &str, opts: &Options, mode: Mode) -> (ExitCode, Observe
                 out!("{name} : {describe}");
             }
             out!("ok");
-            (ExitCode::SUCCESS, Some((compiled, None)))
+            (0, Some((compiled, None)))
         }
         Mode::Split => {
             for b in &compiled.elab.bindings {
@@ -200,7 +318,7 @@ fn run_source_inner(src: &str, opts: &Options, mode: Mode) -> (ExitCode, Observe
                     term_to_string(&b.dynamic, &mut Names::new())
                 );
             }
-            (ExitCode::SUCCESS, Some((compiled, None)))
+            (0, Some((compiled, None)))
         }
         Mode::Run => {
             if compiled.main.is_none() {
@@ -208,25 +326,33 @@ fn run_source_inner(src: &str, opts: &Options, mode: Mode) -> (ExitCode, Observe
                     out!("{name} : {describe}");
                 }
                 eprintln!("(no main expression; add one after the declarations)");
-                return (ExitCode::SUCCESS, Some((compiled, None)));
+                return (0, Some((compiled, None)));
             }
+            // Already on the big-stack pipeline thread; evaluate inline.
             let term = compiled.program();
-            let outcome = recmod::eval::run_big_stack(512, move || {
-                let mut interp = recmod::eval::Interp::new();
-                let r = interp.run(&term).map(|v| v.to_string());
-                (r, interp.stats())
-            });
+            let mut interp = recmod::eval::Interp::with_pipeline_limits(&opts.limits);
+            let outcome = interp.run(&term).map(|v| v.to_string());
+            let stats = interp.stats();
             match outcome {
-                (Ok(v), stats) => {
+                Ok(v) => {
                     out!("{v}");
                     if opts.steps {
                         eprintln!("steps: {}", stats.steps);
                     }
-                    (ExitCode::SUCCESS, Some((compiled, Some(stats))))
+                    (0, Some((compiled, Some(stats))))
                 }
-                (Err(e), _) => {
-                    eprintln!("runtime error: {e}");
-                    (ExitCode::FAILURE, None)
+                Err(e) => {
+                    eprintln!("{file}: runtime error: {e}");
+                    let code = match &e {
+                        e if e.is_limit() => EXIT_LIMIT,
+                        // The kernel accepted this program, so a stuck
+                        // or ill-formed runtime state is our bug.
+                        recmod::eval::EvalError::Stuck(_)
+                        | recmod::eval::EvalError::BlackHole
+                        | recmod::eval::EvalError::OpenTerm => EXIT_INTERNAL,
+                        _ => EXIT_USER,
+                    };
+                    (code, None)
                 }
             }
         }

@@ -47,7 +47,8 @@ pub use recmod_telemetry as telemetry;
 
 pub use stats::StatsReport;
 
-pub use recmod_surface::{compile, compile_with, Compiled, SurfaceError};
+pub use recmod_surface::{compile, compile_with, compile_with_limits, Compiled, SurfaceError};
+pub use recmod_telemetry::{LimitExceeded, LimitKind, Limits};
 
 /// The result of running a program end to end.
 #[derive(Debug)]

@@ -1,0 +1,170 @@
+//! End-to-end tests for the `recmodc` binary: exit codes, multi-error
+//! reporting, stdin input, and resource-limit verdicts.
+
+use std::io::Write;
+use std::process::{Command, Output, Stdio};
+
+fn recmodc(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_recmodc"))
+        .args(args)
+        .output()
+        .expect("recmodc runs")
+}
+
+fn recmodc_stdin(args: &[&str], input: &str) -> Output {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_recmodc"))
+        .args(args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .stderr(Stdio::piped())
+        .spawn()
+        .expect("recmodc spawns");
+    child
+        .stdin
+        .take()
+        .expect("stdin is piped")
+        .write_all(input.as_bytes())
+        .expect("write to stdin");
+    child.wait_with_output().expect("recmodc runs")
+}
+
+fn code(out: &Output) -> i32 {
+    out.status
+        .code()
+        .expect("recmodc exits normally, not by signal")
+}
+
+#[test]
+fn ok_program_exits_zero() {
+    let out = recmodc(&["-e", "1 + 2 * 3"]);
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "7");
+}
+
+#[test]
+fn type_error_exits_one_with_span() {
+    let out = recmodc(&["-e", "1 = true"]);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(err.contains("<expr>:1:1:"), "missing file:line:col: {err}");
+    assert!(err.contains("error:"), "missing error label: {err}");
+}
+
+#[test]
+fn two_independent_syntax_errors_both_reported() {
+    let dir = std::env::temp_dir().join("recmodc-cli-tests");
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    let path = dir.join("two_errors.rm");
+    std::fs::write(&path, "val x = 1 +\nval y = )\nval z = 3\n;\nz\n").expect("write");
+    let out = recmodc(&["check", path.to_str().expect("utf8 path")]);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr);
+    let diagnostics = err.lines().filter(|l| l.contains(": error:")).count();
+    assert!(
+        diagnostics >= 2,
+        "expected at least 2 diagnostics after recovery, got {diagnostics}:\n{err}"
+    );
+    assert!(
+        err.contains(":2:"),
+        "second line's errors carry its line number: {err}"
+    );
+}
+
+#[test]
+fn max_errors_caps_the_report() {
+    let mut src = String::new();
+    for i in 0..30 {
+        src.push_str(&format!("val x{i} = )\n"));
+    }
+    src.push_str(";\n0\n");
+    let out = recmodc_stdin(&["check", "-", "--max-errors", "3"], &src);
+    assert_eq!(code(&out), 1);
+    let err = String::from_utf8_lossy(&out.stderr);
+    let diagnostics = err.lines().filter(|l| l.contains(": error:")).count();
+    assert_eq!(diagnostics, 3, "--max-errors 3 must cap the report:\n{err}");
+    assert!(err.contains("more error"), "overflow note missing:\n{err}");
+}
+
+#[test]
+fn stdin_dash_runs_a_program() {
+    let out = recmodc_stdin(&["run", "-"], "let val x = 20 in x + 1 end");
+    assert_eq!(
+        code(&out),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    assert_eq!(String::from_utf8_lossy(&out.stdout).trim(), "21");
+    let err = String::from_utf8_lossy(&out.stderr);
+    // Diagnostics for stdin input are attributed to `<stdin>`.
+    let out2 = recmodc_stdin(&["check", "-"], "unbound");
+    assert!(
+        String::from_utf8_lossy(&out2.stderr).contains("<stdin>:"),
+        "stdin diagnostics name the pseudo-file: {err}"
+    );
+}
+
+#[test]
+fn deep_nesting_exits_three_with_structured_limit() {
+    let mut src = String::new();
+    for _ in 0..10_000 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..10_000 {
+        src.push(')');
+    }
+    let out = recmodc_stdin(&["run", "-"], &src);
+    assert_eq!(
+        code(&out),
+        3,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let err = String::from_utf8_lossy(&out.stderr);
+    assert!(
+        err.contains("limit exceeded"),
+        "not a structured limit: {err}"
+    );
+    assert!(err.contains("recursion depth"), "wrong limit kind: {err}");
+}
+
+#[test]
+fn custom_limits_flag_tightens_the_budget() {
+    // Depth 500 parses under the default limit but not under depth=100.
+    let mut src = String::new();
+    for _ in 0..500 {
+        src.push('(');
+    }
+    src.push('1');
+    for _ in 0..500 {
+        src.push(')');
+    }
+    let ok = recmodc_stdin(&["run", "-"], &src);
+    assert_eq!(
+        code(&ok),
+        0,
+        "stderr: {}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let limited = recmodc_stdin(&["run", "-", "--limits", "depth=100"], &src);
+    assert_eq!(
+        code(&limited),
+        3,
+        "stderr: {}",
+        String::from_utf8_lossy(&limited.stderr)
+    );
+}
+
+#[test]
+fn bad_usage_exits_two() {
+    let out = recmodc(&["frobnicate", "x.rm"]);
+    assert_eq!(code(&out), 2);
+    let out = recmodc(&["run", "-", "--limits", "depth=banana"]);
+    assert_eq!(code(&out), 2);
+}

@@ -28,6 +28,19 @@ pub enum EvalError {
     /// [`run_big_stack`](crate::interp::run_big_stack)) for genuinely
     /// deep programs.
     DepthExceeded,
+    /// A pipeline-wide resource limit (wall-clock deadline) was hit.
+    Limit(recmod_telemetry::LimitExceeded),
+}
+
+impl EvalError {
+    /// Is this a resource-bound verdict (fuel, depth, deadline) rather
+    /// than a semantic evaluation outcome?
+    pub fn is_limit(&self) -> bool {
+        matches!(
+            self,
+            EvalError::FuelExhausted | EvalError::DepthExceeded | EvalError::Limit(_)
+        )
+    }
 }
 
 impl fmt::Display for EvalError {
@@ -45,6 +58,7 @@ impl fmt::Display for EvalError {
             EvalError::DepthExceeded => {
                 f.write_str("recursion depth limit exceeded (deep or divergent recursion)")
             }
+            EvalError::Limit(e) => write!(f, "{e}"),
         }
     }
 }

@@ -52,6 +52,7 @@ pub struct Interp {
     fuel: u64,
     depth: u64,
     max_depth: u64,
+    limits: recmod_telemetry::Limits,
 }
 
 impl Default for Interp {
@@ -73,11 +74,27 @@ impl Interp {
 
     /// A fresh evaluator with explicit fuel and recursion-depth limits.
     pub fn with_limits(fuel: u64, max_depth: u64) -> Self {
+        let limits = recmod_telemetry::Limits::default();
         Interp {
             stats: EvalStats::default(),
             fuel,
             depth: 0,
             max_depth,
+            limits,
+        }
+    }
+
+    /// A fresh evaluator honoring a pipeline-wide
+    /// [`Limits`](recmod_telemetry::Limits) value: `eval_fuel`,
+    /// `eval_depth`, and the wall-clock deadline (checked every 4096
+    /// steps).
+    pub fn with_pipeline_limits(limits: &recmod_telemetry::Limits) -> Self {
+        Interp {
+            stats: EvalStats::default(),
+            fuel: limits.eval_fuel,
+            depth: 0,
+            max_depth: limits.eval_depth,
+            limits: *limits,
         }
     }
 
@@ -117,6 +134,11 @@ impl Interp {
         self.stats.steps += 1;
         if self.stats.steps > self.fuel {
             return Err(EvalError::FuelExhausted);
+        }
+        // Deadlines are wall-clock; amortize the clock read over many
+        // steps (4096 steps run in a few microseconds).
+        if self.stats.steps.is_multiple_of(4096) && self.limits.deadline_passed() {
+            return Err(EvalError::Limit(self.limits.deadline_error("eval")));
         }
         match e {
             Term::Var(i) => env.lookup(*i)?.force(),

@@ -53,6 +53,7 @@ impl Tc {
         k: &Kind,
         seen: &mut Seen,
     ) -> TcResult<()> {
+        let _depth = self.descend("con_equiv")?;
         self.burn(crate::stats::FuelOp::ConEquiv)?;
         let _trace = recmod_telemetry::trace_span(|| {
             format!("{} = {} : {}", show::con(c1), show::con(c2), show::kind(k))
@@ -93,6 +94,7 @@ impl Tc {
     /// Structural comparison at kind `T`, after weak-head normalization,
     /// under the coinductive assumption set.
     fn con_eq_type(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, seen: &mut Seen) -> TcResult<()> {
+        let _depth = self.descend("con_equiv")?;
         self.burn(crate::stats::FuelOp::MonoEquiv)?;
         let a = self.whnf(ctx, c1)?;
         let b = self.whnf(ctx, c2)?;
@@ -112,8 +114,8 @@ impl Tc {
                     self.note_assumption(seen, key);
                     let st = self.stat_cells();
                     st.mu_unrolls.set(st.mu_unrolls.get() + 2);
-                    let ua = unroll_mu(&a);
-                    let ub = unroll_mu(&b);
+                    let ua = unroll_mu(&a)?;
+                    let ub = unroll_mu(&b)?;
                     self.con_eq_type(ctx, &ua, &ub, seen)
                 }
                 RecMode::Iso => {
@@ -133,13 +135,13 @@ impl Tc {
             (Con::Mu(_, _), _) if self.mode() == RecMode::Equi && is_contractive(&a) => {
                 self.note_assumption(seen, key);
                 crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                let ua = unroll_mu(&a);
+                let ua = unroll_mu(&a)?;
                 self.con_eq_type(ctx, &ua, &b, seen)
             }
             (_, Con::Mu(_, _)) if self.mode() == RecMode::Equi && is_contractive(&b) => {
                 self.note_assumption(seen, key);
                 crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                let ub = unroll_mu(&b);
+                let ub = unroll_mu(&b)?;
                 self.con_eq_type(ctx, &a, &ub, seen)
             }
             (Con::Arrow(a1, a2), Con::Arrow(b1, b2)) | (Con::Prod(a1, a2), Con::Prod(b1, b2)) => {
@@ -179,7 +181,9 @@ impl Tc {
             (Con::Var(i), Con::Var(j)) if i == j => ctx.lookup_con(*i),
             (Con::Fst(i), Con::Fst(j)) if i == j => match self.natural_kind(ctx, p1)? {
                 Some(k) => Ok(k),
-                None => unreachable!("Fst is a path"),
+                None => Err(TypeError::Internal(
+                    "natural_kind returned None for a Fst path".to_string(),
+                )),
             },
             (Con::App(f1, a1), Con::App(f2, a2)) => {
                 let fk = self.path_equiv(ctx, f1, f2, seen)?;

@@ -120,8 +120,36 @@ pub enum TypeError {
         /// The top fuel-consuming operations, descending by count.
         top: Vec<(&'static str, u64)>,
     },
+    /// A resource limit (recursion depth, node budget, deadline) was
+    /// hit. Like [`TypeError::FuelExhausted`], a resource verdict, not a
+    /// semantic one.
+    Limit(recmod_telemetry::LimitExceeded),
+    /// An internal invariant was violated — a bug in the checker, never
+    /// the user's fault. Replaces what used to be reachable panics
+    /// (`unroll_mu` on a non-μ, a non-flat `resolve_sig` result, …) so
+    /// the pipeline degrades to a diagnostic instead of unwinding.
+    Internal(String),
     /// Anything else, with a human-readable explanation.
     Other(String),
+}
+
+impl TypeError {
+    /// Is this a resource-bound verdict (fuel, depth, nodes, deadline)
+    /// rather than a semantic type error?
+    pub fn is_limit(&self) -> bool {
+        matches!(self, TypeError::FuelExhausted { .. } | TypeError::Limit(_))
+    }
+
+    /// Is this an internal-invariant failure (a checker bug)?
+    pub fn is_internal(&self) -> bool {
+        matches!(self, TypeError::Internal(_))
+    }
+}
+
+impl From<recmod_telemetry::LimitExceeded> for TypeError {
+    fn from(e: recmod_telemetry::LimitExceeded) -> Self {
+        TypeError::Limit(e)
+    }
 }
 
 impl fmt::Display for TypeError {
@@ -202,6 +230,8 @@ impl fmt::Display for TypeError {
                 }
                 write!(f, ")")
             }
+            TypeError::Limit(e) => write!(f, "{e}"),
+            TypeError::Internal(msg) => write!(f, "internal error: {msg}"),
             TypeError::Other(msg) => f.write_str(msg),
         }
     }

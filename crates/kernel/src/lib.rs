@@ -59,6 +59,7 @@ use std::cell::Cell;
 
 pub use ctx::{Ctx, Entry};
 pub use error::{TcResult, TypeError};
+pub use recmod_telemetry::{LimitExceeded, LimitKind, Limits};
 pub use stats::{FuelOp, KernelStats, TcStats};
 
 /// How recursive constructors are treated by definitional equality.
@@ -92,6 +93,9 @@ pub struct Tc {
     mode: RecMode,
     fuel: Cell<u64>,
     budget: Cell<u64>,
+    limits: Limits,
+    depth: Cell<usize>,
+    deadline_tick: Cell<u32>,
     stats: stats::TcStats,
 }
 
@@ -119,10 +123,24 @@ impl Tc {
 
     /// A checker with both an explicit mode and an explicit fuel budget.
     pub fn with_mode_and_fuel(mode: RecMode, fuel: u64) -> Self {
+        Self::with_mode_and_limits(mode, Limits::default().with_fuel(fuel))
+    }
+
+    /// A checker in equi-recursive mode with explicit [`Limits`].
+    pub fn with_limits(limits: Limits) -> Self {
+        Self::with_mode_and_limits(RecMode::Equi, limits)
+    }
+
+    /// A checker with an explicit mode and explicit [`Limits`]. The
+    /// kernel honors the fuel, recursion-depth, and deadline bounds.
+    pub fn with_mode_and_limits(mode: RecMode, limits: Limits) -> Self {
         Tc {
             mode,
-            fuel: Cell::new(fuel),
-            budget: Cell::new(fuel),
+            fuel: Cell::new(limits.fuel),
+            budget: Cell::new(limits.fuel),
+            limits,
+            depth: Cell::new(0),
+            deadline_tick: Cell::new(0),
             stats: stats::TcStats::default(),
         }
     }
@@ -130,6 +148,11 @@ impl Tc {
     /// The recursion mode in force.
     pub fn mode(&self) -> RecMode {
         self.mode
+    }
+
+    /// The resource limits in force.
+    pub fn limits(&self) -> &Limits {
+        &self.limits
     }
 
     /// Remaining fuel.
@@ -169,11 +192,49 @@ impl Tc {
             });
         }
         self.fuel.set(f - 1);
+        // Deadlines are wall-clock, so amortize the clock read over many
+        // fuel units; 1024 keeps the added latency under a millisecond
+        // even for very short deadlines.
+        let tick = self.deadline_tick.get().wrapping_add(1);
+        self.deadline_tick.set(tick);
+        if tick.is_multiple_of(1024) && self.limits.deadline_passed() {
+            return Err(TypeError::Limit(self.limits.deadline_error("kernel")));
+        }
         Ok(())
+    }
+
+    /// Enters one level of structural recursion in judgement `stage`,
+    /// returning a guard that leaves it again on drop. Every recursive
+    /// judgement of the kernel calls this, so arbitrarily deep input
+    /// syntax produces [`TypeError::Limit`] instead of exhausting the
+    /// host stack.
+    ///
+    /// # Errors
+    ///
+    /// Fails with [`TypeError::Limit`] once `max_depth` levels are live.
+    pub fn descend(&self, stage: &'static str) -> TcResult<DepthGuard<'_>> {
+        let d = self.depth.get();
+        if d >= self.limits.max_depth {
+            return Err(TypeError::Limit(self.limits.depth_error(stage)));
+        }
+        self.depth.set(d + 1);
+        Ok(DepthGuard { depth: &self.depth })
     }
 
     pub(crate) fn stat_cells(&self) -> &stats::TcStats {
         &self.stats
+    }
+}
+
+/// RAII token for one level of kernel recursion (see [`Tc::descend`]).
+#[derive(Debug)]
+pub struct DepthGuard<'a> {
+    depth: &'a Cell<usize>,
+}
+
+impl Drop for DepthGuard<'_> {
+    fn drop(&mut self) {
+        self.depth.set(self.depth.get().saturating_sub(1));
     }
 }
 

@@ -38,6 +38,7 @@ impl Tc {
     /// `Γ ⊢ M : S` and `Γ ⊢ M ⇓ S` — synthesizes the principal signature
     /// and valuability of `M`.
     pub fn synth_module(&self, ctx: &mut Ctx, m: &Module) -> TcResult<ModTyping> {
+        let _depth = self.descend("synth_module")?;
         self.burn(crate::stats::FuelOp::ModuleTyping)?;
         let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", crate::show::module(m)));
         match m {
@@ -94,6 +95,7 @@ impl Tc {
 
     /// `Γ ⊢ M : S` — checks `M` against an expected signature.
     pub fn check_module(&self, ctx: &mut Ctx, m: &Module, s: &Sig) -> TcResult<ModTyping> {
+        let _depth = self.descend("check_module")?;
         let target = self.resolve_sig(ctx, s)?;
         let mt = self.synth_module(ctx, m)?;
         self.sig_sub(ctx, &mt.sig, &target)?;
@@ -111,13 +113,16 @@ impl Tc {
     /// Fails with [`TypeError::OpaqueStaticPart`] for modules sealed with
     /// a signature whose static part has no definition.
     pub fn static_part(&self, ctx: &mut Ctx, m: &Module) -> TcResult<Con> {
+        let _depth = self.descend("static_part")?;
         match m {
             Module::Var(i) => Ok(Con::Fst(*i)),
             Module::Struct(c, _) => Ok(c.clone()),
             Module::Seal(_, s) => {
                 let target = self.resolve_sig(ctx, s)?;
                 let Sig::Struct(k, _) = &target else {
-                    unreachable!("resolve_sig returns flat signatures")
+                    return Err(TypeError::Internal(
+                        "resolve_sig returned an unresolved rds".to_string(),
+                    ));
                 };
                 kind_definition(k).ok_or_else(|| TypeError::OpaqueStaticPart(show::module(m)))
             }
@@ -125,7 +130,9 @@ impl Tc {
                 // Fig. 4: Fst(fix(s:S.M)) = μα:κ. (Fst of M)[α/Fst(s)]
                 let target = self.resolve_sig(ctx, ann)?;
                 let Sig::Struct(k, _) = &target else {
-                    unreachable!("resolve_sig returns flat signatures")
+                    return Err(TypeError::Internal(
+                        "resolve_sig returned an unresolved rds".to_string(),
+                    ));
                 };
                 let base = strip_kind(k);
                 let inner = ctx.with(Entry::Struct(target.clone(), false), |ctx| {

@@ -121,6 +121,7 @@ impl Tc {
     /// `Γ ⊢ S sig` — signature formation. An rds is well-formed exactly
     /// when its Figure-5 resolution is (the two are definitionally equal).
     pub fn wf_sig(&self, ctx: &mut Ctx, s: &Sig) -> TcResult<()> {
+        let _depth = self.descend("wf_sig")?;
         match s {
             Sig::Struct(k, t) => {
                 self.wf_kind(ctx, k)?;
@@ -143,6 +144,7 @@ impl Tc {
     /// when the stripped frame kind still depends on the recursive
     /// structure variable.
     pub fn resolve_sig(&self, ctx: &mut Ctx, s: &Sig) -> TcResult<Sig> {
+        let _depth = self.descend("resolve_sig")?;
         match s {
             Sig::Struct(_, _) => Ok(s.clone()),
             Sig::Rds(inner) => {
@@ -171,7 +173,12 @@ impl Tc {
                 // ρ, so outer references in the frame drop one index. (The μ
                 // body keeps its indices: the binder swap is one-for-one.)
                 let base = recmod_syntax::subst::shift_kind(&base, -1, 0);
-                let def = kind_definition(k).expect("fully transparent kinds have definitions");
+                let def = kind_definition(k).ok_or_else(|| {
+                    TypeError::Internal(format!(
+                        "fully transparent kind without a definition: {}",
+                        show::kind(k)
+                    ))
+                })?;
                 // c(Fst s) ↦ c(β): the structure binder becomes the μ binder.
                 let mu_body = retarget_fst_to_cvar(&def, 0);
                 let mu_con = Con::Mu(Box::new(base.clone()), Box::new(mu_body));
@@ -197,7 +204,9 @@ impl Tc {
                 self.kind_eq(ctx, k1, k2)?;
                 ctx.with_con((**k1).clone(), |ctx| self.ty_eq(ctx, t1, t2))
             }
-            _ => unreachable!("resolve_sig returns flat signatures"),
+            _ => Err(TypeError::Internal(
+                "resolve_sig returned an unresolved rds".to_string(),
+            )),
         }
     }
 
@@ -205,6 +214,7 @@ impl Tc {
     /// parts (forgetting type definitions), subtyping on the dynamic
     /// parts (with the common context using the more precise kind).
     pub fn sig_sub(&self, ctx: &mut Ctx, s1: &Sig, s2: &Sig) -> TcResult<()> {
+        let _depth = self.descend("sig_sub")?;
         let a = self.resolve_sig(ctx, s1)?;
         let b = self.resolve_sig(ctx, s2)?;
         match (&a, &b) {
@@ -223,7 +233,9 @@ impl Tc {
                         },
                     })
             }
-            _ => unreachable!("resolve_sig returns flat signatures"),
+            _ => Err(TypeError::Internal(
+                "resolve_sig returned an unresolved rds".to_string(),
+            )),
         }
     }
 }

@@ -93,11 +93,11 @@ impl FuelOp {
         }
     }
 
+    // `ALL` lists the variants in declaration order (checked by the
+    // `all_is_in_declaration_order` test), so the discriminant is the
+    // reporting index.
     fn index(self) -> usize {
-        Self::ALL
-            .iter()
-            .position(|&op| op == self)
-            .expect("op in ALL")
+        self as usize
     }
 }
 
@@ -251,6 +251,13 @@ mod tests {
         let d = stats.snapshot().delta_since(&before);
         assert_eq!(d.fuel_used(), 1);
         assert_eq!(d.assumption_hwm, 9);
+    }
+
+    #[test]
+    fn all_is_in_declaration_order() {
+        for (i, op) in FuelOp::ALL.into_iter().enumerate() {
+            assert_eq!(op.index(), i, "{}", op.name());
+        }
     }
 
     #[test]

@@ -22,6 +22,7 @@ use crate::Tc;
 impl Tc {
     /// `Γ ⊢ σ type` — type formation.
     pub fn wf_ty(&self, ctx: &mut Ctx, t: &Ty) -> TcResult<()> {
+        let _depth = self.descend("wf_ty")?;
         match t {
             Ty::Con(c) => self.check_con(ctx, c, &recmod_syntax::ast::Kind::Type),
             Ty::Unit => Ok(()),
@@ -58,13 +59,14 @@ impl Tc {
     /// Used by elimination forms (application, projection, `case`) so
     /// that a value of type `μt.int ⇀ t` can be applied directly.
     pub fn expose_deep(&self, ctx: &mut Ctx, t: &Ty) -> TcResult<Ty> {
+        let _depth = self.descend("expose_deep")?;
         let mut e = self.expose(ctx, t)?;
         while let Ty::Con(c) = &e {
             if !self.unrollable(c) {
                 break;
             }
             self.burn(crate::stats::FuelOp::TypeExpose)?;
-            let u = crate::whnf::unroll_mu(c);
+            let u = crate::whnf::unroll_mu(c)?;
             e = self.expose(ctx, &Ty::Con(u))?;
         }
         Ok(e)
@@ -80,6 +82,7 @@ impl Tc {
 
     /// `Γ ⊢ σ₁ = σ₂ type` — type equivalence.
     pub fn ty_eq(&self, ctx: &mut Ctx, t1: &Ty, t2: &Ty) -> TcResult<()> {
+        let _depth = self.descend("ty_eq")?;
         self.burn(crate::stats::FuelOp::TypeEquiv)?;
         let mut a = self.expose(ctx, t1)?;
         let mut b = self.expose(ctx, t2)?;
@@ -103,12 +106,12 @@ impl Tc {
                 // structure: unroll the μ (equi mode) and retry.
                 (Ty::Con(c), _) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::TypeEquiv)?;
-                    let u = crate::whnf::unroll_mu(c);
+                    let u = crate::whnf::unroll_mu(c)?;
                     a = self.expose(ctx, &Ty::Con(u))?;
                 }
                 (_, Ty::Con(c)) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::TypeEquiv)?;
-                    let u = crate::whnf::unroll_mu(c);
+                    let u = crate::whnf::unroll_mu(c)?;
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
                 _ => {
@@ -124,6 +127,7 @@ impl Tc {
     /// `σ₁ ≤ σ₂` — subtyping: `→ ≤ ⇀` with contravariant domains,
     /// covariant products, invariant `∀`-kinds, equivalence on monotypes.
     pub fn ty_sub(&self, ctx: &mut Ctx, t1: &Ty, t2: &Ty) -> TcResult<()> {
+        let _depth = self.descend("ty_sub")?;
         self.burn(crate::stats::FuelOp::Subtype)?;
         let mut a = self.expose(ctx, t1)?;
         let mut b = self.expose(ctx, t2)?;
@@ -149,12 +153,12 @@ impl Tc {
                 }
                 (Ty::Con(c), _) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::Subtype)?;
-                    let u = crate::whnf::unroll_mu(c);
+                    let u = crate::whnf::unroll_mu(c)?;
                     a = self.expose(ctx, &Ty::Con(u))?;
                 }
                 (_, Ty::Con(c)) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::Subtype)?;
-                    let u = crate::whnf::unroll_mu(c);
+                    let u = crate::whnf::unroll_mu(c)?;
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
                 _ => {

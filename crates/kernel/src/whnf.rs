@@ -28,13 +28,18 @@ use crate::Tc;
 
 /// Unrolls a `μ` constructor once: `μα:κ.c ↦ c[μα:κ.c/α]`.
 ///
-/// # Panics
+/// # Errors
 ///
-/// Panics if `c` is not a `μ`.
-pub fn unroll_mu(c: &Con) -> Con {
+/// Returns [`TypeError::Internal`] if `c` is not a `μ` — every caller
+/// matches on `Con::Mu` first, so reaching the error indicates a bug in
+/// the caller, reported as a diagnostic instead of a panic.
+pub fn unroll_mu(c: &Con) -> TcResult<Con> {
     match c {
-        Con::Mu(_, body) => subst_con_con(body, c),
-        _ => panic!("unroll_mu: not a μ constructor"),
+        Con::Mu(_, body) => Ok(subst_con_con(body, c)),
+        _ => Err(TypeError::Internal(format!(
+            "unroll_mu: not a μ constructor: {}",
+            show::con(c)
+        ))),
     }
 }
 
@@ -48,12 +53,11 @@ pub fn unroll_mu(c: &Con) -> Con {
 /// (which terminates), but a **cycle** of such deferrals — or a bare
 /// head occurrence — does not.
 ///
-/// # Panics
-///
-/// Panics if `c` is not a `μ`.
+/// A non-`μ` argument is (vacuously) not a contractive `μ`, so the
+/// function answers `false` rather than panicking.
 pub fn is_contractive(c: &Con) -> bool {
     let Con::Mu(_, body) = c else {
-        panic!("is_contractive: not a μ constructor")
+        return false;
     };
     // Flatten the body's pair tree into components; record, for each, the
     // sibling components its head defers to.
@@ -224,6 +228,7 @@ impl Tc {
     /// Fails on fuel exhaustion or on ill-sorted input (e.g. applying a
     /// constructor whose natural kind is not a `Π`).
     pub fn whnf(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
+        let _depth = self.descend("whnf")?;
         let _trace = recmod_telemetry::trace_span(|| format!("whnf {}", crate::show::con(c)));
         let mut c = c.clone();
         loop {
@@ -235,7 +240,7 @@ impl Tc {
                         Con::Lam(_, body) => c = subst_con_con(&body, &a),
                         Con::Mu(_, _) if is_contractive(&f) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::App(Box::new(unroll_mu(&f)), a);
+                            c = Con::App(Box::new(unroll_mu(&f)?), a);
                         }
                         _ => {
                             let stuck = Con::App(Box::new(f), a);
@@ -252,7 +257,7 @@ impl Tc {
                         Con::Pair(l, _) => c = *l,
                         Con::Mu(_, _) if is_contractive(&p) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::Proj1(Box::new(unroll_mu(&p)));
+                            c = Con::Proj1(Box::new(unroll_mu(&p)?));
                         }
                         _ => {
                             let stuck = Con::Proj1(Box::new(p));
@@ -269,7 +274,7 @@ impl Tc {
                         Con::Pair(_, r) => c = *r,
                         Con::Mu(_, _) if is_contractive(&p) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::Proj2(Box::new(unroll_mu(&p)));
+                            c = Con::Proj2(Box::new(unroll_mu(&p)?));
                         }
                         _ => {
                             let stuck = Con::Proj2(Box::new(p));
@@ -287,7 +292,12 @@ impl Tc {
                 Con::Mu(ref k, _) if fully_transparent(k) => {
                     // μα:κ.b = the canonical inhabitant of κ when κ pins
                     // down its inhabitant completely (e.g. μα:Q(int).α = int).
-                    c = kind_definition(k).expect("fully transparent kinds have definitions");
+                    c = kind_definition(k).ok_or_else(|| {
+                        TypeError::Internal(format!(
+                            "fully transparent kind without a definition: {}",
+                            show::kind(k)
+                        ))
+                    })?;
                 }
                 _ => return Ok(c),
             }
@@ -303,6 +313,7 @@ impl Tc {
     ///
     /// Returns `Ok(None)` if `c` is not a path.
     pub fn natural_kind(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Option<Kind>> {
+        let _depth = self.descend("natural_kind")?;
         match c {
             Con::Var(i) => Ok(Some(ctx.lookup_con(*i)?)),
             Con::Fst(i) => {
@@ -351,7 +362,7 @@ impl Tc {
     pub fn whnf_unroll(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
         let w = self.whnf(ctx, c)?;
         match w {
-            Con::Mu(_, _) => Ok(unroll_mu(&w)),
+            Con::Mu(_, _) => unroll_mu(&w),
             _ => Err(TypeError::NotAMu(show::con(&w))),
         }
     }

@@ -103,6 +103,7 @@ pub fn split_module(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
 }
 
 fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
+    let _depth = tc.descend("phase.split")?;
     match m {
         Module::Var(i) => Ok(Split {
             con: Con::Fst(*i),
@@ -116,7 +117,9 @@ fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
         Module::Fix(ann, body) => {
             let resolved = tc.resolve_sig(ctx, ann)?;
             let Sig::Struct(kappa, sigma) = &resolved else {
-                unreachable!("resolve_sig returns flat signatures")
+                return Err(TypeError::Internal(
+                    "resolve_sig returned an unresolved rds".to_string(),
+                ));
             };
             let base = strip(kappa);
             let inner = ctx.with(Entry::Struct(resolved.clone(), false), |ctx| {

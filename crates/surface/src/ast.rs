@@ -436,6 +436,19 @@ pub enum TopDec {
     },
 }
 
+impl TopDec {
+    /// The source span.
+    pub fn span(&self) -> Span {
+        match self {
+            TopDec::Signature { span, .. }
+            | TopDec::Structure { span, .. }
+            | TopDec::Functor { span, .. }
+            | TopDec::Val { span, .. }
+            | TopDec::Fun { span, .. } => *span,
+        }
+    }
+}
+
 /// A whole program: declarations plus an optional main expression.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Program {

@@ -60,18 +60,22 @@ pub struct Elaborator {
     /// Completed top-level bindings in order.
     pub bindings: Vec<TopBinding>,
     pub(crate) gensym: usize,
+    /// Live structural-recursion depth across the elab_* family.
+    pub(crate) rec_depth: usize,
+    /// Monotone call counter, used to amortize deadline clock reads.
+    pub(crate) ticks: u64,
 }
 
 impl Elaborator {
     /// A fresh elaborator with an equi-recursive kernel.
     pub fn new() -> Self {
-        Elaborator {
-            tc: Tc::new(),
-            ctx: Ctx::new(),
-            env: ElabEnv::new(),
-            bindings: Vec::new(),
-            gensym: 0,
-        }
+        Self::with_tc(Tc::new())
+    }
+
+    /// A fresh elaborator whose kernel and own recursion guards honor
+    /// the given [`recmod_kernel::Limits`].
+    pub fn with_limits(limits: recmod_kernel::Limits) -> Self {
+        Self::with_tc(Tc::with_limits(limits))
     }
 
     /// A fresh elaborator with a caller-provided kernel (e.g. a
@@ -83,7 +87,41 @@ impl Elaborator {
             env: ElabEnv::new(),
             bindings: Vec::new(),
             gensym: 0,
+            rec_depth: 0,
+            ticks: 0,
         }
+    }
+
+    /// Runs `f` one structural level deeper, failing with a limit
+    /// diagnostic at `span` once the kernel's `max_depth` levels are
+    /// live (the bound is shared with [`Tc`]) or the deadline has
+    /// passed. Every recursive `elab_*` entry point routes through
+    /// this, so arbitrarily nested ASTs yield
+    /// [`ErrorKind::Limit`](crate::error::ErrorKind) instead of a
+    /// stack overflow.
+    pub(crate) fn with_depth<T>(
+        &mut self,
+        span: Span,
+        f: impl FnOnce(&mut Self) -> SurfaceResult<T>,
+    ) -> SurfaceResult<T> {
+        let limits = *self.tc.limits();
+        if self.rec_depth >= limits.max_depth {
+            return Err(SurfaceError::new(
+                span,
+                ErrorKind::Limit(limits.depth_error("elaborate")),
+            ));
+        }
+        self.ticks = self.ticks.wrapping_add(1);
+        if self.ticks.is_multiple_of(256) && limits.deadline_passed() {
+            return Err(SurfaceError::new(
+                span,
+                ErrorKind::Limit(limits.deadline_error("elaborate")),
+            ));
+        }
+        self.rec_depth += 1;
+        let r = f(self);
+        self.rec_depth -= 1;
+        r
     }
 
     /// Current internal-context depth.
@@ -147,7 +185,11 @@ impl Elaborator {
             span: path.span,
         };
         let st = self.resolve_struct(&prefix)?;
-        Ok((st, path.parts.last().expect("nonempty").as_str()))
+        let field = path
+            .parts
+            .last()
+            .ok_or_else(|| SurfaceError::internal(path.span, "resolve_prefix on an empty path"))?;
+        Ok((st, field.as_str()))
     }
 
     fn project_substruct(
@@ -158,14 +200,12 @@ impl Elaborator {
     ) -> SurfaceResult<StructEntity> {
         match parent.shape.find(name) {
             Some(Item::Struct(sub_shape)) => {
-                let s_slot = parent
-                    .shape
-                    .static_slot(name)
-                    .expect("substructures have static slots");
-                let d_slot = parent
-                    .shape
-                    .dyn_slot(name)
-                    .expect("substructures have dynamic slots");
+                let s_slot = parent.shape.static_slot(name).ok_or_else(|| {
+                    SurfaceError::internal(span, "substructure without a static slot")
+                })?;
+                let d_slot = parent.shape.dyn_slot(name).ok_or_else(|| {
+                    SurfaceError::internal(span, "substructure without a dynamic slot")
+                })?;
                 Ok(StructEntity {
                     shape: sub_shape.clone(),
                     statics: con_proj(parent.statics.clone(), s_slot, parent.shape.static_len()),
@@ -208,7 +248,9 @@ impl Elaborator {
             let (st, field) = self.resolve_prefix(path)?;
             match st.shape.find(field) {
                 Some(Item::Ty) | Some(Item::Data(_)) => {
-                    let slot = st.shape.static_slot(field).expect("type items have slots");
+                    let slot = st.shape.static_slot(field).ok_or_else(|| {
+                        SurfaceError::internal(path.span, "type item without a static slot")
+                    })?;
                     Ok(con_proj(st.statics, slot, st.shape.static_len()))
                 }
                 Some(_) => self.err(
@@ -243,7 +285,9 @@ impl Elaborator {
             let (st, field) = self.resolve_prefix(path)?;
             match st.shape.find(field) {
                 Some(Item::Val) => {
-                    let slot = st.shape.dyn_slot(field).expect("val items have dyn slots");
+                    let slot = st.shape.dyn_slot(field).ok_or_else(|| {
+                        SurfaceError::internal(path.span, "val item without a dynamic slot")
+                    })?;
                     Ok(term_proj(st.dynamics, slot, st.shape.dyn_len()))
                 }
                 Some(_) => self.err(
@@ -289,12 +333,15 @@ impl Elaborator {
                     },
                 );
             };
-            let (index, has_arg) = info.find(field).expect("data_of_ctor found it");
-            let t_slot = st.shape.static_slot(ty_name).expect("datatype has a slot");
-            let v_slot = st
-                .shape
-                .dyn_slot(field)
-                .expect("constructors are val fields");
+            let (index, has_arg) = info.find(field).ok_or_else(|| {
+                SurfaceError::internal(path.span, "data_of_ctor hit without the constructor")
+            })?;
+            let t_slot = st.shape.static_slot(ty_name).ok_or_else(|| {
+                SurfaceError::internal(path.span, "datatype without a static slot")
+            })?;
+            let v_slot = st.shape.dyn_slot(field).ok_or_else(|| {
+                SurfaceError::internal(path.span, "constructor without a val slot")
+            })?;
             Ok(CtorRes {
                 data_con: con_proj(st.statics.clone(), t_slot, st.shape.static_len()),
                 index,
@@ -327,6 +374,10 @@ impl Elaborator {
 
     /// Elaborates a surface type to a monotype constructor.
     pub fn elab_ty(&mut self, t: &TyExp) -> SurfaceResult<Con> {
+        self.with_depth(t.span(), |this| this.elab_ty_inner(t))
+    }
+
+    fn elab_ty_inner(&mut self, t: &TyExp) -> SurfaceResult<Con> {
         match t {
             TyExp::Int(_) => Ok(Con::Int),
             TyExp::Bool(_) => Ok(Con::Bool),
@@ -408,7 +459,7 @@ impl Elaborator {
             match w {
                 Con::Sum(_) => return Ok(w),
                 Con::Mu(_, _) if recmod_kernel::whnf::is_contractive(&w) => {
-                    cur = recmod_kernel::whnf::unroll_mu(&w);
+                    cur = recmod_kernel::whnf::unroll_mu(&w).map_err(|e| self.terr(span, e))?;
                 }
                 other => {
                     return self.err(
@@ -455,14 +506,11 @@ pub(crate) struct CtorRes {
 }
 
 /// Builds a right-nested product monotype (`unit` when empty).
-pub(crate) fn prod_chain(mut parts: Vec<Con>) -> Con {
-    match parts.len() {
-        0 => Con::UnitTy,
-        1 => parts.pop().expect("len checked"),
-        _ => {
-            let first = parts.remove(0);
-            Con::Prod(Box::new(first), Box::new(prod_chain(parts)))
-        }
+pub(crate) fn prod_chain(parts: Vec<Con>) -> Con {
+    let mut rev = parts.into_iter().rev();
+    match rev.next() {
+        None => Con::UnitTy,
+        Some(last) => rev.fold(last, |acc, c| Con::Prod(Box::new(c), Box::new(acc))),
     }
 }
 

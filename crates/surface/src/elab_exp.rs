@@ -67,6 +67,10 @@ impl Elaborator {
 
     /// Elaborates one declaration into the accumulator.
     pub(crate) fn elab_dec(&mut self, dec: &Dec, acc: &mut BodyAcc) -> SurfaceResult<()> {
+        self.with_depth(dec.span(), |this| this.elab_dec_inner(dec, acc))
+    }
+
+    fn elab_dec_inner(&mut self, dec: &Dec, acc: &mut BodyAcc) -> SurfaceResult<()> {
         match dec {
             Dec::Type { name, def, .. } => {
                 let con = self.elab_ty(def)?;
@@ -257,6 +261,10 @@ impl Elaborator {
 
     /// Elaborates an expression to an internal term at the current depth.
     pub fn elab_exp(&mut self, e: &Exp) -> SurfaceResult<Term> {
+        self.with_depth(e.span(), |this| this.elab_exp_inner(e))
+    }
+
+    fn elab_exp_inner(&mut self, e: &Exp) -> SurfaceResult<Term> {
         match e {
             Exp::Int(n, _) => Ok(Term::IntLit(*n)),
             Exp::Bool(b, _) => Ok(Term::BoolLit(*b)),

@@ -26,6 +26,10 @@ impl Elaborator {
     /// result is a non-rds template (an rds wrapper is added by the
     /// recursive-binding elaboration, which supplies the ρ binder).
     pub fn elab_sigexp(&mut self, se: &SigExp) -> SurfaceResult<SigTemplate> {
+        self.with_depth(se.span(), |this| this.elab_sigexp_inner(se))
+    }
+
+    fn elab_sigexp_inner(&mut self, se: &SigExp) -> SurfaceResult<SigTemplate> {
         match se {
             SigExp::Name(name, span) => match self.env.lookup(name) {
                 Some(Entity::SigDef(t)) => Ok(self.retarget_template(t.clone())),
@@ -184,7 +188,9 @@ impl Elaborator {
                     Spec::Type { .. } => {}
                     Spec::Datatype { name, ctors, span } => {
                         // Constructor value types: Cᵢ : argᵢ → t (total).
-                        let t_slot = shape.static_slot(name).expect("datatype slot");
+                        let t_slot = shape.static_slot(name).ok_or_else(|| {
+                            SurfaceError::internal(*span, "datatype spec without a static slot")
+                        })?;
                         let t_con = con_proj(Con::Var(0), t_slot, n_static);
                         for c in ctors {
                             let ty = match &c.arg {
@@ -207,13 +213,18 @@ impl Elaborator {
                         let con = self.elab_ty(ty)?;
                         dyn_tys.push(Ty::Con(con));
                     }
-                    Spec::Structure { name, .. } => {
-                        let slot = shape.static_slot(name).expect("substructure slot");
+                    Spec::Structure { name, span, .. } => {
+                        let slot = shape.static_slot(name).ok_or_else(|| {
+                            SurfaceError::internal(*span, "substructure spec without a static slot")
+                        })?;
                         let proj = con_proj(Con::Var(0), slot, n_static);
-                        let (_, sub_ty, binders_before) = sub_tys
-                            .iter()
-                            .find(|(n, _, _)| n == name)
-                            .expect("pass 1 recorded substructure");
+                        let (_, sub_ty, binders_before) =
+                            sub_tys.iter().find(|(n, _, _)| n == name).ok_or_else(|| {
+                                SurfaceError::internal(
+                                    *span,
+                                    "substructure spec not recorded in pass 1",
+                                )
+                            })?;
                         // The substructure's σ was elaborated in pass 1
                         // under `binders_before` sibling Σ binders plus its
                         // own α_sub. Remap sibling references to α
@@ -303,7 +314,11 @@ fn refine_kind(
         return Err(ErrorKind::Unbound(name.clone()));
     };
     let n = shape.static_len();
-    let item = shape.find(name).expect("slot implies field");
+    let Some(item) = shape.find(name) else {
+        return Err(ErrorKind::Type(recmod_kernel::TypeError::Internal(
+            "static slot without a shape field".to_string(),
+        )));
+    };
     rewrite_sigma(kind, slot, n, &mut |target, inner_crossed| {
         let total = crossed + inner_crossed;
         if parts.len() == 1 {

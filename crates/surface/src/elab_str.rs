@@ -33,6 +33,10 @@ impl Elaborator {
     /// Elaborates a structure expression to an inline view at the
     /// current depth (static tuple, dynamic term, shape).
     pub fn elab_strexp(&mut self, se: &StrExp) -> SurfaceResult<StructEntity> {
+        self.with_depth(se.span(), |this| this.elab_strexp_inner(se))
+    }
+
+    fn elab_strexp_inner(&mut self, se: &StrExp) -> SurfaceResult<StructEntity> {
         match se {
             StrExp::Path(p) => self.resolve_struct(p),
             StrExp::Body(decs, span) => self.elab_struct_body(decs, *span),
@@ -111,7 +115,7 @@ impl Elaborator {
     pub(crate) fn elab_struct_body(
         &mut self,
         decs: &[Dec],
-        _span: Span,
+        span: Span,
     ) -> SurfaceResult<StructEntity> {
         let mut acc = self.begin_body();
         let mut failure = None;
@@ -153,9 +157,13 @@ impl Elaborator {
         };
         self.ctx.truncate(base);
         self.env.reset(acc.env_mark);
-        match failure {
-            Some(e) => Err(e),
-            None => Ok(result.expect("no failure implies result")),
+        match (failure, result) {
+            (Some(e), _) => Err(e),
+            (None, Some(r)) => Ok(r),
+            (None, None) => Err(SurfaceError::internal(
+                span,
+                "structure body produced neither a result nor an error",
+            )),
         }
     }
 
@@ -295,6 +303,10 @@ impl Elaborator {
     /// Elaborates one top-level declaration, extending the context,
     /// environment, and binding list.
     pub fn elab_topdec(&mut self, dec: &TopDec) -> SurfaceResult<()> {
+        self.with_depth(dec.span(), |this| this.elab_topdec_inner(dec))
+    }
+
+    fn elab_topdec_inner(&mut self, dec: &TopDec) -> SurfaceResult<()> {
         let _span = recmod_telemetry::span("surface.elab_topdec");
         recmod_telemetry::count("surface.topdecs", 1);
         match dec {
@@ -625,7 +637,13 @@ impl Elaborator {
         let mut tmpls = Vec::with_capacity(n);
         let mut sig_failure = None;
         for b in binds {
-            let (sig, _) = b.ann.as_ref().expect("checked above");
+            let Some((sig, _)) = b.ann.as_ref() else {
+                sig_failure = Some(SurfaceError::internal(
+                    b.span,
+                    "recursive structure binding lost its ascription",
+                ));
+                break;
+            };
             match self.elab_sigexp(sig) {
                 Ok(t) => tmpls.push(t),
                 Err(e) => {

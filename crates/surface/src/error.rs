@@ -81,6 +81,9 @@ pub enum ErrorKind {
     Duplicate(String),
     /// A kernel type error, with the elaborator's phase description.
     Type(TypeError),
+    /// A resource limit (depth, node budget, deadline) was hit. A
+    /// resource verdict, not a judgement about the program.
+    Limit(recmod_telemetry::LimitExceeded),
     /// Anything else.
     Other(String),
 }
@@ -89,6 +92,27 @@ impl SurfaceError {
     /// Builds an error.
     pub fn new(span: Span, kind: ErrorKind) -> Self {
         SurfaceError { span, kind }
+    }
+
+    /// Builds an internal-invariant error: a compiler bug surfaced as a
+    /// structured diagnostic instead of a panic.
+    pub fn internal(span: Span, msg: impl Into<String>) -> Self {
+        SurfaceError::new(span, ErrorKind::Type(TypeError::Internal(msg.into())))
+    }
+
+    /// Is this a resource-bound verdict (depth, nodes, fuel, deadline)
+    /// rather than a judgement about the program?
+    pub fn is_limit(&self) -> bool {
+        match &self.kind {
+            ErrorKind::Limit(_) => true,
+            ErrorKind::Type(e) => e.is_limit(),
+            _ => false,
+        }
+    }
+
+    /// Is this an internal-invariant failure (a compiler bug)?
+    pub fn is_internal(&self) -> bool {
+        matches!(&self.kind, ErrorKind::Type(e) if e.is_internal())
     }
 
     /// Renders the error with line/column information from `src`.
@@ -115,6 +139,7 @@ impl fmt::Display for SurfaceError {
             }
             ErrorKind::Duplicate(name) => write!(f, "duplicate binding `{name}`"),
             ErrorKind::Type(e) => write!(f, "type error: {e}"),
+            ErrorKind::Limit(e) => write!(f, "{e}"),
             ErrorKind::Other(msg) => f.write_str(msg),
         }
     }

@@ -5,18 +5,53 @@
 
 use crate::error::{ErrorKind, Span, SurfaceError, SurfaceResult};
 use crate::token::{Spanned, Tok};
+use recmod_telemetry::Limits;
 
 /// Lexes the entire source into a token vector terminated by `Eof`.
 ///
 /// # Errors
 ///
 /// Reports unexpected characters and unterminated comments with their
-/// source position.
+/// source position. Stops at the first error; use [`lex_recover`] to
+/// collect all of them.
 pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
+    let (toks, mut errors) = lex_recover(src, &Limits::default());
+    match errors.is_empty() {
+        true => Ok(toks),
+        false => Err(errors.remove(0)),
+    }
+}
+
+/// Lexes with error recovery: bad characters are skipped and recorded,
+/// and lexing continues, so one stray byte does not hide every later
+/// diagnostic. The token vector is always `Eof`-terminated and always
+/// usable by the parser.
+///
+/// The token count is bounded by `limits.max_nodes` and the scan by
+/// `limits.deadline`; hitting either appends an [`ErrorKind::Limit`]
+/// error and stops early.
+pub fn lex_recover(src: &str, limits: &Limits) -> (Vec<Spanned>, Vec<SurfaceError>) {
     let bytes = src.as_bytes();
     let mut out = Vec::new();
+    let mut errors: Vec<SurfaceError> = Vec::new();
     let mut i = 0;
     while i < bytes.len() {
+        if out.len() as u64 >= limits.max_nodes {
+            errors.push(SurfaceError::new(
+                Span::new(i, src.len()),
+                ErrorKind::Limit(limits.nodes_error("lex")),
+            ));
+            break;
+        }
+        // Amortize the clock read; spans of 4096 tokens lex in well
+        // under a millisecond.
+        if out.len() % 4096 == 4095 && limits.deadline_passed() {
+            errors.push(SurfaceError::new(
+                Span::new(i, src.len()),
+                ErrorKind::Limit(limits.deadline_error("lex")),
+            ));
+            break;
+        }
         let c = bytes[i] as char;
         let start = i;
         match c {
@@ -29,10 +64,12 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
                 i += 2;
                 while depth > 0 {
                     if i + 1 >= bytes.len() {
-                        return Err(SurfaceError::new(
+                        errors.push(SurfaceError::new(
                             Span::new(start, bytes.len()),
                             ErrorKind::Lex("unterminated comment".to_string()),
                         ));
+                        i = bytes.len();
+                        break;
                     }
                     if bytes[i] == b'(' && bytes[i + 1] == b'*' {
                         depth += 1;
@@ -163,16 +200,16 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
                     j += 1;
                 }
                 let text = &src[i..j];
-                let n: i64 = text.parse().map_err(|_| {
-                    SurfaceError::new(
+                match text.parse::<i64>() {
+                    Ok(n) => out.push(Spanned {
+                        tok: Tok::Int(n),
+                        span: Span::new(i, j),
+                    }),
+                    Err(_) => errors.push(SurfaceError::new(
                         Span::new(i, j),
                         ErrorKind::Lex(format!("integer literal `{text}` out of range")),
-                    )
-                })?;
-                out.push(Spanned {
-                    tok: Tok::Int(n),
-                    span: Span::new(i, j),
-                });
+                    )),
+                }
                 i = j;
             }
             'a'..='z' | 'A'..='Z' => {
@@ -218,12 +255,17 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
             }
             _ => {
                 // Decode the full (possibly multi-byte) character so the
-                // error shows `λ`, not its first byte.
-                let ch = src[i..].chars().next().expect("in-bounds index");
-                return Err(SurfaceError::new(
+                // error shows `λ`, not its first byte; then skip it and
+                // keep lexing, so later errors are still reported.
+                let ch = match src[i..].chars().next() {
+                    Some(ch) => ch,
+                    None => break,
+                };
+                errors.push(SurfaceError::new(
                     Span::new(i, i + ch.len_utf8()),
                     ErrorKind::Lex(format!("unexpected character `{ch}`")),
                 ));
+                i += ch.len_utf8();
             }
         }
     }
@@ -231,7 +273,7 @@ pub fn lex(src: &str) -> SurfaceResult<Vec<Spanned>> {
         tok: Tok::Eof,
         span: Span::new(src.len(), src.len()),
     });
-    Ok(out)
+    (out, errors)
 }
 
 #[cfg(test)]

@@ -49,5 +49,6 @@ pub mod token;
 
 pub use elab::Elaborator;
 pub use error::{ErrorKind, Span, SurfaceError, SurfaceResult};
-pub use parser::{parse, parse_exp};
-pub use pipeline::{compile, compile_with, Compiled};
+pub use parser::{parse, parse_exp, parse_with};
+pub use pipeline::{compile, compile_with, compile_with_limits, Compiled};
+pub use recmod_telemetry::{LimitExceeded, LimitKind, Limits};

@@ -12,24 +12,61 @@
 
 use crate::ast::*;
 use crate::error::{ErrorKind, Span, SurfaceError, SurfaceResult};
-use crate::lexer::lex;
+use crate::lexer::{lex, lex_recover};
 use crate::token::{Spanned, Tok};
+use recmod_telemetry::Limits;
 
-/// Parses a whole program.
+/// Parses a whole program, stopping at the first error.
 ///
 /// # Errors
 ///
-/// Lexical and syntax errors, with source spans.
+/// Lexical and syntax errors, with source spans. For multi-error
+/// reporting with recovery, use [`parse_with`].
 pub fn parse(src: &str) -> SurfaceResult<Program> {
-    let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
-    p.program()
+    parse_with(src, &Limits::default()).map_err(|mut errs| errs.remove(0))
 }
+
+/// Parses a whole program with error recovery under resource `limits`.
+///
+/// After a syntax error the parser synchronizes at the next top-level
+/// declaration keyword (or `;`) and keeps going, so independent
+/// mistakes are all reported in one run.
+///
+/// # Errors
+///
+/// Every diagnostic found, ordered by source position; the vector is
+/// never empty on `Err`. A resource-limit error ([`ErrorKind::Limit`])
+/// aborts recovery and is always the last entry.
+pub fn parse_with(src: &str, limits: &Limits) -> Result<Program, Vec<SurfaceError>> {
+    let (toks, mut errors) = lex_recover(src, limits);
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        limits: *limits,
+        depth: 0,
+    };
+    let program = p.program_recover(&mut errors);
+    if errors.is_empty() {
+        Ok(program)
+    } else {
+        errors.sort_by_key(|e| (e.span.start, e.span.end));
+        Err(errors)
+    }
+}
+
+/// Recovery gives up after this many parse errors: past that point the
+/// diagnostics are almost certainly cascade noise.
+const MAX_PARSE_ERRORS: usize = 100;
 
 /// Parses a single expression (useful in tests and the REPL example).
 pub fn parse_exp(src: &str) -> SurfaceResult<Exp> {
     let toks = lex(src)?;
-    let mut p = Parser { toks, pos: 0 };
+    let mut p = Parser {
+        toks,
+        pos: 0,
+        limits: Limits::default(),
+        depth: 0,
+    };
     let e = p.exp()?;
     p.expect(Tok::Eof)?;
     Ok(e)
@@ -38,11 +75,30 @@ pub fn parse_exp(src: &str) -> SurfaceResult<Exp> {
 struct Parser {
     toks: Vec<Spanned>,
     pos: usize,
+    limits: Limits,
+    depth: usize,
 }
 
 impl Parser {
     fn peek(&self) -> &Tok {
         &self.toks[self.pos].tok
+    }
+
+    /// Runs `f` one structural level deeper, failing with a depth
+    /// diagnostic once `limits.max_depth` levels are live. Every
+    /// recursive production routes through this, so arbitrarily nested
+    /// input yields [`ErrorKind::Limit`] instead of a stack overflow.
+    fn with_depth<T>(&mut self, f: impl FnOnce(&mut Self) -> SurfaceResult<T>) -> SurfaceResult<T> {
+        if self.depth >= self.limits.max_depth {
+            return Err(SurfaceError::new(
+                self.span(),
+                ErrorKind::Limit(self.limits.depth_error("parse")),
+            ));
+        }
+        self.depth += 1;
+        let r = f(self);
+        self.depth -= 1;
+        r
     }
 
     fn peek2(&self) -> &Tok {
@@ -107,22 +163,85 @@ impl Parser {
 
     // ----- programs ---------------------------------------------------
 
-    fn program(&mut self) -> SurfaceResult<Program> {
+    /// Parses every top-level declaration, recording errors and
+    /// synchronizing at declaration keywords instead of stopping. The
+    /// returned program holds whatever parsed cleanly; callers must
+    /// treat it as partial whenever `errors` is non-empty.
+    fn program_recover(&mut self, errors: &mut Vec<SurfaceError>) -> Program {
         let mut decls = Vec::new();
+        let mut main = None;
         loop {
             while self.eat(Tok::Semi) {}
+            if self.limits.deadline_passed() {
+                errors.push(SurfaceError::new(
+                    self.span(),
+                    ErrorKind::Limit(self.limits.deadline_error("parse")),
+                ));
+                break;
+            }
             match self.peek() {
                 Tok::Signature | Tok::Structure | Tok::Functor | Tok::Val | Tok::Fun => {
-                    decls.push(self.topdec()?);
+                    let before = self.pos;
+                    match self.topdec() {
+                        Ok(d) => decls.push(d),
+                        Err(e) => {
+                            let stop = e.is_limit();
+                            errors.push(e);
+                            if stop || errors.len() >= MAX_PARSE_ERRORS {
+                                break;
+                            }
+                            self.synchronize(before);
+                        }
+                    }
                 }
-                Tok::Eof => return Ok(Program { decls, main: None }),
+                Tok::Eof => break,
                 _ => {
-                    let main = self.exp()?;
-                    self.expect(Tok::Eof)?;
-                    return Ok(Program {
-                        decls,
-                        main: Some(main),
+                    let before = self.pos;
+                    let parsed = self.exp().and_then(|e| {
+                        self.expect(Tok::Eof)?;
+                        Ok(e)
                     });
+                    match parsed {
+                        Ok(e) => {
+                            main = Some(e);
+                            break;
+                        }
+                        Err(e) => {
+                            let stop = e.is_limit();
+                            errors.push(e);
+                            if stop || errors.len() >= MAX_PARSE_ERRORS {
+                                break;
+                            }
+                            self.synchronize(before);
+                            if *self.peek() == Tok::Eof {
+                                break;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        Program { decls, main }
+    }
+
+    /// Skips forward to the next plausible declaration start (a
+    /// declaration keyword, a `;`, or end of input), consuming at least
+    /// one token beyond `before` so recovery always makes progress.
+    fn synchronize(&mut self, before: usize) {
+        if self.pos == before {
+            self.bump();
+        }
+        loop {
+            match self.peek() {
+                Tok::Signature | Tok::Structure | Tok::Functor | Tok::Val | Tok::Fun | Tok::Eof => {
+                    return
+                }
+                Tok::Semi => {
+                    self.bump();
+                    return;
+                }
+                _ => {
+                    self.bump();
                 }
             }
         }
@@ -248,6 +367,10 @@ impl Parser {
     // ----- structures ---------------------------------------------------
 
     fn strexp(&mut self) -> SurfaceResult<StrExp> {
+        self.with_depth(Self::strexp_inner)
+    }
+
+    fn strexp_inner(&mut self) -> SurfaceResult<StrExp> {
         let mut base = self.strexp_base()?;
         loop {
             if self.eat(Tok::Colon) {
@@ -316,6 +439,10 @@ impl Parser {
     // ----- signatures ----------------------------------------------------
 
     fn sigexp(&mut self) -> SurfaceResult<SigExp> {
+        self.with_depth(Self::sigexp_inner)
+    }
+
+    fn sigexp_inner(&mut self) -> SurfaceResult<SigExp> {
         let mut base = match self.peek().clone() {
             Tok::Sig => {
                 let sp = self.bump().span;
@@ -430,6 +557,10 @@ impl Parser {
     // ----- declarations -----------------------------------------------------
 
     fn dec(&mut self) -> SurfaceResult<Dec> {
+        self.with_depth(Self::dec_inner)
+    }
+
+    fn dec_inner(&mut self) -> SurfaceResult<Dec> {
         match self.peek() {
             Tok::Type => {
                 let sp = self.bump().span;
@@ -487,6 +618,10 @@ impl Parser {
     // ----- types -------------------------------------------------------------
 
     fn tyexp(&mut self) -> SurfaceResult<TyExp> {
+        self.with_depth(Self::tyexp_inner)
+    }
+
+    fn tyexp_inner(&mut self) -> SurfaceResult<TyExp> {
         let lhs = self.ty_prod()?;
         if self.eat(Tok::Arrow) {
             let rhs = self.tyexp()?;
@@ -542,6 +677,10 @@ impl Parser {
     // ----- patterns -------------------------------------------------------------
 
     fn pat(&mut self) -> SurfaceResult<Pat> {
+        self.with_depth(Self::pat_inner)
+    }
+
+    fn pat_inner(&mut self) -> SurfaceResult<Pat> {
         match self.peek().clone() {
             Tok::Ident(_) => {
                 let path = self.path()?;
@@ -558,10 +697,10 @@ impl Parser {
                             Ok(Pat::Con(path, None, span))
                         } else {
                             let span = path.span;
-                            Ok(Pat::Var(
-                                path.parts.into_iter().next().expect("nonempty"),
-                                span,
-                            ))
+                            match path.parts.into_iter().next() {
+                                Some(name) => Ok(Pat::Var(name, span)),
+                                None => Err(self.err("expected a pattern".to_string())),
+                            }
                         }
                     }
                 }
@@ -582,10 +721,10 @@ impl Parser {
                 if path.parts.len() > 1 {
                     Ok(Pat::Con(path, None, span))
                 } else {
-                    Ok(Pat::Var(
-                        path.parts.into_iter().next().expect("nonempty"),
-                        span,
-                    ))
+                    match path.parts.into_iter().next() {
+                        Some(name) => Ok(Pat::Var(name, span)),
+                        None => Err(self.err("expected a pattern".to_string())),
+                    }
                 }
             }
             Tok::LParen => {
@@ -595,10 +734,13 @@ impl Parser {
                     parts.push(self.pat()?);
                 }
                 let end = self.expect(Tok::RParen)?;
-                if parts.len() == 1 {
-                    Ok(parts.pop().expect("len checked"))
-                } else {
-                    Ok(Pat::Tuple(parts, sp.to(end)))
+                match parts.pop() {
+                    Some(only) if parts.is_empty() => Ok(only),
+                    Some(last) => {
+                        parts.push(last);
+                        Ok(Pat::Tuple(parts, sp.to(end)))
+                    }
+                    None => Err(self.err("expected a pattern".to_string())),
                 }
             }
             other => Err(self.err(format!("expected a pattern, found `{other}`"))),
@@ -608,6 +750,10 @@ impl Parser {
     // ----- expressions ------------------------------------------------------------
 
     fn exp(&mut self) -> SurfaceResult<Exp> {
+        self.with_depth(Self::exp_inner)
+    }
+
+    fn exp_inner(&mut self) -> SurfaceResult<Exp> {
         match self.peek() {
             Tok::Fn => {
                 let sp = self.bump().span;
@@ -758,10 +904,13 @@ impl Parser {
                     parts.push(self.exp()?);
                 }
                 let end = self.expect(Tok::RParen)?;
-                if parts.len() == 1 {
-                    Ok(parts.pop().expect("len checked"))
-                } else {
-                    Ok(Exp::Tuple(parts, sp.to(end)))
+                match parts.pop() {
+                    Some(only) if parts.is_empty() => Ok(only),
+                    Some(last) => {
+                        parts.push(last);
+                        Ok(Exp::Tuple(parts, sp.to(end)))
+                    }
+                    None => Err(self.err("expected an expression".to_string())),
                 }
             }
             other => Err(self.err(format!("expected an expression, found `{other}`"))),

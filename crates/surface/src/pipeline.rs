@@ -1,11 +1,12 @@
 //! The compilation pipeline: parse → elaborate → typecheck → link.
 
 use recmod_syntax::ast::Term;
+use recmod_telemetry::Limits;
 
 use crate::elab::Elaborator;
 use crate::error::{ErrorKind, SurfaceError, SurfaceResult};
 use crate::link::link_program;
-use crate::parser::parse;
+use crate::parser::{parse, parse_with};
 
 /// The result of compiling a program.
 #[derive(Debug)]
@@ -60,4 +61,64 @@ pub fn compile_with(mut elab: Elaborator, src: &str) -> SurfaceResult<Compiled> 
         None => None,
     };
     Ok(Compiled { elab, main })
+}
+
+/// Compiles under resource `limits`, collecting every diagnostic the
+/// run produces instead of stopping at the first.
+///
+/// The parser recovers at declaration boundaries; elaboration then
+/// continues past a failed top-level declaration (its bindings are
+/// simply absent downstream, which may cascade into unbound-name
+/// errors — those are still real positions in the source). A resource
+/// limit aborts the run, since later work would only hit it again.
+///
+/// # Errors
+///
+/// Every diagnostic found, ordered by source position; the vector is
+/// never empty on `Err`.
+pub fn compile_with_limits(src: &str, limits: &Limits) -> Result<Compiled, Vec<SurfaceError>> {
+    let mut errors: Vec<SurfaceError> = Vec::new();
+    let prog = match parse_with(src, limits) {
+        Ok(p) => p,
+        Err(errs) => {
+            // Parsing already recovered what it could; elaborating the
+            // partial program would double-report, so stop here.
+            return Err(errs);
+        }
+    };
+    let mut elab = Elaborator::with_limits(*limits);
+    for d in &prog.decls {
+        if let Err(e) = elab.elab_topdec(d) {
+            let stop = e.is_limit();
+            errors.push(e);
+            if stop {
+                errors.sort_by_key(|e| (e.span.start, e.span.end));
+                return Err(errors);
+            }
+        }
+    }
+    let main = match &prog.main {
+        Some(e) => {
+            let checked = elab.elab_exp(e).and_then(|term| {
+                elab.tc
+                    .synth_term(&mut elab.ctx, &term)
+                    .map_err(|err| SurfaceError::new(e.span(), ErrorKind::Type(err)))?;
+                Ok(term)
+            });
+            match checked {
+                Ok(term) => Some(term),
+                Err(e) => {
+                    errors.push(e);
+                    None
+                }
+            }
+        }
+        None => None,
+    };
+    if errors.is_empty() {
+        Ok(Compiled { elab, main })
+    } else {
+        errors.sort_by_key(|e| (e.span.start, e.span.end));
+        Err(errors)
+    }
 }

@@ -174,14 +174,11 @@ pub fn term_proj(base: Term, slot: usize, arity: usize) -> Term {
 }
 
 /// Builds a right-nested constructor tuple (`*` when empty).
-pub fn con_tuple(mut parts: Vec<Con>) -> Con {
-    match parts.len() {
-        0 => Con::Star,
-        1 => parts.pop().expect("len checked"),
-        _ => {
-            let first = parts.remove(0);
-            Con::Pair(Box::new(first), Box::new(con_tuple(parts)))
-        }
+pub fn con_tuple(parts: Vec<Con>) -> Con {
+    let mut rev = parts.into_iter().rev();
+    match rev.next() {
+        None => Con::Star,
+        Some(last) => rev.fold(last, |acc, c| Con::Pair(Box::new(c), Box::new(acc))),
     }
 }
 
@@ -191,27 +188,21 @@ pub fn term_tuple(parts: Vec<Term>) -> Term {
 }
 
 /// Builds a right-nested product type (`1` when empty).
-pub fn ty_tuple(mut parts: Vec<Ty>) -> Ty {
-    match parts.len() {
-        0 => Ty::Unit,
-        1 => parts.pop().expect("len checked"),
-        _ => {
-            let first = parts.remove(0);
-            Ty::Prod(Box::new(first), Box::new(ty_tuple(parts)))
-        }
+pub fn ty_tuple(parts: Vec<Ty>) -> Ty {
+    let mut rev = parts.into_iter().rev();
+    match rev.next() {
+        None => Ty::Unit,
+        Some(last) => rev.fold(last, |acc, t| Ty::Prod(Box::new(t), Box::new(acc))),
     }
 }
 
 /// Builds a right-nested `Σ` kind (`1` when empty).
-pub fn kind_tuple(mut parts: Vec<recmod_syntax::ast::Kind>) -> recmod_syntax::ast::Kind {
+pub fn kind_tuple(parts: Vec<recmod_syntax::ast::Kind>) -> recmod_syntax::ast::Kind {
     use recmod_syntax::ast::Kind;
-    match parts.len() {
-        0 => Kind::Unit,
-        1 => parts.pop().expect("len checked"),
-        _ => {
-            let first = parts.remove(0);
-            Kind::Sigma(Box::new(first), Box::new(kind_tuple(parts)))
-        }
+    let mut rev = parts.into_iter().rev();
+    match rev.next() {
+        None => Kind::Unit,
+        Some(last) => rev.fold(last, |acc, k| Kind::Sigma(Box::new(k), Box::new(acc))),
     }
 }
 

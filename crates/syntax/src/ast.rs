@@ -275,15 +275,12 @@ impl Term {
     }
 
     /// Builds a right-nested tuple `(e₁, (e₂, …))`; the empty tuple is `*`.
-    pub fn tuple(mut es: Vec<Term>) -> Term {
-        match es.len() {
-            0 => Term::Star,
-            1 => es.pop().expect("len checked"),
-            _ => {
-                let first = es.remove(0);
-                Term::Pair(Box::new(first), Box::new(Term::tuple(es)))
-            }
-        }
+    pub fn tuple(es: Vec<Term>) -> Term {
+        let mut rev = es.into_iter().rev();
+        let Some(last) = rev.next() else {
+            return Term::Star;
+        };
+        rev.fold(last, |acc, e| Term::Pair(Box::new(e), Box::new(acc)))
     }
 }
 

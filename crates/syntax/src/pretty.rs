@@ -88,42 +88,42 @@ impl Names {
 /// Renders a kind with the given environment.
 pub fn kind_to_string(k: &Kind, names: &mut Names) -> String {
     let mut s = String::new();
-    write_kind(&mut s, k, names, 0).expect("string write cannot fail");
+    let _ = write_kind(&mut s, k, names, 0);
     s
 }
 
 /// Renders a constructor with the given environment.
 pub fn con_to_string(c: &Con, names: &mut Names) -> String {
     let mut s = String::new();
-    write_con(&mut s, c, names, 0).expect("string write cannot fail");
+    let _ = write_con(&mut s, c, names, 0);
     s
 }
 
 /// Renders a type with the given environment.
 pub fn ty_to_string(t: &Ty, names: &mut Names) -> String {
     let mut s = String::new();
-    write_ty(&mut s, t, names, 0).expect("string write cannot fail");
+    let _ = write_ty(&mut s, t, names, 0);
     s
 }
 
 /// Renders a term with the given environment.
 pub fn term_to_string(e: &Term, names: &mut Names) -> String {
     let mut s = String::new();
-    write_term(&mut s, e, names, 0).expect("string write cannot fail");
+    let _ = write_term(&mut s, e, names, 0);
     s
 }
 
 /// Renders a signature with the given environment.
 pub fn sig_to_string(sg: &Sig, names: &mut Names) -> String {
     let mut s = String::new();
-    write_sig(&mut s, sg, names).expect("string write cannot fail");
+    let _ = write_sig(&mut s, sg, names);
     s
 }
 
 /// Renders a module with the given environment.
 pub fn module_to_string(m: &Module, names: &mut Names) -> String {
     let mut s = String::new();
-    write_module(&mut s, m, names).expect("string write cannot fail");
+    let _ = write_module(&mut s, m, names);
     s
 }
 

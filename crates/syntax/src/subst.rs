@@ -128,6 +128,12 @@ impl SubstCon<'_> {
     }
 }
 
+// Sort invariant: a constructor substitution can only meet term/module
+// occurrences of its target index in ill-sorted IR, which the kernel
+// rejects before any substitution runs. A violation here is a compiler
+// bug; the `recmodc` catch_unwind boundary reports it as an internal
+// error rather than crashing.
+#[allow(clippy::panic)]
 impl VarMap for SubstCon<'_> {
     fn cvar(&mut self, d: usize, i: Index) -> Con {
         match self.index(d, i) {
@@ -284,6 +290,11 @@ struct SubstMod<'a> {
     parts: &'a ModParts,
 }
 
+// The `expect`s below enforce the `ModParts::snd` contract documented
+// above: callers pass `None` only when the target cannot occur
+// dynamically. A violation is a compiler bug, reported as an internal
+// error by the `recmodc` catch_unwind boundary.
+#[allow(clippy::expect_used)]
 impl VarMap for SubstMod<'_> {
     fn cvar(&mut self, d: usize, i: Index) -> Con {
         debug_assert_ne!(i, d, "constructor occurrence at a structure binder");

@@ -362,7 +362,9 @@ impl<'a> Parser<'a> {
                     // boundaries are valid).
                     let rest = &self.bytes[self.pos..];
                     let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let c = s.chars().next().expect("non-empty");
+                    let Some(c) = s.chars().next() else {
+                        return Err(self.err("bad utf-8"));
+                    };
                     out.push(c);
                     self.pos += c.len_utf8();
                 }

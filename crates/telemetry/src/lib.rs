@@ -42,6 +42,9 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod limits;
+
+pub use limits::{parse_limits_spec, LimitExceeded, LimitKind, Limits};
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
@@ -375,11 +378,12 @@ pub fn trace_span(render: impl FnOnce() -> String) -> TraceGuard {
         let within_depth = s.config.trace_depth.is_some_and(|d| s.trace_depth <= d);
         let within_width = s.trace_lines.len() < s.config.trace_max_lines;
         if within_depth && within_width {
-            let text = (render.take().expect("render used once"))();
-            s.trace_lines.push(TraceLine {
-                depth: s.trace_depth,
-                text,
-            });
+            if let Some(render) = render.take() {
+                s.trace_lines.push(TraceLine {
+                    depth: s.trace_depth,
+                    text: render(),
+                });
+            }
         } else {
             s.trace_dropped += 1;
         }

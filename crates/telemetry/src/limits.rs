@@ -1,0 +1,291 @@
+//! Shared resource limits for the whole pipeline.
+//!
+//! The paper's type theory makes the checker do genuinely dangerous
+//! work — equi-recursive μ-unrolling and Shao's-equation elimination can
+//! diverge — which is why the kernel has always carried fuel. This
+//! module generalizes that discipline to *every* stage: one [`Limits`]
+//! value (recursion depth, node budget, fuel, wall-clock deadline) is
+//! threaded through the lexer, parser, elaborator, kernel, phase
+//! splitter, and evaluator, and every structurally recursive function
+//! checks it. A violated limit surfaces as a structured
+//! [`LimitExceeded`] diagnostic instead of a stack overflow or a hang.
+//!
+//! The type lives in `recmod-telemetry` because that crate is the one
+//! zero-dependency leaf the entire workspace already shares.
+
+use std::fmt;
+use std::time::{Duration, Instant};
+
+/// Which resource bound was violated.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LimitKind {
+    /// Structural recursion depth (per pipeline stage).
+    Depth,
+    /// Node/token count budget.
+    Nodes,
+    /// Step/fuel budget.
+    Fuel,
+    /// Wall-clock deadline.
+    Deadline,
+}
+
+impl fmt::Display for LimitKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            LimitKind::Depth => "recursion depth",
+            LimitKind::Nodes => "node budget",
+            LimitKind::Fuel => "fuel budget",
+            LimitKind::Deadline => "deadline",
+        })
+    }
+}
+
+/// A structured "resource limit hit" diagnostic: which stage, which
+/// bound, and what the bound was. This is a *resource* verdict, never a
+/// semantic one — the input may well be fine under a larger budget.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LimitExceeded {
+    /// The pipeline stage that hit the bound (e.g. `"parse"`, `"whnf"`).
+    pub stage: &'static str,
+    /// Which bound was hit.
+    pub kind: LimitKind,
+    /// The bound's value (milliseconds for [`LimitKind::Deadline`]).
+    pub limit: u64,
+}
+
+impl fmt::Display for LimitExceeded {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            LimitKind::Deadline => write!(
+                f,
+                "limit exceeded in {}: {} of {} ms passed",
+                self.stage, self.kind, self.limit
+            ),
+            _ => write!(
+                f,
+                "limit exceeded in {}: {} of {} reached",
+                self.stage, self.kind, self.limit
+            ),
+        }
+    }
+}
+
+impl std::error::Error for LimitExceeded {}
+
+/// Resource bounds threaded through the pipeline.
+///
+/// `Copy` on purpose: stages stash a copy at construction time, so a
+/// `Limits` can be built once (e.g. from `recmodc --limits`) and handed
+/// to every stage without lifetime plumbing.
+#[derive(Debug, Clone, Copy)]
+pub struct Limits {
+    /// Maximum structural recursion depth per stage. Each stage (parser,
+    /// elaborator, kernel, splitter) counts its own nesting; the bound
+    /// turns pathological input depth into a diagnostic *before* the
+    /// host stack runs out.
+    pub max_depth: usize,
+    /// Maximum token/AST-node count accepted from one input.
+    pub max_nodes: u64,
+    /// Kernel normalization/equivalence fuel.
+    pub fuel: u64,
+    /// Evaluator step budget.
+    pub eval_fuel: u64,
+    /// Evaluator recursion-depth bound (object-level calls).
+    pub eval_depth: u64,
+    /// Absolute wall-clock deadline, if any.
+    pub deadline: Option<Instant>,
+    /// The deadline as originally requested, for reporting.
+    pub deadline_ms: u64,
+}
+
+/// Default per-stage recursion depth. Deep enough for any program a
+/// human writes (hundreds of nesting levels), shallow enough that the
+/// guard fires long before a 2 MiB test-thread stack is at risk even in
+/// debug builds.
+pub const DEFAULT_MAX_DEPTH: usize = 1_000;
+
+/// Default node/token budget (per input).
+pub const DEFAULT_MAX_NODES: u64 = 10_000_000;
+
+/// Default kernel fuel (matches the kernel's historical default).
+pub const DEFAULT_KERNEL_FUEL: u64 = 5_000_000;
+
+/// Default evaluator step budget (matches the evaluator's default).
+pub const DEFAULT_EVAL_FUEL: u64 = 500_000_000;
+
+/// Default evaluator recursion depth (matches the evaluator's default).
+pub const DEFAULT_EVAL_DEPTH: u64 = 50_000;
+
+impl Default for Limits {
+    fn default() -> Self {
+        Limits {
+            max_depth: DEFAULT_MAX_DEPTH,
+            max_nodes: DEFAULT_MAX_NODES,
+            fuel: DEFAULT_KERNEL_FUEL,
+            eval_fuel: DEFAULT_EVAL_FUEL,
+            eval_depth: DEFAULT_EVAL_DEPTH,
+            deadline: None,
+            deadline_ms: 0,
+        }
+    }
+}
+
+impl Limits {
+    /// Default limits (no deadline).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Tight budgets for adversarial input (the fuzzing harness): every
+    /// bound small enough that a pathological case fails in microseconds
+    /// rather than seconds.
+    pub fn strict() -> Self {
+        Limits {
+            max_depth: 200,
+            max_nodes: 100_000,
+            fuel: 50_000,
+            eval_fuel: 200_000,
+            eval_depth: 2_000,
+            deadline: None,
+            deadline_ms: 0,
+        }
+    }
+
+    /// Sets a wall-clock deadline `ms` milliseconds from now.
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline = Some(Instant::now() + Duration::from_millis(ms));
+        self.deadline_ms = ms;
+        self
+    }
+
+    /// Sets the per-stage recursion-depth bound.
+    pub fn with_max_depth(mut self, depth: usize) -> Self {
+        self.max_depth = depth;
+        self
+    }
+
+    /// Sets the node/token budget.
+    pub fn with_max_nodes(mut self, nodes: u64) -> Self {
+        self.max_nodes = nodes;
+        self
+    }
+
+    /// Sets the kernel fuel budget.
+    pub fn with_fuel(mut self, fuel: u64) -> Self {
+        self.fuel = fuel;
+        self
+    }
+
+    /// Has the wall-clock deadline passed? (False when none is set.)
+    ///
+    /// Reads the clock, so callers on hot paths should check only every
+    /// few hundred operations.
+    pub fn deadline_passed(&self) -> bool {
+        self.deadline.is_some_and(|d| Instant::now() >= d)
+    }
+
+    /// A [`LimitExceeded`] for this limit set's deadline, tagged `stage`.
+    pub fn deadline_error(&self, stage: &'static str) -> LimitExceeded {
+        LimitExceeded {
+            stage,
+            kind: LimitKind::Deadline,
+            limit: self.deadline_ms,
+        }
+    }
+
+    /// A [`LimitExceeded`] for the depth bound, tagged `stage`.
+    pub fn depth_error(&self, stage: &'static str) -> LimitExceeded {
+        LimitExceeded {
+            stage,
+            kind: LimitKind::Depth,
+            limit: self.max_depth as u64,
+        }
+    }
+
+    /// A [`LimitExceeded`] for the node budget, tagged `stage`.
+    pub fn nodes_error(&self, stage: &'static str) -> LimitExceeded {
+        LimitExceeded {
+            stage,
+            kind: LimitKind::Nodes,
+            limit: self.max_nodes,
+        }
+    }
+}
+
+/// Parses a `--limits` specification: a comma-separated list of
+/// `key=value` pairs with keys `depth`, `nodes`, `fuel`, `eval-fuel`,
+/// and `eval-depth` (e.g. `depth=500,fuel=100000`). Unmentioned keys
+/// keep their defaults.
+///
+/// # Errors
+///
+/// Returns a human-readable message for unknown keys or malformed
+/// numbers.
+pub fn parse_limits_spec(spec: &str) -> Result<Limits, String> {
+    let mut limits = Limits::default();
+    for part in spec.split(',').filter(|p| !p.is_empty()) {
+        let (key, value) = part
+            .split_once('=')
+            .ok_or_else(|| format!("bad limit `{part}` (expected key=value)"))?;
+        let n: u64 = value
+            .parse()
+            .map_err(|_| format!("bad value for `{key}`: {value}"))?;
+        match key {
+            "depth" => limits.max_depth = n as usize,
+            "nodes" => limits.max_nodes = n,
+            "fuel" => limits.fuel = n,
+            "eval-fuel" => limits.eval_fuel = n,
+            "eval-depth" => limits.eval_depth = n,
+            _ => {
+                return Err(format!(
+                    "unknown limit `{key}` (known: depth, nodes, fuel, eval-fuel, eval-depth)"
+                ))
+            }
+        }
+    }
+    Ok(limits)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_are_positive() {
+        let l = Limits::default();
+        assert!(l.max_depth > 0 && l.max_nodes > 0 && l.fuel > 0);
+        assert!(l.deadline.is_none());
+        assert!(!l.deadline_passed());
+    }
+
+    #[test]
+    fn deadline_in_the_past_is_detected() {
+        let l = Limits::default().with_deadline_ms(0);
+        // A zero-millisecond deadline passes essentially immediately.
+        std::thread::sleep(Duration::from_millis(2));
+        assert!(l.deadline_passed());
+        let e = l.deadline_error("parse");
+        assert_eq!(e.kind, LimitKind::Deadline);
+        assert!(e.to_string().contains("parse"), "{e}");
+    }
+
+    #[test]
+    fn spec_parsing() {
+        let l = parse_limits_spec("depth=42,fuel=7").unwrap();
+        assert_eq!(l.max_depth, 42);
+        assert_eq!(l.fuel, 7);
+        assert_eq!(l.max_nodes, DEFAULT_MAX_NODES);
+        assert!(parse_limits_spec("bogus=1").is_err());
+        assert!(parse_limits_spec("depth").is_err());
+        assert!(parse_limits_spec("depth=x").is_err());
+    }
+
+    #[test]
+    fn display_names_the_stage_and_bound() {
+        let e = Limits::strict().depth_error("elaborate");
+        assert_eq!(
+            e.to_string(),
+            "limit exceeded in elaborate: recursion depth of 200 reached"
+        );
+    }
+}

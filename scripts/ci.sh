@@ -9,10 +9,22 @@ cargo fmt --all -- --check
 echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "== cargo clippy (panic-free core: deny unwrap/expect/panic) =="
+# The kernel, phase-splitter, and surface pipeline must stay panic-free
+# in non-test code: every failure is a structured TypeError/SurfaceError.
+cargo clippy -p recmod-kernel -p recmod-phase -p recmod-surface --lib -- \
+  -D warnings \
+  -D clippy::unwrap_used \
+  -D clippy::expect_used \
+  -D clippy::panic
+
 echo "== cargo build --release =="
 cargo build --release --workspace
 
 echo "== cargo test =="
 cargo test --workspace -q
+
+echo "== bounded fuzz (2000 seeded iterations) =="
+FUZZ_ITERS=2000 cargo test -q -p recmod-tests --release --test fuzz
 
 echo "CI green."

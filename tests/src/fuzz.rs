@@ -1,0 +1,546 @@
+//! The seeded fuzzing + differential harness.
+//!
+//! Every case is fully determined by one `u64` seed (SplitMix64), so a
+//! failure report is a reproduction recipe. A seed drives one of four
+//! case classes:
+//!
+//! * **Expression differential** — a random well-typed expression
+//!   program is evaluated by a tiny reference interpreter over the
+//!   generator's own AST ("direct eval") and by the full pipeline
+//!   (parse → elaborate → kernel → phase-split → link → evaluate); the
+//!   two values must agree.
+//! * **Module differential** — a random operation sequence is run
+//!   against the paper's transparent *and* opaque recursive list
+//!   modules and against a native `Vec` model; the three checksums must
+//!   agree (the paper's §3 observational-equivalence claim).
+//! * **Ill-formed input** — a valid program is mutated (deletions,
+//!   duplications, keyword splices) and compiled under strict limits;
+//!   any structured verdict is fine, a panic is a bug.
+//! * **Kernel μ-fuzz** — random μ-constructor pairs (Shao collapses,
+//!   unrollings, deep towers) are checked for equivalence under both
+//!   `Equi` and `IsoShao` with tight budgets; iso-acceptance must imply
+//!   equi-acceptance (§5: Shao's equation is sound for the
+//!   equi-recursive theory), and deep towers must produce structured
+//!   limit errors, never a stack overflow.
+//!
+//! The driver ([`run_case`]) reports `Err(description)` on any
+//! disagreement; panics are caught by the caller (`tests/fuzz.rs`)
+//! which runs each case under `catch_unwind` on a big-stack thread.
+
+use recmod::kernel::{Ctx, RecMode, Tc, TypeError};
+use recmod::syntax::ast::{Con, Kind};
+use recmod::telemetry::Limits;
+use recmod_bench::rng::Rng;
+
+// ---------------------------------------------------------------------
+// Class 0: expression differential
+// ---------------------------------------------------------------------
+
+/// The generator's expression AST: a subset of the surface language
+/// with fully parenthesized rendering, so precedence can't diverge
+/// between the reference and the real parser.
+#[derive(Debug, Clone)]
+enum GenExp {
+    Int(i64),
+    Bool(bool),
+    Var(usize),
+    Bin(GenOp, Box<GenExp>, Box<GenExp>),
+    If(Box<GenExp>, Box<GenExp>, Box<GenExp>),
+    Let(Box<GenExp>, Box<GenExp>),
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GenOp {
+    Add,
+    Sub,
+    Mul,
+    Eq,
+    Lt,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GenTy {
+    Int,
+    Bool,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum GenVal {
+    Int(i64),
+    Bool(bool),
+}
+
+/// Generates a well-typed expression of type `want`. `scope` holds the
+/// types of the let-bound variables currently visible (`x0`, `x1`, …).
+fn gen_exp(rng: &mut Rng, scope: &mut Vec<GenTy>, want: GenTy, depth: usize) -> GenExp {
+    let vars: Vec<usize> = (0..scope.len()).filter(|&i| scope[i] == want).collect();
+    if depth == 0 || rng.chance(1, 4) {
+        // Leaf: a variable of the right type when one exists, else a
+        // literal.
+        if !vars.is_empty() && rng.chance(1, 2) {
+            return GenExp::Var(vars[rng.below(vars.len() as u64) as usize]);
+        }
+        return match want {
+            GenTy::Int => GenExp::Int(rng.range_i64(0, 99)),
+            GenTy::Bool => GenExp::Bool(rng.chance(1, 2)),
+        };
+    }
+    let d = depth - 1;
+    match want {
+        GenTy::Int => match rng.below(3) {
+            0 => {
+                let op = [GenOp::Add, GenOp::Sub, GenOp::Mul][rng.below(3) as usize];
+                GenExp::Bin(
+                    op,
+                    Box::new(gen_exp(rng, scope, GenTy::Int, d)),
+                    Box::new(gen_exp(rng, scope, GenTy::Int, d)),
+                )
+            }
+            1 => GenExp::If(
+                Box::new(gen_exp(rng, scope, GenTy::Bool, d)),
+                Box::new(gen_exp(rng, scope, GenTy::Int, d)),
+                Box::new(gen_exp(rng, scope, GenTy::Int, d)),
+            ),
+            _ => {
+                let bound_ty = if rng.chance(1, 2) {
+                    GenTy::Int
+                } else {
+                    GenTy::Bool
+                };
+                let rhs = gen_exp(rng, scope, bound_ty, d);
+                scope.push(bound_ty);
+                let body = gen_exp(rng, scope, GenTy::Int, d);
+                scope.pop();
+                GenExp::Let(Box::new(rhs), Box::new(body))
+            }
+        },
+        GenTy::Bool => match rng.below(3) {
+            0 => {
+                let op = if rng.chance(1, 2) {
+                    GenOp::Eq
+                } else {
+                    GenOp::Lt
+                };
+                GenExp::Bin(
+                    op,
+                    Box::new(gen_exp(rng, scope, GenTy::Int, d)),
+                    Box::new(gen_exp(rng, scope, GenTy::Int, d)),
+                )
+            }
+            1 => GenExp::If(
+                Box::new(gen_exp(rng, scope, GenTy::Bool, d)),
+                Box::new(gen_exp(rng, scope, GenTy::Bool, d)),
+                Box::new(gen_exp(rng, scope, GenTy::Bool, d)),
+            ),
+            _ => GenExp::Bool(rng.chance(1, 2)),
+        },
+    }
+}
+
+/// Renders to surface syntax. `depth` is the number of enclosing
+/// binders, so `Var(i)` renders as `x{i}` (names are never shadowed).
+fn render(e: &GenExp, binders: usize, out: &mut String) {
+    match e {
+        GenExp::Int(n) => out.push_str(&n.to_string()),
+        GenExp::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        GenExp::Var(i) => out.push_str(&format!("x{i}")),
+        GenExp::Bin(op, a, b) => {
+            let sym = match op {
+                GenOp::Add => "+",
+                GenOp::Sub => "-",
+                GenOp::Mul => "*",
+                GenOp::Eq => "=",
+                GenOp::Lt => "<",
+            };
+            out.push('(');
+            render(a, binders, out);
+            out.push_str(&format!(" {sym} "));
+            render(b, binders, out);
+            out.push(')');
+        }
+        GenExp::If(c, t, f) => {
+            out.push_str("(if ");
+            render(c, binders, out);
+            out.push_str(" then ");
+            render(t, binders, out);
+            out.push_str(" else ");
+            render(f, binders, out);
+            out.push(')');
+        }
+        GenExp::Let(rhs, body) => {
+            out.push_str(&format!("(let val x{binders} = "));
+            render(rhs, binders, out);
+            out.push_str(" in ");
+            render(body, binders + 1, out);
+            out.push_str(" end)");
+        }
+    }
+}
+
+/// The reference interpreter ("direct eval"): evaluates the generator's
+/// AST with the same semantics the pipeline implements (wrapping `i64`
+/// arithmetic, lazy conditionals).
+fn ref_eval(e: &GenExp, env: &mut Vec<GenVal>) -> GenVal {
+    match e {
+        GenExp::Int(n) => GenVal::Int(*n),
+        GenExp::Bool(b) => GenVal::Bool(*b),
+        GenExp::Var(i) => env[*i],
+        GenExp::Bin(op, a, b) => {
+            let GenVal::Int(x) = ref_eval(a, env) else {
+                unreachable!("generator is type-correct")
+            };
+            let GenVal::Int(y) = ref_eval(b, env) else {
+                unreachable!("generator is type-correct")
+            };
+            match op {
+                GenOp::Add => GenVal::Int(x.wrapping_add(y)),
+                GenOp::Sub => GenVal::Int(x.wrapping_sub(y)),
+                GenOp::Mul => GenVal::Int(x.wrapping_mul(y)),
+                GenOp::Eq => GenVal::Bool(x == y),
+                GenOp::Lt => GenVal::Bool(x < y),
+            }
+        }
+        GenExp::If(c, t, f) => match ref_eval(c, env) {
+            GenVal::Bool(true) => ref_eval(t, env),
+            GenVal::Bool(false) => ref_eval(f, env),
+            GenVal::Int(_) => unreachable!("generator is type-correct"),
+        },
+        GenExp::Let(rhs, body) => {
+            let v = ref_eval(rhs, env);
+            env.push(v);
+            let out = ref_eval(body, env);
+            env.pop();
+            out
+        }
+    }
+}
+
+fn case_expression_differential(rng: &mut Rng) -> Result<(), String> {
+    let want = if rng.chance(1, 2) {
+        GenTy::Int
+    } else {
+        GenTy::Bool
+    };
+    let depth = rng.range(1, 6);
+    let e = gen_exp(rng, &mut Vec::new(), want, depth);
+    let mut src = String::new();
+    render(&e, 0, &mut src);
+    let expected = ref_eval(&e, &mut Vec::new());
+    let outcome = recmod::run(&src).map_err(|err| format!("pipeline rejected {src}: {err}"))?;
+    let agree = match expected {
+        GenVal::Int(n) => outcome.value_int() == Some(n),
+        GenVal::Bool(b) => outcome.value_bool() == Some(b),
+    };
+    if agree {
+        Ok(())
+    } else {
+        Err(format!(
+            "direct eval disagrees with phase-split eval on {src}: expected {expected:?}"
+        ))
+    }
+}
+
+// ---------------------------------------------------------------------
+// Class 1: module differential (paper §3 observational equivalence)
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum ListOp {
+    Cons(i64),
+    Uncons,
+    Null,
+}
+
+fn gen_list_ops(rng: &mut Rng) -> Vec<ListOp> {
+    let len = rng.range(1, 14);
+    (0..len)
+        .map(|_| match rng.below(3) {
+            0 => ListOp::Cons(rng.range_i64(0, 99)),
+            1 => ListOp::Uncons,
+            _ => ListOp::Null,
+        })
+        .collect()
+}
+
+fn list_model(ops: &[ListOp]) -> i64 {
+    let mut stack: Vec<i64> = Vec::new();
+    let mut acc: i64 = 0;
+    for op in ops {
+        match op {
+            ListOp::Cons(v) => stack.push(*v),
+            ListOp::Uncons => {
+                if let Some(h) = stack.pop() {
+                    acc = acc * 7 + h;
+                }
+            }
+            ListOp::Null => acc = acc * 7 + if stack.is_empty() { 1 } else { 2 },
+        }
+    }
+    acc
+}
+
+fn list_driver(ops: &[ListOp]) -> String {
+    let mut body = String::from("val l0 = List.nil\nval acc0 = 0\n");
+    let mut li = 0usize;
+    let mut ai = 0usize;
+    for op in ops {
+        match op {
+            ListOp::Cons(v) => {
+                body.push_str(&format!("val l{} = List.cons ({v}, l{li})\n", li + 1));
+                li += 1;
+            }
+            ListOp::Uncons => {
+                body.push_str(&format!(
+                    "val s{ai} = if List.null l{li} then (acc{ai}, l{li}) \
+                     else (case List.uncons l{li} of (h, r) => (acc{ai} * 7 + h, r))\n"
+                ));
+                body.push_str(&format!("val acc{} = case s{ai} of (a, r) => a\n", ai + 1));
+                body.push_str(&format!("val l{} = case s{ai} of (a, r) => r\n", li + 1));
+                ai += 1;
+                li += 1;
+            }
+            ListOp::Null => {
+                body.push_str(&format!(
+                    "val acc{} = acc{ai} * 7 + (if List.null l{li} then 1 else 2)\n",
+                    ai + 1
+                ));
+                ai += 1;
+            }
+        }
+    }
+    format!("{body};\nacc{ai}")
+}
+
+fn case_module_differential(rng: &mut Rng) -> Result<(), String> {
+    let ops = gen_list_ops(rng);
+    let expected = list_model(&ops);
+    for (name, base) in [
+        ("transparent", recmod::corpus::TRANSPARENT_LIST),
+        ("opaque", recmod::corpus::OPAQUE_LIST),
+    ] {
+        let program = format!("{base}\n{}", list_driver(&ops));
+        let got = recmod::run(&program)
+            .map_err(|e| format!("{name} list rejected ops {ops:?}: {e}"))?
+            .value_int();
+        if got != Some(expected) {
+            return Err(format!(
+                "{name} list disagrees with the Vec model on {ops:?}: got {got:?}, want {expected}"
+            ));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Class 2: ill-formed input under strict limits
+// ---------------------------------------------------------------------
+
+const MUTATION_SPLICES: &[&str] = &[
+    "structure",
+    "sig",
+    "end",
+    "val",
+    "=",
+    "(",
+    ")",
+    ":>",
+    "μ",
+    "datatype",
+    "of",
+    "|",
+    "let",
+    "in",
+    "fun",
+    "->",
+    "*",
+    ";",
+    "rec",
+    "0x",
+];
+
+/// Mutates valid source: random deletions, duplications, and keyword
+/// splices at character boundaries.
+fn mutate(rng: &mut Rng, src: &str) -> String {
+    let mut s: Vec<char> = src.chars().collect();
+    let edits = rng.range(1, 4);
+    for _ in 0..edits {
+        if s.is_empty() {
+            break;
+        }
+        match rng.below(3) {
+            0 => {
+                // Delete a chunk.
+                let at = rng.below(s.len() as u64) as usize;
+                let len = (rng.range(1, 20)).min(s.len() - at);
+                s.drain(at..at + len);
+            }
+            1 => {
+                // Duplicate a chunk.
+                let at = rng.below(s.len() as u64) as usize;
+                let len = (rng.range(1, 20)).min(s.len() - at);
+                let chunk: Vec<char> = s[at..at + len].to_vec();
+                let dst = rng.below(s.len() as u64 + 1) as usize;
+                for (k, c) in chunk.into_iter().enumerate() {
+                    s.insert(dst + k, c);
+                }
+            }
+            _ => {
+                // Splice a keyword/operator.
+                let word = MUTATION_SPLICES[rng.below(MUTATION_SPLICES.len() as u64) as usize];
+                let dst = rng.below(s.len() as u64 + 1) as usize;
+                for (k, c) in word.chars().enumerate() {
+                    s.insert(dst + k, c);
+                }
+            }
+        }
+    }
+    s.into_iter().collect()
+}
+
+fn case_ill_formed(rng: &mut Rng) -> Result<(), String> {
+    let base = match rng.below(4) {
+        0 => recmod::corpus::OPAQUE_LIST.to_string(),
+        1 => recmod::corpus::TRANSPARENT_LIST.to_string(),
+        2 => recmod::corpus::EXPR_DECL_RDS.to_string(),
+        _ => {
+            let e = gen_exp(rng, &mut Vec::new(), GenTy::Int, 4);
+            let mut src = String::new();
+            render(&e, 0, &mut src);
+            src
+        }
+    };
+    let mutated = mutate(rng, &base);
+    let limits = Limits::strict().with_deadline_ms(5_000);
+    // Any structured verdict is acceptable; the caller's catch_unwind
+    // turns a panic into the failure.
+    match recmod::surface::compile_with_limits(&mutated, &limits) {
+        Ok(_) => Ok(()),
+        Err(errors) if errors.is_empty() => {
+            Err("compile_with_limits returned Err with no diagnostics".to_string())
+        }
+        Err(_) => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Class 3: kernel μ-fuzz
+// ---------------------------------------------------------------------
+
+/// Is this verdict a resource bound rather than a semantic answer?
+fn limited(e: &TypeError) -> bool {
+    e.is_limit()
+}
+
+fn case_kernel_mu(rng: &mut Rng) -> Result<(), String> {
+    let seed = rng.next_u64();
+    let size = rng.range(1, 10);
+    let (a, b) = match rng.below(4) {
+        0 => recmod_bench::gen_shao_pair(size, seed),
+        1 => recmod_bench::gen_unrolled_pair(size, seed),
+        2 => recmod_bench::gen_nested_pair(size, seed),
+        _ => {
+            // A deep μ-tower: μα.μα.…μα.int, depth past the strict
+            // bound, compared with itself. Must produce a structured
+            // limit error (or a verdict), never a stack overflow.
+            let depth = rng.range(300, 3_000);
+            let mut c = Con::Int;
+            for _ in 0..depth {
+                c = Con::Mu(Box::new(Kind::Type), Box::new(c));
+            }
+            (c.clone(), c)
+        }
+    };
+    let limits = Limits::strict().with_deadline_ms(5_000);
+    let equi = Tc::with_mode_and_limits(RecMode::Equi, limits).con_equiv(
+        &mut Ctx::new(),
+        &a,
+        &b,
+        &Kind::Type,
+    );
+    let iso = Tc::with_mode_and_limits(RecMode::IsoShao, limits).con_equiv(
+        &mut Ctx::new(),
+        &a,
+        &b,
+        &Kind::Type,
+    );
+    // §5: IsoShao equality is contained in equi-recursive equality, so
+    // an iso acceptance with an equi *semantic* rejection is a bug.
+    // Resource verdicts on either side are inconclusive.
+    match (&equi, &iso) {
+        (Err(e), Ok(())) if !limited(e) => Err(format!(
+            "IsoShao accepts but Equi rejects (seed {seed}, size {size}): {e}"
+        )),
+        _ => Ok(()),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Driver
+// ---------------------------------------------------------------------
+
+/// Human-readable class name for a seed (for failure reports).
+pub fn case_class(seed: u64) -> &'static str {
+    match seed % 4 {
+        0 => "expression-differential",
+        1 => "module-differential",
+        2 => "ill-formed-input",
+        _ => "kernel-mu",
+    }
+}
+
+/// Runs the case determined by `seed`. `Err` describes a differential
+/// mismatch or a structured-robustness violation; panics are left to
+/// the caller to catch (they are always bugs).
+pub fn run_case(seed: u64) -> Result<(), String> {
+    let mut rng = Rng::new(seed);
+    match seed % 4 {
+        0 => case_expression_differential(&mut rng),
+        1 => case_module_differential(&mut rng),
+        2 => case_ill_formed(&mut rng),
+        _ => case_kernel_mu(&mut rng),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generator_is_deterministic() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        let ea = gen_exp(&mut a, &mut Vec::new(), GenTy::Int, 5);
+        let eb = gen_exp(&mut b, &mut Vec::new(), GenTy::Int, 5);
+        let (mut sa, mut sb) = (String::new(), String::new());
+        render(&ea, 0, &mut sa);
+        render(&eb, 0, &mut sb);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    fn reference_interpreter_basics() {
+        // (1 + 2) * 3 = 9, and 9 < 10.
+        let e = GenExp::Bin(
+            GenOp::Lt,
+            Box::new(GenExp::Bin(
+                GenOp::Mul,
+                Box::new(GenExp::Bin(
+                    GenOp::Add,
+                    Box::new(GenExp::Int(1)),
+                    Box::new(GenExp::Int(2)),
+                )),
+                Box::new(GenExp::Int(3)),
+            )),
+            Box::new(GenExp::Int(10)),
+        );
+        assert_eq!(ref_eval(&e, &mut Vec::new()), GenVal::Bool(true));
+    }
+
+    #[test]
+    fn mutation_never_panics_the_mutator() {
+        let mut rng = Rng::new(99);
+        for _ in 0..50 {
+            let _ = mutate(&mut rng, recmod::corpus::OPAQUE_LIST);
+        }
+    }
+}

@@ -1,2 +1,8 @@
 //! Integration-test host crate for the recmod workspace; see `tests/`.
+//!
+//! Besides hosting the integration tests, this crate exposes the seeded
+//! fuzzing + differential harness (`fuzz`) used by `tests/fuzz.rs` and
+//! by CI's bounded fuzz job.
 #![forbid(unsafe_code)]
+
+pub mod fuzz;

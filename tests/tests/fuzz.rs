@@ -1,0 +1,78 @@
+//! Bounded, seeded fuzz run. Every case is reproducible from the
+//! printed seed: `run_case(seed)` in `recmod_tests::fuzz` regenerates
+//! it exactly.
+//!
+//! `FUZZ_ITERS` scales the run (CI uses 2000); the default keeps
+//! `cargo test` fast. Cases execute on a big-stack thread because
+//! debug-build pipeline frames are large and the harness deliberately
+//! feeds the pipeline deep input; the limits layer — not the OS stack
+//! — must be what stops it.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+use recmod_tests::fuzz::{case_class, run_case};
+
+/// Base offset so seeds don't start at tiny integers; arbitrary but
+/// fixed — changing it changes which cases CI explores.
+const SEED_BASE: u64 = 0x5eed_2026_0001;
+
+fn iterations() -> u64 {
+    std::env::var("FUZZ_ITERS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(300)
+}
+
+#[test]
+fn seeded_fuzz_no_panics_no_differential_mismatches() {
+    let iters = iterations();
+    let failures = recmod::eval::run_big_stack(256, move || {
+        let mut failures: Vec<String> = Vec::new();
+        for i in 0..iters {
+            let seed = SEED_BASE.wrapping_add(i);
+            let outcome = catch_unwind(AssertUnwindSafe(|| run_case(seed)));
+            match outcome {
+                Ok(Ok(())) => {}
+                Ok(Err(msg)) => failures.push(format!("seed {seed} ({}): {msg}", case_class(seed))),
+                Err(payload) => {
+                    let msg = payload
+                        .downcast_ref::<&str>()
+                        .map(|s| (*s).to_string())
+                        .or_else(|| payload.downcast_ref::<String>().cloned())
+                        .unwrap_or_else(|| "opaque panic payload".to_string());
+                    failures.push(format!("seed {seed} ({}): PANIC: {msg}", case_class(seed)));
+                }
+            }
+            if failures.len() >= 10 {
+                failures.push("... stopping after 10 failures".to_string());
+                break;
+            }
+        }
+        failures
+    });
+    assert!(
+        failures.is_empty(),
+        "{} fuzz failure(s):\n{}",
+        failures.len(),
+        failures.join("\n")
+    );
+}
+
+/// The same seed must produce the same verdict — the reproduction
+/// recipe printed on failure has to actually reproduce.
+#[test]
+fn fuzz_cases_are_deterministic() {
+    recmod::eval::run_big_stack(256, || {
+        for i in 0..8u64 {
+            let seed = SEED_BASE.wrapping_add(i);
+            let a = run_case(seed);
+            let b = run_case(seed);
+            assert_eq!(
+                a,
+                b,
+                "seed {seed} ({}) is nondeterministic",
+                case_class(seed)
+            );
+        }
+    });
+}

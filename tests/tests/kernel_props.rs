@@ -57,7 +57,7 @@ fn equiv_transitive_chain() {
         let mut ctx = Ctx::new();
         tc.con_equiv(&mut ctx, &nested, &flat, &Kind::Type)
             .unwrap_or_else(|e| panic!("seed={seed} size={size}: {e}"));
-        let unrolled = recmod::kernel::whnf::unroll_mu(&flat);
+        let unrolled = recmod::kernel::whnf::unroll_mu(&flat).expect("flat is a μ");
         tc.con_equiv(&mut ctx, &flat, &unrolled, &Kind::Type)
             .unwrap_or_else(|e| panic!("seed={seed} size={size}: {e}"));
         tc.con_equiv(&mut ctx, &nested, &unrolled, &Kind::Type)
