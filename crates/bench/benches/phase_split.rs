@@ -37,9 +37,17 @@ fn main() {
         let kind = kinds
             .into_iter()
             .rev()
-            .reduce(|acc, k| recmod::syntax::ast::Kind::Sigma(Box::new(k), Box::new(acc)))
+            .reduce(|acc, k| {
+                recmod::syntax::ast::Kind::Sigma(
+                    recmod::syntax::intern::hc(k),
+                    recmod::syntax::intern::hc(acc),
+                )
+            })
             .unwrap();
-        let s = rds(Sig::Struct(Box::new(kind), Box::new(Ty::Unit)));
+        let s = rds(Sig::Struct(
+            recmod::syntax::intern::hc(kind),
+            Box::new(Ty::Unit),
+        ));
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         bench(&format!("width/{width}"), || {

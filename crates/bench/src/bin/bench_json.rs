@@ -1,0 +1,200 @@
+//! Machine-readable benchmark runner for the interning/memoization
+//! experiments (`BENCH_interning.json`).
+//!
+//! Measures the P1 equivalence workloads (μ vs unrolling, nested ≃
+//! collapse, iso+Shao), the P2 front-end workloads, and the E1 list
+//! compile, each as the median nanoseconds of one query against a
+//! *persistent* checker session — the realistic compiler shape, where
+//! the same types are compared over and over.
+//!
+//! With `--json` the results are printed as a JSON array; otherwise as
+//! human-readable lines. `--samples N` and `--target-ms M` tune the
+//! harness (defaults keep a full run under ~10 s).
+
+use std::time::Duration;
+
+use recmod::kernel::{Ctx, RecMode, Tc};
+use recmod::syntax::ast::Kind;
+use recmod::syntax::intern::intern_stats;
+use recmod_bench::harness::{bench_quiet, BenchConfig};
+use recmod_bench::{
+    gen_module_chain, gen_nested_pair, gen_rec_datatypes, gen_shao_pair, gen_unrolled_pair,
+    singleton_chain,
+};
+
+struct Case {
+    name: String,
+    median_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    iters: u64,
+    /// Whnf-memo hit rate over the whole timed run (persistent-Tc cases).
+    whnf_hit_rate: Option<f64>,
+    /// Interner hit rate over the whole timed run.
+    intern_hit_rate: Option<f64>,
+}
+
+fn rate(hits: u64, misses: u64) -> Option<f64> {
+    let total = hits + misses;
+    if total == 0 {
+        None
+    } else {
+        Some(hits as f64 / total as f64)
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let json = args.iter().any(|a| a == "--json");
+    let samples = flag_value(&args, "--samples").unwrap_or(9);
+    let target_ms = flag_value(&args, "--target-ms").unwrap_or(10);
+    let cfg = BenchConfig {
+        samples: samples as usize,
+        sample_target: Duration::from_millis(target_ms),
+        max_iters: 100_000,
+    };
+
+    let mut cases: Vec<Case> = Vec::new();
+
+    // P1: persistent-session equivalence. One Tc per case, reused
+    // across iterations (fuel reset per query so the budget bounds one
+    // query, not the batch).
+    for size in [8usize, 32, 64, 128] {
+        let (a, b) = gen_unrolled_pair(size, 42);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        cases.push(run_tc(
+            cfg,
+            &format!("p1_mu_vs_unrolling/{size}"),
+            &tc,
+            || {
+                tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+                tc.con_equiv(&mut ctx, &a, &b, &Kind::Type).unwrap();
+            },
+        ));
+
+        let (a, b) = gen_nested_pair(size, 42);
+        let tc = Tc::new();
+        let mut ctx = Ctx::new();
+        cases.push(run_tc(
+            cfg,
+            &format!("p1_nested_collapse/{size}"),
+            &tc,
+            || {
+                tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+                tc.con_equiv(&mut ctx, &a, &b, &Kind::Type).unwrap();
+            },
+        ));
+
+        let (a, b) = gen_shao_pair(size, 42);
+        let tc = Tc::with_mode(RecMode::IsoShao);
+        let mut ctx = Ctx::new();
+        cases.push(run_tc(cfg, &format!("p1_iso_shao/{size}"), &tc, || {
+            tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+            tc.con_equiv(&mut ctx, &a, &b, &Kind::Type).unwrap();
+        }));
+    }
+
+    // Singleton-chain whnf (sharing propagation).
+    for n in [100usize, 1000] {
+        let (mut ctx, con) = singleton_chain(n);
+        let tc = Tc::new();
+        cases.push(run_tc(
+            cfg,
+            &format!("whnf_singleton_chain/{n}"),
+            &tc,
+            || {
+                tc.set_fuel(recmod::kernel::DEFAULT_FUEL);
+                let w = tc.whnf(&mut ctx, &con).unwrap();
+                assert!(matches!(w, recmod::syntax::ast::Con::Int));
+            },
+        ));
+    }
+
+    // P2: full compile throughput (fresh pipeline per iteration — the
+    // cold path; interning still shares across iterations).
+    let chain = gen_module_chain(32);
+    cases.push(run(cfg, "p2_module_chain/32", || {
+        let c = recmod::compile(&chain).unwrap();
+        std::hint::black_box(&c);
+    }));
+    let datatypes = gen_rec_datatypes(8);
+    cases.push(run(cfg, "p2_rec_datatypes/8", || {
+        let c = recmod::compile(&datatypes).unwrap();
+        std::hint::black_box(&c);
+    }));
+
+    // E1: compile the opaque + transparent list programs.
+    for opaque in [true, false] {
+        let program = recmod_bench::corpus::list_program(opaque, 20);
+        let label = if opaque { "opaque" } else { "transparent" };
+        cases.push(run(cfg, &format!("e1_list_compile/{label}"), || {
+            let c = recmod::compile(&program).unwrap();
+            std::hint::black_box(&c);
+        }));
+    }
+
+    if json {
+        print_json(&cases);
+    } else {
+        for c in &cases {
+            println!(
+                "{:<32} median {:>10} ns  [{} .. {}] ({} iters)",
+                c.name, c.median_ns, c.min_ns, c.max_ns, c.iters
+            );
+        }
+    }
+}
+
+fn run(cfg: BenchConfig, name: &str, f: impl FnMut()) -> Case {
+    let i0 = intern_stats();
+    let stats = bench_quiet(cfg, f);
+    let i1 = intern_stats();
+    eprintln!("measured {name}: {} ns", stats.median_ns);
+    Case {
+        name: name.to_string(),
+        median_ns: stats.median_ns,
+        min_ns: stats.min_ns,
+        max_ns: stats.max_ns,
+        iters: stats.iters,
+        whnf_hit_rate: None,
+        intern_hit_rate: rate(i1.hits - i0.hits, i1.misses - i0.misses),
+    }
+}
+
+/// Like [`run`], but also reports the checker's whnf-memo hit rate over
+/// the timed run (only meaningful for persistent-`Tc` cases).
+fn run_tc(cfg: BenchConfig, name: &str, tc: &Tc, f: impl FnMut()) -> Case {
+    let k0 = tc.stats();
+    let mut case = run(cfg, name, f);
+    let kd = tc.stats().delta_since(&k0);
+    case.whnf_hit_rate = rate(kd.whnf_cache_hits, kd.whnf_cache_misses);
+    case
+}
+
+fn flag_value(args: &[String], flag: &str) -> Option<u64> {
+    let i = args.iter().position(|a| a == flag)?;
+    args.get(i + 1)?.parse().ok()
+}
+
+fn print_json(cases: &[Case]) {
+    println!("[");
+    for (i, c) in cases.iter().enumerate() {
+        let comma = if i + 1 == cases.len() { "" } else { "," };
+        let fmt_rate = |r: Option<f64>| match r {
+            Some(v) => format!("{v:.4}"),
+            None => "null".to_string(),
+        };
+        println!(
+            "  {{\"name\": \"{}\", \"median_ns\": {}, \"min_ns\": {}, \"max_ns\": {}, \"iters\": {}, \"whnf_hit_rate\": {}, \"intern_hit_rate\": {}}}{comma}",
+            c.name,
+            c.median_ns,
+            c.min_ns,
+            c.max_ns,
+            c.iters,
+            fmt_rate(c.whnf_hit_rate),
+            fmt_rate(c.intern_hit_rate)
+        );
+    }
+    println!("]");
+}

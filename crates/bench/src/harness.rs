@@ -106,6 +106,34 @@ pub fn bench_with(config: BenchConfig, label: &str, mut f: impl FnMut()) -> Stat
     stats
 }
 
+/// Like [`bench_with`], but prints nothing — used by machine-readable
+/// runners that format results themselves.
+pub fn bench_quiet(config: BenchConfig, mut f: impl FnMut()) -> Stats {
+    let t0 = Instant::now();
+    f();
+    let once = t0.elapsed().max(Duration::from_nanos(1));
+    let iters = (config.sample_target.as_nanos() / once.as_nanos()).max(1) as u64;
+    let iters = iters.min(config.max_iters);
+
+    let mut per_iter: Vec<u64> = Vec::with_capacity(config.samples);
+    for _ in 0..config.samples {
+        let start = Instant::now();
+        for _ in 0..iters {
+            f();
+        }
+        let total = start.elapsed().as_nanos() as u64;
+        per_iter.push(total / iters);
+    }
+    per_iter.sort_unstable();
+    Stats {
+        median_ns: per_iter[per_iter.len() / 2],
+        min_ns: per_iter[0],
+        max_ns: per_iter[per_iter.len() - 1],
+        iters,
+        samples: config.samples,
+    }
+}
+
 /// Prints a section header for a group of related cases.
 pub fn group(title: &str) {
     println!("\n== {title} ==");

@@ -18,6 +18,7 @@ pub mod rng;
 use recmod::kernel::{Ctx, RecMode, Tc};
 use recmod::syntax::ast::{Con, Kind};
 use recmod::syntax::dsl::*;
+use recmod::syntax::intern::hc;
 use rng::Rng;
 
 /// Re-export of the paper corpus for the benches.
@@ -240,7 +241,7 @@ fn kind_of_width(width: usize) -> Kind {
     let mut parts = vec![tkind(); width];
     let mut k = parts.pop().expect("width >= 1");
     while let Some(p) = parts.pop() {
-        k = Kind::Sigma(Box::new(p), Box::new(k));
+        k = Kind::Sigma(hc(p), hc(k));
     }
     k
 }
@@ -251,7 +252,7 @@ fn tuple_con(mut parts: Vec<Con>) -> Con {
         1 => parts.pop().expect("len checked"),
         _ => {
             let first = parts.remove(0);
-            Con::Pair(Box::new(first), Box::new(tuple_con(parts)))
+            Con::Pair(hc(first), hc(tuple_con(parts)))
         }
     }
 }
@@ -263,10 +264,10 @@ pub fn proj_n(base: Con, slot: usize, arity: usize) -> Con {
         return cur;
     }
     for _ in 0..slot {
-        cur = Con::Proj2(Box::new(cur));
+        cur = Con::Proj2(hc(cur));
     }
     if slot < arity - 1 {
-        Con::Proj1(Box::new(cur))
+        Con::Proj1(hc(cur))
     } else {
         cur
     }

@@ -11,6 +11,7 @@
 
 use recmod_eval::EvalStats;
 use recmod_kernel::{FuelOp, KernelStats};
+use recmod_syntax::intern::{intern_stats, InternStats};
 use recmod_telemetry::json::Json;
 use recmod_telemetry::{Report, Span};
 
@@ -42,6 +43,8 @@ pub struct StatsReport {
     /// The telemetry sink's report (counters, spans, trace), when a sink
     /// was installed around the run.
     pub telemetry: Option<Report>,
+    /// Hash-consing activity on this thread (snapshotted at collect time).
+    pub intern: InternStats,
 }
 
 impl StatsReport {
@@ -67,6 +70,7 @@ impl StatsReport {
                 .collect(),
             eval,
             telemetry,
+            intern: intern_stats(),
         }
     }
 
@@ -80,6 +84,7 @@ impl StatsReport {
             ),
             ("phase", self.phase_json()),
             ("surface", self.surface_json()),
+            ("syntax", self.syntax_json()),
         ];
         doc.push((
             "eval",
@@ -115,6 +120,21 @@ impl StatsReport {
         for (op, fuel) in k.fuel_pairs().filter(|&(_, f)| f > 0) {
             out.push_str(&format!("  fuel[{}]: {}\n", op.key(), fuel));
         }
+        out.push_str(&format!(
+            "kernel caches: {} whnf hits / {} misses, {} ptr-eq equalities, \
+             {} equiv cache hits\n",
+            k.whnf_cache_hits, k.whnf_cache_misses, k.equiv_ptr_eqs, k.equiv_cache_hits,
+        ));
+        let i = &self.intern;
+        out.push_str(&format!(
+            "syntax interning: {} hits / {} misses ({:.1}% hit rate), \
+             {} con + {} kind nodes live\n",
+            i.hits,
+            i.misses,
+            i.hit_rate() * 100.0,
+            i.con_entries,
+            i.kind_entries,
+        ));
         for b in &self.bindings {
             out.push_str(&format!(
                 "binding {}: {:.3} ms elaboration, {} fuel, {} mu-unrolls\n",
@@ -176,6 +196,18 @@ impl StatsReport {
             ("bindings", Json::UInt(self.bindings.len() as u64)),
         ])
     }
+
+    fn syntax_json(&self) -> Json {
+        let i = &self.intern;
+        Json::obj([
+            ("intern_hits", Json::UInt(i.hits)),
+            ("intern_misses", Json::UInt(i.misses)),
+            ("intern_hit_rate", Json::Float(i.hit_rate())),
+            ("intern_sweeps", Json::UInt(i.sweeps)),
+            ("con_entries", Json::UInt(i.con_entries)),
+            ("kind_entries", Json::UInt(i.kind_entries)),
+        ])
+    }
 }
 
 /// The kernel counters as JSON (shared by the aggregate and per-binding
@@ -201,6 +233,10 @@ fn kernel_json(k: &KernelStats, budget: Option<u64>) -> Json {
     fields.push(("assumption_inserts", Json::UInt(k.assumption_inserts)));
     fields.push(("assumption_hwm", Json::UInt(k.assumption_hwm)));
     fields.push(("singleton_shortcuts", Json::UInt(k.singleton_shortcuts)));
+    fields.push(("whnf_cache_hits", Json::UInt(k.whnf_cache_hits)));
+    fields.push(("whnf_cache_misses", Json::UInt(k.whnf_cache_misses)));
+    fields.push(("equiv_ptr_eqs", Json::UInt(k.equiv_ptr_eqs)));
+    fields.push(("equiv_cache_hits", Json::UInt(k.equiv_cache_hits)));
     Json::obj(fields)
 }
 
@@ -249,6 +285,26 @@ mod tests {
             json.get("eval").map(|j| matches!(j, Json::Null)),
             Some(true)
         );
+    }
+
+    #[test]
+    fn caches_hit_on_the_list_showdown_program() {
+        // E1's recursive List module exercises the whnf/equivalence hot
+        // path enough that every cache layer must report activity.
+        let program = crate::corpus::list_program(true, 4);
+        let compiled = crate::compile(&program).unwrap();
+        let report = StatsReport::collect(&compiled, None, None);
+        assert!(report.kernel.whnf_cache_hits > 0, "whnf cache never hit");
+        assert!(
+            report.kernel.equiv_ptr_eqs > 0,
+            "no pointer-equal equivalences"
+        );
+        assert!(report.intern.hits > 0, "interner never deduplicated a node");
+        let json = report.to_json();
+        assert!(json.get("syntax").is_some());
+        let text = report.render_text();
+        assert!(text.contains("kernel caches:"));
+        assert!(text.contains("syntax interning:"));
     }
 
     #[test]

@@ -7,6 +7,7 @@
 //! synthesis with subkinding.
 
 use recmod_syntax::ast::{Con, Kind, Sig};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_kind, subst_con_kind};
 
 use crate::ctx::Ctx;
@@ -40,7 +41,7 @@ impl Tc {
             Con::Lam(k, body) => {
                 self.wf_kind(ctx, k)?;
                 let k2 = ctx.with_con((**k).clone(), |ctx| self.synth_con(ctx, body))?;
-                Ok(Kind::Pi(k.clone(), Box::new(k2)))
+                Ok(Kind::Pi(k.clone(), hc(k2)))
             }
             Con::App(f, a) => {
                 let fk = self.synth_con(ctx, f)?;
@@ -51,7 +52,7 @@ impl Tc {
             Con::Pair(a, b) => {
                 let ka = self.synth_con(ctx, a)?;
                 let kb = self.synth_con(ctx, b)?;
-                Ok(Kind::Sigma(Box::new(ka), Box::new(shift_kind(&kb, 1, 0))))
+                Ok(Kind::Sigma(hc(ka), hc(shift_kind(&kb, 1, 0))))
             }
             Con::Proj1(p) => {
                 let pk = self.synth_con(ctx, p)?;
@@ -72,17 +73,17 @@ impl Tc {
                 })?;
                 Ok(selfify(c, k))
             }
-            Con::Int | Con::Bool | Con::UnitTy => Ok(Kind::Singleton(c.clone())),
+            Con::Int | Con::Bool | Con::UnitTy => Ok(Kind::Singleton(hc(c.clone()))),
             Con::Arrow(a, b) | Con::Prod(a, b) => {
                 self.check_con(ctx, a, &Kind::Type)?;
                 self.check_con(ctx, b, &Kind::Type)?;
-                Ok(Kind::Singleton(c.clone()))
+                Ok(Kind::Singleton(hc(c.clone())))
             }
             Con::Sum(cs) => {
                 for summand in cs {
                     self.check_con(ctx, summand, &Kind::Type)?;
                 }
-                Ok(Kind::Singleton(c.clone()))
+                Ok(Kind::Singleton(hc(c.clone())))
             }
         }
     }

@@ -14,10 +14,26 @@
 //! (`Sig::Struct`); recursively-dependent signatures are resolved to their
 //! Figure-5 interpretation before being pushed.
 
+use std::cell::Cell;
+
 use recmod_syntax::ast::{Kind, Sig, Ty};
 use recmod_syntax::subst::{shift_kind, shift_sig, shift_ty};
 
 use crate::error::{TcResult, TypeError};
+
+thread_local! {
+    /// Source of fresh context stamps; `0` is reserved for the empty
+    /// context, so the counter starts at 1.
+    static NEXT_STAMP: Cell<u64> = const { Cell::new(1) };
+}
+
+fn fresh_stamp() -> u64 {
+    NEXT_STAMP.with(|c| {
+        let s = c.get();
+        c.set(s + 1);
+        s
+    })
+}
 
 /// One context declaration.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -31,10 +47,28 @@ pub enum Entry {
 }
 
 /// A typing context.
-#[derive(Debug, Clone, Default, PartialEq, Eq)]
+///
+/// Besides the declaration stack itself, the context carries a parallel
+/// stack of *stamps*: every [`Ctx::push`] draws a fresh stamp from a
+/// thread-local counter, and popping restores the previous one. Because
+/// pushes are the only way to grow a context and stamps are never
+/// reused, **equal stamps imply identical declaration stacks** (within
+/// one thread) — the property the kernel's memo tables key on. The
+/// empty context always has stamp `0`.
+#[derive(Debug, Clone, Default)]
 pub struct Ctx {
     entries: Vec<Entry>,
+    stamps: Vec<u64>,
 }
+
+impl PartialEq for Ctx {
+    fn eq(&self, other: &Self) -> bool {
+        // Stamps are identity bookkeeping, not part of the context's
+        // mathematical content.
+        self.entries == other.entries
+    }
+}
+impl Eq for Ctx {}
 
 impl Ctx {
     /// The empty context.
@@ -50,6 +84,13 @@ impl Ctx {
     /// True when the context is empty.
     pub fn is_empty(&self) -> bool {
         self.entries.is_empty()
+    }
+
+    /// The stamp identifying this exact declaration stack (see the type
+    /// docs): `0` for the empty context, otherwise the stamp drawn when
+    /// the innermost entry was pushed.
+    pub fn stamp(&self) -> u64 {
+        self.stamps.last().copied().unwrap_or(0)
     }
 
     /// Raw access to an entry by de Bruijn index (0 = innermost).
@@ -106,6 +147,7 @@ impl Ctx {
     /// when the extent is lexical.
     pub fn push(&mut self, entry: Entry) {
         self.entries.push(entry);
+        self.stamps.push(fresh_stamp());
     }
 
     /// Drops entries until only `len` remain.
@@ -119,13 +161,15 @@ impl Ctx {
             "context shorter than truncation target"
         );
         self.entries.truncate(len);
+        self.stamps.truncate(len);
     }
 
     /// Runs `f` with `entry` pushed, popping it afterwards (also on error).
     pub fn with<T>(&mut self, entry: Entry, f: impl FnOnce(&mut Ctx) -> T) -> T {
-        self.entries.push(entry);
+        self.push(entry);
         let out = f(self);
         self.entries.pop();
+        self.stamps.pop();
         out
     }
 
@@ -164,11 +208,17 @@ mod tests {
         let mut ctx = Ctx::new();
         // Γ = α:T, β:Q(α)
         ctx.with_con(Kind::Type, |ctx| {
-            ctx.with_con(Kind::Singleton(Con::Var(0)), |ctx| {
-                // β is index 0; its kind mentions α, which from here is index 1.
-                assert_eq!(ctx.lookup_con(0).unwrap(), Kind::Singleton(Con::Var(1)));
-                assert_eq!(ctx.lookup_con(1).unwrap(), Kind::Type);
-            })
+            ctx.with_con(
+                Kind::Singleton(recmod_syntax::intern::hc(Con::Var(0))),
+                |ctx| {
+                    // β is index 0; its kind mentions α, which from here is index 1.
+                    assert_eq!(
+                        ctx.lookup_con(0).unwrap(),
+                        Kind::Singleton(recmod_syntax::intern::hc(Con::Var(1)))
+                    );
+                    assert_eq!(ctx.lookup_con(1).unwrap(), Kind::Type);
+                },
+            )
         });
     }
 
@@ -199,6 +249,22 @@ mod tests {
         let mut ctx = Ctx::new();
         ctx.with_con(Kind::Type, |_| ());
         assert!(ctx.is_empty());
+    }
+
+    #[test]
+    fn stamps_identify_declaration_stacks() {
+        let mut ctx = Ctx::new();
+        assert_eq!(ctx.stamp(), 0);
+        let s1 = ctx.with_con(Kind::Type, |ctx| {
+            let s = ctx.stamp();
+            assert_ne!(s, 0);
+            s
+        });
+        // Back to empty, and a re-push gets a *fresh* stamp: the old one
+        // is retired with the stack it named.
+        assert_eq!(ctx.stamp(), 0);
+        let s2 = ctx.with_con(Kind::Type, |ctx| ctx.stamp());
+        assert_ne!(s1, s2);
     }
 
     #[test]

@@ -24,6 +24,7 @@
 use std::collections::HashSet;
 
 use recmod_syntax::ast::{Con, Kind};
+use recmod_syntax::intern::{hc, NodeId};
 use recmod_syntax::subst::{shift_con, shift_kind, subst_con_kind};
 
 use crate::ctx::Ctx;
@@ -32,17 +33,44 @@ use crate::show;
 use crate::whnf::{is_contractive, unroll_mu};
 use crate::{RecMode, Tc};
 
-/// The set of constructor pairs currently assumed equal (coinduction).
-type Seen = HashSet<(Con, Con)>;
+/// The set of constructor pairs currently assumed equal (coinduction),
+/// keyed by interned node ids: id equality is structural equality, so
+/// membership costs two id reads instead of a deep hash of both trees.
+/// The de Bruijn caveat still applies — ids name *syntax*, and the same
+/// syntax under a new binder denotes different variables — so every
+/// comparison that descends under a binder starts a fresh set (see the
+/// `Pi` and iso-`μ` cases).
+type Seen = HashSet<(NodeId, NodeId)>;
+
+/// The interned id of a constructor (a shallow clone plus one table
+/// probe — children are already interned).
+fn con_id(c: &Con) -> NodeId {
+    hc(c.clone()).id()
+}
 
 impl Tc {
     /// `Γ ⊢ c₁ = c₂ : κ` — constructor equivalence at kind `κ`.
     ///
     /// Both constructors are assumed well-kinded at `κ`; the algorithm is
     /// sound and complete for well-kinded inputs within the fuel budget.
+    /// On success at kind `T`, the pair — and every coinductive
+    /// assumption the run relied on — is promoted to the persistent
+    /// proven-pair table, so the next query over the same ids is O(1).
     pub fn con_equiv(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, k: &Kind) -> TcResult<()> {
         let mut seen = Seen::new();
-        self.con_equiv_at(ctx, c1, c2, k, &mut seen)
+        self.con_equiv_at(ctx, c1, c2, k, &mut seen)?;
+        // The run closed, so its assumptions form a valid bisimulation
+        // (Brandt–Henglein): record them as facts. Everything in `seen`
+        // was compared at kind `T` in *this* context — binder-crossing
+        // comparisons use fresh sets that never reach this point.
+        let stamp = ctx.stamp();
+        for (a, b) in seen.drain() {
+            self.equiv_remember(stamp, a, b);
+        }
+        if matches!(k, Kind::Type) {
+            self.equiv_remember(stamp, con_id(c1), con_id(c2));
+        }
+        Ok(())
     }
 
     fn con_equiv_at(
@@ -58,6 +86,15 @@ impl Tc {
         let _trace = recmod_telemetry::trace_span(|| {
             format!("{} = {} : {}", show::con(c1), show::con(c2), show::kind(k))
         });
+        // Interned-id ("pointer") equality: equivalence is reflexive at
+        // every kind, and with hash-consing the structural check is one
+        // integer comparison per constructor level — `==` on `Con` is
+        // shallow (variant tag plus child ids).
+        if c1 == c2 {
+            crate::stats::TcStats::bump(&self.stat_cells().equiv_ptr_eqs);
+            recmod_telemetry::count("kernel.equiv_ptr_eq", 1);
+            return Ok(());
+        }
         match k {
             // At kind 1 the only inhabitant is *, so anything equals anything.
             Kind::Unit => Ok(()),
@@ -67,22 +104,22 @@ impl Tc {
                 Ok(())
             }
             Kind::Pi(k1, k2) => ctx.with_con((**k1).clone(), |ctx| {
-                let a1 = Con::App(Box::new(shift_con(c1, 1, 0)), Box::new(Con::Var(0)));
-                let a2 = Con::App(Box::new(shift_con(c2, 1, 0)), Box::new(Con::Var(0)));
+                let a1 = Con::App(hc(shift_con(c1, 1, 0)), hc(Con::Var(0)));
+                let a2 = Con::App(hc(shift_con(c2, 1, 0)), hc(Con::Var(0)));
                 // Coinductive assumptions are de Bruijn syntax; under a new
                 // binder the same syntax denotes different variables, so
                 // start a fresh set rather than shift the old one.
                 self.con_equiv_at(ctx, &a1, &a2, k2, &mut Seen::new())
             }),
             Kind::Sigma(k1, k2) => {
-                let p1 = Con::Proj1(Box::new(c1.clone()));
-                let p2 = Con::Proj1(Box::new(c2.clone()));
+                let p1 = Con::Proj1(hc(c1.clone()));
+                let p2 = Con::Proj1(hc(c2.clone()));
                 self.con_equiv_at(ctx, &p1, &p2, k1, seen)?;
                 let k2i = subst_con_kind(k2, &p1);
                 self.con_equiv_at(
                     ctx,
-                    &Con::Proj2(Box::new(c1.clone())),
-                    &Con::Proj2(Box::new(c2.clone())),
+                    &Con::Proj2(hc(c1.clone())),
+                    &Con::Proj2(hc(c2.clone())),
                     &k2i,
                     seen,
                 )
@@ -99,10 +136,17 @@ impl Tc {
         let a = self.whnf(ctx, c1)?;
         let b = self.whnf(ctx, c2)?;
         if a == b {
+            crate::stats::TcStats::bump(&self.stat_cells().equiv_ptr_eqs);
+            recmod_telemetry::count("kernel.equiv_ptr_eq", 1);
             return Ok(());
         }
-        let key = (a.clone(), b.clone());
+        let key = (con_id(&a), con_id(&b));
         if seen.contains(&key) {
+            return Ok(());
+        }
+        if self.equiv_cached((ctx.stamp(), key.0, key.1)) {
+            crate::stats::TcStats::bump(&self.stat_cells().equiv_cache_hits);
+            recmod_telemetry::count("kernel.equiv_cache_hit", 1);
             return Ok(());
         }
         match (&a, &b) {
@@ -166,7 +210,7 @@ impl Tc {
 
     /// Adds a pair to the coinductive assumption set, recording the
     /// insert and the set's high-water mark.
-    fn note_assumption(&self, seen: &mut Seen, key: (Con, Con)) {
+    fn note_assumption(&self, seen: &mut Seen, key: (NodeId, NodeId)) {
         seen.insert(key);
         let st = self.stat_cells();
         crate::stats::TcStats::bump(&st.assumption_inserts);

@@ -55,7 +55,11 @@ pub mod termeq;
 pub mod ty;
 pub mod whnf;
 
-use std::cell::Cell;
+use std::cell::{Cell, RefCell};
+use std::collections::{HashMap, HashSet};
+
+use recmod_syntax::ast::Con;
+use recmod_syntax::intern::NodeId;
 
 pub use ctx::{Ctx, Entry};
 pub use error::{TcResult, TypeError};
@@ -97,7 +101,24 @@ pub struct Tc {
     depth: Cell<usize>,
     deadline_tick: Cell<u32>,
     stats: stats::TcStats,
+    /// Weak-head normal forms, keyed by (context stamp, constructor id).
+    /// Sound because a stamp names one exact declaration stack and
+    /// interned ids name one exact constructor (see [`Ctx::stamp`]).
+    whnf_cache: RefCell<HashMap<(u64, NodeId), Con>>,
+    /// Proven kind-`T` equalities, keyed by (context stamp, lhs id,
+    /// rhs id). Only populated from *successful* root equivalence runs
+    /// (a coinductive assumption is a fact once the run it served in
+    /// closes — Brandt–Henglein), and only at kind `T`: at `1` and
+    /// singleton kinds everything is equal, so caching there would be
+    /// vacuous, and `Π`/`Σ` comparisons decompose before reaching the
+    /// table.
+    equiv_cache: RefCell<HashSet<(u64, NodeId, NodeId)>>,
 }
+
+/// Caches are cleared once they pass this many entries — a crude bound
+/// that keeps a long-lived [`Tc`] from growing without limit while
+/// leaving the steady-state hit rate intact for realistic sessions.
+const CACHE_CAP: usize = 1 << 16;
 
 impl Default for Tc {
     fn default() -> Self {
@@ -142,6 +163,8 @@ impl Tc {
             depth: Cell::new(0),
             deadline_tick: Cell::new(0),
             stats: stats::TcStats::default(),
+            whnf_cache: RefCell::new(HashMap::new()),
+            equiv_cache: RefCell::new(HashSet::new()),
         }
     }
 
@@ -223,6 +246,44 @@ impl Tc {
 
     pub(crate) fn stat_cells(&self) -> &stats::TcStats {
         &self.stats
+    }
+
+    /// Looks up a memoized weak-head normal form.
+    pub(crate) fn whnf_cached(&self, key: (u64, NodeId)) -> Option<Con> {
+        self.whnf_cache.borrow().get(&key).cloned()
+    }
+
+    /// Records a weak-head normal form (clearing the table first when it
+    /// has outgrown [`CACHE_CAP`]).
+    pub(crate) fn whnf_remember(&self, key: (u64, NodeId), value: Con) {
+        let mut t = self.whnf_cache.borrow_mut();
+        if t.len() >= CACHE_CAP {
+            t.clear();
+        }
+        t.insert(key, value);
+    }
+
+    /// Has this kind-`T` equality already been proven?
+    pub(crate) fn equiv_cached(&self, key: (u64, NodeId, NodeId)) -> bool {
+        self.equiv_cache.borrow().contains(&key)
+    }
+
+    /// Records proven kind-`T` equalities (both orientations — the
+    /// judgement is symmetric).
+    pub(crate) fn equiv_remember(&self, stamp: u64, a: NodeId, b: NodeId) {
+        let mut t = self.equiv_cache.borrow_mut();
+        if t.len() >= CACHE_CAP {
+            t.clear();
+        }
+        t.insert((stamp, a, b));
+        t.insert((stamp, b, a));
+    }
+
+    /// Drops every memoized whnf/equivalence entry (the interning tables
+    /// in `recmod-syntax` are untouched).
+    pub fn clear_caches(&self) {
+        self.whnf_cache.borrow_mut().clear();
+        self.equiv_cache.borrow_mut().clear();
     }
 }
 

@@ -15,6 +15,7 @@
 //! before the dynamic typing conditions are checked.
 
 use recmod_syntax::ast::{Con, Module, Sig};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_sig, shift_ty};
 
 use crate::ctx::{Ctx, Entry};
@@ -52,7 +53,7 @@ impl Tc {
             Module::Struct(c, e) => {
                 let k = self.synth_con(ctx, c)?;
                 let te = self.synth_term(ctx, e)?;
-                let sig = Sig::Struct(Box::new(k), Box::new(shift_ty(&te.ty, 1, 0)));
+                let sig = Sig::Struct(hc(k), Box::new(shift_ty(&te.ty, 1, 0)));
                 Ok(ModTyping {
                     sig,
                     valuable: te.valuable,
@@ -139,7 +140,7 @@ impl Tc {
                     self.static_part(ctx, body)
                 })?;
                 let mu_body = retarget_fst_to_cvar(&inner, 0);
-                Ok(Con::Mu(Box::new(base), Box::new(mu_body)))
+                Ok(Con::Mu(hc(base), hc(mu_body)))
             }
         }
     }
@@ -231,7 +232,7 @@ mod tests {
         let mut ctx = Ctx::new();
         // ρs.[α : Q(int ⇀ Fst(s)) . Con(α)]
         let ann = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, fst(0)))),
+            hc(q(carrow(Con::Int, fst(0)))),
             Box::new(tcon(cvar(0))),
         ));
         // Body: [int ⇀ Fst(s), λx:int. snd(s) — wait, must be valuable and
@@ -293,7 +294,7 @@ mod tests {
         let mut ctx = Ctx::new();
         let the_mu = mu(tkind(), carrow(Con::Int, cvar(0)));
         let ann = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, fst(0)))),
+            hc(q(carrow(Con::Int, fst(0)))),
             Box::new(tcon(cvar(0))),
         ));
         let m = strct(the_mu.clone(), lam(tcon(Con::Int), fail(tcon(the_mu))));

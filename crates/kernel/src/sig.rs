@@ -17,6 +17,7 @@
 //! compilers.
 
 use recmod_syntax::ast::{Con, Module, Sig, Term};
+use recmod_syntax::intern::hc;
 use recmod_syntax::map::{map_con, map_ty, VarMap};
 
 use crate::ctx::Ctx;
@@ -181,12 +182,12 @@ impl Tc {
                 })?;
                 // c(Fst s) ↦ c(β): the structure binder becomes the μ binder.
                 let mu_body = retarget_fst_to_cvar(&def, 0);
-                let mu_con = Con::Mu(Box::new(base.clone()), Box::new(mu_body));
+                let mu_con = Con::Mu(hc(base.clone()), hc(mu_body));
                 // Q(μβ:κ.c(β) : κ) — the higher-order singleton of Figure 5.
                 let new_kind = selfify(&mu_con, &base);
                 // σ[α/Fst(s)] — redirect and drop the structure binder.
                 let new_ty = map_ty(t, 0, &mut RdsTypeRedirect);
-                let resolved = Sig::Struct(Box::new(new_kind), Box::new(new_ty));
+                let resolved = Sig::Struct(hc(new_kind), Box::new(new_ty));
                 // Resolution is idempotent; the result is flat by construction.
                 let _ = ctx;
                 Ok(resolved)
@@ -288,7 +289,7 @@ fn kind_mentions_wrong_sort(k: &recmod_syntax::ast::Kind, target: usize) -> bool
 /// selfification rule; the module-level analogue of Figure 2).
 pub fn selfify_sig(index: usize, s: &Sig) -> Sig {
     match s {
-        Sig::Struct(k, t) => Sig::Struct(Box::new(selfify(&Con::Fst(index), k)), t.clone()),
+        Sig::Struct(k, t) => Sig::Struct(hc(selfify(&Con::Fst(index), k)), t.clone()),
         Sig::Rds(_) => s.clone(),
     }
 }
@@ -343,7 +344,7 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let s = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, fst(0)))),
+            hc(q(carrow(Con::Int, fst(0)))),
             // Inside the type, α = index 0 and s = index 1.
             Box::new(tcon(fst(1))),
         ));
@@ -393,7 +394,7 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let s = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, cvar(0)))),
+            hc(q(carrow(Con::Int, cvar(0)))),
             Box::new(Ty::Unit),
         ));
         assert!(tc.wf_sig(&mut ctx, &s).is_err());
@@ -411,7 +412,7 @@ mod tests {
             // Inside the rds: ρ = 0, β = 1. Codomain adds γ: γ=0, ρ=1, β=2.
             let kappa =
                 recmod_syntax::dsl::pi(q(cvar(1)), q(carrow(cvar(0), capp(fst(1), cvar(0)))));
-            let s = rds(Sig::Struct(Box::new(kappa), Box::new(Ty::Unit)));
+            let s = rds(Sig::Struct(hc(kappa), Box::new(Ty::Unit)));
             let r = tc.resolve_sig(ctx, &s).unwrap();
             // The resolution must be well-formed in [β:T] — with the fix the
             // frame's β reference is index 0 again.
@@ -429,7 +430,7 @@ mod tests {
             q(carrow(Con::Int, cproj2(fst(0)))),
             q(carrow(Con::Bool, cproj1(fst(0)))),
         );
-        let s = rds(Sig::Struct(Box::new(k), Box::new(Ty::Unit)));
+        let s = rds(Sig::Struct(hc(k), Box::new(Ty::Unit)));
         let r = tc.resolve_sig(&mut ctx, &s).unwrap();
         tc.wf_sig(&mut ctx, &r).unwrap();
         // The resolved static kind must be fully transparent and closed.

@@ -15,6 +15,7 @@
 
 use recmod_syntax::ast::{Con, Kind};
 use recmod_syntax::dsl::{capp, clam, cpair, cproj1, cproj2, q};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_con, subst_con_kind};
 
 /// Computes the principal (most transparent) kind `Q(c : κ)` of a
@@ -25,17 +26,20 @@ use recmod_syntax::subst::{shift_con, subst_con_kind};
 /// use recmod_kernel::singleton::selfify;
 ///
 /// // Q(int : T) = Q(int)
-/// assert_eq!(selfify(&Con::Int, &Kind::Type), Kind::Singleton(Con::Int));
+/// assert_eq!(
+///     selfify(&Con::Int, &Kind::Type),
+///     Kind::Singleton(recmod_syntax::intern::hc(Con::Int))
+/// );
 /// ```
 pub fn selfify(c: &Con, k: &Kind) -> Kind {
     match k {
         Kind::Type => q(c.clone()),
         Kind::Unit => Kind::Unit,
-        Kind::Singleton(c0) => q(c0.clone()),
+        Kind::Singleton(c0) => Kind::Singleton(c0.clone()),
         Kind::Pi(k1, k2) => {
             // Q(c : Πα:κ₁.κ₂) = Πα:κ₁.Q(c α : κ₂)    (paper Figure 2)
             let app = capp(shift_con(c, 1, 0), Con::Var(0));
-            Kind::Pi(k1.clone(), Box::new(selfify(&app, k2)))
+            Kind::Pi(k1.clone(), hc(selfify(&app, k2)))
         }
         Kind::Sigma(k1, k2) => {
             // Q(c : Σα:κ₁.κ₂) = Q(π₁c : κ₁) × Q(π₂c : κ₂[π₁c/α])
@@ -55,8 +59,8 @@ pub fn strip_kind(k: &Kind) -> Kind {
         Kind::Type => Kind::Type,
         Kind::Unit => Kind::Unit,
         Kind::Singleton(_) => Kind::Type,
-        Kind::Pi(k1, k2) => Kind::Pi(k1.clone(), Box::new(strip_kind(k2))),
-        Kind::Sigma(k1, k2) => Kind::Sigma(Box::new(strip_kind(k1)), Box::new(strip_kind(k2))),
+        Kind::Pi(k1, k2) => Kind::Pi(k1.clone(), hc(strip_kind(k2))),
+        Kind::Sigma(k1, k2) => Kind::Sigma(hc(strip_kind(k1)), hc(strip_kind(k2))),
     }
 }
 
@@ -83,7 +87,7 @@ pub fn kind_definition(k: &Kind) -> Option<Con> {
     match k {
         Kind::Type => None,
         Kind::Unit => Some(Con::Star),
-        Kind::Singleton(c) => Some(c.clone()),
+        Kind::Singleton(c) => Some(c.take()),
         Kind::Pi(k1, k2) => Some(clam((**k1).clone(), kind_definition(k2)?)),
         Kind::Sigma(k1, k2) => {
             let d1 = kind_definition(k1)?;
@@ -150,16 +154,10 @@ mod tests {
     #[test]
     fn definition_of_dependent_sigma_substitutes() {
         // Σα:Q(int).Q(α ⇀ α): definition is ⟨int, int ⇀ int⟩.
-        let k = sigma(
-            q(Con::Int),
-            q(Con::Arrow(Box::new(cvar(0)), Box::new(cvar(0)))),
-        );
+        let k = sigma(q(Con::Int), q(Con::Arrow(hc(cvar(0)), hc(cvar(0)))));
         assert_eq!(
             kind_definition(&k),
-            Some(cpair(
-                Con::Int,
-                Con::Arrow(Box::new(Con::Int), Box::new(Con::Int))
-            ))
+            Some(cpair(Con::Int, Con::Arrow(hc(Con::Int), hc(Con::Int))))
         );
     }
 

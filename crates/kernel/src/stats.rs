@@ -110,6 +110,10 @@ pub struct TcStats {
     pub(crate) assumption_inserts: Cell<u64>,
     pub(crate) assumption_hwm: Cell<u64>,
     pub(crate) singleton_shortcuts: Cell<u64>,
+    pub(crate) whnf_cache_hits: Cell<u64>,
+    pub(crate) whnf_cache_misses: Cell<u64>,
+    pub(crate) equiv_ptr_eqs: Cell<u64>,
+    pub(crate) equiv_cache_hits: Cell<u64>,
 }
 
 impl TcStats {
@@ -148,6 +152,10 @@ impl TcStats {
             assumption_inserts: self.assumption_inserts.get(),
             assumption_hwm: self.assumption_hwm.get(),
             singleton_shortcuts: self.singleton_shortcuts.get(),
+            whnf_cache_hits: self.whnf_cache_hits.get(),
+            whnf_cache_misses: self.whnf_cache_misses.get(),
+            equiv_ptr_eqs: self.equiv_ptr_eqs.get(),
+            equiv_cache_hits: self.equiv_cache_hits.get(),
         }
     }
 
@@ -161,6 +169,10 @@ impl TcStats {
         self.assumption_inserts.set(0);
         self.assumption_hwm.set(0);
         self.singleton_shortcuts.set(0);
+        self.whnf_cache_hits.set(0);
+        self.whnf_cache_misses.set(0);
+        self.equiv_ptr_eqs.set(0);
+        self.equiv_cache_hits.set(0);
     }
 }
 
@@ -179,6 +191,15 @@ pub struct KernelStats {
     pub assumption_hwm: u64,
     /// Comparisons discharged instantly at a singleton kind.
     pub singleton_shortcuts: u64,
+    /// Weak-head normalizations answered from the memo table.
+    pub whnf_cache_hits: u64,
+    /// Weak-head normalizations that ran the reduction loop.
+    pub whnf_cache_misses: u64,
+    /// Equivalence queries discharged by interned-id equality (the
+    /// pointer-equality fast path).
+    pub equiv_ptr_eqs: u64,
+    /// Kind-`T` equivalence queries answered from the proven-pair table.
+    pub equiv_cache_hits: u64,
 }
 
 impl KernelStats {
@@ -213,6 +234,14 @@ impl KernelStats {
             singleton_shortcuts: self
                 .singleton_shortcuts
                 .saturating_sub(earlier.singleton_shortcuts),
+            whnf_cache_hits: self.whnf_cache_hits.saturating_sub(earlier.whnf_cache_hits),
+            whnf_cache_misses: self
+                .whnf_cache_misses
+                .saturating_sub(earlier.whnf_cache_misses),
+            equiv_ptr_eqs: self.equiv_ptr_eqs.saturating_sub(earlier.equiv_ptr_eqs),
+            equiv_cache_hits: self
+                .equiv_cache_hits
+                .saturating_sub(earlier.equiv_cache_hits),
         }
     }
 }

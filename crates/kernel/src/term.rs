@@ -185,7 +185,7 @@ impl Tc {
                     });
                 }
                 let bt = self.synth_term(ctx, body)?;
-                self.ty_sub(ctx, &bt.ty, &Ty::Con(cs[*i].clone()))?;
+                self.ty_sub(ctx, &bt.ty, &Ty::Con(cs[*i].take()))?;
                 Ok(Typing::new(Ty::Con(sum.clone()), bt.valuable))
             }
             Term::Case(scrut, branches) => {
@@ -206,7 +206,7 @@ impl Tc {
                 let mut result: Option<Ty> = None;
                 let mut valuable = st.valuable;
                 for (summand, branch) in cs.iter().zip(branches) {
-                    let bt = ctx.with_term(Ty::Con(summand.clone()), true, |ctx| {
+                    let bt = ctx.with_term(Ty::Con(summand.take()), true, |ctx| {
                         self.synth_term(ctx, branch)
                     })?;
                     valuable &= bt.valuable;

@@ -44,8 +44,12 @@ impl Tc {
             Ty::Con(c) => {
                 let w = self.whnf(ctx, c)?;
                 Ok(match w {
-                    Con::Arrow(a, b) => Ty::Partial(Box::new(Ty::Con(*a)), Box::new(Ty::Con(*b))),
-                    Con::Prod(a, b) => Ty::Prod(Box::new(Ty::Con(*a)), Box::new(Ty::Con(*b))),
+                    Con::Arrow(a, b) => {
+                        Ty::Partial(Box::new(Ty::Con(a.take())), Box::new(Ty::Con(b.take())))
+                    }
+                    Con::Prod(a, b) => {
+                        Ty::Prod(Box::new(Ty::Con(a.take())), Box::new(Ty::Con(b.take())))
+                    }
                     Con::UnitTy => Ty::Unit,
                     other => Ty::Con(other),
                 })
@@ -247,9 +251,12 @@ mod tests {
         // α:Q(int) ⊢ Con(α) = Con(int)
         let tc = Tc::new();
         let mut ctx = Ctx::new();
-        ctx.with_con(Kind::Singleton(Con::Int), |ctx| {
-            tc.ty_eq(ctx, &tcon(cvar(0)), &tcon(Con::Int)).unwrap();
-        });
+        ctx.with_con(
+            Kind::Singleton(recmod_syntax::intern::hc(Con::Int)),
+            |ctx| {
+                tc.ty_eq(ctx, &tcon(cvar(0)), &tcon(Con::Int)).unwrap();
+            },
+        );
     }
 
     #[test]

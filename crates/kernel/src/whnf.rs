@@ -18,6 +18,7 @@
 //! an opaque kind, and stuck paths of non-singleton natural kind.
 
 use recmod_syntax::ast::{Con, Kind};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{subst_con_con, subst_con_kind};
 
 use crate::ctx::Ctx;
@@ -223,6 +224,13 @@ fn analyze_head(c: &Con, target: usize, projs: &mut Vec<bool>, info: &mut HeadIn
 impl Tc {
     /// Weak-head normalizes `c`.
     ///
+    /// Results are memoized per `(context stamp, constructor id)`: a
+    /// stamp names one exact declaration stack and an interned id one
+    /// exact constructor, so a cached answer is always the answer this
+    /// function would recompute (see S12 in DESIGN.md). Only successful
+    /// normalizations are recorded — errors (fuel, limits, ill-sorted
+    /// input) always re-run.
+    ///
     /// # Errors
     ///
     /// Fails on fuel exhaustion or on ill-sorted input (e.g. applying a
@@ -230,6 +238,21 @@ impl Tc {
     pub fn whnf(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
         let _depth = self.descend("whnf")?;
         let _trace = recmod_telemetry::trace_span(|| format!("whnf {}", crate::show::con(c)));
+        let key = (ctx.stamp(), hc(c.clone()).id());
+        if let Some(w) = self.whnf_cached(key) {
+            crate::stats::TcStats::bump(&self.stat_cells().whnf_cache_hits);
+            recmod_telemetry::count("kernel.whnf_cache_hit", 1);
+            return Ok(w);
+        }
+        crate::stats::TcStats::bump(&self.stat_cells().whnf_cache_misses);
+        recmod_telemetry::count("kernel.whnf_cache_miss", 1);
+        let out = self.whnf_uncached(ctx, c)?;
+        self.whnf_remember(key, out.clone());
+        Ok(out)
+    }
+
+    /// The reduction loop behind [`Tc::whnf`].
+    fn whnf_uncached(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
         let mut c = c.clone();
         loop {
             self.burn(crate::stats::FuelOp::Whnf)?;
@@ -240,12 +263,12 @@ impl Tc {
                         Con::Lam(_, body) => c = subst_con_con(&body, &a),
                         Con::Mu(_, _) if is_contractive(&f) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::App(Box::new(unroll_mu(&f)?), a);
+                            c = Con::App(hc(unroll_mu(&f)?), a);
                         }
                         _ => {
-                            let stuck = Con::App(Box::new(f), a);
+                            let stuck = Con::App(hc(f), a);
                             match self.natural_kind(ctx, &stuck)? {
-                                Some(Kind::Singleton(next)) => c = next,
+                                Some(Kind::Singleton(next)) => c = next.take(),
                                 _ => return Ok(stuck),
                             }
                         }
@@ -254,15 +277,15 @@ impl Tc {
                 Con::Proj1(p) => {
                     let p = self.whnf(ctx, &p)?;
                     match p {
-                        Con::Pair(l, _) => c = *l,
+                        Con::Pair(l, _) => c = l.take(),
                         Con::Mu(_, _) if is_contractive(&p) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::Proj1(Box::new(unroll_mu(&p)?));
+                            c = Con::Proj1(hc(unroll_mu(&p)?));
                         }
                         _ => {
-                            let stuck = Con::Proj1(Box::new(p));
+                            let stuck = Con::Proj1(hc(p));
                             match self.natural_kind(ctx, &stuck)? {
-                                Some(Kind::Singleton(next)) => c = next,
+                                Some(Kind::Singleton(next)) => c = next.take(),
                                 _ => return Ok(stuck),
                             }
                         }
@@ -271,22 +294,22 @@ impl Tc {
                 Con::Proj2(p) => {
                     let p = self.whnf(ctx, &p)?;
                     match p {
-                        Con::Pair(_, r) => c = *r,
+                        Con::Pair(_, r) => c = r.take(),
                         Con::Mu(_, _) if is_contractive(&p) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::Proj2(Box::new(unroll_mu(&p)?));
+                            c = Con::Proj2(hc(unroll_mu(&p)?));
                         }
                         _ => {
-                            let stuck = Con::Proj2(Box::new(p));
+                            let stuck = Con::Proj2(hc(p));
                             match self.natural_kind(ctx, &stuck)? {
-                                Some(Kind::Singleton(next)) => c = next,
+                                Some(Kind::Singleton(next)) => c = next.take(),
                                 _ => return Ok(stuck),
                             }
                         }
                     }
                 }
                 Con::Var(_) | Con::Fst(_) => match self.natural_kind(ctx, &c)? {
-                    Some(Kind::Singleton(next)) => c = next,
+                    Some(Kind::Singleton(next)) => c = next.take(),
                     _ => return Ok(c),
                 },
                 Con::Mu(ref k, _) if fully_transparent(k) => {
@@ -319,7 +342,7 @@ impl Tc {
             Con::Fst(i) => {
                 let (sig, _) = ctx.lookup_struct(*i)?;
                 match sig {
-                    recmod_syntax::ast::Sig::Struct(k, _) => Ok(Some(*k)),
+                    recmod_syntax::ast::Sig::Struct(k, _) => Ok(Some(k.take())),
                     s => Err(TypeError::Other(format!(
                         "structure variable with unresolved signature {}",
                         show::sig(&s)
@@ -340,7 +363,7 @@ impl Tc {
                     return Ok(None);
                 };
                 match pk {
-                    Kind::Sigma(k1, _) => Ok(Some(*k1)),
+                    Kind::Sigma(k1, _) => Ok(Some(k1.take())),
                     k => Err(TypeError::NotASigmaKind(show::kind(&k))),
                 }
             }
@@ -453,7 +476,7 @@ mod tests {
     fn fst_of_transparent_structure_expands() {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
-        let s = Sig::Struct(Box::new(q(Con::Int)), Box::new(tcon(cvar(0))));
+        let s = Sig::Struct(hc(q(Con::Int)), Box::new(tcon(cvar(0))));
         ctx.with(Entry::Struct(s, true), |ctx| {
             assert_eq!(tc.whnf(ctx, &fst(0)).unwrap(), Con::Int);
         });

@@ -19,6 +19,7 @@
 //! reusable combinators for the elaborator and for tests.
 
 use recmod_syntax::ast::{Con, Kind, Module, Sig, Term, Ty};
+use recmod_syntax::intern::hc;
 use recmod_syntax::map::{map_con, map_term, VarMap};
 
 use crate::split::Split;
@@ -33,9 +34,9 @@ use crate::split::Split;
 /// counted — types never mention term variables).
 pub fn functor_sig(k1: Kind, t1: Ty, k2: Kind, t2: Ty) -> Sig {
     Sig::Struct(
-        Box::new(Kind::Pi(Box::new(k1.clone()), Box::new(k2))),
+        hc(Kind::Pi(hc(k1.clone()), hc(k2))),
         Box::new(Ty::Forall(
-            Box::new(recmod_syntax::subst::shift_kind(&k1, 1, 0)),
+            hc(recmod_syntax::subst::shift_kind(&k1, 1, 0)),
             Box::new(Ty::Partial(Box::new(t1), Box::new(t2))),
         )),
     )
@@ -51,13 +52,13 @@ pub fn functor_sig(k1: Kind, t1: Ty, k2: Kind, t2: Ty) -> Sig {
 pub fn functor_pair(param_kind: &Kind, param_ty: &Ty, body: Split) -> Split {
     // Static: the structure binder is re-read as the λ's constructor binder.
     let static_body = map_con(&body.con, 0, &mut ParamRedirect { extra: 0 });
-    let static_part = Con::Lam(Box::new(param_kind.clone()), Box::new(static_body));
+    let static_part = Con::Lam(hc(param_kind.clone()), hc(static_body));
     // Dynamic: the structure binder splits into the Λ binder (static
     // occurrences) and the λ binder (dynamic occurrences): one binder
     // becomes two, so all other indices shift up by one.
     let dyn_body = map_term(&body.term, 0, &mut ParamSplit);
     let dynamic = Term::TLam(
-        Box::new(param_kind.clone()),
+        hc(param_kind.clone()),
         Box::new(Term::Lam(Box::new(param_ty.clone()), Box::new(dyn_body))),
     );
     Split {
@@ -70,7 +71,7 @@ pub fn functor_pair(param_kind: &Kind, param_ty: &Ty, body: Split) -> Split {
 /// `F M  =  [ c_F c_M ,  e_F [c_M] e_M ]`.
 pub fn apply_functor(f: &Split, arg: &Split) -> Split {
     Split {
-        con: Con::App(Box::new(f.con.clone()), Box::new(arg.con.clone())),
+        con: Con::App(hc(f.con.clone()), hc(arg.con.clone())),
         term: Term::App(
             Box::new(Term::TApp(Box::new(f.term.clone()), arg.con.clone())),
             Box::new(arg.term.clone()),

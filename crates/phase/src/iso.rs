@@ -20,6 +20,7 @@
 //! [`RecMode::IsoShao`](recmod_kernel::RecMode::IsoShao) and in equi mode.
 
 use recmod_syntax::ast::{Con, Module, Term};
+use recmod_syntax::intern::hc;
 use recmod_syntax::map::{map_con, VarMap};
 
 /// Merges the two binders of a nested `μα:κ.μβ:κ.c(α,β)` into one:
@@ -41,7 +42,7 @@ pub fn collapse_mu(c: &Con) -> Option<Con> {
     // inner_body is under [outer(1), inner(0)]: identify the outer
     // variable with the inner one and drop the outer binder.
     let merged = map_con(inner_body, 0, &mut MergeOuter);
-    Some(Con::Mu(k_outer.clone(), Box::new(merged)))
+    Some(Con::Mu(k_outer.clone(), hc(merged)))
 }
 
 /// Replaces the variable at index `d+1` (the outer `μ` binder) with the
@@ -81,27 +82,15 @@ impl VarMap for MergeOuter {
 pub fn eliminate_nested_mu(c: &Con) -> Con {
     let rebuilt = match c {
         Con::Var(_) | Con::Fst(_) | Con::Star | Con::Int | Con::Bool | Con::UnitTy => c.clone(),
-        Con::Lam(k, b) => Con::Lam(k.clone(), Box::new(eliminate_nested_mu(b))),
-        Con::App(f, a) => Con::App(
-            Box::new(eliminate_nested_mu(f)),
-            Box::new(eliminate_nested_mu(a)),
-        ),
-        Con::Pair(a, b) => Con::Pair(
-            Box::new(eliminate_nested_mu(a)),
-            Box::new(eliminate_nested_mu(b)),
-        ),
-        Con::Proj1(a) => Con::Proj1(Box::new(eliminate_nested_mu(a))),
-        Con::Proj2(a) => Con::Proj2(Box::new(eliminate_nested_mu(a))),
-        Con::Mu(k, b) => Con::Mu(k.clone(), Box::new(eliminate_nested_mu(b))),
-        Con::Arrow(a, b) => Con::Arrow(
-            Box::new(eliminate_nested_mu(a)),
-            Box::new(eliminate_nested_mu(b)),
-        ),
-        Con::Prod(a, b) => Con::Prod(
-            Box::new(eliminate_nested_mu(a)),
-            Box::new(eliminate_nested_mu(b)),
-        ),
-        Con::Sum(cs) => Con::Sum(cs.iter().map(eliminate_nested_mu).collect()),
+        Con::Lam(k, b) => Con::Lam(k.clone(), hc(eliminate_nested_mu(b))),
+        Con::App(f, a) => Con::App(hc(eliminate_nested_mu(f)), hc(eliminate_nested_mu(a))),
+        Con::Pair(a, b) => Con::Pair(hc(eliminate_nested_mu(a)), hc(eliminate_nested_mu(b))),
+        Con::Proj1(a) => Con::Proj1(hc(eliminate_nested_mu(a))),
+        Con::Proj2(a) => Con::Proj2(hc(eliminate_nested_mu(a))),
+        Con::Mu(k, b) => Con::Mu(k.clone(), hc(eliminate_nested_mu(b))),
+        Con::Arrow(a, b) => Con::Arrow(hc(eliminate_nested_mu(a)), hc(eliminate_nested_mu(b))),
+        Con::Prod(a, b) => Con::Prod(hc(eliminate_nested_mu(a)), hc(eliminate_nested_mu(b))),
+        Con::Sum(cs) => Con::Sum(cs.iter().map(|c| hc(eliminate_nested_mu(c))).collect()),
     };
     match collapse_mu(&rebuilt) {
         Some(collapsed) => eliminate_nested_mu(&collapsed),
@@ -122,9 +111,11 @@ pub fn nested_mu_count(c: &Con) -> usize {
 fn children(c: &Con) -> Vec<&Con> {
     match c {
         Con::Var(_) | Con::Fst(_) | Con::Star | Con::Int | Con::Bool | Con::UnitTy => vec![],
-        Con::Lam(_, b) | Con::Mu(_, b) | Con::Proj1(b) | Con::Proj2(b) => vec![b],
-        Con::App(a, b) | Con::Pair(a, b) | Con::Arrow(a, b) | Con::Prod(a, b) => vec![a, b],
-        Con::Sum(cs) => cs.iter().collect(),
+        Con::Lam(_, b) | Con::Mu(_, b) | Con::Proj1(b) | Con::Proj2(b) => vec![&**b],
+        Con::App(a, b) | Con::Pair(a, b) | Con::Arrow(a, b) | Con::Prod(a, b) => {
+            vec![&**a, &**b]
+        }
+        Con::Sum(cs) => cs.iter().map(|c| &**c).collect(),
     }
 }
 

@@ -21,6 +21,7 @@
 
 use recmod_kernel::{Ctx, Entry, Tc, TcResult, TypeError};
 use recmod_syntax::ast::{Con, Kind, Module, Sig, Term, Ty};
+use recmod_syntax::intern::hc;
 use recmod_syntax::map::{map_con, map_term, VarMap};
 use recmod_syntax::size::{con_size, module_size, term_size};
 use recmod_syntax::subst::{shift_con, subst_con_ty};
@@ -127,7 +128,7 @@ fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
             })?;
             // Static half: μα:κ. c(α)   — the structure binder becomes α.
             let mu_body = retarget_fst(&inner.con, 0);
-            let static_part = Con::Mu(Box::new(base), Box::new(mu_body));
+            let static_part = Con::Mu(hc(base), hc(mu_body));
             // Dynamic half: fix(x : σ[μ.../α] . e(μ..., x)).
             let fix_ty: Ty = subst_con_ty(sigma, &static_part);
             let fix_body = map_term(
@@ -150,7 +151,7 @@ fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
 /// signature's constructor binder.
 pub fn split_sig(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<(Kind, Ty)> {
     match tc.resolve_sig(ctx, s)? {
-        Sig::Struct(k, t) => Ok((*k, *t)),
+        Sig::Struct(k, t) => Ok((k.take(), *t)),
         Sig::Rds(_) => Err(TypeError::Other(
             "resolve_sig returned an unresolved rds".to_string(),
         )),
@@ -294,7 +295,7 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let s = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, fst(0)))),
+            recmod_syntax::intern::hc(q(carrow(Con::Int, fst(0)))),
             Box::new(tcon(cvar(0))),
         ));
         let (k, t) = split_sig(&tc, &mut ctx, &s).unwrap();

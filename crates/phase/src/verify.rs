@@ -114,7 +114,7 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let ann = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, fst(0)))),
+            recmod_syntax::intern::hc(q(carrow(Con::Int, fst(0)))),
             Box::new(tcon(cvar(0))),
         ));
         let body = strct(

@@ -16,6 +16,7 @@
 
 use recmod_kernel::{Ctx, Entry, Tc, TypeError};
 use recmod_syntax::ast::{Con, Kind, Term};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::shift_con;
 
 use crate::ast::{Path, TyExp};
@@ -393,7 +394,7 @@ impl Elaborator {
             TyExp::Arrow(a, b, _) => {
                 let ca = self.elab_ty(a)?;
                 let cb = self.elab_ty(b)?;
-                Ok(Con::Arrow(Box::new(ca), Box::new(cb)))
+                Ok(Con::Arrow(hc(ca), hc(cb)))
             }
         }
     }
@@ -423,7 +424,7 @@ impl Elaborator {
             match &c.arg {
                 Some(t) => match self.elab_ty(t) {
                     Ok(con) => {
-                        summands.push(con);
+                        summands.push(hc(con));
                         info.push((c.name.clone(), true));
                     }
                     Err(e) => {
@@ -432,7 +433,7 @@ impl Elaborator {
                     }
                 },
                 None => {
-                    summands.push(Con::UnitTy);
+                    summands.push(hc(Con::UnitTy));
                     info.push((c.name.clone(), false));
                 }
             }
@@ -440,7 +441,7 @@ impl Elaborator {
         self.env.reset(mark);
         self.ctx.truncate(self.depth() - 1);
         result?;
-        let mu = Con::Mu(Box::new(Kind::Type), Box::new(Con::Sum(summands)));
+        let mu = Con::Mu(hc(Kind::Type), hc(Con::Sum(summands)));
         Ok((mu, DataInfo { ctors: info }))
     }
 
@@ -510,7 +511,7 @@ pub(crate) fn prod_chain(parts: Vec<Con>) -> Con {
     let mut rev = parts.into_iter().rev();
     match rev.next() {
         None => Con::UnitTy,
-        Some(last) => rev.fold(last, |acc, c| Con::Prod(Box::new(c), Box::new(acc))),
+        Some(last) => rev.fold(last, |acc, c| Con::Prod(hc(c), hc(acc))),
     }
 }
 
@@ -529,7 +530,10 @@ mod tests {
         );
         assert_eq!(
             e.elab_ty(&t).unwrap(),
-            Con::Prod(Box::new(Con::Int), Box::new(Con::Bool))
+            Con::Prod(
+                recmod_syntax::intern::hc(Con::Int),
+                recmod_syntax::intern::hc(Con::Bool)
+            )
         );
     }
 
@@ -558,10 +562,13 @@ mod tests {
         assert_eq!(
             mu,
             Con::Mu(
-                Box::new(Kind::Type),
-                Box::new(Con::Sum(vec![
-                    Con::UnitTy,
-                    Con::Prod(Box::new(Con::Int), Box::new(Con::Var(0))),
+                recmod_syntax::intern::hc(Kind::Type),
+                recmod_syntax::intern::hc(Con::Sum(vec![
+                    recmod_syntax::intern::hc(Con::UnitTy),
+                    recmod_syntax::intern::hc(Con::Prod(
+                        recmod_syntax::intern::hc(Con::Int),
+                        recmod_syntax::intern::hc(Con::Var(0))
+                    )),
                 ]))
             )
         );

@@ -108,7 +108,7 @@ impl Elaborator {
                         // λx:argᵢ. roll[μ] injᵢ[sum] x — shift annotations
                         // under the λ binder.
                         Term::Lam(
-                            Box::new(Ty::Con(summands[i].clone())),
+                            Box::new(Ty::Con(summands[i].take())),
                             Box::new(Term::Roll(
                                 shift_con(&mu, 1, 0),
                                 Box::new(Term::Inj(
@@ -681,8 +681,8 @@ impl Elaborator {
                 .map_err(|e| self.terr(span, e))?;
             match w {
                 Con::Prod(a, b) => {
-                    comps.push(*a);
-                    cur = *b;
+                    comps.push(a.take());
+                    cur = b.take();
                 }
                 other => {
                     return self.err(

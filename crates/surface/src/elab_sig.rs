@@ -13,6 +13,7 @@
 
 use recmod_kernel::Entry;
 use recmod_syntax::ast::{Con, Kind, Term, Ty};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_con, subst_con_ty};
 
 use crate::ast::{SigExp, Spec};
@@ -91,7 +92,7 @@ impl Elaborator {
                 match spec {
                     Spec::Type { name, def, .. } => {
                         let k = match def {
-                            Some(t) => Kind::Singleton(self.elab_ty(t)?),
+                            Some(t) => Kind::Singleton(hc(self.elab_ty(t)?)),
                             None => Kind::Type,
                         };
                         self.push_static_slot(name, k.clone(), None);
@@ -100,7 +101,7 @@ impl Elaborator {
                     }
                     Spec::Datatype { name, ctors, .. } => {
                         let (mu, info) = self.elab_datatype_con(name, ctors)?;
-                        let k = Kind::Singleton(mu);
+                        let k = Kind::Singleton(hc(mu));
                         self.push_static_slot(name, k.clone(), None);
                         slot_kinds.push(k);
                         fields.push((name.clone(), Item::Data(info.clone())));
@@ -323,7 +324,7 @@ fn refine_kind(
         let total = crossed + inner_crossed;
         if parts.len() == 1 {
             match target {
-                Kind::Type => Ok(Kind::Singleton(shift_con(def, total as isize, 0))),
+                Kind::Type => Ok(Kind::Singleton(hc(shift_con(def, total as isize, 0)))),
                 other => Err(ErrorKind::Other(format!(
                     "`where type {name}` applies to an opaque type component, found kind {}",
                     recmod_syntax::pretty::kind_to_string(
@@ -369,10 +370,10 @@ fn rewrite_sigma(
             ));
         };
         if slot == 0 {
-            Ok(Kind::Sigma(Box::new(f(k1, crossed)?), k2.clone()))
+            Ok(Kind::Sigma(hc(f(k1, crossed)?), k2.clone()))
         } else {
             let rest = go(k2, slot - 1, remaining - 1, crossed + 1, f)?;
-            Ok(Kind::Sigma(k1.clone(), Box::new(rest)))
+            Ok(Kind::Sigma(k1.clone(), hc(rest)))
         }
     }
     if n == 0 {
@@ -502,7 +503,7 @@ mod tests {
     #[test]
     fn transparent_type_spec_gives_singleton() {
         let t = elab_named_sig("signature S = sig type t = int val x : t end").unwrap();
-        assert_eq!(t.kind, Kind::Singleton(Con::Int));
+        assert_eq!(t.kind, Kind::Singleton(recmod_syntax::intern::hc(Con::Int)));
         // x : t resolves to the α projection (arity-1 tuple: α itself).
         assert_eq!(t.ty, Ty::Con(Con::Var(0)));
     }
@@ -517,7 +518,10 @@ mod tests {
         assert_eq!(**k1, Kind::Type);
         assert_eq!(
             **k2,
-            Kind::Singleton(Con::Prod(Box::new(Con::Var(0)), Box::new(Con::Var(0))))
+            Kind::Singleton(recmod_syntax::intern::hc(Con::Prod(
+                recmod_syntax::intern::hc(Con::Var(0)),
+                recmod_syntax::intern::hc(Con::Var(0))
+            )))
         );
     }
 
@@ -529,7 +533,7 @@ mod tests {
         let Kind::Singleton(mu) = &t.kind else {
             panic!("{:?}", t.kind)
         };
-        assert!(matches!(mu, Con::Mu(_, _)));
+        assert!(matches!(&**mu, Con::Mu(_, _)));
         // Constructors contribute value components: NIL, CONS, then x.
         assert_eq!(t.shape.dyn_len(), 3);
     }
@@ -549,7 +553,7 @@ mod tests {
         let Kind::Sigma(_, k2) = &refined.kind else {
             panic!()
         };
-        assert_eq!(**k2, Kind::Singleton(Con::Bool));
+        assert_eq!(**k2, Kind::Singleton(recmod_syntax::intern::hc(Con::Bool)));
         // Refining an already-transparent component fails.
         let again = e.refine_template(refined, &["u".to_string()], &Con::Int, Span::default());
         assert!(again.is_err());
@@ -584,7 +588,10 @@ mod tests {
         };
         assert_eq!(
             **second,
-            Ty::Con(Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Int)))
+            Ty::Con(Con::Arrow(
+                recmod_syntax::intern::hc(Con::Var(0)),
+                recmod_syntax::intern::hc(Con::Int)
+            ))
         );
     }
 

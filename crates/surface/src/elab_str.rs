@@ -16,6 +16,7 @@
 
 use recmod_kernel::Entry;
 use recmod_syntax::ast::{Con, Kind, Module, Sig, Term, Ty};
+use recmod_syntax::intern::hc;
 use recmod_syntax::map::VarMap;
 use recmod_syntax::subst::{shift_con, shift_kind, shift_term, shift_ty, subst_con_ty};
 
@@ -558,7 +559,7 @@ impl Elaborator {
         let stripped = skeleton_strip_kind(&skeleton);
         let mark = self.env.mark();
         self.ctx.push(Entry::Struct(
-            Sig::Struct(Box::new(stripped), Box::new(Ty::Unit)),
+            Sig::Struct(hc(stripped), Box::new(Ty::Unit)),
             true,
         ));
         self.env.insert(
@@ -618,7 +619,7 @@ impl Elaborator {
         // 2. Pseudo-binder with the stripped signature; bind the names.
         let mark = self.env.mark();
         self.ctx.push(Entry::Struct(
-            Sig::Struct(Box::new(stripped), Box::new(Ty::Unit)),
+            Sig::Struct(hc(stripped), Box::new(Ty::Unit)),
             true,
         ));
         for (i, b) in binds.iter().enumerate() {
@@ -763,13 +764,10 @@ impl Elaborator {
         // and are gone; rebind below.
 
         let ann_sig = if transparent {
-            Sig::Rds(Box::new(Sig::Struct(
-                Box::new(comb_kind),
-                Box::new(comb_ty),
-            )))
+            Sig::Rds(Box::new(Sig::Struct(hc(comb_kind), Box::new(comb_ty))))
         } else {
             Sig::Struct(
-                Box::new(shift_kind(&comb_kind, -1, 0)),
+                hc(shift_kind(&comb_kind, -1, 0)),
                 Box::new(shift_ty(&comb_ty, -1, 1)),
             )
         };
@@ -1087,7 +1085,7 @@ fn fill_opaque_slots(
             None => Ok(filled),
             Some(k2) => {
                 let rest_filled = go(&k2, slots, idx + 1, body_con, body_shape, crossed + 1)?;
-                Ok(Kind::Sigma(Box::new(filled), Box::new(rest_filled)))
+                Ok(Kind::Sigma(hc(filled), hc(rest_filled)))
             }
         }
     }
@@ -1119,7 +1117,7 @@ fn fill_opaque_slots(
                         slot,
                         body_shape.static_len(),
                     );
-                    Ok(Kind::Singleton(comp))
+                    Ok(Kind::Singleton(hc(comp)))
                 }
                 other => Ok(other.clone()),
             },

@@ -40,7 +40,7 @@ impl SigTemplate {
         let delta = depth_delta(self.depth, at);
         let rho = usize::from(self.rds);
         let inner = recmod_syntax::ast::Sig::Struct(
-            Box::new(shift_kind(&self.kind, delta, rho)),
+            recmod_syntax::intern::hc(shift_kind(&self.kind, delta, rho)),
             Box::new(shift_ty(&self.ty, delta, rho + 1)),
         );
         if self.rds {
@@ -230,7 +230,10 @@ mod tests {
     fn rds_template_keeps_self_reference_fixed_when_shifted() {
         // kind = Q(int ⇀ Fst(ρ-binder)) with one free outer ref Fst(1).
         let t = SigTemplate {
-            kind: Kind::Singleton(Con::Arrow(Box::new(Con::Int), Box::new(Con::Fst(0)))),
+            kind: Kind::Singleton(recmod_syntax::intern::hc(Con::Arrow(
+                recmod_syntax::intern::hc(Con::Int),
+                recmod_syntax::intern::hc(Con::Fst(0)),
+            ))),
             ty: Ty::Con(Con::Fst(1)),
             shape: Shape::new(),
             depth: 1,
@@ -246,7 +249,10 @@ mod tests {
         // The ρ-bound Fst(0) in the kind did not move.
         assert_eq!(
             *k,
-            Kind::Singleton(Con::Arrow(Box::new(Con::Int), Box::new(Con::Fst(0))))
+            Kind::Singleton(recmod_syntax::intern::hc(Con::Arrow(
+                recmod_syntax::intern::hc(Con::Int),
+                recmod_syntax::intern::hc(Con::Fst(0))
+            )))
         );
         // In ty, index 0 = α, index 1 = ρ binder: both stay fixed; had it
         // been 2+ it would shift by 3.
@@ -258,7 +264,7 @@ mod tests {
         // ty = Con(Var 0) references the α binder — fixed under shifting;
         // kind references a free variable — it moves.
         let t = SigTemplate {
-            kind: Kind::Singleton(Con::Var(2)),
+            kind: Kind::Singleton(recmod_syntax::intern::hc(Con::Var(2))),
             ty: Ty::Con(Con::Var(0)),
             shape: Shape::new(),
             depth: 3,
@@ -267,7 +273,7 @@ mod tests {
         let recmod_syntax::ast::Sig::Struct(k, ty) = t.instantiate(5) else {
             panic!()
         };
-        assert_eq!(*k, Kind::Singleton(Con::Var(4)));
+        assert_eq!(*k, Kind::Singleton(recmod_syntax::intern::hc(Con::Var(4))));
         assert_eq!(*ty, Ty::Con(Con::Var(0)));
     }
 }

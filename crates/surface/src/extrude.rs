@@ -28,6 +28,7 @@
 
 use recmod_kernel::{Ctx, Entry, Tc, TcResult, TypeError};
 use recmod_syntax::ast::{Con, Kind, Sig, Ty};
+use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_kind, shift_ty};
 
 /// The result of extrusion.
@@ -82,10 +83,7 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     let filled = fill(&shifted_kind, m, 0, &mut next);
     debug_assert_eq!(next, m);
 
-    let transparent_rds = Sig::Rds(Box::new(Sig::Struct(
-        Box::new(filled),
-        Box::new(shifted_ty),
-    )));
+    let transparent_rds = Sig::Rds(Box::new(Sig::Struct(hc(filled), Box::new(shifted_ty))));
 
     // Resolve under the hoisted binders.
     let base = ctx.len();
@@ -106,9 +104,9 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     };
 
     // Assemble: Σ β₁:T. … Σ βₘ:T. κ_resolved, with σ under one α.
-    let mut kind = *rk;
+    let mut kind = rk.take();
     for _ in 0..m {
-        kind = Kind::Sigma(Box::new(Kind::Type), Box::new(kind));
+        kind = Kind::Sigma(hc(Kind::Type), hc(kind));
     }
     // The dynamic part: the resolved σ is under [β…, α_inner]; in the
     // combined signature the single α binds the whole Σ tuple, and the
@@ -118,7 +116,7 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     let ty = reproject_ty(&rt, m);
     Ok(Extruded {
         hoisted: m,
-        sig: Sig::Struct(Box::new(kind), Box::new(ty)),
+        sig: Sig::Struct(hc(kind), Box::new(ty)),
     })
 }
 
@@ -139,14 +137,14 @@ fn fill(k: &Kind, m: usize, crossed: usize, next: &mut usize) -> Kind {
         Kind::Type => {
             let j = *next;
             *next += 1;
-            Kind::Singleton(Con::Var(crossed + 1 + (m - 1 - j)))
+            Kind::Singleton(hc(Con::Var(crossed + 1 + (m - 1 - j))))
         }
         Kind::Unit | Kind::Singleton(_) => k.clone(),
-        Kind::Pi(k1, k2) => Kind::Pi(k1.clone(), Box::new(fill(k2, m, crossed + 1, next))),
+        Kind::Pi(k1, k2) => Kind::Pi(k1.clone(), hc(fill(k2, m, crossed + 1, next))),
         Kind::Sigma(k1, k2) => {
             let l = fill(k1, m, crossed, next);
             let r = fill(k2, m, crossed + 1, next);
-            Kind::Sigma(Box::new(l), Box::new(r))
+            Kind::Sigma(hc(l), hc(r))
         }
     }
 }
@@ -230,7 +228,7 @@ mod tests {
         // κ = Σ α_t:T. Q(π₂(Fst ρ) ⇀ α_t); inside the Σ slot, ρ = 1.
         let u_def = carrow(cproj2(fst(1)), cvar(0));
         rds(Sig::Struct(
-            Box::new(sigma(tkind(), q(u_def))),
+            recmod_syntax::intern::hc(sigma(tkind(), q(u_def))),
             Box::new(Ty::Unit),
         ))
     }
@@ -248,7 +246,7 @@ mod tests {
         let tc = Tc::new();
         let mut ctx = Ctx::new();
         let s = rds(Sig::Struct(
-            Box::new(q(carrow(Con::Int, fst(0)))),
+            recmod_syntax::intern::hc(q(carrow(Con::Int, fst(0)))),
             Box::new(Ty::Unit),
         ));
         let out = extrude(&tc, &mut ctx, &s).unwrap();

@@ -8,6 +8,7 @@
 //! signature matching compiles to re-tupling coercions.
 
 use recmod_syntax::ast::{Con, Term, Ty};
+use recmod_syntax::intern::hc;
 
 /// Metadata for a datatype component: its constructors in declaration
 /// order. Shapes must stay free of de Bruijn indices (they travel across
@@ -146,10 +147,10 @@ pub fn con_proj(base: Con, slot: usize, arity: usize) -> Con {
     }
     let mut cur = base;
     for _ in 0..slot {
-        cur = Con::Proj2(Box::new(cur));
+        cur = Con::Proj2(hc(cur));
     }
     if slot < arity - 1 {
-        Con::Proj1(Box::new(cur))
+        Con::Proj1(hc(cur))
     } else {
         cur
     }
@@ -178,7 +179,7 @@ pub fn con_tuple(parts: Vec<Con>) -> Con {
     let mut rev = parts.into_iter().rev();
     match rev.next() {
         None => Con::Star,
-        Some(last) => rev.fold(last, |acc, c| Con::Pair(Box::new(c), Box::new(acc))),
+        Some(last) => rev.fold(last, |acc, c| Con::Pair(hc(c), hc(acc))),
     }
 }
 
@@ -202,7 +203,7 @@ pub fn kind_tuple(parts: Vec<recmod_syntax::ast::Kind>) -> recmod_syntax::ast::K
     let mut rev = parts.into_iter().rev();
     match rev.next() {
         None => Kind::Unit,
-        Some(last) => rev.fold(last, |acc, k| Kind::Sigma(Box::new(k), Box::new(acc))),
+        Some(last) => rev.fold(last, |acc, k| Kind::Sigma(hc(k), hc(acc))),
     }
 }
 
@@ -264,15 +265,19 @@ mod tests {
         let base = Con::Var(0);
         assert_eq!(
             con_proj(base.clone(), 0, 3),
-            Con::Proj1(Box::new(base.clone()))
+            Con::Proj1(recmod_syntax::intern::hc(base.clone()))
         );
         assert_eq!(
             con_proj(base.clone(), 1, 3),
-            Con::Proj1(Box::new(Con::Proj2(Box::new(base.clone()))))
+            Con::Proj1(recmod_syntax::intern::hc(Con::Proj2(
+                recmod_syntax::intern::hc(base.clone())
+            )))
         );
         assert_eq!(
             con_proj(base.clone(), 2, 3),
-            Con::Proj2(Box::new(Con::Proj2(Box::new(base.clone()))))
+            Con::Proj2(recmod_syntax::intern::hc(Con::Proj2(
+                recmod_syntax::intern::hc(base.clone())
+            )))
         );
         // Arity 1: identity.
         assert_eq!(con_proj(base.clone(), 0, 1), base);
@@ -284,7 +289,10 @@ mod tests {
         assert_eq!(con_tuple(vec![Con::Int]), Con::Int);
         assert_eq!(
             con_tuple(vec![Con::Int, Con::Bool]),
-            Con::Pair(Box::new(Con::Int), Box::new(Con::Bool))
+            Con::Pair(
+                recmod_syntax::intern::hc(Con::Int),
+                recmod_syntax::intern::hc(Con::Bool)
+            )
         );
         assert_eq!(ty_tuple(vec![]), Ty::Unit);
     }

@@ -12,6 +12,8 @@
 //! primops, a `fail` term, and iso-recursive `roll`/`unroll` coercions) —
 //! all of which are needed to write the paper's own examples.
 
+use crate::intern::{hc, HC};
+
 /// A de Bruijn index: `0` is the innermost enclosing binder.
 pub type Index = usize;
 
@@ -27,13 +29,13 @@ pub enum Kind {
     /// `1`, the trivial kind containing only the constructor `*`.
     Unit,
     /// `Q(c)`, the singleton kind of monotypes definitionally equal to `c`.
-    Singleton(Con),
+    Singleton(HC<Con>),
     /// `Πα:κ₁.κ₂`: dependent constructor functions. Binds a constructor
     /// variable in the codomain.
-    Pi(Box<Kind>, Box<Kind>),
+    Pi(HC<Kind>, HC<Kind>),
     /// `Σα:κ₁.κ₂`: dependent constructor pairs. Binds a constructor
     /// variable in the right-hand kind.
-    Sigma(Box<Kind>, Box<Kind>),
+    Sigma(HC<Kind>, HC<Kind>),
 }
 
 /// Type constructors `c` (paper Figure 1).
@@ -49,18 +51,18 @@ pub enum Con {
     /// `*`, the sole inhabitant of kind `1`.
     Star,
     /// `λα:κ.c`: constructor-level abstraction. Binds a constructor variable.
-    Lam(Box<Kind>, Box<Con>),
+    Lam(HC<Kind>, HC<Con>),
     /// Constructor application `c₁ c₂`.
-    App(Box<Con>, Box<Con>),
+    App(HC<Con>, HC<Con>),
     /// Constructor pair `⟨c₁, c₂⟩`.
-    Pair(Box<Con>, Box<Con>),
+    Pair(HC<Con>, HC<Con>),
     /// First projection `π₁ c`.
-    Proj1(Box<Con>),
+    Proj1(HC<Con>),
     /// Second projection `π₂ c`.
-    Proj2(Box<Con>),
+    Proj2(HC<Con>),
     /// `μα:κ.c`: the equi-recursive fixed point, definitionally equal to
     /// its unrolling `c[μα:κ.c/α]`. Binds a constructor variable.
-    Mu(Box<Kind>, Box<Con>),
+    Mu(HC<Kind>, HC<Con>),
     /// The base monotype `int`.
     Int,
     /// The base monotype `bool`.
@@ -68,12 +70,12 @@ pub enum Con {
     /// The unit monotype `1 : T` (distinct from the kind `1`).
     UnitTy,
     /// The partial-function monotype `c₁ ⇀ c₂ : T`.
-    Arrow(Box<Con>, Box<Con>),
+    Arrow(HC<Con>, HC<Con>),
     /// The product monotype `c₁ × c₂ : T`.
-    Prod(Box<Con>, Box<Con>),
+    Prod(HC<Con>, HC<Con>),
     /// An n-ary sum monotype `c₁ + ⋯ + cₙ : T` (extension; used by the
     /// elaboration of `datatype`). The empty sum is the void type.
-    Sum(Vec<Con>),
+    Sum(Vec<HC<Con>>),
 }
 
 /// Types `σ` classify terms (paper Figure 1).
@@ -96,7 +98,7 @@ pub enum Ty {
     /// Products `σ₁ × σ₂`.
     Prod(Box<Ty>, Box<Ty>),
     /// Polymorphism `∀α:κ.σ`. Binds a constructor variable.
-    Forall(Box<Kind>, Box<Ty>),
+    Forall(HC<Kind>, Box<Ty>),
 }
 
 /// Primitive operations on base types (extension; see `DESIGN.md` §2).
@@ -156,7 +158,7 @@ pub enum Term {
     /// Second projection `π₂ e`.
     Proj2(Box<Term>),
     /// Constructor abstraction `Λα:κ.e`. Binds a constructor variable.
-    TLam(Box<Kind>, Box<Term>),
+    TLam(HC<Kind>, Box<Term>),
     /// Constructor application `e[c]`.
     TApp(Box<Term>, Con),
     /// `fix(x:σ.e)`: recursive values. Binds a term variable that is
@@ -199,7 +201,7 @@ pub enum Sig {
     /// kind `κ` and whose run-time part has type `σ` (which may mention
     /// the compile-time part through the bound constructor variable).
     /// Binds a constructor variable in the type.
-    Struct(Box<Kind>, Box<Ty>),
+    Struct(HC<Kind>, Box<Ty>),
     /// `ρs.S`: a recursively-dependent signature. Binds a structure
     /// variable in `S`; the static part of `S` must be fully transparent
     /// (paper §4.1).
@@ -228,20 +230,19 @@ impl Kind {
     ///
     /// `κ₂` must make sense *outside* the binder; it is shifted under it.
     pub fn arrow(k1: Kind, k2: Kind) -> Kind {
-        Kind::Pi(Box::new(k1), Box::new(crate::subst::shift_kind(&k2, 1, 0)))
+        Kind::Pi(hc(k1), hc(crate::subst::shift_kind(&k2, 1, 0)))
     }
 
     /// The non-dependent pair kind `κ₁ × κ₂` (shifts `κ₂` under the binder).
     pub fn times(k1: Kind, k2: Kind) -> Kind {
-        Kind::Sigma(Box::new(k1), Box::new(crate::subst::shift_kind(&k2, 1, 0)))
+        Kind::Sigma(hc(k1), hc(crate::subst::shift_kind(&k2, 1, 0)))
     }
 }
 
 impl Con {
     /// Builds nested applications `c a₁ … aₙ`.
     pub fn apps<I: IntoIterator<Item = Con>>(head: Con, args: I) -> Con {
-        args.into_iter()
-            .fold(head, |f, a| Con::App(Box::new(f), Box::new(a)))
+        args.into_iter().fold(head, |f, a| Con::App(hc(f), hc(a)))
     }
 }
 
@@ -291,10 +292,10 @@ mod tests {
     #[test]
     fn arrow_kind_shifts_codomain() {
         // α:T ⊢ arrow(T, Q(α)) must keep α pointing one binder further out.
-        let k = Kind::arrow(Kind::Type, Kind::Singleton(Con::Var(0)));
+        let k = Kind::arrow(Kind::Type, Kind::Singleton(hc(Con::Var(0))));
         assert_eq!(
             k,
-            Kind::Pi(Box::new(Kind::Type), Box::new(Kind::Singleton(Con::Var(1))))
+            Kind::Pi(hc(Kind::Type), hc(Kind::Singleton(hc(Con::Var(1)))))
         );
     }
 
@@ -323,10 +324,7 @@ mod tests {
         let c = Con::apps(Con::Var(0), [Con::Int, Con::Bool]);
         assert_eq!(
             c,
-            Con::App(
-                Box::new(Con::App(Box::new(Con::Var(0)), Box::new(Con::Int))),
-                Box::new(Con::Bool)
-            )
+            Con::App(hc(Con::App(hc(Con::Var(0)), hc(Con::Int))), hc(Con::Bool))
         );
     }
 

@@ -5,6 +5,7 @@
 //! All functions are thin wrappers over the [`crate::ast`] constructors.
 
 use crate::ast::{Con, Index, Kind, Module, PrimOp, Sig, Term, Ty};
+use crate::intern::hc;
 
 // --- kinds -----------------------------------------------------------------
 
@@ -20,17 +21,17 @@ pub fn unit_kind() -> Kind {
 
 /// The singleton kind `Q(c)`.
 pub fn q(c: Con) -> Kind {
-    Kind::Singleton(c)
+    Kind::Singleton(hc(c))
 }
 
 /// The dependent product kind `Πα:κ₁.κ₂` (κ₂ under the binder).
 pub fn pi(k1: Kind, k2: Kind) -> Kind {
-    Kind::Pi(Box::new(k1), Box::new(k2))
+    Kind::Pi(hc(k1), hc(k2))
 }
 
 /// The dependent sum kind `Σα:κ₁.κ₂` (κ₂ under the binder).
 pub fn sigma(k1: Kind, k2: Kind) -> Kind {
-    Kind::Sigma(Box::new(k1), Box::new(k2))
+    Kind::Sigma(hc(k1), hc(k2))
 }
 
 // --- constructors ----------------------------------------------------------
@@ -47,47 +48,47 @@ pub fn fst(i: Index) -> Con {
 
 /// `λα:κ.c` (body under the binder).
 pub fn clam(k: Kind, body: Con) -> Con {
-    Con::Lam(Box::new(k), Box::new(body))
+    Con::Lam(hc(k), hc(body))
 }
 
 /// Constructor application.
 pub fn capp(f: Con, a: Con) -> Con {
-    Con::App(Box::new(f), Box::new(a))
+    Con::App(hc(f), hc(a))
 }
 
 /// Constructor pairing.
 pub fn cpair(a: Con, b: Con) -> Con {
-    Con::Pair(Box::new(a), Box::new(b))
+    Con::Pair(hc(a), hc(b))
 }
 
 /// First constructor projection.
 pub fn cproj1(c: Con) -> Con {
-    Con::Proj1(Box::new(c))
+    Con::Proj1(hc(c))
 }
 
 /// Second constructor projection.
 pub fn cproj2(c: Con) -> Con {
-    Con::Proj2(Box::new(c))
+    Con::Proj2(hc(c))
 }
 
 /// The equi-recursive fixed point `μα:κ.c` (body under the binder).
 pub fn mu(k: Kind, body: Con) -> Con {
-    Con::Mu(Box::new(k), Box::new(body))
+    Con::Mu(hc(k), hc(body))
 }
 
 /// The partial arrow monotype `a ⇀ b`.
 pub fn carrow(a: Con, b: Con) -> Con {
-    Con::Arrow(Box::new(a), Box::new(b))
+    Con::Arrow(hc(a), hc(b))
 }
 
 /// The product monotype `a × b`.
 pub fn cprod(a: Con, b: Con) -> Con {
-    Con::Prod(Box::new(a), Box::new(b))
+    Con::Prod(hc(a), hc(b))
 }
 
 /// An n-ary sum monotype.
 pub fn csum<I: IntoIterator<Item = Con>>(cs: I) -> Con {
-    Con::Sum(cs.into_iter().collect())
+    Con::Sum(cs.into_iter().map(hc).collect())
 }
 
 // --- types ------------------------------------------------------------------
@@ -114,7 +115,7 @@ pub fn tprod(a: Ty, b: Ty) -> Ty {
 
 /// The polymorphic type `∀α:κ.σ` (body under the binder).
 pub fn forall(k: Kind, t: Ty) -> Ty {
-    Ty::Forall(Box::new(k), Box::new(t))
+    Ty::Forall(hc(k), Box::new(t))
 }
 
 // --- terms -------------------------------------------------------------------
@@ -156,7 +157,7 @@ pub fn proj2(e: Term) -> Term {
 
 /// `Λα:κ.e` (body under the binder).
 pub fn tlam(k: Kind, body: Term) -> Term {
-    Term::TLam(Box::new(k), Box::new(body))
+    Term::TLam(hc(k), Box::new(body))
 }
 
 /// Constructor application `e[c]`.
@@ -223,7 +224,7 @@ pub fn let_(e: Term, body: Term) -> Term {
 
 /// The flat signature `[α:κ.σ]` (type under the binder).
 pub fn sig(k: Kind, t: Ty) -> Sig {
-    Sig::Struct(Box::new(k), Box::new(t))
+    Sig::Struct(hc(k), Box::new(t))
 }
 
 /// The recursively-dependent signature `ρs.S` (signature under the binder).
@@ -257,14 +258,14 @@ mod tests {
 
     #[test]
     fn dsl_builds_expected_shapes() {
-        assert_eq!(q(Con::Int), Kind::Singleton(Con::Int));
+        assert_eq!(q(Con::Int), Kind::Singleton(hc(Con::Int)));
         assert_eq!(
             mu(tkind(), cvar(0)),
-            Con::Mu(Box::new(Kind::Type), Box::new(Con::Var(0)))
+            Con::Mu(hc(Kind::Type), hc(Con::Var(0)))
         );
         assert_eq!(
             sig(tkind(), tcon(cvar(0))),
-            Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Var(0))))
+            Sig::Struct(hc(Kind::Type), Box::new(Ty::Con(Con::Var(0))))
         );
     }
 }

@@ -1,0 +1,332 @@
+//! Hash-consed, reference-counted syntax nodes.
+//!
+//! The recursive spine of [`Con`](crate::ast::Con) and
+//! [`Kind`](crate::ast::Kind) is built from [`HC<T>`] pointers instead of
+//! `Box<T>`: every structurally-distinct node is interned once in a
+//! per-thread table and assigned a stable [`NodeId`]. Consequences:
+//!
+//! * **O(1) equality** — two `HC` pointers are equal iff their ids are
+//!   equal, which (by the interning invariant) holds iff the subtrees
+//!   are structurally equal. The derived `PartialEq`/`Hash` on `Con` and
+//!   `Kind` therefore touch only the root variant plus child ids, never
+//!   the whole tree.
+//! * **O(1) clone** — `clone()` is a refcount bump.
+//! * **Cached binding data** — each node carries `fv_bound`, an upper
+//!   bound on its free de Bruijn indices, computed shallowly at intern
+//!   time from the children's cached bounds. Shifting and substitution
+//!   use it to return the *same pointer* for subtrees they cannot touch
+//!   (see [`crate::map`]).
+//!
+//! The table is thread-local (like the telemetry sinks), so `HC` is
+//! deliberately `!Send`: ids from different threads are unrelated, and
+//! the `Rc` representation lets the compiler enforce that interned
+//! syntax never crosses a thread boundary. The whole pipeline already
+//! runs inside one `run_big_stack` thread and ships only plain-data
+//! summaries out, so this matches the existing architecture.
+//!
+//! The table holds weak references: dropping the last strong `HC` to a
+//! node makes its entry collectable, and dead entries are swept when the
+//! table doubles past a high-water mark, so long sessions do not leak.
+
+use std::cell::{Cell, RefCell};
+use std::collections::HashMap;
+use std::fmt;
+use std::hash::Hash;
+use std::ops::Deref;
+use std::rc::{Rc, Weak};
+
+use crate::ast::{Con, Kind};
+
+/// A stable identifier for one structurally-distinct syntax node.
+///
+/// Ids are unique within a thread for the lifetime of the process (they
+/// are never reused, even after a node is collected and re-interned —
+/// the counter only moves forward; a re-interned node gets a fresh id,
+/// which is sound because stale ids no longer have live holders).
+pub type NodeId = u64;
+
+struct Node<T> {
+    id: NodeId,
+    fv_bound: usize,
+    value: T,
+}
+
+/// A hash-consed pointer to an interned syntax node.
+///
+/// Build one with [`hc`] (or [`Internable::intern`]); pattern-match
+/// through it with `&*` / autoderef, exactly like the `Box` it replaces.
+pub struct HC<T: Internable>(Rc<Node<T>>);
+
+impl<T: Internable> HC<T> {
+    /// The node's interning id. Equal ids ⟺ structurally equal subtrees
+    /// (within one thread).
+    pub fn id(&self) -> NodeId {
+        self.0.id
+    }
+
+    /// An upper bound on the free de Bruijn indices of this subtree:
+    /// every free index is strictly below `fv_bound()` (`0` ⟺ closed).
+    pub fn fv_bound(&self) -> usize {
+        self.0.fv_bound
+    }
+
+    /// Pointer identity (implies — and with interning, is implied by —
+    /// structural equality).
+    pub fn ptr_eq(a: &Self, b: &Self) -> bool {
+        Rc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// The underlying node by reference.
+    pub fn get(&self) -> &T {
+        &self.0.value
+    }
+
+    /// Extracts an owned copy of the node (a shallow clone: children are
+    /// refcount bumps).
+    pub fn take(&self) -> T {
+        self.0.value.clone()
+    }
+}
+
+impl<T: Internable> Clone for HC<T> {
+    fn clone(&self) -> Self {
+        HC(Rc::clone(&self.0))
+    }
+}
+
+impl<T: Internable> Deref for HC<T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        &self.0.value
+    }
+}
+
+impl<T: Internable> PartialEq for HC<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.0.id == other.0.id
+    }
+}
+impl<T: Internable> Eq for HC<T> {}
+
+impl<T: Internable> Hash for HC<T> {
+    fn hash<H: std::hash::Hasher>(&self, state: &mut H) {
+        self.0.id.hash(state);
+    }
+}
+
+impl<T: Internable + fmt::Debug> fmt::Debug for HC<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.value.fmt(f)
+    }
+}
+
+/// Syntax classes that participate in hash-consing.
+pub trait Internable: Clone + Eq + Hash + Sized + 'static {
+    /// Computes this node's free-variable upper bound from its children's
+    /// *cached* bounds — must not recurse into subtrees.
+    fn fv_bound_shallow(&self) -> usize;
+
+    /// Interns the node in this thread's table, returning the canonical
+    /// pointer for its structure.
+    fn intern(self) -> HC<Self>;
+}
+
+/// Interns a node: the canonical constructor for [`HC`] pointers.
+pub fn hc<T: Internable>(t: T) -> HC<T> {
+    t.intern()
+}
+
+// ---------------------------------------------------------------------------
+// The per-thread tables
+// ---------------------------------------------------------------------------
+
+struct Table<T> {
+    map: HashMap<T, Weak<Node<T>>>,
+    next_id: u64,
+    sweep_at: usize,
+}
+
+impl<T: Internable> Table<T> {
+    fn new() -> Self {
+        Table {
+            map: HashMap::new(),
+            next_id: 1,
+            sweep_at: 1 << 12,
+        }
+    }
+
+    fn intern(&mut self, t: T, stats: &InternCells) -> HC<T> {
+        if let Some(rc) = self.map.get(&t).and_then(Weak::upgrade) {
+            stats.hits.set(stats.hits.get() + 1);
+            recmod_telemetry::count("syntax.intern_hit", 1);
+            return HC(rc);
+        }
+        stats.misses.set(stats.misses.get() + 1);
+        recmod_telemetry::count("syntax.intern_miss", 1);
+        let id = self.next_id;
+        self.next_id += 1;
+        let fv_bound = t.fv_bound_shallow();
+        let rc = Rc::new(Node {
+            id,
+            fv_bound,
+            value: t.clone(),
+        });
+        self.map.insert(t, Rc::downgrade(&rc));
+        if self.map.len() >= self.sweep_at {
+            self.map.retain(|_, w| w.strong_count() > 0);
+            stats.sweeps.set(stats.sweeps.get() + 1);
+            self.sweep_at = (self.map.len() * 2).max(1 << 12);
+        }
+        HC(rc)
+    }
+}
+
+#[derive(Default)]
+struct InternCells {
+    hits: Cell<u64>,
+    misses: Cell<u64>,
+    sweeps: Cell<u64>,
+}
+
+thread_local! {
+    static CON_TABLE: RefCell<Table<Con>> = RefCell::new(Table::new());
+    static KIND_TABLE: RefCell<Table<Kind>> = RefCell::new(Table::new());
+    static CELLS: InternCells = InternCells::default();
+}
+
+impl Internable for Con {
+    fn fv_bound_shallow(&self) -> usize {
+        fn under(b: &HC<Con>) -> usize {
+            b.fv_bound().saturating_sub(1)
+        }
+        match self {
+            Con::Var(i) | Con::Fst(i) => i + 1,
+            Con::Star | Con::Int | Con::Bool | Con::UnitTy => 0,
+            Con::Lam(k, b) | Con::Mu(k, b) => k.fv_bound().max(under(b)),
+            Con::App(a, b) | Con::Pair(a, b) | Con::Arrow(a, b) | Con::Prod(a, b) => {
+                a.fv_bound().max(b.fv_bound())
+            }
+            Con::Proj1(a) | Con::Proj2(a) => a.fv_bound(),
+            Con::Sum(cs) => cs.iter().map(HC::fv_bound).max().unwrap_or(0),
+        }
+    }
+
+    fn intern(self) -> HC<Con> {
+        CON_TABLE.with(|t| CELLS.with(|s| t.borrow_mut().intern(self, s)))
+    }
+}
+
+impl Internable for Kind {
+    fn fv_bound_shallow(&self) -> usize {
+        match self {
+            Kind::Type | Kind::Unit => 0,
+            Kind::Singleton(c) => c.fv_bound(),
+            Kind::Pi(k1, k2) | Kind::Sigma(k1, k2) => {
+                k1.fv_bound().max(k2.fv_bound().saturating_sub(1))
+            }
+        }
+    }
+
+    fn intern(self) -> HC<Kind> {
+        KIND_TABLE.with(|t| CELLS.with(|s| t.borrow_mut().intern(self, s)))
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Statistics
+// ---------------------------------------------------------------------------
+
+/// A snapshot of this thread's interning activity (plain data, `Send`).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct InternStats {
+    /// Interning requests answered by an existing node.
+    pub hits: u64,
+    /// Interning requests that allocated a fresh node.
+    pub misses: u64,
+    /// Dead-entry sweeps performed.
+    pub sweeps: u64,
+    /// Entries currently in the constructor table (live + uncollected).
+    pub con_entries: u64,
+    /// Entries currently in the kind table (live + uncollected).
+    pub kind_entries: u64,
+}
+
+impl InternStats {
+    /// Hit rate in `[0, 1]`; `0` when no requests were made.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// Snapshots this thread's interning counters and table sizes.
+pub fn intern_stats() -> InternStats {
+    let (hits, misses, sweeps) = CELLS.with(|s| (s.hits.get(), s.misses.get(), s.sweeps.get()));
+    InternStats {
+        hits,
+        misses,
+        sweeps,
+        con_entries: CON_TABLE.with(|t| t.borrow().map.len() as u64),
+        kind_entries: KIND_TABLE.with(|t| t.borrow().map.len() as u64),
+    }
+}
+
+/// Zeroes this thread's interning hit/miss/sweep counters (table contents
+/// are left alone — canonical nodes stay canonical).
+pub fn reset_intern_stats() {
+    CELLS.with(|s| {
+        s.hits.set(0);
+        s.misses.set(0);
+        s.sweeps.set(0);
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dsl::*;
+
+    #[test]
+    fn equal_structure_interns_to_equal_ids() {
+        let a = hc(carrow(Con::Int, Con::Bool));
+        let b = hc(carrow(Con::Int, Con::Bool));
+        assert_eq!(a.id(), b.id());
+        assert!(HC::ptr_eq(&a, &b));
+        let c = hc(carrow(Con::Bool, Con::Int));
+        assert_ne!(a.id(), c.id());
+    }
+
+    #[test]
+    fn fv_bound_tracks_binders() {
+        assert_eq!(hc(cvar(3)).fv_bound(), 4);
+        assert_eq!(hc(Con::Int).fv_bound(), 0);
+        // μα.α: the bound variable does not escape.
+        assert_eq!(hc(mu(tkind(), cvar(0))).fv_bound(), 0);
+        // μα.β(1): one free variable survives the binder.
+        assert_eq!(hc(mu(tkind(), cvar(1))).fv_bound(), 1);
+        // Πα:Q(γ).Q(α): the domain's free var dominates.
+        assert_eq!(hc(pi(q(cvar(2)), q(cvar(0)))).fv_bound(), 3);
+    }
+
+    #[test]
+    fn derived_eq_on_con_is_shallow_but_correct() {
+        let deep1 = carrow(carrow(Con::Int, Con::Int), cprod(Con::Bool, Con::UnitTy));
+        let deep2 = carrow(carrow(Con::Int, Con::Int), cprod(Con::Bool, Con::UnitTy));
+        assert_eq!(deep1, deep2);
+        let other = carrow(carrow(Con::Int, Con::Int), cprod(Con::Bool, Con::Int));
+        assert_ne!(deep1, other);
+    }
+
+    #[test]
+    fn stats_move() {
+        reset_intern_stats();
+        let before = intern_stats();
+        let _x = hc(cprod(cvar(41), cvar(41)));
+        let after = intern_stats();
+        assert!(after.misses > before.misses || after.hits > before.hits);
+    }
+}

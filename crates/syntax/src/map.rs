@@ -1,4 +1,4 @@
-//! A generic traversal over variable occurrences.
+//! A generic, sharing-preserving traversal over variable occurrences.
 //!
 //! All binding-aware operations (shifting, the three substitution forms,
 //! the rds redirection used by phase splitting) are instances of a single
@@ -9,8 +9,23 @@
 //! The five occurrence shapes are: constructor variables `α`, term
 //! variables `x`, the structure projections `Fst(s)` and `snd(s)`, and
 //! whole-module references `s`.
+//!
+//! # Sharing preservation
+//!
+//! Constructor and kind children are hash-consed [`HC`] pointers carrying
+//! a cached free-variable upper bound (see [`crate::intern`]). A map
+//! whose [`VarMap::floor`] is `Some(fl)` promises to leave every index
+//! strictly below `fl + d` untouched at traversal depth `d`; a subtree
+//! whose `fv_bound` proves it contains only such indices is returned as
+//! the *same pointer*, without being visited. This is what makes
+//! shifting and substitution cheap on wide, mostly-closed syntax: the
+//! traversal cost is proportional to the spine that actually mentions
+//! the affected variables, not to the size of the tree. Rebuilt nodes
+//! are re-interned, so even a rebuilt-but-unchanged subtree comes back
+//! pointer-identical to its input.
 
 use crate::ast::{Con, Index, Kind, Module, Sig, Term, Ty};
+use crate::intern::{hc, HC};
 
 /// A rewriting strategy for variable occurrences.
 ///
@@ -28,6 +43,43 @@ pub trait VarMap {
     fn snd(&mut self, d: usize, i: Index) -> Term;
     /// Rewrite a whole-module occurrence of the structure variable `s(i)`.
     fn mvar(&mut self, d: usize, i: Index) -> Module;
+
+    /// The smallest root-relative index this map can affect: occurrences
+    /// of index `i` at depth `d` with `i < floor() + d` must be mapped to
+    /// themselves. `None` disables the sharing fast path (every subtree
+    /// is visited). The default is conservative; maps that know their
+    /// cutoff (shifts, substitutions) override it.
+    fn floor(&self) -> Option<usize> {
+        None
+    }
+}
+
+/// Skip test for the sharing fast path: at depth `d`, a subtree whose
+/// free indices are all `< fvb` is untouched iff `fvb ≤ floor + d`.
+#[inline]
+fn untouched<M: VarMap>(m: &M, d: usize, fvb: usize) -> bool {
+    match m.floor() {
+        Some(fl) => fvb <= fl + d,
+        None => false,
+    }
+}
+
+/// Applies `m` to every variable occurrence under a kind pointer,
+/// returning the identical pointer when the subtree is out of reach.
+pub fn map_kind_hc<M: VarMap>(k: &HC<Kind>, d: usize, m: &mut M) -> HC<Kind> {
+    if untouched(m, d, k.fv_bound()) {
+        return k.clone();
+    }
+    hc(map_kind(k, d, m))
+}
+
+/// Applies `m` to every variable occurrence under a constructor pointer,
+/// returning the identical pointer when the subtree is out of reach.
+pub fn map_con_hc<M: VarMap>(c: &HC<Con>, d: usize, m: &mut M) -> HC<Con> {
+    if untouched(m, d, c.fv_bound()) {
+        return c.clone();
+    }
+    hc(map_con(c, d, m))
 }
 
 /// Applies `m` to every variable occurrence in `k`, starting at depth `d`.
@@ -35,15 +87,9 @@ pub fn map_kind<M: VarMap>(k: &Kind, d: usize, m: &mut M) -> Kind {
     match k {
         Kind::Type => Kind::Type,
         Kind::Unit => Kind::Unit,
-        Kind::Singleton(c) => Kind::Singleton(map_con(c, d, m)),
-        Kind::Pi(k1, k2) => Kind::Pi(
-            Box::new(map_kind(k1, d, m)),
-            Box::new(map_kind(k2, d + 1, m)),
-        ),
-        Kind::Sigma(k1, k2) => Kind::Sigma(
-            Box::new(map_kind(k1, d, m)),
-            Box::new(map_kind(k2, d + 1, m)),
-        ),
+        Kind::Singleton(c) => Kind::Singleton(map_con_hc(c, d, m)),
+        Kind::Pi(k1, k2) => Kind::Pi(map_kind_hc(k1, d, m), map_kind_hc(k2, d + 1, m)),
+        Kind::Sigma(k1, k2) => Kind::Sigma(map_kind_hc(k1, d, m), map_kind_hc(k2, d + 1, m)),
     }
 }
 
@@ -53,18 +99,18 @@ pub fn map_con<M: VarMap>(c: &Con, d: usize, m: &mut M) -> Con {
         Con::Var(i) => m.cvar(d, *i),
         Con::Fst(i) => m.fst(d, *i),
         Con::Star => Con::Star,
-        Con::Lam(k, b) => Con::Lam(Box::new(map_kind(k, d, m)), Box::new(map_con(b, d + 1, m))),
-        Con::App(f, a) => Con::App(Box::new(map_con(f, d, m)), Box::new(map_con(a, d, m))),
-        Con::Pair(a, b) => Con::Pair(Box::new(map_con(a, d, m)), Box::new(map_con(b, d, m))),
-        Con::Proj1(a) => Con::Proj1(Box::new(map_con(a, d, m))),
-        Con::Proj2(a) => Con::Proj2(Box::new(map_con(a, d, m))),
-        Con::Mu(k, b) => Con::Mu(Box::new(map_kind(k, d, m)), Box::new(map_con(b, d + 1, m))),
+        Con::Lam(k, b) => Con::Lam(map_kind_hc(k, d, m), map_con_hc(b, d + 1, m)),
+        Con::App(f, a) => Con::App(map_con_hc(f, d, m), map_con_hc(a, d, m)),
+        Con::Pair(a, b) => Con::Pair(map_con_hc(a, d, m), map_con_hc(b, d, m)),
+        Con::Proj1(a) => Con::Proj1(map_con_hc(a, d, m)),
+        Con::Proj2(a) => Con::Proj2(map_con_hc(a, d, m)),
+        Con::Mu(k, b) => Con::Mu(map_kind_hc(k, d, m), map_con_hc(b, d + 1, m)),
         Con::Int => Con::Int,
         Con::Bool => Con::Bool,
         Con::UnitTy => Con::UnitTy,
-        Con::Arrow(a, b) => Con::Arrow(Box::new(map_con(a, d, m)), Box::new(map_con(b, d, m))),
-        Con::Prod(a, b) => Con::Prod(Box::new(map_con(a, d, m)), Box::new(map_con(b, d, m))),
-        Con::Sum(cs) => Con::Sum(cs.iter().map(|c| map_con(c, d, m)).collect()),
+        Con::Arrow(a, b) => Con::Arrow(map_con_hc(a, d, m), map_con_hc(b, d, m)),
+        Con::Prod(a, b) => Con::Prod(map_con_hc(a, d, m), map_con_hc(b, d, m)),
+        Con::Sum(cs) => Con::Sum(cs.iter().map(|c| map_con_hc(c, d, m)).collect()),
     }
 }
 
@@ -76,7 +122,7 @@ pub fn map_ty<M: VarMap>(t: &Ty, d: usize, m: &mut M) -> Ty {
         Ty::Total(a, b) => Ty::Total(Box::new(map_ty(a, d, m)), Box::new(map_ty(b, d, m))),
         Ty::Partial(a, b) => Ty::Partial(Box::new(map_ty(a, d, m)), Box::new(map_ty(b, d, m))),
         Ty::Prod(a, b) => Ty::Prod(Box::new(map_ty(a, d, m)), Box::new(map_ty(b, d, m))),
-        Ty::Forall(k, b) => Ty::Forall(Box::new(map_kind(k, d, m)), Box::new(map_ty(b, d + 1, m))),
+        Ty::Forall(k, b) => Ty::Forall(map_kind_hc(k, d, m), Box::new(map_ty(b, d + 1, m))),
     }
 }
 
@@ -91,9 +137,7 @@ pub fn map_term<M: VarMap>(e: &Term, d: usize, m: &mut M) -> Term {
         Term::Pair(a, b) => Term::Pair(Box::new(map_term(a, d, m)), Box::new(map_term(b, d, m))),
         Term::Proj1(a) => Term::Proj1(Box::new(map_term(a, d, m))),
         Term::Proj2(a) => Term::Proj2(Box::new(map_term(a, d, m))),
-        Term::TLam(k, b) => {
-            Term::TLam(Box::new(map_kind(k, d, m)), Box::new(map_term(b, d + 1, m)))
-        }
+        Term::TLam(k, b) => Term::TLam(map_kind_hc(k, d, m), Box::new(map_term(b, d + 1, m))),
         Term::TApp(f, c) => Term::TApp(Box::new(map_term(f, d, m)), map_con(c, d, m)),
         Term::Fix(t, b) => Term::Fix(Box::new(map_ty(t, d, m)), Box::new(map_term(b, d + 1, m))),
         Term::IntLit(n) => Term::IntLit(*n),
@@ -119,9 +163,7 @@ pub fn map_term<M: VarMap>(e: &Term, d: usize, m: &mut M) -> Term {
 /// Applies `m` to every variable occurrence in `s`, starting at depth `d`.
 pub fn map_sig<M: VarMap>(s: &Sig, d: usize, m: &mut M) -> Sig {
     match s {
-        Sig::Struct(k, t) => {
-            Sig::Struct(Box::new(map_kind(k, d, m)), Box::new(map_ty(t, d + 1, m)))
-        }
+        Sig::Struct(k, t) => Sig::Struct(map_kind_hc(k, d, m), Box::new(map_ty(t, d + 1, m))),
         Sig::Rds(s) => Sig::Rds(Box::new(map_sig(s, d + 1, m))),
     }
 }

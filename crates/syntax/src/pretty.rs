@@ -487,11 +487,12 @@ fn write_module(f: &mut String, m: &Module, names: &mut Names) -> fmt::Result {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::intern::hc;
 
     #[test]
     fn prints_singleton_mu() {
         // μa:Q(int).a
-        let c = Con::Mu(Box::new(Kind::Singleton(Con::Int)), Box::new(Con::Var(0)));
+        let c = Con::Mu(hc(Kind::Singleton(hc(Con::Int))), hc(Con::Var(0)));
         assert_eq!(con_to_string(&c, &mut Names::new()), "\u{03bc}a:Q(int).a");
     }
 
@@ -499,28 +500,28 @@ mod tests {
     fn prints_pi_kind_with_fresh_names() {
         // Πa:T.Q(list a) — modelled with a free var `#0` as "list".
         let k = Kind::Pi(
-            Box::new(Kind::Type),
-            Box::new(Kind::Singleton(Con::App(
-                Box::new(Con::Var(1)),
-                Box::new(Con::Var(0)),
-            ))),
+            hc(Kind::Type),
+            hc(Kind::Singleton(hc(Con::App(
+                hc(Con::Var(1)),
+                hc(Con::Var(0)),
+            )))),
         );
         assert_eq!(kind_to_string(&k, &mut Names::new()), "\u{03a0}a:T.Q(#0 a)");
     }
 
     #[test]
     fn prints_signature() {
-        let s = Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Var(0))));
+        let s = Sig::Struct(hc(Kind::Type), Box::new(Ty::Con(Con::Var(0))));
         assert_eq!(sig_to_string(&s, &mut Names::new()), "[a:T. a]");
     }
 
     #[test]
     fn prints_rds() {
         let s = Sig::Rds(Box::new(Sig::Struct(
-            Box::new(Kind::Singleton(Con::Arrow(
-                Box::new(Con::Int),
-                Box::new(Con::Fst(0)),
-            ))),
+            hc(Kind::Singleton(hc(Con::Arrow(
+                hc(Con::Int),
+                hc(Con::Fst(0)),
+            )))),
             Box::new(Ty::Unit),
         )));
         assert_eq!(
@@ -532,7 +533,7 @@ mod tests {
     #[test]
     fn prints_fix_module() {
         let m = Module::Fix(
-            Box::new(Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Unit))),
+            Box::new(Sig::Struct(hc(Kind::Type), Box::new(Ty::Unit))),
             Box::new(Module::Struct(Con::Int, Term::Star)),
         );
         assert_eq!(
@@ -550,10 +551,10 @@ mod tests {
     fn nested_binders_get_distinct_names() {
         // λa:T.λb:T. a b
         let c = Con::Lam(
-            Box::new(Kind::Type),
-            Box::new(Con::Lam(
-                Box::new(Kind::Type),
-                Box::new(Con::App(Box::new(Con::Var(1)), Box::new(Con::Var(0)))),
+            hc(Kind::Type),
+            hc(Con::Lam(
+                hc(Kind::Type),
+                hc(Con::App(hc(Con::Var(1)), hc(Con::Var(0)))),
             )),
         );
         assert_eq!(

@@ -26,7 +26,7 @@ pub fn con_size(c: &Con) -> usize {
             1 + con_size(a) + con_size(b)
         }
         Con::Proj1(a) | Con::Proj2(a) => 1 + con_size(a),
-        Con::Sum(cs) => 1 + cs.iter().map(con_size).sum::<usize>(),
+        Con::Sum(cs) => 1 + cs.iter().map(|c| con_size(c)).sum::<usize>(),
     }
 }
 

@@ -5,17 +5,43 @@
 //! of *every* sort uniformly, and substituting away a binder decrements
 //! every index that pointed past it.
 //!
+//! # Sharing
+//!
+//! Constructor/kind subtrees that provably cannot mention the shifted or
+//! substituted variable (their cached [`fv_bound`](crate::intern::HC::fv_bound)
+//! lies below the map's [`VarMap::floor`]) are returned as the *same*
+//! hash-consed pointer without being traversed; rebuilt subtrees are
+//! re-interned, so unchanged structure always comes back
+//! pointer-identical. See [`crate::map`] for the mechanism.
+//!
 //! # Panics
 //!
-//! Substitution functions panic (in debug builds, via `debug_assert!`;
-//! in release builds they substitute garbage of the wrong sort is never
-//! produced — they panic unconditionally) if the binder being eliminated
-//! is referenced at the *wrong sort*, e.g. a term variable occurrence
-//! pointing at a constructor binder. Well-sorted syntax, which is all the
-//! kernel ever produces, never triggers this.
+//! Eliminating a binder that is referenced at the *wrong sort* (e.g. a
+//! term-variable occurrence pointing at a constructor binder) is a
+//! compiler bug; what happens depends on the substitution form and the
+//! build profile:
+//!
+//! * [`SubstCon`]-based functions (`subst_con_*`) panic **in every
+//!   profile** — a wrong-sort hit would otherwise splice a constructor
+//!   into term position.
+//! * `subst_mod_*` functions panic **in every profile** when a
+//!   dynamic/whole-module occurrence hits a target substituted with
+//!   [`ModParts::snd`]` = None` (see that field's contract).
+//! * `subst_term_term` and the shift functions check wrong-sort hits
+//!   with `debug_assert!` only: debug builds panic; release builds
+//!   proceed (the occurrence is renumbered like any other index, never
+//!   replaced by a wrong-sort payload).
+//!
+//! Well-sorted syntax, which is all the kernel ever produces, triggers
+//! none of these. Per the no-panic policy (`DESIGN.md` §5a), any such
+//! panic is caught at the `recmodc` boundary and reported as an internal
+//! error rather than a crash.
 
 use crate::ast::{Con, Index, Kind, Module, Sig, Term, Ty};
-use crate::map::{map_con, map_kind, map_module, map_sig, map_term, map_ty, VarMap};
+use crate::intern::HC;
+use crate::map::{
+    map_con, map_con_hc, map_kind, map_kind_hc, map_module, map_sig, map_term, map_ty, VarMap,
+};
 
 // ---------------------------------------------------------------------------
 // Shifting
@@ -53,6 +79,10 @@ impl VarMap for Shift {
     }
     fn mvar(&mut self, d: usize, i: Index) -> Module {
         Module::Var(self.adjust(d, i))
+    }
+    fn floor(&self) -> Option<usize> {
+        // Indices below the cutoff are untouched.
+        Some(self.cutoff)
     }
 }
 
@@ -104,13 +134,30 @@ pub fn shift_module(m: &Module, by: isize, cutoff: usize) -> Module {
     map_module(m, 0, &mut Shift { by, cutoff })
 }
 
+/// [`shift_con`] at the pointer level: a shift that cannot touch the
+/// subtree returns the identical pointer.
+pub fn shift_con_hc(c: &HC<Con>, by: isize, cutoff: usize) -> HC<Con> {
+    if by == 0 {
+        return c.clone();
+    }
+    map_con_hc(c, 0, &mut Shift { by, cutoff })
+}
+
+/// [`shift_kind`] at the pointer level.
+pub fn shift_kind_hc(k: &HC<Kind>, by: isize, cutoff: usize) -> HC<Kind> {
+    if by == 0 {
+        return k.clone();
+    }
+    map_kind_hc(k, 0, &mut Shift { by, cutoff })
+}
+
 // ---------------------------------------------------------------------------
 // Substitution for a constructor binder
 // ---------------------------------------------------------------------------
 
 /// Substitutes for the constructor binder at index `target` (counted from
 /// the root of the traversal) and removes that binder.
-struct SubstCon<'a> {
+pub(crate) struct SubstCon<'a> {
     target: usize,
     replacement: &'a Con,
 }
@@ -165,6 +212,11 @@ impl VarMap for SubstCon<'_> {
             None => panic!("module variable occurrence at a constructor binder"),
         }
     }
+    fn floor(&self) -> Option<usize> {
+        // Indices below the target are untouched; the target is hit and
+        // everything above it is decremented.
+        Some(self.target)
+    }
 }
 
 /// `k[c/α]` where `α` is the innermost binder of `k`'s context
@@ -183,6 +235,19 @@ pub fn subst_con_kind(k: &Kind, c: &Con) -> Kind {
 /// `body[c/α]` for constructors (index `0`; removes the binder).
 pub fn subst_con_con(body: &Con, c: &Con) -> Con {
     map_con(
+        body,
+        0,
+        &mut SubstCon {
+            target: 0,
+            replacement: c,
+        },
+    )
+}
+
+/// [`subst_con_con`] at the pointer level: a body that does not mention
+/// the binder comes back as the identical pointer.
+pub fn subst_con_con_hc(body: &HC<Con>, c: &Con) -> HC<Con> {
+    map_con_hc(
         body,
         0,
         &mut SubstCon {
@@ -261,6 +326,10 @@ impl VarMap for SubstTerm<'_> {
     fn mvar(&mut self, d: usize, i: Index) -> Module {
         debug_assert_ne!(i, d, "module occurrence at a term binder");
         Module::Var(if i > d { i - 1 } else { i })
+    }
+    fn floor(&self) -> Option<usize> {
+        // The eliminated binder is index 0 at the root.
+        Some(0)
     }
 }
 
@@ -343,6 +412,10 @@ impl VarMap for SubstMod<'_> {
             Module::Var(i)
         }
     }
+    fn floor(&self) -> Option<usize> {
+        // The eliminated structure binder is index 0 at the root.
+        Some(0)
+    }
 }
 
 /// `s[M/s₀]` for signatures, where `M`'s phase-split parts are `parts`
@@ -375,37 +448,26 @@ pub fn subst_mod_module(m: &Module, parts: &ModParts) -> Module {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::dsl::{carrow, clam, cvar, fst, mu, q, sig, tcon, tkind};
 
     #[test]
     fn shift_respects_cutoff() {
-        let c = Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(3)));
+        let c = carrow(cvar(0), cvar(3));
         let shifted = shift_con(&c, 2, 1);
-        assert_eq!(
-            shifted,
-            Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(5)))
-        );
+        assert_eq!(shifted, carrow(cvar(0), cvar(5)));
     }
 
     #[test]
     fn shift_crosses_binders() {
         // λα:T. α → β where β is free (index 1 inside the lambda).
-        let c = Con::Lam(
-            Box::new(Kind::Type),
-            Box::new(Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(1)))),
-        );
+        let c = clam(tkind(), carrow(cvar(0), cvar(1)));
         let shifted = shift_con(&c, 1, 0);
-        assert_eq!(
-            shifted,
-            Con::Lam(
-                Box::new(Kind::Type),
-                Box::new(Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(2))))
-            )
-        );
+        assert_eq!(shifted, clam(tkind(), carrow(cvar(0), cvar(2))));
     }
 
     #[test]
     fn shift_zero_is_identity() {
-        let c = Con::Mu(Box::new(Kind::Type), Box::new(Con::Var(0)));
+        let c = mu(tkind(), cvar(0));
         assert_eq!(shift_con(&c, 0, 0), c);
     }
 
@@ -413,18 +475,53 @@ mod tests {
     fn subst_con_beta() {
         // (λα:T. α ⇀ β)[int] where β is the next binder out: the body is
         // α(0) ⇀ β(1); substituting int for index 0 gives int ⇀ β(0).
-        let body = Con::Arrow(Box::new(Con::Var(0)), Box::new(Con::Var(1)));
+        let body = carrow(cvar(0), cvar(1));
         let out = subst_con_con(&body, &Con::Int);
-        assert_eq!(out, Con::Arrow(Box::new(Con::Int), Box::new(Con::Var(0))));
+        assert_eq!(out, carrow(Con::Int, cvar(0)));
     }
 
     #[test]
     fn subst_con_avoids_capture() {
         // body = λγ:T. α(1) ; substituting `β(0)` (a free var) for α must
         // shift the replacement under the λ: result λγ:T. β(1).
-        let body = Con::Lam(Box::new(Kind::Type), Box::new(Con::Var(1)));
-        let out = subst_con_con(&body, &Con::Var(0));
-        assert_eq!(out, Con::Lam(Box::new(Kind::Type), Box::new(Con::Var(1))));
+        let body = clam(tkind(), cvar(1));
+        let out = subst_con_con(&body, &cvar(0));
+        assert_eq!(out, clam(tkind(), cvar(1)));
+    }
+
+    #[test]
+    fn untouched_subtrees_come_back_pointer_identical() {
+        // shift by 1 at cutoff 1 of (β(0) ⇀ γ(2)): the left child is
+        // below the cutoff and must be the *same* node, not a rebuild.
+        let c = crate::intern::hc(carrow(cvar(0), cvar(2)));
+        let Con::Arrow(l0, _) = &*c else {
+            unreachable!()
+        };
+        let shifted = shift_con_hc(&c, 1, 1);
+        let Con::Arrow(l1, r1) = &*shifted else {
+            panic!("shift changed the head")
+        };
+        assert!(HC::ptr_eq(l0, l1));
+        assert_eq!(**r1, cvar(3));
+        // A shift that cannot touch anything returns the root unchanged.
+        let noop = shift_con_hc(&c, 5, 3);
+        assert!(HC::ptr_eq(&c, &noop));
+    }
+
+    #[test]
+    fn noop_subst_returns_identical_pointer() {
+        // Substituting for a binder the body never mentions.
+        let body = crate::intern::hc(carrow(Con::Int, cvar(1)));
+        let out = subst_con_con_hc(&body, &Con::Bool);
+        // Not pointer-identical (index 1 decrements to 0), but a body
+        // strictly below the binder is:
+        let closed = crate::intern::hc(carrow(Con::Int, cvar(0)));
+        // fv_bound = 1 > 0 → the var *is* the target; rebuilds.
+        assert_eq!(*out, carrow(Con::Int, cvar(0)));
+        let fully_closed = crate::intern::hc(carrow(Con::Int, Con::Bool));
+        let same = subst_con_con_hc(&fully_closed, &Con::Bool);
+        assert!(HC::ptr_eq(&fully_closed, &same));
+        drop(closed);
     }
 
     #[test]
@@ -468,7 +565,7 @@ mod tests {
     #[test]
     fn subst_mod_sig_static_only() {
         // S = [α:Q(Fst(s₀)) . 1]; substituting fst=int gives [α:Q(int).1].
-        let s = Sig::Struct(Box::new(Kind::Singleton(Con::Fst(0))), Box::new(Ty::Unit));
+        let s = sig(q(fst(0)), Ty::Unit);
         let out = subst_mod_sig(
             &s,
             &ModParts {
@@ -476,17 +573,14 @@ mod tests {
                 snd: None,
             },
         );
-        assert_eq!(
-            out,
-            Sig::Struct(Box::new(Kind::Singleton(Con::Int)), Box::new(Ty::Unit))
-        );
+        assert_eq!(out, sig(q(Con::Int), Ty::Unit));
     }
 
     #[test]
     fn subst_mod_under_sig_binder_shifts() {
         // S = [α:T . Con(Fst(s₀+1 under α = index 1))]: the type component
         // sits under the α binder, so s₀ appears as index 1 there.
-        let s = Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Fst(1))));
+        let s = sig(tkind(), tcon(fst(1)));
         let out = subst_mod_sig(
             &s,
             &ModParts {
@@ -494,9 +588,6 @@ mod tests {
                 snd: None,
             },
         );
-        assert_eq!(
-            out,
-            Sig::Struct(Box::new(Kind::Type), Box::new(Ty::Con(Con::Bool)))
-        );
+        assert_eq!(out, sig(tkind(), tcon(Con::Bool)));
     }
 }

@@ -44,32 +44,38 @@ fn gen_con(rng: &mut Rng, free_bound: usize, depth: usize) -> Con {
     let d = depth - 1;
     match rng.below(8) {
         0 => Con::Arrow(
-            Box::new(gen_con(rng, free_bound, d)),
-            Box::new(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
         ),
         1 => Con::Prod(
-            Box::new(gen_con(rng, free_bound, d)),
-            Box::new(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
         ),
         2 => Con::Pair(
-            Box::new(gen_con(rng, free_bound, d)),
-            Box::new(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
         ),
-        3 => Con::Proj1(Box::new(gen_con(rng, free_bound, d))),
-        4 => Con::Proj2(Box::new(gen_con(rng, free_bound, d))),
+        3 => Con::Proj1(recmod_syntax::intern::hc(gen_con(rng, free_bound, d))),
+        4 => Con::Proj2(recmod_syntax::intern::hc(gen_con(rng, free_bound, d))),
         // Binders: the body may use one extra index. We model this by
         // shifting the generated body up (making room) and wrapping.
         5 => {
             let b = gen_con(rng, free_bound, d);
-            Con::Mu(Box::new(Kind::Type), Box::new(shift_con(&b, 1, 0)))
+            Con::Mu(
+                recmod_syntax::intern::hc(Kind::Type),
+                recmod_syntax::intern::hc(shift_con(&b, 1, 0)),
+            )
         }
         6 => {
             let b = gen_con(rng, free_bound, d);
-            Con::Lam(Box::new(Kind::Type), Box::new(shift_con(&b, 1, 0)))
+            Con::Lam(
+                recmod_syntax::intern::hc(Kind::Type),
+                recmod_syntax::intern::hc(shift_con(&b, 1, 0)),
+            )
         }
         _ => Con::App(
-            Box::new(gen_con(rng, free_bound, d)),
-            Box::new(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
+            recmod_syntax::intern::hc(gen_con(rng, free_bound, d)),
         ),
     }
 }
@@ -153,8 +159,14 @@ fn subst_closed_commutes() {
 #[test]
 fn de_bruijn_alpha() {
     for (i, c) in cases(0xB6, 1) {
-        let l1 = Con::Lam(Box::new(Kind::Type), Box::new(c.clone()));
-        let l2 = Con::Lam(Box::new(Kind::Type), Box::new(c));
+        let l1 = Con::Lam(
+            recmod_syntax::intern::hc(Kind::Type),
+            recmod_syntax::intern::hc(c.clone()),
+        );
+        let l2 = Con::Lam(
+            recmod_syntax::intern::hc(Kind::Type),
+            recmod_syntax::intern::hc(c),
+        );
         assert_eq!(l1, l2, "case {i}");
     }
 }

@@ -46,7 +46,7 @@ fn main() {
     println!("── Figure 5: ρs.S = [α:Q(μβ:κ.c(β):κ). σ[α/Fst s]] ─────────");
     // ρs.[α : Q(int ⇀ Fst(s)) . Con(Fst(s))]
     let rds_sig = rds(Sig::Struct(
-        Box::new(q(carrow(Con::Int, fst(0)))),
+        recmod::syntax::intern::hc(q(carrow(Con::Int, fst(0)))),
         Box::new(Ty::Con(fst(1))),
     ));
     println!("rds:");

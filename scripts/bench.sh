@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# Regenerates the interning benchmark numbers (BENCH_interning.json's
+# "after" column). Run from the repo root on a quiet machine.
+#
+#   scripts/bench.sh                 # print the machine-readable run
+#   scripts/bench.sh --out FILE      # also write the JSON array to FILE
+#
+# Pass-through flags: --samples N, --target-ms M (see bench_json.rs).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+OUT=""
+ARGS=()
+while [[ $# -gt 0 ]]; do
+  case "$1" in
+    --out)
+      OUT="$2"
+      shift 2
+      ;;
+    *)
+      ARGS+=("$1")
+      shift
+      ;;
+  esac
+done
+
+cargo build --release -p recmod-bench --bin bench_json
+if [[ -n "$OUT" ]]; then
+  ./target/release/bench_json --json "${ARGS[@]}" | tee "$OUT"
+else
+  ./target/release/bench_json --json "${ARGS[@]}"
+fi

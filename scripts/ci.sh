@@ -10,9 +10,10 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo clippy (panic-free core: deny unwrap/expect/panic) =="
-# The kernel, phase-splitter, and surface pipeline must stay panic-free
-# in non-test code: every failure is a structured TypeError/SurfaceError.
-cargo clippy -p recmod-kernel -p recmod-phase -p recmod-surface --lib -- \
+# The kernel, phase-splitter, surface pipeline, and the interner they
+# all sit on must stay panic-free in non-test code: every failure is a
+# structured TypeError/SurfaceError.
+cargo clippy -p recmod-kernel -p recmod-phase -p recmod-surface -p recmod-syntax --lib -- \
   -D warnings \
   -D clippy::unwrap_used \
   -D clippy::expect_used \
@@ -26,5 +27,18 @@ cargo test --workspace -q
 
 echo "== bounded fuzz (2000 seeded iterations) =="
 FUZZ_ITERS=2000 cargo test -q -p recmod-tests --release --test fuzz
+
+echo "== bench smoke (non-gating) =="
+# A tiny run of the interning benchmark harness: confirms the harness
+# still executes end to end and emits well-formed JSON. Timings from CI
+# machines are noise, so nothing is compared — failures here are
+# reported but do not fail the gate.
+if ./target/release/bench_json --json --samples 3 --target-ms 2 \
+    >/tmp/bench_smoke.json 2>/dev/null \
+    && python3 -c 'import json,sys; json.load(open("/tmp/bench_smoke.json"))' 2>/dev/null; then
+  echo "bench smoke: ok ($(grep -c '"name"' /tmp/bench_smoke.json) cases)"
+else
+  echo "bench smoke: FAILED (non-gating, continuing)"
+fi
 
 echo "CI green."

@@ -1,7 +1,7 @@
 //! The seeded fuzzing + differential harness.
 //!
 //! Every case is fully determined by one `u64` seed (SplitMix64), so a
-//! failure report is a reproduction recipe. A seed drives one of four
+//! failure report is a reproduction recipe. A seed drives one of five
 //! case classes:
 //!
 //! * **Expression differential** — a random well-typed expression
@@ -22,6 +22,11 @@
 //!   equi-acceptance (§5: Shao's equation is sound for the
 //!   equi-recursive theory), and deep towers must produce structured
 //!   limit errors, never a stack overflow.
+//! * **Interning differential** — random constructor pairs are checked
+//!   for agreement between the hash-consed representation's id-based
+//!   equality and a deep reference structural-equality walk, and a
+//!   bottom-up rebuild through fresh intern calls must converge on the
+//!   identical canonical pointers.
 //!
 //! The driver ([`run_case`]) reports `Err(description)` on any
 //! disagreement; panics are caught by the caller (`tests/fuzz.rs`)
@@ -445,7 +450,10 @@ fn case_kernel_mu(rng: &mut Rng) -> Result<(), String> {
             let depth = rng.range(300, 3_000);
             let mut c = Con::Int;
             for _ in 0..depth {
-                c = Con::Mu(Box::new(Kind::Type), Box::new(c));
+                c = Con::Mu(
+                    recmod::syntax::intern::hc(Kind::Type),
+                    recmod::syntax::intern::hc(c),
+                );
             }
             (c.clone(), c)
         }
@@ -475,16 +483,125 @@ fn case_kernel_mu(rng: &mut Rng) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Class 4: interning differential
+// ---------------------------------------------------------------------
+
+/// Reference structural equality on kinds: a deep tree walk that never
+/// consults interning ids, used to cross-check the id-based fast path.
+fn deep_eq_kind(a: &Kind, b: &Kind) -> bool {
+    match (a, b) {
+        (Kind::Type, Kind::Type) | (Kind::Unit, Kind::Unit) => true,
+        (Kind::Singleton(c1), Kind::Singleton(c2)) => deep_eq_con(c1, c2),
+        (Kind::Pi(a1, b1), Kind::Pi(a2, b2)) | (Kind::Sigma(a1, b1), Kind::Sigma(a2, b2)) => {
+            deep_eq_kind(a1, a2) && deep_eq_kind(b1, b2)
+        }
+        _ => false,
+    }
+}
+
+/// Reference structural equality on constructors (deep walk, no ids).
+fn deep_eq_con(a: &Con, b: &Con) -> bool {
+    match (a, b) {
+        (Con::Var(i), Con::Var(j)) | (Con::Fst(i), Con::Fst(j)) => i == j,
+        (Con::Star, Con::Star)
+        | (Con::Int, Con::Int)
+        | (Con::Bool, Con::Bool)
+        | (Con::UnitTy, Con::UnitTy) => true,
+        (Con::Lam(k1, b1), Con::Lam(k2, b2)) | (Con::Mu(k1, b1), Con::Mu(k2, b2)) => {
+            deep_eq_kind(k1, k2) && deep_eq_con(b1, b2)
+        }
+        (Con::App(x1, y1), Con::App(x2, y2))
+        | (Con::Pair(x1, y1), Con::Pair(x2, y2))
+        | (Con::Arrow(x1, y1), Con::Arrow(x2, y2))
+        | (Con::Prod(x1, y1), Con::Prod(x2, y2)) => deep_eq_con(x1, x2) && deep_eq_con(y1, y2),
+        (Con::Proj1(x1), Con::Proj1(x2)) | (Con::Proj2(x1), Con::Proj2(x2)) => deep_eq_con(x1, x2),
+        (Con::Sum(cs1), Con::Sum(cs2)) => {
+            cs1.len() == cs2.len() && cs1.iter().zip(cs2).all(|(c1, c2)| deep_eq_con(c1, c2))
+        }
+        _ => false,
+    }
+}
+
+/// Rebuilds a constructor bottom-up through fresh `hc` calls, so every
+/// node takes the interning path again from scratch.
+fn deep_rebuild_con(c: &Con) -> Con {
+    use recmod::syntax::intern::hc;
+    match c {
+        Con::Var(_) | Con::Fst(_) | Con::Star | Con::Int | Con::Bool | Con::UnitTy => c.clone(),
+        Con::Lam(k, b) => Con::Lam(hc(deep_rebuild_kind(k)), hc(deep_rebuild_con(b))),
+        Con::Mu(k, b) => Con::Mu(hc(deep_rebuild_kind(k)), hc(deep_rebuild_con(b))),
+        Con::App(a, b) => Con::App(hc(deep_rebuild_con(a)), hc(deep_rebuild_con(b))),
+        Con::Pair(a, b) => Con::Pair(hc(deep_rebuild_con(a)), hc(deep_rebuild_con(b))),
+        Con::Proj1(a) => Con::Proj1(hc(deep_rebuild_con(a))),
+        Con::Proj2(a) => Con::Proj2(hc(deep_rebuild_con(a))),
+        Con::Arrow(a, b) => Con::Arrow(hc(deep_rebuild_con(a)), hc(deep_rebuild_con(b))),
+        Con::Prod(a, b) => Con::Prod(hc(deep_rebuild_con(a)), hc(deep_rebuild_con(b))),
+        Con::Sum(cs) => Con::Sum(cs.iter().map(|c| hc(deep_rebuild_con(c))).collect()),
+    }
+}
+
+fn deep_rebuild_kind(k: &Kind) -> Kind {
+    use recmod::syntax::intern::hc;
+    match k {
+        Kind::Type => Kind::Type,
+        Kind::Unit => Kind::Unit,
+        Kind::Singleton(c) => Kind::Singleton(hc(deep_rebuild_con(c))),
+        Kind::Pi(a, b) => Kind::Pi(hc(deep_rebuild_kind(a)), hc(deep_rebuild_kind(b))),
+        Kind::Sigma(a, b) => Kind::Sigma(hc(deep_rebuild_kind(a)), hc(deep_rebuild_kind(b))),
+    }
+}
+
+/// Checks that the hash-consed representation's id-based equality is
+/// exactly reference structural equality, on random constructor pairs
+/// from every generator family.
+fn case_intern_differential(rng: &mut Rng) -> Result<(), String> {
+    use recmod::syntax::intern::hc;
+    let seed = rng.next_u64();
+    let size = rng.range(1, 12);
+    let (a, b) = match rng.below(3) {
+        0 => recmod_bench::gen_shao_pair(size, seed),
+        1 => recmod_bench::gen_unrolled_pair(size, seed),
+        _ => recmod_bench::gen_nested_pair(size, seed),
+    };
+    let reference = deep_eq_con(&a, &b);
+    // Interned equality (derived `==` is shallow: variant tag + child
+    // ids) must coincide with the deep reference walk.
+    if (a == b) != reference {
+        return Err(format!(
+            "shallow == disagrees with deep structural equality \
+             (seed {seed}, size {size}): shallow {}, deep {reference}",
+            a == b
+        ));
+    }
+    if (hc(a.clone()).id() == hc(b.clone()).id()) != reference {
+        return Err(format!(
+            "intern ids disagree with deep structural equality \
+             (seed {seed}, size {size})"
+        ));
+    }
+    // Rebuilding every node through fresh intern calls must converge on
+    // the identical canonical pointers.
+    let ra = hc(deep_rebuild_con(&a));
+    if ra != hc(a.clone()) || !deep_eq_con(&ra, &a) {
+        return Err(format!(
+            "deep rebuild lost canonicity (seed {seed}, size {size})"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
 /// Human-readable class name for a seed (for failure reports).
 pub fn case_class(seed: u64) -> &'static str {
-    match seed % 4 {
+    match seed % 5 {
         0 => "expression-differential",
         1 => "module-differential",
         2 => "ill-formed-input",
-        _ => "kernel-mu",
+        3 => "kernel-mu",
+        _ => "intern-differential",
     }
 }
 
@@ -493,11 +610,12 @@ pub fn case_class(seed: u64) -> &'static str {
 /// the caller to catch (they are always bugs).
 pub fn run_case(seed: u64) -> Result<(), String> {
     let mut rng = Rng::new(seed);
-    match seed % 4 {
+    match seed % 5 {
         0 => case_expression_differential(&mut rng),
         1 => case_module_differential(&mut rng),
         2 => case_ill_formed(&mut rng),
-        _ => case_kernel_mu(&mut rng),
+        3 => case_kernel_mu(&mut rng),
+        _ => case_intern_differential(&mut rng),
     }
 }
 

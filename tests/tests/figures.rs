@@ -8,6 +8,7 @@ use recmod::kernel::{Ctx, Entry, RecMode, Tc};
 use recmod::phase::{check_split, split_module, split_sig};
 use recmod::syntax::ast::{Con, Kind, Sig, Term, Ty};
 use recmod::syntax::dsl::*;
+use recmod::syntax::intern::hc;
 use recmod::syntax::pretty::{con_to_string, sig_to_string, Names};
 
 // ---------------------------------------------------------------------
@@ -202,7 +203,7 @@ fn fig5_rds_resolution_shape() {
     let tc = Tc::new();
     let mut ctx = Ctx::new();
     let s = rds(Sig::Struct(
-        Box::new(q(carrow(Con::Int, fst(0)))),
+        hc(q(carrow(Con::Int, fst(0)))),
         Box::new(tcon(fst(1))),
     ));
     let (k, t) = split_sig(&tc, &mut ctx, &s).unwrap();
@@ -215,7 +216,7 @@ fn fig5_rds_definitionally_equal_to_resolution() {
     let tc = Tc::new();
     let mut ctx = Ctx::new();
     let s = rds(Sig::Struct(
-        Box::new(q(carrow(Con::Int, fst(0)))),
+        hc(q(carrow(Con::Int, fst(0)))),
         Box::new(Ty::Unit),
     ));
     let r = tc.resolve_sig(&mut ctx, &s).unwrap();
@@ -250,7 +251,7 @@ fn e6_extrusion_of_the_papers_example() {
     let tc = Tc::new();
     let mut ctx = Ctx::new();
     let s = rds(Sig::Struct(
-        Box::new(sigma(tkind(), q(carrow(cproj2(fst(1)), cvar(0))))),
+        hc(sigma(tkind(), q(carrow(cproj2(fst(1)), cvar(0))))),
         Box::new(Ty::Unit),
     ));
     let out = extrude(&tc, &mut ctx, &s).unwrap();

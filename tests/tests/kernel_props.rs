@@ -9,6 +9,7 @@
 use recmod::kernel::{Ctx, RecMode, Tc};
 use recmod::syntax::ast::Con;
 use recmod::syntax::ast::Kind;
+use recmod::syntax::intern::hc;
 use recmod_bench::rng::Rng;
 use recmod_bench::{gen_internal_fix, gen_nested_pair, gen_regular_mu, gen_unrolled_pair};
 
@@ -72,12 +73,12 @@ fn equiv_congruence() {
         let (a, b) = gen_unrolled_pair(size, seed);
         let tc = Tc::new();
         let mut ctx = Ctx::new();
-        let arrow_a = Con::Arrow(Box::new(a.clone()), Box::new(b.clone()));
-        let arrow_b = Con::Arrow(Box::new(b.clone()), Box::new(a.clone()));
+        let arrow_a = Con::Arrow(hc(a.clone()), hc(b.clone()));
+        let arrow_b = Con::Arrow(hc(b.clone()), hc(a.clone()));
         tc.con_equiv(&mut ctx, &arrow_a, &arrow_b, &Kind::Type)
             .unwrap_or_else(|e| panic!("seed={seed} size={size}: {e}"));
-        let sum_a = Con::Sum(vec![a.clone(), b.clone()]);
-        let sum_b = Con::Sum(vec![b, a]);
+        let sum_a = Con::Sum(vec![hc(a.clone()), hc(b.clone())]);
+        let sum_b = Con::Sum(vec![hc(b), hc(a)]);
         tc.con_equiv(&mut ctx, &sum_a, &sum_b, &Kind::Type)
             .unwrap_or_else(|e| panic!("seed={seed} size={size} (sum): {e}"));
     }
