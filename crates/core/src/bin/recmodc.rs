@@ -4,14 +4,25 @@
 //! ```text
 //! recmodc run  <file.rml>      compile and run, print the main value
 //! recmodc check <file.rml>     typecheck only, print binding signatures
+//! recmodc check [--jobs N] <file|dir>...   batch-check files/directories
+//! recmodc check --corpus       batch-check the built-in paper corpus
 //! recmodc split <file.rml>     print each binding's phase-split parts
 //! recmodc -e "<expr>"          evaluate one expression
 //! ```
 //!
-//! `<file.rml>` may be `-` to read the program from stdin.
+//! `<file.rml>` may be `-` to read the program from stdin. Batch mode
+//! engages for `check` whenever `--jobs`/`--corpus` is given, more than
+//! one path is named, or a path is a directory (searched recursively
+//! for `*.rm`); it compiles files in parallel on shared-nothing worker
+//! threads with warm per-worker caches and prints per-file diagnostics
+//! prefixed by the file name, in input order.
 //!
 //! Options:
 //!
+//! * `--jobs N` — batch worker threads (default: available parallelism);
+//! * `--corpus` — batch-check the built-in corpus (`recmod::corpus`);
+//! * `--cold` — batch mode: rebuild the typechecker per file instead of
+//!   keeping per-worker caches warm (for measuring the warm-cache effect);
 //! * `--steps` — print the interpreter step count after `run`;
 //! * `--fuel N` — set the kernel's normalization/equivalence fuel budget;
 //! * `--limits K=V,...` — set resource limits (`depth`, `nodes`, `fuel`,
@@ -50,9 +61,11 @@ const EXIT_INTERNAL: u8 = 4;
 fn usage() -> ExitCode {
     eprintln!(
         "usage: recmodc <run|check|split> <file|-> [options]\n       \
+         recmodc check [--jobs N] <file|dir>... [options]\n       \
+         recmodc check --corpus [options]\n       \
          recmodc -e \"<expression>\" [options]\n\
          options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
-         --max-errors N --stats[=json] --trace[=DEPTH]\n\
+         --max-errors N --stats[=json] --trace[=DEPTH] --jobs N --corpus --cold\n\
          exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error"
     );
     ExitCode::from(EXIT_USAGE)
@@ -72,6 +85,16 @@ struct Options {
     trace: Option<usize>,
     max_errors: usize,
     limits: Limits,
+    /// Raw `--deadline-ms` value; batch mode re-arms it per file (the
+    /// absolute instant baked into `limits` would make later files time
+    /// out just for being scheduled later).
+    deadline_ms: Option<u64>,
+    jobs: Option<usize>,
+    corpus: bool,
+    /// Batch mode: rebuild the typechecker for every file instead of
+    /// keeping per-worker caches warm (for measuring the warm-cache
+    /// effect; see EXPERIMENTS.md).
+    cold: bool,
 }
 
 fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
@@ -82,12 +105,26 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         trace: None,
         max_errors: DEFAULT_MAX_ERRORS,
         limits: Limits::default(),
+        deadline_ms: None,
+        jobs: None,
+        corpus: false,
+        cold: false,
     };
     let mut deadline_ms: Option<u64> = None;
     let mut it = args.into_iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--steps" => opts.steps = true,
+            "--corpus" => opts.corpus = true,
+            "--cold" => opts.cold = true,
+            "--jobs" => {
+                let n = it.next().ok_or("--jobs needs a number")?;
+                let jobs: usize = n.parse().map_err(|_| format!("bad job count: {n}"))?;
+                if jobs == 0 {
+                    return Err("--jobs must be at least 1".to_string());
+                }
+                opts.jobs = Some(jobs);
+            }
             "--stats" => opts.stats = StatsMode::Text,
             "--stats=json" => opts.stats = StatsMode::Json,
             "--trace" => opts.trace = Some(DEFAULT_TRACE_DEPTH),
@@ -122,6 +159,7 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
     }
     if let Some(ms) = deadline_ms {
         opts.limits = opts.limits.with_deadline_ms(ms);
+        opts.deadline_ms = Some(ms);
     }
     Ok((rest, opts))
 }
@@ -138,6 +176,9 @@ fn main() -> ExitCode {
 
     match args.as_slice() {
         [flag, expr] if flag.as_str() == "-e" => run_source("<expr>", expr, &opts, Mode::Run),
+        [cmd, paths @ ..] if cmd.as_str() == "check" && wants_batch(paths, &opts) => {
+            run_batch(paths, &opts)
+        }
         [cmd, path] => {
             let mode = match cmd.as_str() {
                 "run" => Mode::Run,
@@ -173,6 +214,209 @@ enum Mode {
     Run,
     Check,
     Split,
+}
+
+/// Batch mode engages for `check` when explicitly requested
+/// (`--jobs`/`--corpus`), when several paths are named, or when a path
+/// is a directory; `check file.rm` alone keeps the single-file path
+/// (and its unprefixed output) for compatibility.
+fn wants_batch(paths: &[String], opts: &Options) -> bool {
+    opts.corpus
+        || opts.jobs.is_some()
+        || paths.len() > 1
+        || paths
+            .iter()
+            .any(|p| p != "-" && std::path::Path::new(p).is_dir())
+}
+
+fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
+    use recmod::driver;
+
+    let mut jobs: Vec<driver::Job> = Vec::new();
+    if opts.corpus {
+        for entry in recmod::corpus::all() {
+            jobs.push(driver::Job::new(entry.name, entry.source));
+        }
+    }
+    if !paths.is_empty() {
+        let pathbufs: Vec<std::path::PathBuf> =
+            paths.iter().map(std::path::PathBuf::from).collect();
+        match driver::jobs_from_paths(&pathbufs) {
+            Ok(mut found) => jobs.append(&mut found),
+            Err(msg) => {
+                eprintln!("recmodc: cannot read {msg}");
+                return ExitCode::from(EXIT_USER);
+            }
+        }
+    }
+    if jobs.is_empty() {
+        eprintln!("recmodc: no input files");
+        return ExitCode::from(EXIT_USAGE);
+    }
+
+    let observing = opts.stats != StatsMode::Off || opts.trace.is_some();
+    let telemetry = observing.then(|| match opts.trace {
+        Some(depth) => recmod::telemetry::Config::with_trace(depth),
+        None => recmod::telemetry::Config::default(),
+    });
+    let config = driver::DriverConfig {
+        jobs: opts.jobs.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        }),
+        limits: opts.limits,
+        deadline_ms: opts.deadline_ms,
+        max_errors: opts.max_errors,
+        warm: !opts.cold,
+        telemetry,
+        ..driver::DriverConfig::default()
+    };
+    let result = driver::compile_batch(&jobs, &config);
+
+    // With `--stats=json`, stdout must carry exactly one JSON document;
+    // the usual human-readable output moves to stderr.
+    macro_rules! out {
+        ($($t:tt)*) => {
+            if opts.stats == StatsMode::Json {
+                eprintln!($($t)*)
+            } else {
+                println!($($t)*)
+            }
+        };
+    }
+
+    for outcome in &result.outcomes {
+        match outcome.status {
+            driver::FileStatus::Ok => {
+                for (name, describe) in &outcome.summaries {
+                    out!("{}: {name} : {describe}", outcome.name);
+                }
+                out!("{}: ok", outcome.name);
+            }
+            _ => {
+                for line in &outcome.diagnostics {
+                    eprintln!("{line}");
+                }
+            }
+        }
+    }
+    let failed = result.outcomes.len() - result.ok_count();
+    out!(
+        "checked {} file(s) on {} worker(s): {} ok, {} failed",
+        result.outcomes.len(),
+        result.workers.len(),
+        result.ok_count(),
+        failed
+    );
+
+    if opts.trace.is_some() {
+        if let Some(r) = &result.merged {
+            eprint!("{}", r.render_trace());
+        }
+    }
+    match opts.stats {
+        StatsMode::Off => {}
+        StatsMode::Text => print!("{}", render_batch_stats(&result)),
+        StatsMode::Json => println!("{}", batch_stats_json(&result).to_pretty()),
+    }
+    ExitCode::from(result.exit_code())
+}
+
+/// Human-readable batch statistics: wall clock, per-stage time
+/// attribution (exclusive self-time summed across workers), per-worker
+/// file/steal counts, and merged pipeline counters.
+fn render_batch_stats(result: &recmod::driver::BatchResult) -> String {
+    use std::fmt::Write as _;
+    let mut s = String::new();
+    let wall_ms = result.wall_nanos as f64 / 1e6;
+    let _ = writeln!(s, "batch: {:.2} ms wall", wall_ms);
+    for w in &result.workers {
+        let _ = writeln!(
+            s,
+            "worker {}: {} file(s), {} stolen",
+            w.worker, w.files, w.steals
+        );
+    }
+    if let Some(report) = &result.merged {
+        let stages = report.stage_totals();
+        if !stages.is_empty() {
+            let _ = writeln!(s, "stages (exclusive time, all workers):");
+            for (name, total) in &stages {
+                let _ = writeln!(
+                    s,
+                    "  {name:<8} {:>10.3} ms  {:>8} call(s)",
+                    total.nanos as f64 / 1e6,
+                    total.calls
+                );
+            }
+        }
+        let _ = writeln!(s, "counters:");
+        for (k, v) in &report.counters {
+            if !k.starts_with("stage.") {
+                let _ = writeln!(s, "  {k} = {v}");
+            }
+        }
+    }
+    s
+}
+
+/// The batch statistics as one JSON document.
+fn batch_stats_json(result: &recmod::driver::BatchResult) -> recmod::telemetry::json::Json {
+    use recmod::telemetry::json::Json;
+    let mut obj = vec![
+        ("files", Json::UInt(result.outcomes.len() as u64)),
+        ("ok", Json::UInt(result.ok_count() as u64)),
+        ("workers", Json::UInt(result.workers.len() as u64)),
+        ("wall_nanos", Json::UInt(result.wall_nanos)),
+        (
+            "per_worker",
+            Json::Arr(
+                result
+                    .workers
+                    .iter()
+                    .map(|w| {
+                        Json::obj([
+                            ("worker", Json::UInt(w.worker as u64)),
+                            ("files", Json::UInt(w.files as u64)),
+                            ("steals", Json::UInt(w.steals as u64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+    ];
+    if let Some(report) = &result.merged {
+        obj.push((
+            "stages",
+            Json::Obj(
+                report
+                    .stage_totals()
+                    .iter()
+                    .map(|(name, t)| {
+                        (
+                            (*name).to_string(),
+                            Json::obj([
+                                ("nanos", Json::UInt(t.nanos)),
+                                ("calls", Json::UInt(t.calls)),
+                            ]),
+                        )
+                    })
+                    .collect(),
+            ),
+        ));
+        obj.push((
+            "counters",
+            Json::Obj(
+                report
+                    .counters
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    Json::obj(obj)
 }
 
 /// Stack size for the pipeline thread. Parsing, elaboration, and

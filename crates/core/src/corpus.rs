@@ -235,6 +235,61 @@ Expr.size (Expr.make_let_val (1, Expr.make_var 7,
   Expr.make_let_val (2, Expr.make_var 7, Expr.make_var 9)))
 "#;
 
+/// One corpus entry: a stable name, the program source, and whether the
+/// paper expects it to typecheck.
+#[derive(Debug, Clone, Copy)]
+pub struct CorpusEntry {
+    /// Stable display name (used as the batch driver's file name).
+    pub name: &'static str,
+    /// The program source.
+    pub source: &'static str,
+    /// `true` when the paper expects the program to typecheck.
+    pub well_typed: bool,
+}
+
+/// Every fixed corpus program, in a stable order, with its expected
+/// verdict. Batch mode (`recmodc check --corpus`) and the throughput
+/// benchmarks iterate over exactly this list.
+pub fn all() -> Vec<CorpusEntry> {
+    vec![
+        CorpusEntry {
+            name: "corpus/opaque_list.rm",
+            source: OPAQUE_LIST,
+            well_typed: true,
+        },
+        CorpusEntry {
+            name: "corpus/transparent_list.rm",
+            source: TRANSPARENT_LIST,
+            well_typed: true,
+        },
+        CorpusEntry {
+            name: "corpus/expr_decl_opaque.rm",
+            source: EXPR_DECL_OPAQUE,
+            well_typed: false,
+        },
+        CorpusEntry {
+            name: "corpus/expr_decl_rds.rm",
+            source: EXPR_DECL_RDS,
+            well_typed: true,
+        },
+        CorpusEntry {
+            name: "corpus/build_list_plain.rm",
+            source: BUILD_LIST_PLAIN,
+            well_typed: false,
+        },
+        CorpusEntry {
+            name: "corpus/build_list_rds.rm",
+            source: BUILD_LIST_RDS,
+            well_typed: true,
+        },
+        CorpusEntry {
+            name: "corpus/value_restriction_module.rm",
+            source: VALUE_RESTRICTION_MODULE,
+            well_typed: false,
+        },
+    ]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

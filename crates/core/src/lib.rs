@@ -38,6 +38,7 @@ pub mod stats;
 
 use std::rc::Rc;
 
+pub use recmod_driver as driver;
 pub use recmod_eval as eval;
 pub use recmod_kernel as kernel;
 pub use recmod_phase as phase;

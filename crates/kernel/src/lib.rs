@@ -285,6 +285,25 @@ impl Tc {
         self.whnf_cache.borrow_mut().clear();
         self.equiv_cache.borrow_mut().clear();
     }
+
+    /// Re-arms the checker for a fresh run under new [`Limits`] while
+    /// keeping its memo tables **warm**: fuel and the live recursion
+    /// depth reset, the deadline is the new one, but the whnf and
+    /// equivalence caches (and the judgement counters) carry over.
+    ///
+    /// This is the batch driver's per-file reset. Reuse is sound
+    /// because both caches are keyed by context stamps: the empty
+    /// context is always stamp `0` (the same context in every file),
+    /// and non-empty stamps are drawn from a thread-local counter that
+    /// never repeats, so entries recorded under a previous file's
+    /// non-empty contexts can never be looked up again.
+    pub fn renew(&mut self, limits: Limits) {
+        self.fuel.set(limits.fuel);
+        self.budget.set(limits.fuel);
+        self.depth.set(0);
+        self.deadline_tick.set(0);
+        self.limits = limits;
+    }
 }
 
 /// RAII token for one level of kernel recursion (see [`Tc::descend`]).
@@ -321,5 +340,52 @@ pub(crate) mod show {
     }
     pub fn module(m: &Module) -> String {
         pretty::module_to_string(m, &mut pretty::Names::new())
+    }
+}
+
+#[cfg(test)]
+mod renew_tests {
+    use super::*;
+    use recmod_syntax::ast::Kind;
+    use recmod_syntax::dsl::{cvar, mu, q};
+
+    #[test]
+    fn renew_resets_budget_but_keeps_caches_warm() {
+        let mut tc = Tc::new();
+        let mut ctx = Ctx::new();
+        let c = mu(q(Con::Int), cvar(0));
+        tc.con_equiv(&mut ctx, &c, &Con::Int, &Kind::Type).unwrap();
+        let spent = DEFAULT_FUEL - tc.fuel();
+        assert!(spent > 0, "the check must burn fuel");
+
+        tc.renew(Limits::default().with_fuel(1_000));
+        assert_eq!(tc.fuel(), 1_000);
+        assert_eq!(tc.fuel_budget(), 1_000);
+
+        // The same empty-context query again: the warm caches answer it
+        // with a cache hit rather than re-deriving.
+        let before = tc.stats();
+        tc.con_equiv(&mut ctx, &c, &Con::Int, &Kind::Type).unwrap();
+        let delta = tc.stats().delta_since(&before);
+        assert!(
+            delta.equiv_cache_hits > 0 || delta.whnf_cache_hits > 0,
+            "renew must not clear the memo tables: {delta:?}"
+        );
+    }
+
+    #[test]
+    fn renew_resets_live_depth() {
+        let mut tc = Tc::new();
+        {
+            // Simulates a worker abandoning an aborted file mid-guard:
+            // leak the guards so the live depth stays raised.
+            let g1 = tc.descend("test").unwrap();
+            let g2 = tc.descend("test").unwrap();
+            std::mem::forget((g1, g2));
+        }
+        assert_eq!(tc.depth.get(), 2);
+        tc.renew(Limits::default());
+        assert_eq!(tc.depth.get(), 0);
+        assert!(tc.descend("test").is_ok());
     }
 }

@@ -92,15 +92,17 @@ impl VarMap for FixBodyRedirect<'_> {
 /// Propagates kernel errors from resolving rds annotations; the input is
 /// assumed well-typed (run the kernel first).
 pub fn split_module(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
-    let _span = recmod_telemetry::span("phase.split");
-    recmod_telemetry::count("phase.split_calls", 1);
-    let split = split_inner(tc, ctx, m)?;
-    if recmod_telemetry::enabled() {
-        recmod_telemetry::count("phase.nodes_in", module_size(m) as u64);
-        recmod_telemetry::count("phase.nodes_out_static", con_size(&split.con) as u64);
-        recmod_telemetry::count("phase.nodes_out_dynamic", term_size(&split.term) as u64);
-    }
-    Ok(split)
+    recmod_telemetry::stage("stage.split", || {
+        let _span = recmod_telemetry::span("phase.split");
+        recmod_telemetry::count("phase.split_calls", 1);
+        let split = split_inner(tc, ctx, m)?;
+        if recmod_telemetry::enabled() {
+            recmod_telemetry::count("phase.nodes_in", module_size(m) as u64);
+            recmod_telemetry::count("phase.nodes_out_static", con_size(&split.con) as u64);
+            recmod_telemetry::count("phase.nodes_out_dynamic", term_size(&split.term) as u64);
+        }
+        Ok(split)
+    })
 }
 
 fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {

@@ -56,25 +56,27 @@ pub fn module_eq(tc: &Tc, ctx: &mut Ctx, m1: &Module, m2: &Module) -> TcResult<(
 /// signature match. [`TypeError::Other`] if the split output escapes the
 /// pure structure fragment.
 pub fn check_split(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Verified> {
-    let _span = recmod_telemetry::span("phase.verify");
-    recmod_telemetry::count("phase.verify_calls", 1);
-    let original = tc.synth_module(ctx, m)?;
-    let split = split_module(tc, ctx, m)?;
-    let reassembled = split.clone().into_module();
-    if !is_pure_structure(&reassembled) {
-        return Err(TypeError::Other(
-            "phase splitting produced a non-structure module".to_string(),
-        ));
-    }
-    let translated = {
-        let _span = recmod_telemetry::span("phase.verify.recheck");
-        tc.synth_module(ctx, &reassembled)?
-    };
-    tc.sig_sub(ctx, &translated.sig, &original.sig)?;
-    Ok(Verified {
-        split,
-        original,
-        translated,
+    recmod_telemetry::stage("stage.verify", || {
+        let _span = recmod_telemetry::span("phase.verify");
+        recmod_telemetry::count("phase.verify_calls", 1);
+        let original = tc.synth_module(ctx, m)?;
+        let split = split_module(tc, ctx, m)?;
+        let reassembled = split.clone().into_module();
+        if !is_pure_structure(&reassembled) {
+            return Err(TypeError::Other(
+                "phase splitting produced a non-structure module".to_string(),
+            ));
+        }
+        let translated = {
+            let _span = recmod_telemetry::span("phase.verify.recheck");
+            tc.synth_module(ctx, &reassembled)?
+        };
+        tc.sig_sub(ctx, &translated.sig, &original.sig)?;
+        Ok(Verified {
+            split,
+            original,
+            translated,
+        })
     })
 }
 

@@ -93,6 +93,22 @@ impl Elaborator {
         }
     }
 
+    /// Resets all per-program state (context, environment, bindings,
+    /// gensym, recursion guards) and re-arms the kernel's fuel and
+    /// deadline from `limits`, while keeping the kernel's memo tables
+    /// warm. A batch driver calls this between files so interned nodes,
+    /// whnf results, and equivalence verdicts carry over; soundness of
+    /// the carry-over is argued at [`Tc::renew`].
+    pub fn renew(&mut self, limits: recmod_kernel::Limits) {
+        self.ctx = Ctx::new();
+        self.env = ElabEnv::new();
+        self.bindings.clear();
+        self.gensym = 0;
+        self.rec_depth = 0;
+        self.ticks = 0;
+        self.tc.renew(limits);
+    }
+
     /// Runs `f` one structural level deeper, failing with a limit
     /// diagnostic at `span` once the kernel's `max_depth` levels are
     /// live (the bound is shared with [`Tc`]) or the deadline has
@@ -128,6 +144,16 @@ impl Elaborator {
     /// Current internal-context depth.
     pub fn depth(&self) -> usize {
         self.ctx.len()
+    }
+
+    /// Runs one root kernel judgement, attributing its wall-clock to the
+    /// `stage.kernel` telemetry stage (exclusive time — nested stages
+    /// subtract themselves). Every surface→kernel call site routes
+    /// through this so `--stats` can say how much of elaboration is
+    /// kernel time.
+    pub(crate) fn kernel<R>(&mut self, f: impl FnOnce(&Tc, &mut Ctx) -> R) -> R {
+        let Elaborator { tc, ctx, .. } = self;
+        recmod_telemetry::stage("stage.kernel", || f(tc, ctx))
     }
 
     pub(crate) fn fresh(&mut self, prefix: &str) -> String {
@@ -454,8 +480,7 @@ impl Elaborator {
         let mut cur = data_con.clone();
         for _ in 0..64 {
             let w = self
-                .tc
-                .whnf(&mut self.ctx, &cur)
+                .kernel(|tc, ctx| tc.whnf(ctx, &cur))
                 .map_err(|e| self.terr(span, e))?;
             match w {
                 Con::Sum(_) => return Ok(w),

@@ -57,8 +57,7 @@ impl Elaborator {
         span: Span,
     ) -> SurfaceResult<usize> {
         let typing = self
-            .tc
-            .synth_term(&mut self.ctx, &term)
+            .kernel(|tc, ctx| tc.synth_term(ctx, &term))
             .map_err(|e| self.terr(span, e))?;
         self.ctx.push(Entry::Term(typing.ty, typing.valuable));
         acc.lets.push(term);
@@ -370,8 +369,7 @@ impl Elaborator {
                     // Destructure a product: let p = scrut in
                     //   let x₀ = π₀ p in … body.
                     let typing = self
-                        .tc
-                        .synth_term(&mut self.ctx, &scrut_term)
+                        .kernel(|tc, ctx| tc.synth_term(ctx, &scrut_term))
                         .map_err(|e| self.terr(span, e))?;
                     let comp_tys = self.split_ty_prod(&typing.ty, parts.len(), *psp)?;
                     self.ctx.push(Entry::Term(typing.ty, typing.valuable));
@@ -423,8 +421,7 @@ impl Elaborator {
                 }
                 Pat::Var(x, _) if !self.is_ctor(&crate::ast::Path::simple(x, span)) => {
                     let typing = self
-                        .tc
-                        .synth_term(&mut self.ctx, &scrut_term)
+                        .kernel(|tc, ctx| tc.synth_term(ctx, &scrut_term))
                         .map_err(|e| self.terr(span, e))?;
                     let mark = self.env.mark();
                     self.ctx.push(Entry::Term(typing.ty, typing.valuable));
@@ -484,8 +481,7 @@ impl Elaborator {
 
         // Bind the scrutinee once so catch-all arms can refer to it.
         let typing = self
-            .tc
-            .synth_term(&mut self.ctx, &scrut_term)
+            .kernel(|tc, ctx| tc.synth_term(ctx, &scrut_term))
             .map_err(|e| self.terr(span, e))?;
         self.ctx.push(Entry::Term(typing.ty, typing.valuable));
         let scrut_pos = self.depth() - 1;
@@ -640,8 +636,7 @@ impl Elaborator {
                 break;
             }
             let e = self
-                .tc
-                .expose_deep(&mut self.ctx, &cur)
+                .kernel(|tc, ctx| tc.expose_deep(ctx, &cur))
                 .map_err(|err| self.terr(span, err))?;
             match e {
                 Ty::Prod(a, b) => {
@@ -676,8 +671,7 @@ impl Elaborator {
                 break;
             }
             let w = self
-                .tc
-                .whnf(&mut self.ctx, &cur)
+                .kernel(|tc, ctx| tc.whnf(ctx, &cur))
                 .map_err(|e| self.terr(span, e))?;
             match w {
                 Con::Prod(a, b) => {

@@ -56,8 +56,7 @@ impl Elaborator {
                 // the signature; true opacity takes effect when the
                 // expression is *bound* (the binding's context entry gets
                 // the sealed signature). See `bind_structure`.
-                self.tc
-                    .check_module(&mut self.ctx, &module, &target)
+                self.kernel(|tc, ctx| tc.check_module(ctx, &module, &target))
                     .map_err(|e| self.terr(*span, e))?;
                 let _ = opaque;
                 Ok(StructEntity {
@@ -88,8 +87,7 @@ impl Elaborator {
                     .retarget_template(fe.param.clone())
                     .instantiate(self.depth());
                 let arg_mod = Module::Struct(coerced.statics.clone(), coerced.dynamics.clone());
-                self.tc
-                    .check_module(&mut self.ctx, &arg_mod, &param_sig)
+                self.kernel(|tc, ctx| tc.check_module(ctx, &arg_mod, &param_sig))
                     .map_err(|e| self.terr(*span, e))?;
                 // β-reduce the application (the HMM equational rule):
                 // shift the stored body to this depth (keeping its
@@ -382,8 +380,7 @@ impl Elaborator {
 
     fn bind_value(&mut self, name: &str, term: Term, span: Span) -> SurfaceResult<()> {
         let typing = self
-            .tc
-            .synth_term(&mut self.ctx, &term)
+            .kernel(|tc, ctx| tc.synth_term(ctx, &term))
             .map_err(|e| self.terr(span, e))?;
         let describe = recmod_syntax::pretty::ty_to_string(
             &typing.ty,
@@ -421,8 +418,7 @@ impl Elaborator {
             _ => module,
         };
         let mt = self
-            .tc
-            .synth_module(&mut self.ctx, &module)
+            .kernel(|tc, ctx| tc.synth_module(ctx, &module))
             .map_err(|e| self.terr(bind.span, e))?;
         let split = recmod_phase::split_module(&self.tc, &mut self.ctx, &module)
             .map_err(|e| self.terr(bind.span, e))?;
@@ -471,12 +467,10 @@ impl Elaborator {
             self.elab_sigexp(param_sig)?
         };
         let param_internal = param_tmpl.instantiate(self.depth());
-        self.tc
-            .wf_sig(&mut self.ctx, &param_internal)
+        self.kernel(|tc, ctx| tc.wf_sig(ctx, &param_internal))
             .map_err(|e| self.terr(param_sig.span(), e))?;
         let resolved = self
-            .tc
-            .resolve_sig(&mut self.ctx, &param_internal)
+            .kernel(|tc, ctx| tc.resolve_sig(ctx, &param_internal))
             .map_err(|e| self.terr(param_sig.span(), e))?;
         let Sig::Struct(pk, pty) = resolved.clone() else {
             unreachable!("resolve_sig returns flat signatures")
@@ -510,8 +504,7 @@ impl Elaborator {
         );
         let module = Module::Struct(pair.con, pair.term);
         let mt = self
-            .tc
-            .synth_module(&mut self.ctx, &module)
+            .kernel(|tc, ctx| tc.synth_module(ctx, &module))
             .map_err(|e| self.terr(span, e))?;
         let split = recmod_phase::split_module(&self.tc, &mut self.ctx, &module)
             .map_err(|e| self.terr(span, e))?;
@@ -771,12 +764,10 @@ impl Elaborator {
                 Box::new(shift_ty(&comb_ty, -1, 1)),
             )
         };
-        self.tc
-            .wf_sig(&mut self.ctx, &ann_sig)
+        self.kernel(|tc, ctx| tc.wf_sig(ctx, &ann_sig))
             .map_err(|e| self.terr(span, e))?;
         let resolved = self
-            .tc
-            .resolve_sig(&mut self.ctx, &ann_sig)
+            .kernel(|tc, ctx| tc.resolve_sig(ctx, &ann_sig))
             .map_err(|e| self.terr(span, e))?;
 
         // Elaborate the bodies under the recursive assumption.
@@ -823,8 +814,7 @@ impl Elaborator {
         );
         let fix_mod = Module::Fix(Box::new(ann_sig), Box::new(body_mod));
         let mt = self
-            .tc
-            .synth_module(&mut self.ctx, &fix_mod)
+            .kernel(|tc, ctx| tc.synth_module(ctx, &fix_mod))
             .map_err(|e| self.terr(span, e))?;
         let split = recmod_phase::split_module(&self.tc, &mut self.ctx, &fix_mod)
             .map_err(|e| self.terr(span, e))?;

@@ -64,7 +64,7 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     let m = count_opaque(kappa);
     if m == 0 {
         // Nothing to do: resolve directly.
-        let resolved = tc.resolve_sig(ctx, s)?;
+        let resolved = recmod_telemetry::stage("stage.kernel", || tc.resolve_sig(ctx, s))?;
         return Ok(Extruded {
             hoisted: 0,
             sig: resolved,
@@ -90,11 +90,12 @@ pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     for _ in 0..m {
         ctx.push(Entry::Con(Kind::Type));
     }
-    let resolved = tc.resolve_sig(ctx, &transparent_rds);
+    let resolved =
+        recmod_telemetry::stage("stage.kernel", || tc.resolve_sig(ctx, &transparent_rds));
     let wf = resolved
         .as_ref()
         .ok()
-        .map(|r| tc.wf_sig(ctx, r))
+        .map(|r| recmod_telemetry::stage("stage.kernel", || tc.wf_sig(ctx, r)))
         .unwrap_or(Ok(()));
     ctx.truncate(base);
     let resolved = resolved?;

@@ -38,14 +38,14 @@ pub fn parse(src: &str) -> SurfaceResult<Program> {
 /// never empty on `Err`. A resource-limit error ([`ErrorKind::Limit`])
 /// aborts recovery and is always the last entry.
 pub fn parse_with(src: &str, limits: &Limits) -> Result<Program, Vec<SurfaceError>> {
-    let (toks, mut errors) = lex_recover(src, limits);
+    let (toks, mut errors) = recmod_telemetry::stage("stage.lex", || lex_recover(src, limits));
     let mut p = Parser {
         toks,
         pos: 0,
         limits: *limits,
         depth: 0,
     };
-    let program = p.program_recover(&mut errors);
+    let program = recmod_telemetry::stage("stage.parse", || p.program_recover(&mut errors));
     if errors.is_empty() {
         Ok(program)
     } else {

@@ -1,7 +1,7 @@
 //! The compilation pipeline: parse → elaborate → typecheck → link.
 
 use recmod_syntax::ast::Term;
-use recmod_telemetry::Limits;
+use recmod_telemetry::{stage, Limits};
 
 use crate::elab::Elaborator;
 use crate::error::{ErrorKind, SurfaceError, SurfaceResult};
@@ -47,19 +47,20 @@ pub fn compile(src: &str) -> SurfaceResult<Compiled> {
 /// Compiles with a caller-supplied elaborator (custom kernel mode/fuel).
 pub fn compile_with(mut elab: Elaborator, src: &str) -> SurfaceResult<Compiled> {
     let prog = parse(src)?;
-    for d in &prog.decls {
-        elab.elab_topdec(d)?;
-    }
-    let main = match &prog.main {
-        Some(e) => {
-            let term = elab.elab_exp(e)?;
-            elab.tc
-                .synth_term(&mut elab.ctx, &term)
-                .map_err(|err| SurfaceError::new(e.span(), ErrorKind::Type(err)))?;
-            Some(term)
+    let main = stage("stage.elab", || -> SurfaceResult<Option<Term>> {
+        for d in &prog.decls {
+            elab.elab_topdec(d)?;
         }
-        None => None,
-    };
+        match &prog.main {
+            Some(e) => {
+                let term = elab.elab_exp(e)?;
+                elab.kernel(|tc, ctx| tc.synth_term(ctx, &term))
+                    .map_err(|err| SurfaceError::new(e.span(), ErrorKind::Type(err)))?;
+                Ok(Some(term))
+            }
+            None => Ok(None),
+        }
+    })?;
     Ok(Compiled { elab, main })
 }
 
@@ -77,48 +78,74 @@ pub fn compile_with(mut elab: Elaborator, src: &str) -> SurfaceResult<Compiled> 
 /// Every diagnostic found, ordered by source position; the vector is
 /// never empty on `Err`.
 pub fn compile_with_limits(src: &str, limits: &Limits) -> Result<Compiled, Vec<SurfaceError>> {
+    compile_with_limits_in(Elaborator::with_limits(*limits), src).map_err(|(errs, _)| errs)
+}
+
+/// Like [`compile_with_limits`], but reuses a caller-supplied
+/// elaborator — and hands it back on failure, so a batch driver can
+/// keep a warm typechecker (interner, whnf memo, equivalence cache)
+/// across files. The caller is responsible for resetting per-run state
+/// first (see `Elaborator::renew`).
+///
+/// # Errors
+///
+/// Every diagnostic found, ordered by source position, paired with the
+/// elaborator for reuse; the vector is never empty on `Err`.
+#[allow(clippy::result_large_err)]
+pub fn compile_with_limits_in(
+    mut elab: Elaborator,
+    src: &str,
+) -> Result<Compiled, (Vec<SurfaceError>, Elaborator)> {
     let mut errors: Vec<SurfaceError> = Vec::new();
-    let prog = match parse_with(src, limits) {
+    let limits = *elab.tc.limits();
+    let prog = match parse_with(src, &limits) {
         Ok(p) => p,
         Err(errs) => {
             // Parsing already recovered what it could; elaborating the
             // partial program would double-report, so stop here.
-            return Err(errs);
+            return Err((errs, elab));
         }
     };
-    let mut elab = Elaborator::with_limits(*limits);
-    for d in &prog.decls {
-        if let Err(e) = elab.elab_topdec(d) {
-            let stop = e.is_limit();
-            errors.push(e);
-            if stop {
-                errors.sort_by_key(|e| (e.span.start, e.span.end));
-                return Err(errors);
-            }
-        }
-    }
-    let main = match &prog.main {
-        Some(e) => {
-            let checked = elab.elab_exp(e).and_then(|term| {
-                elab.tc
-                    .synth_term(&mut elab.ctx, &term)
-                    .map_err(|err| SurfaceError::new(e.span(), ErrorKind::Type(err)))?;
-                Ok(term)
-            });
-            match checked {
-                Ok(term) => Some(term),
-                Err(e) => {
-                    errors.push(e);
-                    None
+    let main = stage("stage.elab", || {
+        for d in &prog.decls {
+            if let Err(e) = elab.elab_topdec(d) {
+                let stop = e.is_limit();
+                errors.push(e);
+                if stop {
+                    return None;
                 }
             }
         }
-        None => None,
+        match &prog.main {
+            Some(e) => {
+                let checked = elab.elab_exp(e).and_then(|term| {
+                    elab.kernel(|tc, ctx| tc.synth_term(ctx, &term))
+                        .map_err(|err| SurfaceError::new(e.span(), ErrorKind::Type(err)))?;
+                    Ok(term)
+                });
+                match checked {
+                    Ok(term) => Some(Some(term)),
+                    Err(e) => {
+                        errors.push(e);
+                        Some(None)
+                    }
+                }
+            }
+            None => Some(None),
+        }
+    });
+    let main = match main {
+        Some(m) => m,
+        None => {
+            // A resource limit aborted the run.
+            errors.sort_by_key(|e| (e.span.start, e.span.end));
+            return Err((errors, elab));
+        }
     };
     if errors.is_empty() {
         Ok(Compiled { elab, main })
     } else {
         errors.sort_by_key(|e| (e.span.start, e.span.end));
-        Err(errors)
+        Err((errors, elab))
     }
 }

@@ -60,6 +60,10 @@ thread_local! {
     /// Fast-path flag: is derivation tracing requested?
     static TRACING: Cell<bool> = const { Cell::new(false) };
     static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
+    /// Open stage frames (see [`stage`]): start instant plus nanoseconds
+    /// already attributed to nested stages, so each stage records its
+    /// *exclusive* self time.
+    static STAGES: RefCell<Vec<StageFrame>> = const { RefCell::new(Vec::new()) };
 }
 
 /// Sink configuration.
@@ -361,6 +365,144 @@ impl Drop for SpanGuard {
 }
 
 // ---------------------------------------------------------------------
+// Stage timers
+// ---------------------------------------------------------------------
+
+/// One open [`stage`] frame.
+#[derive(Debug)]
+struct StageFrame {
+    name: &'static str,
+    start: Instant,
+    /// Wall-clock nanoseconds already claimed by nested stages.
+    child_nanos: u64,
+}
+
+/// Times `f` as pipeline stage `name`, attributing the elapsed
+/// wall-clock to the counters `<name>.nanos` and `<name>.calls`.
+///
+/// Unlike [`span`], stage time is *exclusive*: nanoseconds spent inside
+/// a nested `stage` call (same name or not) are attributed to the inner
+/// stage only, so the per-stage totals partition the instrumented wall
+/// clock and recursive entry points never double-count. Without a sink
+/// this is a single branch and `f` runs untouched.
+#[inline]
+pub fn stage<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
+    if !enabled() {
+        return f();
+    }
+    let _g = StageGuard::open(name);
+    f()
+}
+
+/// Guard for an open [`stage`]; attributes the self time when dropped
+/// (including on unwind, so a panicking batch item cannot corrupt the
+/// frame stack of a long-lived worker sink).
+#[derive(Debug)]
+struct StageGuard {
+    active: bool,
+}
+
+impl StageGuard {
+    fn open(name: &'static str) -> StageGuard {
+        STAGES.with(|s| {
+            s.borrow_mut().push(StageFrame {
+                name,
+                start: Instant::now(),
+                child_nanos: 0,
+            })
+        });
+        StageGuard { active: true }
+    }
+}
+
+impl Drop for StageGuard {
+    fn drop(&mut self) {
+        if !self.active {
+            return;
+        }
+        STAGES.with(|s| {
+            let mut stack = s.borrow_mut();
+            let Some(frame) = stack.pop() else {
+                return;
+            };
+            let elapsed = frame.start.elapsed().as_nanos() as u64;
+            let own = elapsed.saturating_sub(frame.child_nanos);
+            if let Some(parent) = stack.last_mut() {
+                parent.child_nanos += elapsed;
+            }
+            drop(stack);
+            let (nanos_key, calls_key) = stage_keys(frame.name);
+            with_sink(|sink| {
+                *sink.counters.entry(nanos_key).or_insert(0) += own;
+                if let Some(c) = calls_key {
+                    *sink.counters.entry(c).or_insert(0) += 1;
+                }
+            });
+        });
+    }
+}
+
+/// Counter keys for a stage name. Counter names must be `&'static str`,
+/// so the `.nanos`/`.calls` pairing is a match over the fixed set of
+/// pipeline stages; an unknown stage records its nanoseconds under the
+/// raw name and no call count.
+fn stage_keys(name: &'static str) -> (&'static str, Option<&'static str>) {
+    match name {
+        "stage.lex" => ("stage.lex.nanos", Some("stage.lex.calls")),
+        "stage.parse" => ("stage.parse.nanos", Some("stage.parse.calls")),
+        "stage.elab" => ("stage.elab.nanos", Some("stage.elab.calls")),
+        "stage.kernel" => ("stage.kernel.nanos", Some("stage.kernel.calls")),
+        "stage.split" => ("stage.split.nanos", Some("stage.split.calls")),
+        "stage.verify" => ("stage.verify.nanos", Some("stage.verify.calls")),
+        "stage.eval" => ("stage.eval.nanos", Some("stage.eval.calls")),
+        other => (other, None),
+    }
+}
+
+/// Summed stage attribution: exclusive nanoseconds plus entry count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct StageTotal {
+    /// Exclusive wall-clock nanoseconds attributed to the stage.
+    pub nanos: u64,
+    /// Number of stage entries recorded.
+    pub calls: u64,
+}
+
+impl Report {
+    /// Merges many reports (e.g. one per batch worker) into one, in
+    /// order. Counters add (`.hwm` marks take the max), spans and trace
+    /// lines append; see [`Report::absorb`].
+    pub fn merge(reports: impl IntoIterator<Item = Report>) -> Report {
+        let mut out = Report::default();
+        for r in reports {
+            out.absorb(r);
+        }
+        out
+    }
+
+    /// Rolls the `stage.<name>.nanos` / `stage.<name>.calls` counter
+    /// pairs recorded by [`stage`] into a per-stage table keyed by the
+    /// short stage name (`"lex"`, `"parse"`, …).
+    pub fn stage_totals(&self) -> BTreeMap<&'static str, StageTotal> {
+        let mut out: BTreeMap<&'static str, StageTotal> = BTreeMap::new();
+        for (&name, &v) in &self.counters {
+            if let Some(stage) = name
+                .strip_prefix("stage.")
+                .and_then(|rest| rest.strip_suffix(".nanos"))
+            {
+                out.entry(stage).or_default().nanos = v;
+            } else if let Some(stage) = name
+                .strip_prefix("stage.")
+                .and_then(|rest| rest.strip_suffix(".calls"))
+            {
+                out.entry(stage).or_default().calls = v;
+            }
+        }
+        out
+    }
+}
+
+// ---------------------------------------------------------------------
 // Derivation trace
 // ---------------------------------------------------------------------
 
@@ -536,6 +678,77 @@ mod tests {
         assert_eq!(a.counter("m.hwm"), 9);
         assert_eq!(a.spans.len(), 1);
         assert_eq!(a.trace.len(), 1);
+    }
+
+    #[test]
+    fn stage_times_are_exclusive_and_partition() {
+        install(Config::default());
+        let spin = |ms: u64| {
+            let t0 = Instant::now();
+            while t0.elapsed() < std::time::Duration::from_millis(ms) {
+                std::hint::black_box(0u64);
+            }
+        };
+        stage("stage.parse", || {
+            spin(4);
+            stage("stage.kernel", || spin(4));
+        });
+        let r = uninstall().unwrap();
+        let totals = r.stage_totals();
+        let parse = totals["parse"];
+        let kernel = totals["kernel"];
+        assert_eq!(parse.calls, 1);
+        assert_eq!(kernel.calls, 1);
+        // Kernel time must NOT be double-counted into parse: each stage
+        // saw ~4ms of exclusive time.
+        assert!(kernel.nanos >= 3_000_000, "kernel {kernel:?}");
+        assert!(
+            parse.nanos >= 3_000_000 && parse.nanos < 8_000_000,
+            "parse self-time should exclude the nested kernel stage: {parse:?}"
+        );
+    }
+
+    #[test]
+    fn recursive_stage_entries_do_not_double_count() {
+        install(Config::default());
+        fn rec(n: usize) {
+            stage("stage.kernel", || {
+                if n > 0 {
+                    rec(n - 1);
+                }
+            });
+        }
+        rec(5);
+        let r = uninstall().unwrap();
+        let k = r.stage_totals()["kernel"];
+        assert_eq!(k.calls, 6);
+        // Six nested frames over a near-instant body: self times sum to
+        // roughly the single outer elapsed, far below a millisecond.
+        assert!(k.nanos < 1_000_000, "{k:?}");
+    }
+
+    #[test]
+    fn stage_without_sink_is_a_noop() {
+        assert!(!enabled());
+        let out = stage("stage.parse", || 17);
+        assert_eq!(out, 17);
+        assert!(uninstall().is_none());
+    }
+
+    #[test]
+    fn merge_folds_reports_in_order() {
+        let mut reports = Vec::new();
+        for i in 0..3u64 {
+            install(Config::default());
+            count("worker.files", i + 1);
+            count_max("peak.hwm", 10 * (i + 1));
+            stage("stage.parse", || std::hint::black_box(0));
+            reports.push(uninstall().unwrap());
+        }
+        let merged = Report::merge(reports);
+        assert_eq!(merged.counter("worker.files"), 6);
+        assert_eq!(merged.counter("peak.hwm"), 30);
+        assert_eq!(merged.stage_totals()["parse"].calls, 3);
     }
 
     #[test]

@@ -1,11 +1,14 @@
 #!/usr/bin/env bash
-# Regenerates the interning benchmark numbers (BENCH_interning.json's
-# "after" column). Run from the repo root on a quiet machine.
+# Regenerates the benchmark numbers (BENCH_interning.json's "after"
+# column, BENCH_parallel.json's throughput cases). Run from the repo
+# root on a quiet machine.
 #
 #   scripts/bench.sh                 # print the machine-readable run
-#   scripts/bench.sh --out FILE      # also write the JSON array to FILE
+#   scripts/bench.sh --out FILE      # also write the JSON document to FILE
+#   scripts/bench.sh --only throughput --out BENCH_parallel.json
 #
-# Pass-through flags: --samples N, --target-ms M (see bench_json.rs).
+# Pass-through flags: --samples N, --target-ms M, --only SUBSTR,
+# --baseline FILE (see bench_json.rs).
 set -euo pipefail
 cd "$(dirname "$0")/.."
 

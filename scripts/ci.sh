@@ -10,10 +10,11 @@ echo "== cargo clippy (deny warnings) =="
 cargo clippy --workspace --all-targets -- -D warnings
 
 echo "== cargo clippy (panic-free core: deny unwrap/expect/panic) =="
-# The kernel, phase-splitter, surface pipeline, and the interner they
-# all sit on must stay panic-free in non-test code: every failure is a
-# structured TypeError/SurfaceError.
-cargo clippy -p recmod-kernel -p recmod-phase -p recmod-surface -p recmod-syntax --lib -- \
+# The kernel, phase-splitter, surface pipeline, the batch driver, and
+# the interner they all sit on must stay panic-free in non-test code:
+# every failure is a structured TypeError/SurfaceError/FileOutcome.
+cargo clippy -p recmod-kernel -p recmod-phase -p recmod-surface -p recmod-syntax \
+  -p recmod-driver --lib -- \
   -D warnings \
   -D clippy::unwrap_used \
   -D clippy::expect_used \
@@ -28,14 +29,32 @@ cargo test --workspace -q
 echo "== bounded fuzz (2000 seeded iterations) =="
 FUZZ_ITERS=2000 cargo test -q -p recmod-tests --release --test fuzz
 
+echo "== batch smoke (recmodc check --jobs 2 over tests/corpus) =="
+# The parallel driver, end to end through the CLI: the well-typed corpus
+# must exit 0 and the mixed corpus must exit 1 (per-file diagnostics,
+# aggregated exit code). Both runs are deterministic, so this gates.
+./target/release/recmodc check --jobs 2 tests/corpus/ok >/dev/null
+if ./target/release/recmodc check --jobs 2 tests/corpus >/dev/null 2>/dev/null; then
+  echo "batch smoke: FAILED (mixed corpus should exit 1)"
+  exit 1
+else
+  code=$?
+  if [[ $code -ne 1 ]]; then
+    echo "batch smoke: FAILED (mixed corpus exited $code, want 1)"
+    exit 1
+  fi
+fi
+echo "batch smoke: ok"
+
 echo "== bench smoke (non-gating) =="
-# A tiny run of the interning benchmark harness: confirms the harness
-# still executes end to end and emits well-formed JSON. Timings from CI
-# machines are noise, so nothing is compared — failures here are
-# reported but do not fail the gate.
+# A tiny run of the benchmark harness, including one parallel-throughput
+# case: confirms the harness still executes end to end and emits
+# well-formed JSON. Timings from CI machines are noise, so nothing is
+# compared — failures here are reported but do not fail the gate.
 if ./target/release/bench_json --json --samples 3 --target-ms 2 \
     >/tmp/bench_smoke.json 2>/dev/null \
-    && python3 -c 'import json,sys; json.load(open("/tmp/bench_smoke.json"))' 2>/dev/null; then
+    && python3 -c 'import json,sys; json.load(open("/tmp/bench_smoke.json"))' 2>/dev/null \
+    && grep -q '"name": "throughput/' /tmp/bench_smoke.json; then
   echo "bench smoke: ok ($(grep -c '"name"' /tmp/bench_smoke.json) cases)"
 else
   echo "bench smoke: FAILED (non-gating, continuing)"

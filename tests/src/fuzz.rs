@@ -27,6 +27,11 @@
 //!   equality and a deep reference structural-equality walk, and a
 //!   bottom-up rebuild through fresh intern calls must converge on the
 //!   identical canonical pointers.
+//! * **Thread isolation** — a batch of (possibly mutated) programs is
+//!   compiled through the parallel driver on two shared-nothing workers
+//!   and again on one; the outcomes must be byte-identical, no compile
+//!   may panic, and neither the calling thread's interner counters nor
+//!   its telemetry sink may see any bleed from the workers.
 //!
 //! The driver ([`run_case`]) reports `Err(description)` on any
 //! disagreement; panics are caught by the caller (`tests/fuzz.rs`)
@@ -591,17 +596,126 @@ fn case_intern_differential(rng: &mut Rng) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Class 5: thread isolation through the parallel driver
+// ---------------------------------------------------------------------
+
+/// Compiles a random batch (valid and mutated corpus programs) through
+/// the parallel driver on two workers and on one, then checks:
+/// identical outcomes (order, status, diagnostics), no internal-error
+/// statuses from worker panics, merged worker counters summing to the
+/// batch size, and zero bleed into the calling thread's interner stats
+/// or telemetry sink — the shared-nothing invariant, observed from
+/// outside.
+fn case_thread_isolation(rng: &mut Rng) -> Result<(), String> {
+    use recmod::driver::{compile_batch, DriverConfig, FileStatus, Job};
+
+    let n = rng.range(3, 7);
+    let jobs: Vec<Job> = (0..n)
+        .map(|i| {
+            let base = match rng.below(3) {
+                0 => recmod::corpus::OPAQUE_LIST,
+                1 => recmod::corpus::TRANSPARENT_LIST,
+                _ => recmod::corpus::EXPR_DECL_RDS,
+            };
+            let src = if rng.chance(2, 3) {
+                mutate(rng, base)
+            } else {
+                base.to_string()
+            };
+            Job::new(format!("iso{i}.rm"), src)
+        })
+        .collect();
+
+    // Observe the calling thread: its interner counters and its own
+    // telemetry sink must be untouched by the workers.
+    let intern_before = recmod::syntax::intern::intern_stats();
+    recmod::telemetry::install(recmod::telemetry::Config::default());
+    recmod::telemetry::count("fuzz.sentinel", 1);
+
+    let cfg = DriverConfig {
+        jobs: 2,
+        limits: Limits::strict(),
+        deadline_ms: Some(5_000),
+        telemetry: Some(recmod::telemetry::Config::default()),
+        ..DriverConfig::default()
+    };
+    let par = compile_batch(&jobs, &cfg);
+    let seq = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 1,
+            ..cfg.clone()
+        },
+    );
+
+    let own = recmod::telemetry::uninstall().ok_or("calling thread's sink vanished")?;
+    let intern_after = recmod::syntax::intern::intern_stats();
+
+    if intern_after.hits != intern_before.hits || intern_after.misses != intern_before.misses {
+        return Err(format!(
+            "worker interning bled into the calling thread: {intern_before:?} -> {intern_after:?}"
+        ));
+    }
+    if own.counter("fuzz.sentinel") != 1 || own.counter("driver.files") != 0 {
+        return Err(format!(
+            "worker telemetry bled into the calling thread's sink: {:?}",
+            own.counters
+        ));
+    }
+
+    for (a, b) in par.outcomes.iter().zip(&seq.outcomes) {
+        if a.status == FileStatus::Internal {
+            return Err(format!(
+                "panic during parallel compile of {}: {:?}",
+                a.name, a.diagnostics
+            ));
+        }
+        if a.status != b.status || a.diagnostics != b.diagnostics || a.summaries != b.summaries {
+            return Err(format!(
+                "jobs=2 and jobs=1 disagree on {}: {:?} vs {:?}",
+                a.name, a.status, b.status
+            ));
+        }
+    }
+    if par.exit_code() != seq.exit_code() {
+        return Err(format!(
+            "exit codes disagree: jobs=2 -> {}, jobs=1 -> {}",
+            par.exit_code(),
+            seq.exit_code()
+        ));
+    }
+    let merged_files = par
+        .merged
+        .as_ref()
+        .map(|r| r.counter("driver.files"))
+        .unwrap_or(0);
+    let per_worker: u64 = par
+        .workers
+        .iter()
+        .filter_map(|w| w.report.as_ref())
+        .map(|r| r.counter("driver.files"))
+        .sum();
+    if merged_files != n as u64 || per_worker != n as u64 {
+        return Err(format!(
+            "driver.files mismatch: merged {merged_files}, per-worker sum {per_worker}, want {n}"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
 /// Human-readable class name for a seed (for failure reports).
 pub fn case_class(seed: u64) -> &'static str {
-    match seed % 5 {
+    match seed % 6 {
         0 => "expression-differential",
         1 => "module-differential",
         2 => "ill-formed-input",
         3 => "kernel-mu",
-        _ => "intern-differential",
+        4 => "intern-differential",
+        _ => "thread-isolation",
     }
 }
 
@@ -610,12 +724,13 @@ pub fn case_class(seed: u64) -> &'static str {
 /// the caller to catch (they are always bugs).
 pub fn run_case(seed: u64) -> Result<(), String> {
     let mut rng = Rng::new(seed);
-    match seed % 5 {
+    match seed % 6 {
         0 => case_expression_differential(&mut rng),
         1 => case_module_differential(&mut rng),
         2 => case_ill_formed(&mut rng),
         3 => case_kernel_mu(&mut rng),
-        _ => case_intern_differential(&mut rng),
+        4 => case_intern_differential(&mut rng),
+        _ => case_thread_isolation(&mut rng),
     }
 }
 

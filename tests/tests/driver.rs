@@ -1,0 +1,123 @@
+//! Determinism and aggregation guarantees of the parallel batch driver
+//! (ISSUE 4): scheduling must never show through in the output.
+
+use recmod::driver::{compile_batch, DriverConfig, FileStatus, Job};
+use recmod::telemetry::Config;
+
+/// The full corpus as a batch, replicated so eight workers have
+/// meaningful contention and stealing actually happens.
+fn corpus_jobs(replicas: usize) -> Vec<Job> {
+    let entries = recmod::corpus::all();
+    (0..replicas)
+        .flat_map(|r| {
+            entries
+                .iter()
+                .map(move |e| Job::new(format!("{}#{r}", e.name), e.source))
+        })
+        .collect()
+}
+
+/// Renders a batch result the way the CLI does — summaries, ok-lines,
+/// and diagnostics, in input order — so "byte-identical output" is
+/// checked on the actual user-visible text.
+fn render(outcomes: &[recmod::driver::FileOutcome]) -> String {
+    let mut s = String::new();
+    for o in outcomes {
+        match o.status {
+            FileStatus::Ok => {
+                for (name, describe) in &o.summaries {
+                    s.push_str(&format!("{}: {name} : {describe}\n", o.name));
+                }
+                s.push_str(&format!("{}: ok\n", o.name));
+            }
+            _ => {
+                for line in &o.diagnostics {
+                    s.push_str(line);
+                    s.push('\n');
+                }
+            }
+        }
+    }
+    s
+}
+
+#[test]
+fn corpus_jobs1_vs_jobs8_byte_identical() {
+    let jobs = corpus_jobs(3);
+    let base = DriverConfig {
+        telemetry: Some(Config::default()),
+        ..DriverConfig::default()
+    };
+    let one = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 1,
+            ..base.clone()
+        },
+    );
+    let eight = compile_batch(&jobs, &DriverConfig { jobs: 8, ..base });
+
+    assert_eq!(one.exit_code(), eight.exit_code());
+    assert_eq!(render(&one.outcomes), render(&eight.outcomes));
+
+    // Every corpus entry's verdict must match its paper expectation,
+    // under both schedules.
+    let entries = recmod::corpus::all();
+    for (i, o) in eight.outcomes.iter().enumerate() {
+        let expect = entries[i % entries.len()].well_typed;
+        assert_eq!(
+            o.status == FileStatus::Ok,
+            expect,
+            "{} has unexpected status {:?}",
+            o.name,
+            o.status
+        );
+    }
+}
+
+#[test]
+fn merged_counters_are_the_sum_of_per_worker_counters() {
+    let jobs = corpus_jobs(2);
+    let res = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 4,
+            telemetry: Some(Config::default()),
+            ..DriverConfig::default()
+        },
+    );
+    let merged = res.merged.as_ref().expect("telemetry was requested");
+    // For every counter in the merged report, the per-worker values must
+    // sum to it exactly (merge is additive, never lossy).
+    for (key, total) in &merged.counters {
+        if key.ends_with(".hwm") {
+            continue; // high-water marks merge by max, not sum
+        }
+        let sum: u64 = res
+            .workers
+            .iter()
+            .filter_map(|w| w.report.as_ref())
+            .map(|r| r.counter(key))
+            .sum();
+        assert_eq!(sum, *total, "counter {key} is not additive across workers");
+    }
+    assert_eq!(merged.counter("driver.files"), jobs.len() as u64);
+}
+
+#[test]
+fn worker_attribution_covers_every_file() {
+    let jobs = corpus_jobs(2);
+    let res = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 3,
+            ..DriverConfig::default()
+        },
+    );
+    let by_worker: usize = res.workers.iter().map(|w| w.files).sum();
+    assert_eq!(by_worker, jobs.len());
+    for o in &res.outcomes {
+        assert!(o.worker < res.workers.len());
+        assert!(o.nanos > 0, "{} has no time attributed", o.name);
+    }
+}
