@@ -17,7 +17,12 @@
 //! * `--only SUBSTR` — run only cases whose name contains `SUBSTR`;
 //! * `--baseline FILE` — load a checked-in `BENCH_*.json` and print a
 //!   per-case speedup column against it (matches `median_ns`, falling
-//!   back to `after_median_ns` for the hand-merged interning file).
+//!   back to `after_median_ns` for the hand-merged interning file);
+//! * `--costs` — skip the wall-clock benches and print the deterministic
+//!   cost model of the corpus (see [`recmod_bench::costs`]);
+//! * `--costs --compare FILE` — compare the cost model against a golden
+//!   baseline and exit `1` if any counter drifted beyond its declared
+//!   tolerance (the regression gate that works on noisy hardware).
 
 use std::time::Duration;
 
@@ -94,6 +99,10 @@ impl Runner {
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--costs") {
+        run_costs(flag_str(&args, "--compare"));
+        return;
+    }
     let json = args.iter().any(|a| a == "--json");
     let defaults = BenchConfig::default();
     let samples = flag_value(&args, "--samples")
@@ -219,6 +228,44 @@ fn main() {
             );
         }
     }
+}
+
+/// `--costs`: measure the deterministic cost model and either print it
+/// (no `--compare`) or gate against a golden baseline, exiting `1` on
+/// any counter drift beyond tolerance and `2` on a broken baseline.
+fn run_costs(compare: Option<String>) {
+    use recmod_bench::costs;
+    let model = costs::measure_corpus();
+    let Some(path) = compare else {
+        println!("{}", costs::to_json(&model).to_pretty());
+        return;
+    };
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        eprintln!("bench_json: cannot read cost baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let baseline = costs::parse_baseline(&text).unwrap_or_else(|e| {
+        eprintln!("bench_json: bad cost baseline {path}: {e}");
+        std::process::exit(2);
+    });
+    let diffs = costs::compare(&model, &baseline);
+    if diffs.is_empty() {
+        println!(
+            "cost model matches {path}: {} example(s) within tolerance",
+            model.examples.len()
+        );
+        return;
+    }
+    eprintln!("cost model drifted from {path}:");
+    for d in &diffs {
+        eprintln!("  {d}");
+    }
+    eprintln!(
+        "{} violation(s); if intentional, regenerate with:\n  \
+         cargo run --release -p recmod-bench --bin bench_json -- --costs > {path}",
+        diffs.len()
+    );
+    std::process::exit(1);
 }
 
 /// How many times the corpus is replicated into one throughput batch.
@@ -358,6 +405,10 @@ fn to_json(cfg: &BenchConfig, cases: &[Case]) -> Json {
         None => Json::Null,
     };
     Json::obj([
+        (
+            "schema_version",
+            Json::UInt(recmod::telemetry::SCHEMA_VERSION),
+        ),
         (
             "config",
             Json::obj([

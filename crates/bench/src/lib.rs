@@ -12,6 +12,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod costs;
 pub mod harness;
 pub mod rng;
 

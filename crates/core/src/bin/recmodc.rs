@@ -34,7 +34,20 @@
 //!   timings, phase-split node counts, evaluator counters) as text or as
 //!   one JSON document on stdout;
 //! * `--trace` / `--trace=DEPTH` — print the kernel's judgement-level
-//!   derivation trace (indented, depth-limited) to stderr.
+//!   derivation trace (indented, depth-limited) to stderr;
+//! * `--profile[=FILE]` — write a Chrome Trace Event / Perfetto JSON
+//!   trace (default `trace.json`): per-worker thread lanes, one
+//!   complete-duration event per judgement/stage span and per file,
+//!   counter tracks (cache hit rates, interner occupancy, fuel), and
+//!   instant events for limit hits and internal errors. Load the file
+//!   at <https://ui.perfetto.dev>;
+//! * `--profile-text` — print a flat + top-down text profile computed
+//!   from the span tree (self/total time and call counts);
+//! * `--profile-by=judgement|stage|file` — pivot for `--profile-text`
+//!   (default `judgement`);
+//! * `--log-json FILE` — batch mode: write a structured JSONL event log,
+//!   one event per file (path, outcome, exit class, stage times, counter
+//!   deltas, worker id, steal flag) after a `meta` header line.
 //!
 //! Exit codes: `0` success, `1` program error (syntax/type/runtime),
 //! `2` usage, `3` resource limit hit, `4` internal error (a compiler
@@ -65,7 +78,9 @@ fn usage() -> ExitCode {
          recmodc check --corpus [options]\n       \
          recmodc -e \"<expression>\" [options]\n\
          options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
-         --max-errors N --stats[=json] --trace[=DEPTH] --jobs N --corpus --cold\n\
+         --max-errors N --stats[=json] --trace[=DEPTH] --jobs N --corpus --cold\n         \
+         --profile[=FILE] --profile-text --profile-by=judgement|stage|file\n         \
+         --log-json FILE (batch only)\n\
          exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error"
     );
     ExitCode::from(EXIT_USAGE)
@@ -78,7 +93,18 @@ enum StatsMode {
     Json,
 }
 
-#[derive(Clone, Copy)]
+/// Pivot for `--profile-text`.
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum ProfileBy {
+    /// Per span name (judgement form / stage), flat + top-down.
+    Judgement,
+    /// Per pipeline stage (exclusive stage-frame totals).
+    Stage,
+    /// Per input file (batch mode; a single row otherwise).
+    File,
+}
+
+#[derive(Clone)]
 struct Options {
     steps: bool,
     stats: StatsMode,
@@ -95,6 +121,41 @@ struct Options {
     /// keeping per-worker caches warm (for measuring the warm-cache
     /// effect; see EXPERIMENTS.md).
     cold: bool,
+    /// `--profile[=FILE]`: write a Chrome Trace Event JSON file.
+    profile: Option<String>,
+    /// `--profile-text`: print a text profile of the span tree.
+    profile_text: bool,
+    /// `--profile-by=...` pivot for the text profile.
+    profile_by: ProfileBy,
+    /// `--log-json FILE`: batch-mode structured JSONL event log.
+    log_json: Option<String>,
+}
+
+impl Options {
+    /// Is any profile output requested (trace file or text profile)?
+    fn wants_profile(&self) -> bool {
+        self.profile.is_some() || self.profile_text
+    }
+
+    /// The telemetry configuration implied by the flags, `None` when no
+    /// observation was requested. Profiling upgrades the config to
+    /// judgement-level span recording with the larger node cap.
+    fn telemetry_config(&self) -> Option<recmod::telemetry::Config> {
+        let observing =
+            self.stats != StatsMode::Off || self.trace.is_some() || self.wants_profile();
+        observing.then(|| {
+            let mut config = match self.trace {
+                Some(depth) => recmod::telemetry::Config::with_trace(depth),
+                None => recmod::telemetry::Config::default(),
+            };
+            if self.wants_profile() {
+                let profiled = recmod::telemetry::Config::profiled();
+                config.profile = profiled.profile;
+                config.span_max_nodes = profiled.span_max_nodes;
+            }
+            config
+        })
+    }
 }
 
 fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
@@ -109,6 +170,10 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         jobs: None,
         corpus: false,
         cold: false,
+        profile: None,
+        profile_text: false,
+        profile_by: ProfileBy::Judgement,
+        log_json: None,
     };
     let mut deadline_ms: Option<u64> = None;
     let mut it = args.into_iter();
@@ -127,6 +192,12 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             }
             "--stats" => opts.stats = StatsMode::Text,
             "--stats=json" => opts.stats = StatsMode::Json,
+            "--profile" => opts.profile = Some("trace.json".to_string()),
+            "--profile-text" => opts.profile_text = true,
+            "--log-json" => {
+                let f = it.next().ok_or("--log-json needs a file name")?;
+                opts.log_json = Some(f);
+            }
             "--trace" => opts.trace = Some(DEFAULT_TRACE_DEPTH),
             "--fuel" => {
                 let n = it.next().ok_or("--fuel needs a number")?;
@@ -151,6 +222,32 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
                 let d = &a["--trace=".len()..];
                 opts.trace = Some(d.parse().map_err(|_| format!("bad trace depth: {d}"))?);
             }
+            _ if a.starts_with("--profile-by=") => {
+                opts.profile_by = match &a["--profile-by=".len()..] {
+                    "judgement" => ProfileBy::Judgement,
+                    "stage" => ProfileBy::Stage,
+                    "file" => ProfileBy::File,
+                    other => {
+                        return Err(format!(
+                            "unknown profile pivot: {other} (try judgement, stage, or file)"
+                        ))
+                    }
+                };
+            }
+            _ if a.starts_with("--profile=") => {
+                let f = &a["--profile=".len()..];
+                if f.is_empty() {
+                    return Err("--profile= needs a file name".to_string());
+                }
+                opts.profile = Some(f.to_string());
+            }
+            _ if a.starts_with("--log-json=") => {
+                let f = &a["--log-json=".len()..];
+                if f.is_empty() {
+                    return Err("--log-json= needs a file name".to_string());
+                }
+                opts.log_json = Some(f.to_string());
+            }
             _ if a.starts_with("--stats=") => {
                 return Err(format!("unknown stats format: {a} (try --stats=json)"));
             }
@@ -173,6 +270,13 @@ fn main() -> ExitCode {
             return ExitCode::from(EXIT_USAGE);
         }
     };
+
+    let is_batch = matches!(args.as_slice(),
+        [cmd, paths @ ..] if cmd.as_str() == "check" && wants_batch(paths, &opts));
+    if opts.log_json.is_some() && !is_batch {
+        eprintln!("recmodc: --log-json only applies to batch mode (check --jobs/--corpus/dir)");
+        return ExitCode::from(EXIT_USAGE);
+    }
 
     match args.as_slice() {
         [flag, expr] if flag.as_str() == "-e" => run_source("<expr>", expr, &opts, Mode::Run),
@@ -254,12 +358,9 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
         return ExitCode::from(EXIT_USAGE);
     }
 
-    let observing = opts.stats != StatsMode::Off || opts.trace.is_some();
-    let telemetry = observing.then(|| match opts.trace {
-        Some(depth) => recmod::telemetry::Config::with_trace(depth),
-        None => recmod::telemetry::Config::default(),
-    });
+    let telemetry = opts.telemetry_config();
     let config = driver::DriverConfig {
+        file_counters: opts.log_json.is_some(),
         jobs: opts.jobs.unwrap_or_else(|| {
             std::thread::available_parallelism()
                 .map(|n| n.get())
@@ -315,12 +416,230 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
             eprint!("{}", r.render_trace());
         }
     }
+    if let Some(path) = &opts.profile {
+        write_batch_trace(path, &result);
+    }
+    if opts.profile_text {
+        let text = render_batch_profile(&result, opts.profile_by);
+        if opts.stats == StatsMode::Json {
+            eprint!("{text}");
+        } else {
+            print!("{text}");
+        }
+    }
+    if let Some(path) = &opts.log_json {
+        write_log_json(path, &result);
+    }
     match opts.stats {
         StatsMode::Off => {}
         StatsMode::Text => print!("{}", render_batch_stats(&result)),
         StatsMode::Json => println!("{}", batch_stats_json(&result).to_pretty()),
     }
     ExitCode::from(result.exit_code())
+}
+
+/// The instant-event label for a file, `None` for uneventful outcomes.
+fn instant_label(status: recmod::driver::FileStatus) -> Option<&'static str> {
+    match status {
+        recmod::driver::FileStatus::Limit => Some("limit"),
+        recmod::driver::FileStatus::Internal => Some("internal"),
+        _ => None,
+    }
+}
+
+/// The machine-readable outcome label for a file.
+fn status_label(status: recmod::driver::FileStatus) -> &'static str {
+    match status {
+        recmod::driver::FileStatus::Ok => "ok",
+        recmod::driver::FileStatus::Error => "error",
+        recmod::driver::FileStatus::Limit => "limit",
+        recmod::driver::FileStatus::Internal => "internal",
+    }
+}
+
+/// Writes the batch as a Chrome Trace Event / Perfetto JSON file: one
+/// lane per worker (spans + counter tracks) plus one complete event per
+/// input file, with instant events marking limit hits and panics.
+fn write_batch_trace(path: &str, result: &recmod::driver::BatchResult) {
+    use recmod::telemetry::chrome_trace::{export, FileEvent, Lane};
+    let lanes: Vec<Lane<'_>> = result
+        .workers
+        .iter()
+        .filter_map(|w| {
+            w.report.as_ref().map(|report| Lane {
+                tid: w.worker as u64,
+                name: format!("worker {}", w.worker),
+                report,
+            })
+        })
+        .collect();
+    let files: Vec<FileEvent> = result
+        .outcomes
+        .iter()
+        .map(|o| FileEvent {
+            name: o.name.clone(),
+            tid: o.worker as u64,
+            start_nanos: o.start_nanos,
+            dur_nanos: o.nanos,
+            instant: instant_label(o.status).map(String::from),
+        })
+        .collect();
+    let doc = export("recmodc", &lanes, &files);
+    match std::fs::write(path, doc.to_compact()) {
+        Ok(()) => {
+            eprintln!("profile: wrote Chrome trace to {path} (open at https://ui.perfetto.dev)")
+        }
+        Err(e) => eprintln!("recmodc: cannot write {path}: {e}"),
+    }
+}
+
+/// The flat (+ top-down, for the judgement pivot) text profile of one
+/// telemetry report. The file pivot is handled by the callers, which
+/// know their file boundaries.
+fn render_report_profile(report: &recmod::telemetry::Report, by: ProfileBy) -> String {
+    use recmod::telemetry::profile;
+    match by {
+        ProfileBy::Judgement => {
+            let rows = profile::flat(&report.spans);
+            let wall = profile::self_total(&report.spans);
+            let mut s = profile::render_flat(&rows, Some(wall));
+            s.push_str(&profile::render_top_down(
+                &profile::top_down(&report.spans),
+                wall / 100,
+            ));
+            s
+        }
+        ProfileBy::Stage | ProfileBy::File => {
+            let mut rows: Vec<profile::FlatEntry> = report
+                .stage_totals()
+                .iter()
+                .map(|(name, t)| profile::FlatEntry {
+                    name,
+                    calls: t.calls,
+                    total_nanos: t.nanos,
+                    self_nanos: t.nanos,
+                })
+                .collect();
+            rows.sort_by(|a, b| b.self_nanos.cmp(&a.self_nanos).then(a.name.cmp(b.name)));
+            let wall: u64 = rows.iter().map(|r| r.self_nanos).sum();
+            profile::render_flat(&rows, Some(wall))
+        }
+    }
+}
+
+/// Single-file profile outputs: the whole pipeline is one trace lane;
+/// the file pivot degenerates to the stage pivot (there is one file).
+fn emit_single_profile(file: &str, opts: &Options, report: &recmod::telemetry::Report) {
+    if let Some(path) = &opts.profile {
+        use recmod::telemetry::chrome_trace::{export, Lane};
+        let lanes = [Lane {
+            tid: 0,
+            name: format!("pipeline ({file})"),
+            report,
+        }];
+        let doc = export("recmodc", &lanes, &[]);
+        match std::fs::write(path, doc.to_compact()) {
+            Ok(()) => {
+                eprintln!("profile: wrote Chrome trace to {path} (open at https://ui.perfetto.dev)")
+            }
+            Err(e) => eprintln!("recmodc: cannot write {path}: {e}"),
+        }
+    }
+    if opts.profile_text {
+        let text = render_report_profile(report, opts.profile_by);
+        if opts.stats == StatsMode::Json {
+            eprint!("{text}");
+        } else {
+            print!("{text}");
+        }
+    }
+}
+
+/// The batch text profile under the requested pivot.
+fn render_batch_profile(result: &recmod::driver::BatchResult, by: ProfileBy) -> String {
+    match by {
+        ProfileBy::Judgement | ProfileBy::Stage => match &result.merged {
+            Some(report) => render_report_profile(report, by),
+            None => "profile: no telemetry report\n".to_string(),
+        },
+        ProfileBy::File => {
+            let mut s = String::from("file profile (wall ms, worker, status):\n");
+            let mut sorted: Vec<_> = result.outcomes.iter().collect();
+            sorted.sort_by(|a, b| b.nanos.cmp(&a.nanos).then(a.name.cmp(&b.name)));
+            for o in sorted {
+                s.push_str(&format!(
+                    "{:>12.3}  w{}  {:<8}  {}\n",
+                    o.nanos as f64 / 1e6,
+                    o.worker,
+                    status_label(o.status),
+                    o.name
+                ));
+            }
+            s
+        }
+    }
+}
+
+/// Writes the batch as a JSONL event log: a `meta` header line, then one
+/// event per file in input order with its outcome, timing, worker, steal
+/// flag, per-stage nanoseconds, and non-stage counter deltas.
+fn write_log_json(path: &str, result: &recmod::driver::BatchResult) {
+    use recmod::telemetry::json::Json;
+    let mut out = String::new();
+    out.push_str(
+        &Json::obj([
+            (
+                "schema_version",
+                Json::UInt(recmod::telemetry::SCHEMA_VERSION),
+            ),
+            ("kind", Json::str("meta")),
+            ("files", Json::UInt(result.outcomes.len() as u64)),
+            ("workers", Json::UInt(result.workers.len() as u64)),
+            ("wall_nanos", Json::UInt(result.wall_nanos)),
+        ])
+        .to_compact(),
+    );
+    out.push('\n');
+    for o in &result.outcomes {
+        let mut fields = vec![
+            ("kind", Json::str("file")),
+            ("path", Json::str(o.name.as_str())),
+            ("status", Json::str(status_label(o.status))),
+            ("exit", Json::UInt(o.status.exit_code() as u64)),
+            ("worker", Json::UInt(o.worker as u64)),
+            ("stolen", Json::Bool(o.stolen)),
+            ("start_nanos", Json::UInt(o.start_nanos)),
+            ("nanos", Json::UInt(o.nanos)),
+        ];
+        if let Some(counters) = &o.counters {
+            // `stage.X.nanos` deltas become the per-file stage times;
+            // everything outside the stage namespace is a counter delta.
+            let stages: std::collections::BTreeMap<String, Json> = counters
+                .iter()
+                .filter_map(|(k, v)| {
+                    k.strip_prefix("stage.")
+                        .and_then(|rest| rest.strip_suffix(".nanos"))
+                        .map(|stage| (stage.to_string(), Json::UInt(*v)))
+                })
+                .collect();
+            let deltas: std::collections::BTreeMap<String, Json> = counters
+                .iter()
+                .filter(|(k, _)| !k.starts_with("stage."))
+                .map(|(k, v)| ((*k).to_string(), Json::UInt(*v)))
+                .collect();
+            fields.push(("stages", Json::Obj(stages)));
+            fields.push(("counters", Json::Obj(deltas)));
+        }
+        out.push_str(&Json::obj(fields).to_compact());
+        out.push('\n');
+    }
+    match std::fs::write(path, out) {
+        Ok(()) => eprintln!(
+            "log: wrote {} event(s) to {path}",
+            result.outcomes.len() + 1
+        ),
+        Err(e) => eprintln!("recmodc: cannot write {path}: {e}"),
+    }
 }
 
 /// Human-readable batch statistics: wall clock, per-stage time
@@ -365,6 +684,10 @@ fn render_batch_stats(result: &recmod::driver::BatchResult) -> String {
 fn batch_stats_json(result: &recmod::driver::BatchResult) -> recmod::telemetry::json::Json {
     use recmod::telemetry::json::Json;
     let mut obj = vec![
+        (
+            "schema_version",
+            Json::UInt(recmod::telemetry::SCHEMA_VERSION),
+        ),
         ("files", Json::UInt(result.outcomes.len() as u64)),
         ("ok", Json::UInt(result.ok_count() as u64)),
         ("workers", Json::UInt(result.workers.len() as u64)),
@@ -428,7 +751,7 @@ const PIPELINE_STACK_MB: usize = 512;
 fn run_source(file: &str, src: &str, opts: &Options, mode: Mode) -> ExitCode {
     let file = file.to_string();
     let src = src.to_string();
-    let opts = *opts;
+    let opts = opts.clone();
     // Telemetry state is thread-local, so the whole observed pipeline
     // (install → compile/run → uninstall → print) lives on the big-stack
     // thread.
@@ -439,12 +762,9 @@ fn run_source(file: &str, src: &str, opts: &Options, mode: Mode) -> ExitCode {
 }
 
 fn run_pipeline(file: &str, src: &str, opts: &Options, mode: Mode) -> u8 {
-    let observing = opts.stats != StatsMode::Off || opts.trace.is_some();
-    if observing {
-        let config = match opts.trace {
-            Some(depth) => recmod::telemetry::Config::with_trace(depth),
-            None => recmod::telemetry::Config::default(),
-        };
+    let telemetry = opts.telemetry_config();
+    let observing = telemetry.is_some();
+    if let Some(config) = telemetry {
         recmod::telemetry::install(config);
     }
     // The last line of defense: any panic that slips past the
@@ -472,6 +792,9 @@ fn run_pipeline(file: &str, src: &str, opts: &Options, mode: Mode) -> u8 {
         if let Some(r) = &report {
             eprint!("{}", r.render_trace());
         }
+    }
+    if let Some(r) = &report {
+        emit_single_profile(file, opts, r);
     }
     if opts.stats != StatsMode::Off {
         if let Some((compiled, eval)) = observed {

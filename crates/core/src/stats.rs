@@ -77,6 +77,10 @@ impl StatsReport {
     /// The full report as a JSON document.
     pub fn to_json(&self) -> Json {
         let mut doc = vec![
+            (
+                "schema_version",
+                Json::UInt(recmod_telemetry::SCHEMA_VERSION),
+            ),
             ("kernel", kernel_json(&self.kernel, Some(self.fuel_budget))),
             (
                 "bindings",
@@ -260,6 +264,7 @@ fn eval_json(e: &EvalStats) -> Json {
 fn span_json(s: &Span) -> Json {
     Json::obj([
         ("name", Json::str(s.name)),
+        ("start_nanos", Json::UInt(s.start_nanos)),
         ("nanos", Json::UInt(s.nanos)),
         (
             "children",

@@ -112,8 +112,19 @@ pub struct FileOutcome {
     pub diagnostics: Vec<String>,
     /// Index of the worker that compiled this file.
     pub worker: usize,
+    /// Whether this file was stolen from another worker's deque.
+    pub stolen: bool,
+    /// Start offset in nanoseconds since the batch telemetry epoch
+    /// (0 when telemetry was not requested).
+    pub start_nanos: u64,
     /// Wall-clock nanoseconds spent compiling this file.
     pub nanos: u64,
+    /// Per-file counter deltas (two [`snapshot_counters`] snapshots
+    /// subtracted), recorded when [`DriverConfig::file_counters`] is
+    /// set and telemetry is installed.
+    ///
+    /// [`snapshot_counters`]: recmod_telemetry::snapshot_counters
+    pub counters: Option<std::collections::BTreeMap<&'static str, u64>>,
 }
 
 /// Per-worker accounting returned alongside the outcomes.
@@ -187,7 +198,14 @@ pub struct DriverConfig {
     /// Per-worker thread stack size.
     pub stack_size: usize,
     /// Install a telemetry sink in each worker and merge the reports.
+    /// [`compile_batch`] pins every worker's sink to one shared epoch
+    /// (the batch start) so the workers' spans, samples, and file
+    /// events share a timeline.
     pub telemetry: Option<Config>,
+    /// Attribute counter deltas to individual files (requires
+    /// `telemetry`): each worker snapshots its counters around every
+    /// file and stores the difference in [`FileOutcome::counters`].
+    pub file_counters: bool,
 }
 
 impl Default for DriverConfig {
@@ -200,6 +218,7 @@ impl Default for DriverConfig {
             warm: true,
             stack_size: DEFAULT_STACK_SIZE,
             telemetry: None,
+            file_counters: false,
         }
     }
 }
@@ -259,6 +278,15 @@ fn read_job(path: &Path) -> Result<Job, String> {
 /// arguments.
 pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
     let t0 = Instant::now();
+    // Pin every worker's sink to the batch start so spans, samples, and
+    // per-file events from different workers share one timeline.
+    let config = &DriverConfig {
+        telemetry: config.telemetry.clone().map(|mut c| {
+            c.epoch.get_or_insert(t0);
+            c
+        }),
+        ..config.clone()
+    };
     let n = jobs.len();
     let workers = config.jobs.clamp(1, n.max(1));
 
@@ -318,7 +346,10 @@ pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
                     jobs[i].name
                 )],
                 worker: 0,
+                stolen: false,
+                start_nanos: 0,
                 nanos: 0,
+                counters: None,
             })
         })
         .collect();
@@ -358,7 +389,7 @@ fn worker_loop(
         if stolen {
             steals += 1;
         }
-        let out = compile_one(wid, &jobs[idx], &mut elab, config);
+        let out = compile_one(wid, stolen, &jobs[idx], &mut elab, config);
         outs.push((idx, out));
     }
     recmod_telemetry::count("driver.files", outs.len() as u64);
@@ -401,13 +432,28 @@ fn next_job(wid: usize, queues: &[Mutex<VecDeque<usize>>]) -> Option<(usize, boo
     None
 }
 
+/// Counters sampled into the trace's counter tracks after every file.
+const TRACK_COUNTERS: &[&str] = &[
+    "kernel.whnf_cache_hit",
+    "kernel.whnf_cache_miss",
+    "syntax.intern_hit",
+    "syntax.intern_miss",
+];
+
 fn compile_one(
     wid: usize,
+    stolen: bool,
     job: &Job,
     slot: &mut Option<Elaborator>,
     config: &DriverConfig,
 ) -> FileOutcome {
     let t0 = Instant::now();
+    let start_nanos = recmod_telemetry::epoch_offset_nanos(t0).unwrap_or(0);
+    let before = if config.file_counters {
+        recmod_telemetry::snapshot_counters()
+    } else {
+        None
+    };
     // Deadlines are absolute instants, so they must be re-armed here,
     // per file, not when the batch was configured.
     let limits = match config.deadline_ms {
@@ -440,6 +486,7 @@ fn compile_one(
         Err(panic) => {
             // The elaborator was consumed by the panicking call and its
             // caches may be mid-mutation; rebuild from scratch.
+            recmod_telemetry::count("internal.panics", 1);
             let diag = format!(
                 "{}: internal error: panic during compilation: {}",
                 job.name,
@@ -453,13 +500,49 @@ fn compile_one(
         _ => None,
     };
 
+    let counters = match before {
+        Some(before) => recmod_telemetry::snapshot_counters().map(|after| {
+            after
+                .into_iter()
+                .map(|(name, v)| {
+                    (
+                        name,
+                        v.saturating_sub(before.get(name).copied().unwrap_or(0)),
+                    )
+                })
+                .filter(|&(_, v)| v > 0)
+                .collect()
+        }),
+        None => None,
+    };
+    if recmod_telemetry::profiling_enabled() {
+        // One counter-track sample per file boundary: cumulative cache
+        // hit/miss counters plus gauges the sink cannot see (interner
+        // occupancy, cumulative kernel fuel for this worker).
+        let intern = recmod_syntax::intern::intern_stats();
+        let fuel = slot.as_ref().map(|e| e.tc.stats().fuel_used()).unwrap_or(0);
+        recmod_telemetry::sample(
+            TRACK_COUNTERS,
+            &[
+                (
+                    "syntax.intern_occupancy",
+                    intern.con_entries + intern.kind_entries,
+                ),
+                ("kernel.fuel_used", fuel),
+            ],
+        );
+    }
+
     FileOutcome {
         name: job.name.clone(),
         status,
         summaries,
         diagnostics,
         worker: wid,
+        stolen,
+        start_nanos,
         nanos: t0.elapsed().as_nanos() as u64,
+        counters,
     }
 }
 

@@ -19,6 +19,7 @@ use crate::Tc;
 impl Tc {
     /// `Γ ⊢ c : κ` — synthesizes the principal kind of `c`.
     pub fn synth_con(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Kind> {
+        let _j = recmod_telemetry::judgement_span("kernel.synth_con");
         let _depth = self.descend("synth_con")?;
         self.burn(crate::stats::FuelOp::ConKinding)?;
         let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", show::con(c)));
@@ -90,6 +91,7 @@ impl Tc {
 
     /// `Γ ⊢ c : κ` — checks `c` against a given kind via subkinding.
     pub fn check_con(&self, ctx: &mut Ctx, c: &Con, k: &Kind) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.check_con");
         let _depth = self.descend("check_con")?;
         let found = self.synth_con(ctx, c)?;
         self.subkind(ctx, &found, k)

@@ -81,6 +81,7 @@ impl Tc {
         k: &Kind,
         seen: &mut Seen,
     ) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.con_equiv");
         let _depth = self.descend("con_equiv")?;
         self.burn(crate::stats::FuelOp::ConEquiv)?;
         let _trace = recmod_telemetry::trace_span(|| {
@@ -131,6 +132,7 @@ impl Tc {
     /// Structural comparison at kind `T`, after weak-head normalization,
     /// under the coinductive assumption set.
     fn con_eq_type(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, seen: &mut Seen) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.con_equiv");
         let _depth = self.descend("con_equiv")?;
         self.burn(crate::stats::FuelOp::MonoEquiv)?;
         let a = self.whnf(ctx, c1)?;

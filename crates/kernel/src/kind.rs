@@ -10,6 +10,7 @@ use crate::Tc;
 impl Tc {
     /// `Γ ⊢ κ kind` — kind formation.
     pub fn wf_kind(&self, ctx: &mut Ctx, k: &Kind) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.wf_kind");
         let _depth = self.descend("wf_kind")?;
         match k {
             Kind::Type | Kind::Unit => Ok(()),
@@ -23,6 +24,7 @@ impl Tc {
 
     /// `Γ ⊢ κ₁ = κ₂ kind` — kind equivalence.
     pub fn kind_eq(&self, ctx: &mut Ctx, k1: &Kind, k2: &Kind) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.kind_eq");
         let _depth = self.descend("kind_eq")?;
         match (k1, k2) {
             (Kind::Type, Kind::Type) | (Kind::Unit, Kind::Unit) => Ok(()),
@@ -42,6 +44,7 @@ impl Tc {
     /// (forgetting a definition); `Π` is contravariant in its domain and
     /// `Σ` is covariant in both components.
     pub fn subkind(&self, ctx: &mut Ctx, k1: &Kind, k2: &Kind) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.subkind");
         let _depth = self.descend("subkind")?;
         match (k1, k2) {
             (Kind::Type, Kind::Type) | (Kind::Unit, Kind::Unit) => Ok(()),

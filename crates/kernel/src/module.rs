@@ -39,6 +39,7 @@ impl Tc {
     /// `Γ ⊢ M : S` and `Γ ⊢ M ⇓ S` — synthesizes the principal signature
     /// and valuability of `M`.
     pub fn synth_module(&self, ctx: &mut Ctx, m: &Module) -> TcResult<ModTyping> {
+        let _j = recmod_telemetry::judgement_span("kernel.synth_module");
         let _depth = self.descend("synth_module")?;
         self.burn(crate::stats::FuelOp::ModuleTyping)?;
         let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", crate::show::module(m)));
@@ -96,6 +97,7 @@ impl Tc {
 
     /// `Γ ⊢ M : S` — checks `M` against an expected signature.
     pub fn check_module(&self, ctx: &mut Ctx, m: &Module, s: &Sig) -> TcResult<ModTyping> {
+        let _j = recmod_telemetry::judgement_span("kernel.check_module");
         let _depth = self.descend("check_module")?;
         let target = self.resolve_sig(ctx, s)?;
         let mt = self.synth_module(ctx, m)?;
@@ -114,6 +116,7 @@ impl Tc {
     /// Fails with [`TypeError::OpaqueStaticPart`] for modules sealed with
     /// a signature whose static part has no definition.
     pub fn static_part(&self, ctx: &mut Ctx, m: &Module) -> TcResult<Con> {
+        let _j = recmod_telemetry::judgement_span("kernel.static_part");
         let _depth = self.descend("static_part")?;
         match m {
             Module::Var(i) => Ok(Con::Fst(*i)),

@@ -122,6 +122,7 @@ impl Tc {
     /// `Γ ⊢ S sig` — signature formation. An rds is well-formed exactly
     /// when its Figure-5 resolution is (the two are definitionally equal).
     pub fn wf_sig(&self, ctx: &mut Ctx, s: &Sig) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.wf_sig");
         let _depth = self.descend("wf_sig")?;
         match s {
             Sig::Struct(k, t) => {
@@ -145,6 +146,7 @@ impl Tc {
     /// when the stripped frame kind still depends on the recursive
     /// structure variable.
     pub fn resolve_sig(&self, ctx: &mut Ctx, s: &Sig) -> TcResult<Sig> {
+        let _j = recmod_telemetry::judgement_span("kernel.resolve_sig");
         let _depth = self.descend("resolve_sig")?;
         match s {
             Sig::Struct(_, _) => Ok(s.clone()),
@@ -198,6 +200,7 @@ impl Tc {
     /// `Γ ⊢ S₁ = S₂ sig` — signature equivalence (rds's are compared via
     /// their resolutions, which is the content of the Figure-5 equation).
     pub fn sig_eq(&self, ctx: &mut Ctx, s1: &Sig, s2: &Sig) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.sig_eq");
         let a = self.resolve_sig(ctx, s1)?;
         let b = self.resolve_sig(ctx, s2)?;
         match (&a, &b) {
@@ -215,6 +218,7 @@ impl Tc {
     /// parts (forgetting type definitions), subtyping on the dynamic
     /// parts (with the common context using the more precise kind).
     pub fn sig_sub(&self, ctx: &mut Ctx, s1: &Sig, s2: &Sig) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.sig_sub");
         let _depth = self.descend("sig_sub")?;
         let a = self.resolve_sig(ctx, s1)?;
         let b = self.resolve_sig(ctx, s2)?;

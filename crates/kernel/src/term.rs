@@ -51,6 +51,7 @@ impl Tc {
     /// `Γ ⊢ e : σ` and `Γ ⊢ e ⇓ σ` — synthesizes the principal type and
     /// valuability of `e`.
     pub fn synth_term(&self, ctx: &mut Ctx, e: &Term) -> TcResult<Typing> {
+        let _j = recmod_telemetry::judgement_span("kernel.synth_term");
         let _depth = self.descend("synth_term")?;
         self.burn(crate::stats::FuelOp::TermTyping)?;
         let _trace = recmod_telemetry::trace_span(|| format!("{} : ?", crate::show::term(e)));
@@ -259,6 +260,7 @@ impl Tc {
 
     /// `Γ ⊢ e : σ` — checks a term against an expected type.
     pub fn check_term(&self, ctx: &mut Ctx, e: &Term, t: &Ty) -> TcResult<Typing> {
+        let _j = recmod_telemetry::judgement_span("kernel.check_term");
         let _depth = self.descend("check_term")?;
         let typing = self.synth_term(ctx, e)?;
         self.ty_sub(ctx, &typing.ty, t)?;

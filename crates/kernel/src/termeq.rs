@@ -31,6 +31,7 @@ impl Tc {
     /// `Γ ⊢ e₁ = e₂` — bounded βη equality (see module docs). The terms
     /// are assumed well-typed at a common type.
     pub fn term_eq(&self, ctx: &mut Ctx, e1: &Term, e2: &Term) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.term_eq");
         let _depth = self.descend("term_eq")?;
         self.burn(crate::stats::FuelOp::TermEq)?;
         let a = self.term_whnf(e1)?;

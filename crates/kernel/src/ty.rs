@@ -22,6 +22,7 @@ use crate::Tc;
 impl Tc {
     /// `Γ ⊢ σ type` — type formation.
     pub fn wf_ty(&self, ctx: &mut Ctx, t: &Ty) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.wf_ty");
         let _depth = self.descend("wf_ty")?;
         match t {
             Ty::Con(c) => self.check_con(ctx, c, &recmod_syntax::ast::Kind::Type),
@@ -40,6 +41,7 @@ impl Tc {
     /// Weak-head normalizes a type, surfacing structure hidden inside a
     /// monotype embedding.
     pub fn expose(&self, ctx: &mut Ctx, t: &Ty) -> TcResult<Ty> {
+        let _j = recmod_telemetry::judgement_span("kernel.expose");
         match t {
             Ty::Con(c) => {
                 let w = self.whnf(ctx, c)?;
@@ -63,6 +65,7 @@ impl Tc {
     /// Used by elimination forms (application, projection, `case`) so
     /// that a value of type `μt.int ⇀ t` can be applied directly.
     pub fn expose_deep(&self, ctx: &mut Ctx, t: &Ty) -> TcResult<Ty> {
+        let _j = recmod_telemetry::judgement_span("kernel.expose_deep");
         let _depth = self.descend("expose_deep")?;
         let mut e = self.expose(ctx, t)?;
         while let Ty::Con(c) = &e {
@@ -86,6 +89,7 @@ impl Tc {
 
     /// `Γ ⊢ σ₁ = σ₂ type` — type equivalence.
     pub fn ty_eq(&self, ctx: &mut Ctx, t1: &Ty, t2: &Ty) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.ty_eq");
         let _depth = self.descend("ty_eq")?;
         self.burn(crate::stats::FuelOp::TypeEquiv)?;
         let mut a = self.expose(ctx, t1)?;
@@ -131,6 +135,7 @@ impl Tc {
     /// `σ₁ ≤ σ₂` — subtyping: `→ ≤ ⇀` with contravariant domains,
     /// covariant products, invariant `∀`-kinds, equivalence on monotypes.
     pub fn ty_sub(&self, ctx: &mut Ctx, t1: &Ty, t2: &Ty) -> TcResult<()> {
+        let _j = recmod_telemetry::judgement_span("kernel.ty_sub");
         let _depth = self.descend("ty_sub")?;
         self.burn(crate::stats::FuelOp::Subtype)?;
         let mut a = self.expose(ctx, t1)?;

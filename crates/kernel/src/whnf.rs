@@ -236,6 +236,7 @@ impl Tc {
     /// Fails on fuel exhaustion or on ill-sorted input (e.g. applying a
     /// constructor whose natural kind is not a `Π`).
     pub fn whnf(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
+        let _j = recmod_telemetry::judgement_span("kernel.whnf");
         let _depth = self.descend("whnf")?;
         let _trace = recmod_telemetry::trace_span(|| format!("whnf {}", crate::show::con(c)));
         let key = (ctx.stamp(), hc(c.clone()).id());
@@ -336,6 +337,7 @@ impl Tc {
     ///
     /// Returns `Ok(None)` if `c` is not a path.
     pub fn natural_kind(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Option<Kind>> {
+        let _j = recmod_telemetry::judgement_span("kernel.natural_kind");
         let _depth = self.descend("natural_kind")?;
         match c {
             Con::Var(i) => Ok(Some(ctx.lookup_con(*i)?)),

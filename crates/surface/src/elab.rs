@@ -401,6 +401,7 @@ impl Elaborator {
 
     /// Elaborates a surface type to a monotype constructor.
     pub fn elab_ty(&mut self, t: &TyExp) -> SurfaceResult<Con> {
+        let _j = recmod_telemetry::judgement_span("surface.elab_ty");
         self.with_depth(t.span(), |this| this.elab_ty_inner(t))
     }
 

@@ -66,6 +66,7 @@ impl Elaborator {
 
     /// Elaborates one declaration into the accumulator.
     pub(crate) fn elab_dec(&mut self, dec: &Dec, acc: &mut BodyAcc) -> SurfaceResult<()> {
+        let _j = recmod_telemetry::judgement_span("surface.elab_dec");
         self.with_depth(dec.span(), |this| this.elab_dec_inner(dec, acc))
     }
 
@@ -260,6 +261,7 @@ impl Elaborator {
 
     /// Elaborates an expression to an internal term at the current depth.
     pub fn elab_exp(&mut self, e: &Exp) -> SurfaceResult<Term> {
+        let _j = recmod_telemetry::judgement_span("surface.elab_exp");
         self.with_depth(e.span(), |this| this.elab_exp_inner(e))
     }
 

@@ -27,6 +27,7 @@ impl Elaborator {
     /// result is a non-rds template (an rds wrapper is added by the
     /// recursive-binding elaboration, which supplies the ρ binder).
     pub fn elab_sigexp(&mut self, se: &SigExp) -> SurfaceResult<SigTemplate> {
+        let _j = recmod_telemetry::judgement_span("surface.elab_sigexp");
         self.with_depth(se.span(), |this| this.elab_sigexp_inner(se))
     }
 

@@ -34,6 +34,7 @@ impl Elaborator {
     /// Elaborates a structure expression to an inline view at the
     /// current depth (static tuple, dynamic term, shape).
     pub fn elab_strexp(&mut self, se: &StrExp) -> SurfaceResult<StructEntity> {
+        let _j = recmod_telemetry::judgement_span("surface.elab_strexp");
         self.with_depth(se.span(), |this| this.elab_strexp_inner(se))
     }
 
@@ -302,6 +303,7 @@ impl Elaborator {
     /// Elaborates one top-level declaration, extending the context,
     /// environment, and binding list.
     pub fn elab_topdec(&mut self, dec: &TopDec) -> SurfaceResult<()> {
+        let _j = recmod_telemetry::judgement_span("surface.elab_topdec");
         self.with_depth(dec.span(), |this| this.elab_topdec_inner(dec))
     }
 

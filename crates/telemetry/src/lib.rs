@@ -21,7 +21,43 @@
 //! Because the sink is thread-local, an evaluation running on a
 //! dedicated big-stack thread must install its own sink and ship the
 //! resulting [`Report`] back (reports are `Send`); [`Report::absorb`]
-//! merges two reports.
+//! is the **single** merge implementation — [`Report::merge`] folds a
+//! sequence of reports with it, and nothing else re-implements counter
+//! or span merging.
+//!
+//! # Counter naming convention
+//!
+//! Counter names are dotted paths, `namespace.rest[.rest…]`, where the
+//! namespace identifies the layer that owns the counter (see
+//! [`names`]):
+//!
+//! | namespace    | layer                                             |
+//! |--------------|---------------------------------------------------|
+//! | `kernel.*`   | the type-theory kernel (fuel, caches, unrolls)    |
+//! | `syntax.*`   | the hash-consing interner                         |
+//! | `surface.*`  | lexer / parser / elaborator                       |
+//! | `phase.*`    | the phase splitter and verifier                   |
+//! | `eval.*`     | the interpreter                                   |
+//! | `driver.*`   | the parallel batch driver                         |
+//! | `stage.*`    | pipeline stage timers (written by [`stage`])      |
+//! | `internal.*` | last-resort accounting (caught panics, …)         |
+//!
+//! Names ending in `.hwm` are high-water marks and merge with `max`
+//! rather than `+`; names ending in `.nanos` are wall-clock derived and
+//! excluded from the deterministic cost model (see `bench_json
+//! --costs`).
+//!
+//! # Profiling
+//!
+//! When [`Config::profile`] is set, two extra things happen: every
+//! [`judgement_span`] records a real span (they are inert otherwise, so
+//! `--stats` runs are not flooded with per-judgement nodes), and every
+//! [`stage`] frame additionally records a span, so the span tree holds
+//! complete-duration events for the whole pipeline. Spans carry a start
+//! offset relative to the sink's *epoch* — [`Config::epoch`] lets a
+//! batch driver hand every worker the same epoch so their span lanes
+//! share one clock. [`sample`] appends counter-track samples
+//! (timestamped counter snapshots) for trace exporters.
 //!
 //! # Example
 //!
@@ -31,24 +67,38 @@
 //! telemetry::install(telemetry::Config::default());
 //! {
 //!     let _outer = telemetry::span("compile");
-//!     telemetry::count("parser.tokens", 42);
+//!     telemetry::count("surface.tokens", 42);
 //! }
 //! let report = telemetry::uninstall().unwrap();
-//! assert_eq!(report.counter("parser.tokens"), 42);
+//! assert_eq!(report.counter("surface.tokens"), 42);
 //! assert_eq!(report.spans[0].name, "compile");
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chrome_trace;
 pub mod json;
 pub mod limits;
+pub mod names;
+pub mod profile;
 
 pub use limits::{parse_limits_spec, LimitExceeded, LimitKind, Limits};
 
 use std::cell::{Cell, RefCell};
 use std::collections::BTreeMap;
 use std::time::Instant;
+
+/// Version stamped into every JSON document this workspace emits
+/// (`--stats=json`, `bench_json`, trace/log/cost files). Bump on any
+/// breaking change to a schema; golden tests assert the current value.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// Span-node budget used by profiling configs: judgement-level spans
+/// are orders of magnitude more numerous than stage spans, so the
+/// profiling cap is far above [`Config::default`]'s. Drops beyond it
+/// are still counted in [`Report::spans_dropped`].
+pub const PROFILE_SPAN_MAX_NODES: usize = 1_000_000;
 
 // ---------------------------------------------------------------------
 // Thread-local sink state
@@ -59,6 +109,8 @@ thread_local! {
     static ACTIVE: Cell<bool> = const { Cell::new(false) };
     /// Fast-path flag: is derivation tracing requested?
     static TRACING: Cell<bool> = const { Cell::new(false) };
+    /// Fast-path flag: are judgement-level profile spans requested?
+    static PROFILING: Cell<bool> = const { Cell::new(false) };
     static SINK: RefCell<Option<Sink>> = const { RefCell::new(None) };
     /// Open stage frames (see [`stage`]): start instant plus nanoseconds
     /// already attributed to nested stages, so each stage records its
@@ -78,6 +130,13 @@ pub struct Config {
     /// Maximum number of span nodes retained; further spans still time
     /// their parents correctly but are not recorded individually.
     pub span_max_nodes: usize,
+    /// Record judgement-level profile spans ([`judgement_span`]) and
+    /// mirror [`stage`] frames as spans, for `--profile`/`--profile-text`.
+    pub profile: bool,
+    /// The instant span start offsets are measured from. `None` (the
+    /// default) uses the [`install`] time; a batch driver passes one
+    /// shared instant so every worker's spans live on the same clock.
+    pub epoch: Option<Instant>,
 }
 
 impl Default for Config {
@@ -86,6 +145,8 @@ impl Default for Config {
             trace_depth: None,
             trace_max_lines: 10_000,
             span_max_nodes: 10_000,
+            profile: false,
+            epoch: None,
         }
     }
 }
@@ -98,17 +159,41 @@ impl Config {
             ..Config::default()
         }
     }
+
+    /// A config with judgement-level profiling enabled (and the span
+    /// budget raised to [`PROFILE_SPAN_MAX_NODES`]).
+    pub fn profiled() -> Self {
+        Config {
+            profile: true,
+            span_max_nodes: PROFILE_SPAN_MAX_NODES,
+            ..Config::default()
+        }
+    }
 }
 
-/// One recorded span: a name, its wall-clock duration, and children.
+/// One recorded span: a name, when it started (relative to the sink's
+/// epoch), its wall-clock duration, and children.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Span {
     /// The span label.
     pub name: &'static str,
+    /// Start offset in nanoseconds since the sink's epoch.
+    pub start_nanos: u64,
     /// Elapsed wall-clock nanoseconds.
     pub nanos: u64,
     /// Nested spans, in completion order.
     pub children: Vec<Span>,
+}
+
+/// One counter-track sample: selected counter values at one instant,
+/// recorded by [`sample`] (e.g. at batch file boundaries) so trace
+/// exporters can draw counters over time.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CounterSample {
+    /// Sample time in nanoseconds since the sink's epoch.
+    pub nanos: u64,
+    /// `(counter name, value at sample time)` pairs.
+    pub values: Vec<(&'static str, u64)>,
 }
 
 /// An open span: children accumulate until the guard closes it.
@@ -131,11 +216,14 @@ pub struct TraceLine {
 #[derive(Debug)]
 struct Sink {
     config: Config,
+    /// The instant span/sample offsets are measured from.
+    epoch: Instant,
     counters: BTreeMap<&'static str, u64>,
     span_roots: Vec<Span>,
     span_stack: Vec<OpenSpan>,
     span_nodes: usize,
     span_dropped: u64,
+    samples: Vec<CounterSample>,
     trace_lines: Vec<TraceLine>,
     trace_depth: usize,
     trace_dropped: u64,
@@ -143,17 +231,25 @@ struct Sink {
 
 impl Sink {
     fn new(config: Config) -> Self {
+        let epoch = config.epoch.unwrap_or_else(Instant::now);
         Sink {
             config,
+            epoch,
             counters: BTreeMap::new(),
             span_roots: Vec::new(),
             span_stack: Vec::new(),
             span_nodes: 0,
             span_dropped: 0,
+            samples: Vec::new(),
             trace_lines: Vec::new(),
             trace_depth: 0,
             trace_dropped: 0,
         }
+    }
+
+    /// Nanoseconds from the sink's epoch to `at` (0 if `at` predates it).
+    fn since_epoch(&self, at: Instant) -> u64 {
+        at.saturating_duration_since(self.epoch).as_nanos() as u64
     }
 
     fn into_report(mut self) -> Report {
@@ -162,6 +258,7 @@ impl Sink {
         while let Some(open) = self.span_stack.pop() {
             let span = Span {
                 name: open.name,
+                start_nanos: self.since_epoch(open.start),
                 nanos: open.start.elapsed().as_nanos() as u64,
                 children: open.children,
             };
@@ -174,6 +271,7 @@ impl Sink {
             counters: self.counters,
             spans: self.span_roots,
             spans_dropped: self.span_dropped,
+            samples: self.samples,
             trace: self.trace_lines,
             trace_dropped: self.trace_dropped,
         }
@@ -189,6 +287,8 @@ pub struct Report {
     pub spans: Vec<Span>,
     /// Spans not recorded because the node limit was hit.
     pub spans_dropped: u64,
+    /// Counter-track samples recorded by [`sample`], in time order.
+    pub samples: Vec<CounterSample>,
     /// Recorded derivation-trace lines, in emission order.
     pub trace: Vec<TraceLine>,
     /// Trace lines not recorded because of the depth or width limits.
@@ -201,20 +301,17 @@ impl Report {
         self.counters.get(name).copied().unwrap_or(0)
     }
 
-    /// Merges `other` into `self`: counters add (high-water marks take
-    /// the max — names ending in `.hwm` are treated as marks), spans
-    /// and trace lines append.
+    /// Merges `other` into `self`: counters merge per
+    /// [`merge_counter`] (add, except `.hwm` marks which take the max),
+    /// spans, samples, and trace lines append. This is the single merge
+    /// implementation — [`Report::merge`] folds with it.
     pub fn absorb(&mut self, other: Report) {
         for (k, v) in other.counters {
-            let slot = self.counters.entry(k).or_insert(0);
-            if k.ends_with(".hwm") {
-                *slot = (*slot).max(v);
-            } else {
-                *slot += v;
-            }
+            merge_counter(self.counters.entry(k).or_insert(0), k, v);
         }
         self.spans.extend(other.spans);
         self.spans_dropped += other.spans_dropped;
+        self.samples.extend(other.samples);
         self.trace.extend(other.trace);
         self.trace_dropped += other.trace_dropped;
     }
@@ -243,10 +340,23 @@ impl Report {
 // Install / uninstall
 // ---------------------------------------------------------------------
 
+/// The merge rule for one counter: `.hwm` marks take the max, everything
+/// else adds. Both [`Report::absorb`] and the sink's own accumulation
+/// route through this, so there is exactly one definition of "merge".
+#[inline]
+pub fn merge_counter(slot: &mut u64, name: &str, v: u64) {
+    if name.ends_with(".hwm") {
+        *slot = (*slot).max(v);
+    } else {
+        *slot += v;
+    }
+}
+
 /// Installs a fresh sink on the current thread, replacing (and
 /// discarding) any previous one.
 pub fn install(config: Config) {
     TRACING.with(|t| t.set(config.trace_depth.is_some()));
+    PROFILING.with(|p| p.set(config.profile));
     ACTIVE.with(|a| a.set(true));
     SINK.with(|s| *s.borrow_mut() = Some(Sink::new(config)));
 }
@@ -255,6 +365,7 @@ pub fn install(config: Config) {
 pub fn uninstall() -> Option<Report> {
     ACTIVE.with(|a| a.set(false));
     TRACING.with(|t| t.set(false));
+    PROFILING.with(|p| p.set(false));
     SINK.with(|s| s.borrow_mut().take()).map(Sink::into_report)
 }
 
@@ -271,6 +382,12 @@ pub fn enabled() -> bool {
 #[inline]
 pub fn trace_enabled() -> bool {
     TRACING.with(|t| t.get())
+}
+
+/// Are judgement-level profile spans requested ([`Config::profile`])?
+#[inline]
+pub fn profiling_enabled() -> bool {
+    PROFILING.with(|p| p.get())
 }
 
 fn with_sink<R>(f: impl FnOnce(&mut Sink) -> R) -> Option<R> {
@@ -302,6 +419,46 @@ pub fn count_max(name: &'static str, v: u64) {
     }
 }
 
+/// Nanoseconds from the installed sink's epoch to `at` (`None` without
+/// a sink). Batch drivers stamp per-file start offsets with this so
+/// file events line up with the sink's spans on a shared timeline;
+/// passing the same `Instant` used for duration measurement makes
+/// `start + dur` of consecutive events on one thread non-overlapping
+/// by construction.
+pub fn epoch_offset_nanos(at: Instant) -> Option<u64> {
+    with_sink(|s| s.since_epoch(at))
+}
+
+/// A snapshot of every counter's current value (`None` without a sink).
+/// Batch drivers subtract two snapshots to attribute counters to one
+/// file; the map is small (tens of entries), so the clone is cheap
+/// relative to compiling a file.
+pub fn snapshot_counters() -> Option<BTreeMap<&'static str, u64>> {
+    if !enabled() {
+        return None;
+    }
+    with_sink(|s| s.counters.clone())
+}
+
+/// Records a counter-track sample: the current values of `names` (as
+/// recorded by [`count`]) plus caller-computed `extra` pairs (gauges the
+/// sink cannot see, e.g. interner occupancy), stamped with the time
+/// since the sink's epoch. No-op without a sink.
+pub fn sample(names: &[&'static str], extra: &[(&'static str, u64)]) {
+    if !enabled() {
+        return;
+    }
+    with_sink(|s| {
+        let nanos = s.since_epoch(Instant::now());
+        let mut values: Vec<(&'static str, u64)> = names
+            .iter()
+            .map(|&n| (n, s.counters.get(n).copied().unwrap_or(0)))
+            .collect();
+        values.extend_from_slice(extra);
+        s.samples.push(CounterSample { nanos, values });
+    });
+}
+
 // ---------------------------------------------------------------------
 // Spans
 // ---------------------------------------------------------------------
@@ -323,6 +480,19 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard { active: true }
 }
 
+/// Opens a judgement-level profile span. Unlike [`span`], this is inert
+/// unless [`Config::profile`] was set: judgement spans fire once per
+/// judgement *instance* (like derivation tracing), far too many nodes
+/// for a plain `--stats` run to carry.
+#[must_use = "a span measures until the guard is dropped"]
+#[inline]
+pub fn judgement_span(name: &'static str) -> SpanGuard {
+    if !profiling_enabled() {
+        return SpanGuard { active: false };
+    }
+    span(name)
+}
+
 /// Guard for an open [`span`]; closes the span when dropped.
 #[derive(Debug)]
 pub struct SpanGuard {
@@ -341,6 +511,7 @@ impl Drop for SpanGuard {
             };
             let node = Span {
                 name: open.name,
+                start_nanos: s.since_epoch(open.start),
                 nanos: open.start.elapsed().as_nanos() as u64,
                 children: open.children,
             };
@@ -396,14 +567,25 @@ pub fn stage<R>(name: &'static str, f: impl FnOnce() -> R) -> R {
 
 /// Guard for an open [`stage`]; attributes the self time when dropped
 /// (including on unwind, so a panicking batch item cannot corrupt the
-/// frame stack of a long-lived worker sink).
+/// frame stack of a long-lived worker sink). In profile mode the stage
+/// is mirrored as a span, so the exported span tree carries
+/// complete-duration events for every pipeline stage.
 #[derive(Debug)]
 struct StageGuard {
     active: bool,
+    /// Mirror span, live only when [`Config::profile`] is set. Declared
+    /// after `active` so it closes after the stage frame is attributed —
+    /// either order is correct (span and stage stacks are independent).
+    _span: SpanGuard,
 }
 
 impl StageGuard {
     fn open(name: &'static str) -> StageGuard {
+        let _span = if profiling_enabled() {
+            span(name)
+        } else {
+            SpanGuard { active: false }
+        };
         STAGES.with(|s| {
             s.borrow_mut().push(StageFrame {
                 name,
@@ -411,7 +593,10 @@ impl StageGuard {
                 child_nanos: 0,
             })
         });
-        StageGuard { active: true }
+        StageGuard {
+            active: true,
+            _span,
+        }
     }
 }
 
@@ -749,6 +934,111 @@ mod tests {
         assert_eq!(merged.counter("worker.files"), 6);
         assert_eq!(merged.counter("peak.hwm"), 30);
         assert_eq!(merged.stage_totals()["parse"].calls, 3);
+    }
+
+    #[test]
+    fn judgement_spans_are_inert_without_profile_mode() {
+        install(Config::default());
+        {
+            let _g = judgement_span("kernel.whnf");
+        }
+        let r = uninstall().unwrap();
+        assert!(r.spans.is_empty());
+
+        install(Config::profiled());
+        {
+            let _g = judgement_span("kernel.whnf");
+        }
+        let r = uninstall().unwrap();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "kernel.whnf");
+    }
+
+    #[test]
+    fn profile_mode_mirrors_stages_as_spans() {
+        install(Config::profiled());
+        stage("stage.parse", || {
+            let _j = judgement_span("kernel.whnf");
+        });
+        let r = uninstall().unwrap();
+        assert_eq!(r.spans.len(), 1);
+        assert_eq!(r.spans[0].name, "stage.parse");
+        assert_eq!(r.spans[0].children[0].name, "kernel.whnf");
+        // The stage counters are recorded exactly as in non-profile mode.
+        assert_eq!(r.stage_totals()["parse"].calls, 1);
+    }
+
+    #[test]
+    fn span_starts_are_monotone_and_contained() {
+        install(Config::profiled());
+        {
+            let _outer = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+            let _inner = span("inner");
+        }
+        let r = uninstall().unwrap();
+        let outer = &r.spans[0];
+        let inner = &outer.children[0];
+        assert!(inner.start_nanos >= outer.start_nanos);
+        assert!(inner.start_nanos + inner.nanos <= outer.start_nanos + outer.nanos);
+    }
+
+    #[test]
+    fn samples_capture_counters_and_extras() {
+        install(Config::default());
+        count("kernel.whnf_cache_hit", 3);
+        sample(
+            &["kernel.whnf_cache_hit", "kernel.untouched"],
+            &[("syntax.intern_occupancy", 17)],
+        );
+        count("kernel.whnf_cache_hit", 2);
+        sample(&["kernel.whnf_cache_hit"], &[]);
+        let r = uninstall().unwrap();
+        assert_eq!(r.samples.len(), 2);
+        assert_eq!(
+            r.samples[0].values,
+            vec![
+                ("kernel.whnf_cache_hit", 3),
+                ("kernel.untouched", 0),
+                ("syntax.intern_occupancy", 17),
+            ]
+        );
+        assert_eq!(r.samples[1].values, vec![("kernel.whnf_cache_hit", 5)]);
+        assert!(r.samples[1].nanos >= r.samples[0].nanos);
+    }
+
+    #[test]
+    fn snapshot_counters_subtracts_into_deltas() {
+        install(Config::default());
+        count("driver.files", 2);
+        let before = snapshot_counters().unwrap();
+        count("driver.files", 3);
+        count("kernel.whnf_cache_hit", 1);
+        let after = snapshot_counters().unwrap();
+        let _ = uninstall();
+        let delta = |name: &str| {
+            after.get(name).copied().unwrap_or(0) - before.get(name).copied().unwrap_or(0)
+        };
+        assert_eq!(delta("driver.files"), 3);
+        assert_eq!(delta("kernel.whnf_cache_hit"), 1);
+    }
+
+    #[test]
+    fn shared_epoch_aligns_two_sinks() {
+        let epoch = Instant::now();
+        let mk = || Config {
+            epoch: Some(epoch),
+            ..Config::profiled()
+        };
+        install(mk());
+        std::thread::sleep(std::time::Duration::from_millis(2));
+        {
+            let _s = span("late");
+        }
+        let r = uninstall().unwrap();
+        // The span started well after the shared epoch, so its offset
+        // reflects the wait, not the install time.
+        assert!(r.spans[0].start_nanos >= 1_000_000);
     }
 
     #[test]

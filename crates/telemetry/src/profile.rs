@@ -1,0 +1,248 @@
+//! Flat and top-down text profiles computed from a recorded span tree.
+//!
+//! The span tree ([`Report::spans`](crate::Report)) holds one node per
+//! judgement instance / stage entry. This module folds it two ways:
+//!
+//! * [`flat`] — per span *name*: call count, **total** time (wall clock
+//!   while at least one span of that name is open — recursion-aware, so
+//!   a judgement that re-enters itself is not double-counted), and
+//!   **self** time (the span's time minus its direct children's). Self
+//!   times over a tree always sum to the roots' total, so a flat
+//!   profile partitions the instrumented wall clock.
+//! * [`top_down`] — the tree merged by path: every distinct root→node
+//!   name path becomes one row with aggregated calls/total/self, which
+//!   reads like a callgraph profile.
+//!
+//! Both have renderers used by `recmodc --profile-text`.
+
+use std::collections::BTreeMap;
+
+use crate::Span;
+
+/// One row of a flat profile.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FlatEntry {
+    /// The span name this row aggregates.
+    pub name: &'static str,
+    /// Number of spans with this name.
+    pub calls: u64,
+    /// Recursion-aware total nanoseconds: a span's time counts only
+    /// when no ancestor shares its name.
+    pub total_nanos: u64,
+    /// Nanoseconds not attributed to any child span.
+    pub self_nanos: u64,
+}
+
+/// Computes the flat profile of a span forest, sorted by descending
+/// self time (ties broken by name for determinism).
+pub fn flat(spans: &[Span]) -> Vec<FlatEntry> {
+    let mut acc: BTreeMap<&'static str, FlatEntry> = BTreeMap::new();
+    let mut open: Vec<&'static str> = Vec::new();
+    for s in spans {
+        walk_flat(s, &mut acc, &mut open);
+    }
+    let mut rows: Vec<FlatEntry> = acc.into_values().collect();
+    rows.sort_by(|a, b| b.self_nanos.cmp(&a.self_nanos).then(a.name.cmp(b.name)));
+    rows
+}
+
+fn walk_flat(
+    span: &Span,
+    acc: &mut BTreeMap<&'static str, FlatEntry>,
+    open: &mut Vec<&'static str>,
+) {
+    let child_nanos: u64 = span.children.iter().map(|c| c.nanos).sum();
+    let entry = acc.entry(span.name).or_insert(FlatEntry {
+        name: span.name,
+        calls: 0,
+        total_nanos: 0,
+        self_nanos: 0,
+    });
+    entry.calls += 1;
+    entry.self_nanos += span.nanos.saturating_sub(child_nanos);
+    if !open.contains(&span.name) {
+        entry.total_nanos += span.nanos;
+    }
+    open.push(span.name);
+    for c in &span.children {
+        walk_flat(c, acc, open);
+    }
+    open.pop();
+}
+
+/// The sum of all self times in a forest — equal to the sum of the
+/// roots' durations (what the instrumented region actually measured).
+pub fn self_total(spans: &[Span]) -> u64 {
+    spans.iter().map(|s| s.nanos).sum()
+}
+
+/// One node of a merged top-down profile: all spans reached by the same
+/// root→here name path, aggregated.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct TreeNode {
+    /// Number of spans merged into this node.
+    pub calls: u64,
+    /// Summed durations of the merged spans.
+    pub total_nanos: u64,
+    /// Summed self times (duration minus direct children).
+    pub self_nanos: u64,
+    /// Children keyed by span name.
+    pub children: BTreeMap<&'static str, TreeNode>,
+}
+
+/// Merges a span forest into a top-down profile tree. The returned map
+/// is the root level, keyed by root span name.
+pub fn top_down(spans: &[Span]) -> BTreeMap<&'static str, TreeNode> {
+    let mut root: BTreeMap<&'static str, TreeNode> = BTreeMap::new();
+    for s in spans {
+        merge_into(s, &mut root);
+    }
+    root
+}
+
+fn merge_into(span: &Span, level: &mut BTreeMap<&'static str, TreeNode>) {
+    let child_nanos: u64 = span.children.iter().map(|c| c.nanos).sum();
+    let node = level.entry(span.name).or_default();
+    node.calls += 1;
+    node.total_nanos += span.nanos;
+    node.self_nanos += span.nanos.saturating_sub(child_nanos);
+    for c in &span.children {
+        merge_into(c, &mut node.children);
+    }
+}
+
+fn fmt_ms(nanos: u64) -> String {
+    format!("{:.3}", nanos as f64 / 1e6)
+}
+
+/// Renders a flat profile as an aligned table. `wall_nanos`, when
+/// known, adds a `% wall` column (self time over the whole run).
+pub fn render_flat(rows: &[FlatEntry], wall_nanos: Option<u64>) -> String {
+    let mut out = String::new();
+    out.push_str("flat profile (self time, descending):\n");
+    out.push_str("      self ms     total ms        calls  name\n");
+    for r in rows {
+        let pct = match wall_nanos {
+            Some(w) if w > 0 => format!("  {:5.1}%", r.self_nanos as f64 * 100.0 / w as f64),
+            _ => String::new(),
+        };
+        out.push_str(&format!(
+            "{:>12} {:>12} {:>12}  {}{}\n",
+            fmt_ms(r.self_nanos),
+            fmt_ms(r.total_nanos),
+            r.calls,
+            r.name,
+            pct
+        ));
+    }
+    out
+}
+
+/// Renders a top-down profile as an indented tree, children sorted by
+/// descending total time, pruned below `min_nanos`.
+pub fn render_top_down(root: &BTreeMap<&'static str, TreeNode>, min_nanos: u64) -> String {
+    let mut out = String::new();
+    out.push_str("top-down profile (total ms / self ms / calls):\n");
+    render_level(root, 0, min_nanos, &mut out);
+    out
+}
+
+fn render_level(
+    level: &BTreeMap<&'static str, TreeNode>,
+    depth: usize,
+    min_nanos: u64,
+    out: &mut String,
+) {
+    let mut entries: Vec<(&&str, &TreeNode)> = level.iter().collect();
+    entries.sort_by(|a, b| b.1.total_nanos.cmp(&a.1.total_nanos).then(a.0.cmp(b.0)));
+    for (name, node) in entries {
+        if node.total_nanos < min_nanos {
+            continue;
+        }
+        for _ in 0..depth {
+            out.push_str("  ");
+        }
+        out.push_str(&format!(
+            "{name}  {} / {} / {}\n",
+            fmt_ms(node.total_nanos),
+            fmt_ms(node.self_nanos),
+            node.calls
+        ));
+        render_level(&node.children, depth + 1, min_nanos, out);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn span(name: &'static str, start: u64, nanos: u64, children: Vec<Span>) -> Span {
+        Span {
+            name,
+            start_nanos: start,
+            nanos,
+            children,
+        }
+    }
+
+    #[test]
+    fn flat_self_times_partition_the_roots() {
+        // outer(100) -> [inner(30) -> [leaf(10)], inner(20)]
+        let tree = vec![span(
+            "outer",
+            0,
+            100,
+            vec![
+                span("inner", 5, 30, vec![span("leaf", 10, 10, vec![])]),
+                span("inner", 40, 20, vec![]),
+            ],
+        )];
+        let rows = flat(&tree);
+        let get = |n: &str| rows.iter().find(|r| r.name == n).unwrap().clone();
+        assert_eq!(get("outer").self_nanos, 50);
+        assert_eq!(get("inner").self_nanos, 40);
+        assert_eq!(get("inner").calls, 2);
+        assert_eq!(get("leaf").self_nanos, 10);
+        let self_sum: u64 = rows.iter().map(|r| r.self_nanos).sum();
+        assert_eq!(self_sum, self_total(&tree));
+    }
+
+    #[test]
+    fn flat_totals_are_recursion_aware() {
+        // rec(100) -> rec(90) -> rec(80): total must be 100, not 270.
+        let tree = vec![span(
+            "rec",
+            0,
+            100,
+            vec![span("rec", 1, 90, vec![span("rec", 2, 80, vec![])])],
+        )];
+        let rows = flat(&tree);
+        assert_eq!(rows[0].total_nanos, 100);
+        assert_eq!(rows[0].calls, 3);
+    }
+
+    #[test]
+    fn top_down_merges_by_path() {
+        let tree = vec![
+            span("a", 0, 50, vec![span("b", 0, 20, vec![])]),
+            span("a", 60, 30, vec![span("b", 60, 10, vec![])]),
+        ];
+        let root = top_down(&tree);
+        let a = &root["a"];
+        assert_eq!(a.calls, 2);
+        assert_eq!(a.total_nanos, 80);
+        assert_eq!(a.self_nanos, 50);
+        assert_eq!(a.children["b"].total_nanos, 30);
+    }
+
+    #[test]
+    fn renderers_mention_every_name() {
+        let tree = vec![span("a", 0, 50, vec![span("b", 0, 20, vec![])])];
+        let flat_text = render_flat(&flat(&tree), Some(100));
+        assert!(flat_text.contains("a"));
+        assert!(flat_text.contains('%'));
+        let td = render_top_down(&top_down(&tree), 0);
+        assert!(td.contains("a"));
+        assert!(td.contains("  b"));
+    }
+}

@@ -29,6 +29,15 @@ cargo test --workspace -q
 echo "== bounded fuzz (2000 seeded iterations) =="
 FUZZ_ITERS=2000 cargo test -q -p recmod-tests --release --test fuzz
 
+echo "== cost-model gate (counters vs tests/golden_costs.json) =="
+# Deterministic per-example counters (fuel, unrolls, cache traffic —
+# never wall clocks) compared against the checked-in baseline. Gating:
+# a drift beyond the declared tolerances fails CI. After an intentional
+# cost change, regenerate with
+#   cargo run --release -p recmod-bench --bin bench_json -- --costs \
+#     > tests/golden_costs.json
+./target/release/bench_json --costs --compare tests/golden_costs.json
+
 echo "== batch smoke (recmodc check --jobs 2 over tests/corpus) =="
 # The parallel driver, end to end through the CLI: the well-typed corpus
 # must exit 0 and the mixed corpus must exit 1 (per-file diagnostics,
@@ -45,6 +54,24 @@ else
   fi
 fi
 echo "batch smoke: ok"
+
+echo "== profile smoke (non-gating) =="
+# The deep-profiling layer end to end: a profiled parallel batch must
+# still exit 0 and produce a parseable Chrome trace and JSONL event
+# log. Timings inside are CI noise, so this only checks shape.
+if ./target/release/recmodc check --jobs 4 --profile=/tmp/ci_trace.json \
+    --log-json=/tmp/ci_log.jsonl tests/corpus/ok >/dev/null 2>/dev/null \
+    && python3 -c '
+import json
+doc = json.load(open("/tmp/ci_trace.json"))
+assert doc["schema_version"] >= 1 and doc["traceEvents"]
+lines = [json.loads(l) for l in open("/tmp/ci_log.jsonl")]
+assert lines and lines[0]["kind"] == "meta"
+' 2>/dev/null; then
+  echo "profile smoke: ok"
+else
+  echo "profile smoke: FAILED (non-gating, continuing)"
+fi
 
 echo "== bench smoke (non-gating) =="
 # A tiny run of the benchmark harness, including one parallel-throughput

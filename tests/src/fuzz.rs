@@ -1,7 +1,7 @@
 //! The seeded fuzzing + differential harness.
 //!
 //! Every case is fully determined by one `u64` seed (SplitMix64), so a
-//! failure report is a reproduction recipe. A seed drives one of five
+//! failure report is a reproduction recipe. A seed drives one of seven
 //! case classes:
 //!
 //! * **Expression differential** — a random well-typed expression
@@ -32,6 +32,12 @@
 //!   and again on one; the outcomes must be byte-identical, no compile
 //!   may panic, and neither the calling thread's interner counters nor
 //!   its telemetry sink may see any bleed from the workers.
+//! * **Profiled differential** — the same (possibly mutated) program is
+//!   compiled with no telemetry sink and under a full profiling sink
+//!   (`Config::profiled`); the verdicts and rendered diagnostics must
+//!   be identical (observation must not perturb the observed), no
+//!   compile may panic, and a successful profiled compile must actually
+//!   record spans.
 //!
 //! The driver ([`run_case`]) reports `Err(description)` on any
 //! disagreement; panics are caught by the caller (`tests/fuzz.rs`)
@@ -704,18 +710,87 @@ fn case_thread_isolation(rng: &mut Rng) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Class 6: profiled differential (observation must not perturb)
+// ---------------------------------------------------------------------
+
+/// One compile on a fresh big-stack thread with a fresh interner and —
+/// when `profiled` — a full profiling sink. Returns the verdict (ok?),
+/// the rendered diagnostics, and whether any spans were recorded.
+/// A fresh thread per compile keeps the verdict a pure function of the
+/// source: neither run can warm the other's thread-local caches.
+fn compile_fresh(src: &str, profiled: bool) -> Result<(bool, Vec<String>, bool), String> {
+    let src = src.to_string();
+    let run = move || {
+        if profiled {
+            recmod::telemetry::install(recmod::telemetry::Config::profiled());
+        }
+        let limits = Limits::strict();
+        let (ok, diagnostics) = match recmod::surface::compile_with_limits(&src, &limits) {
+            Ok(_) => (true, Vec::new()),
+            Err(errors) => (false, errors.iter().map(|e| format!("{e}")).collect()),
+        };
+        let spans = recmod::telemetry::uninstall().is_some_and(|r| !r.spans.is_empty());
+        (ok, diagnostics, spans)
+    };
+    std::thread::Builder::new()
+        .stack_size(recmod::driver::DEFAULT_STACK_SIZE)
+        .spawn(run)
+        .map_err(|e| format!("spawn failed: {e}"))?
+        .join()
+        .map_err(|_| "panic during profiled-differential compile".to_string())
+}
+
+/// Compiles the same program with and without a profiling sink: the
+/// verdicts must be byte-identical (judgement spans, counter samples,
+/// and the raised span cap may observe the pipeline but never steer
+/// it), and a successful profiled compile must record spans.
+fn case_profiled_differential(rng: &mut Rng) -> Result<(), String> {
+    let base = match rng.below(4) {
+        0 => recmod::corpus::OPAQUE_LIST.to_string(),
+        1 => recmod::corpus::TRANSPARENT_LIST.to_string(),
+        2 => recmod::corpus::EXPR_DECL_RDS.to_string(),
+        _ => {
+            let e = gen_exp(rng, &mut Vec::new(), GenTy::Int, 4);
+            let mut src = String::new();
+            render(&e, 0, &mut src);
+            src
+        }
+    };
+    let src = if rng.chance(1, 2) {
+        mutate(rng, &base)
+    } else {
+        base
+    };
+    let (plain_ok, plain_diags, _) = compile_fresh(&src, false)?;
+    let (prof_ok, prof_diags, prof_spans) = compile_fresh(&src, true)?;
+    if plain_ok != prof_ok || plain_diags != prof_diags {
+        return Err(format!(
+            "profiling changed the verdict on {src:?}: \
+             plain ({plain_ok}, {plain_diags:?}) vs profiled ({prof_ok}, {prof_diags:?})"
+        ));
+    }
+    if prof_ok && !prof_spans {
+        return Err(format!(
+            "successful profiled compile recorded no spans on {src:?}"
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
 /// Human-readable class name for a seed (for failure reports).
 pub fn case_class(seed: u64) -> &'static str {
-    match seed % 6 {
+    match seed % 7 {
         0 => "expression-differential",
         1 => "module-differential",
         2 => "ill-formed-input",
         3 => "kernel-mu",
         4 => "intern-differential",
-        _ => "thread-isolation",
+        5 => "thread-isolation",
+        _ => "profiled-differential",
     }
 }
 
@@ -724,13 +799,14 @@ pub fn case_class(seed: u64) -> &'static str {
 /// the caller to catch (they are always bugs).
 pub fn run_case(seed: u64) -> Result<(), String> {
     let mut rng = Rng::new(seed);
-    match seed % 6 {
+    match seed % 7 {
         0 => case_expression_differential(&mut rng),
         1 => case_module_differential(&mut rng),
         2 => case_ill_formed(&mut rng),
         3 => case_kernel_mu(&mut rng),
         4 => case_intern_differential(&mut rng),
-        _ => case_thread_isolation(&mut rng),
+        5 => case_thread_isolation(&mut rng),
+        _ => case_profiled_differential(&mut rng),
     }
 }
 

@@ -127,6 +127,13 @@ fn stats_json_matches_the_documented_schema() {
     // Round-trips through the bundled parser.
     let doc = json::parse(&emitted).expect("emitter produces valid JSON");
 
+    // Every JSON surface carries the telemetry schema version.
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(telemetry::SCHEMA_VERSION),
+        "stats json must declare schema_version"
+    );
+
     // Top-level sections.
     for key in ["kernel", "bindings", "phase", "surface", "eval", "spans"] {
         assert!(doc.get(key).is_some(), "missing top-level key {key}");
