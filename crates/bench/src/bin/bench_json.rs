@@ -22,7 +22,10 @@
 //!   cost model of the corpus (see [`recmod_bench::costs`]);
 //! * `--costs --compare FILE` — compare the cost model against a golden
 //!   baseline and exit `1` if any counter drifted beyond its declared
-//!   tolerance (the regression gate that works on noisy hardware).
+//!   tolerance (the regression gate that works on noisy hardware);
+//! * `--costs --bless` — regenerate the golden baseline in place
+//!   (default `tests/golden_costs.json`; `--compare FILE` overrides the
+//!   destination).
 
 use std::time::Duration;
 
@@ -100,7 +103,10 @@ impl Runner {
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     if args.iter().any(|a| a == "--costs") {
-        run_costs(flag_str(&args, "--compare"));
+        run_costs(
+            flag_str(&args, "--compare"),
+            args.iter().any(|a| a == "--bless"),
+        );
         return;
     }
     let json = args.iter().any(|a| a == "--json");
@@ -231,11 +237,28 @@ fn main() {
 }
 
 /// `--costs`: measure the deterministic cost model and either print it
-/// (no `--compare`) or gate against a golden baseline, exiting `1` on
-/// any counter drift beyond tolerance and `2` on a broken baseline.
-fn run_costs(compare: Option<String>) {
+/// (no `--compare`), regenerate the golden baseline in place
+/// (`--bless`, default path `tests/golden_costs.json`), or gate against
+/// a golden baseline, exiting `1` on any counter drift beyond tolerance
+/// and `2` on a broken baseline.
+fn run_costs(compare: Option<String>, bless: bool) {
     use recmod_bench::costs;
     let model = costs::measure_corpus();
+    if bless {
+        let path = compare.unwrap_or_else(|| "tests/golden_costs.json".to_string());
+        let text = format!("{}\n", costs::to_json(&model).to_pretty());
+        match std::fs::write(&path, text) {
+            Ok(()) => println!(
+                "blessed cost model into {path} ({} example(s))",
+                model.examples.len()
+            ),
+            Err(e) => {
+                eprintln!("bench_json: cannot write {path}: {e}");
+                std::process::exit(2);
+            }
+        }
+        return;
+    }
     let Some(path) = compare else {
         println!("{}", costs::to_json(&model).to_pretty());
         return;

@@ -7,6 +7,7 @@
 //! recmodc check [--jobs N] <file|dir>...   batch-check files/directories
 //! recmodc check --corpus       batch-check the built-in paper corpus
 //! recmodc split <file.rml>     print each binding's phase-split parts
+//! recmodc explain [CODE]       describe a diagnostic error code
 //! recmodc -e "<expr>"          evaluate one expression
 //! ```
 //!
@@ -47,7 +48,17 @@
 //!   (default `judgement`);
 //! * `--log-json FILE` — batch mode: write a structured JSONL event log,
 //!   one event per file (path, outcome, exit class, stage times, counter
-//!   deltas, worker id, steal flag) after a `meta` header line.
+//!   deltas, worker id, steal flag, structured diagnostics) after a
+//!   `meta` header line;
+//! * `--diagnostics=json` — print one schema-versioned JSON document on
+//!   stdout holding every diagnostic (stable code, span, provenance
+//!   chain, expected/found, equation path); never truncated by
+//!   `--max-errors`. Human-readable output moves to stderr. Conflicts
+//!   with `--stats=json` (each claims stdout);
+//! * `--crash-dir DIR` — where limit/internal exits (codes 3 and 4)
+//!   write their crash bundle, a `recmod-crash-<hash>.json` holding the
+//!   flight-recorder tail, counters, limits, and an input hash
+//!   (default: the system temp directory).
 //!
 //! Exit codes: `0` success, `1` program error (syntax/type/runtime),
 //! `2` usage, `3` resource limit hit, `4` internal error (a compiler
@@ -56,6 +67,7 @@
 use std::process::ExitCode;
 
 use recmod::stats::StatsReport;
+use recmod::surface::diag::{self as sdiag, Diagnostic};
 use recmod::surface::SurfaceError;
 use recmod::syntax::pretty::{con_to_string, term_to_string, Names};
 use recmod::telemetry::Limits;
@@ -76,9 +88,11 @@ fn usage() -> ExitCode {
         "usage: recmodc <run|check|split> <file|-> [options]\n       \
          recmodc check [--jobs N] <file|dir>... [options]\n       \
          recmodc check --corpus [options]\n       \
+         recmodc explain [CODE]\n       \
          recmodc -e \"<expression>\" [options]\n\
          options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
-         --max-errors N --stats[=json] --trace[=DEPTH] --jobs N --corpus --cold\n         \
+         --max-errors N --stats[=json] --diagnostics=json --trace[=DEPTH]\n         \
+         --jobs N --corpus --cold --crash-dir DIR\n         \
          --profile[=FILE] --profile-text --profile-by=judgement|stage|file\n         \
          --log-json FILE (batch only)\n\
          exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error"
@@ -129,12 +143,22 @@ struct Options {
     profile_by: ProfileBy,
     /// `--log-json FILE`: batch-mode structured JSONL event log.
     log_json: Option<String>,
+    /// `--diagnostics=json`: structured diagnostics document on stdout.
+    diagnostics: bool,
+    /// `--crash-dir DIR`: where crash bundles land (default: temp dir).
+    crash_dir: Option<String>,
 }
 
 impl Options {
     /// Is any profile output requested (trace file or text profile)?
     fn wants_profile(&self) -> bool {
         self.profile.is_some() || self.profile_text
+    }
+
+    /// Does a machine-readable document own stdout? If so, every
+    /// human-readable line moves to stderr.
+    fn machine_stdout(&self) -> bool {
+        self.stats == StatsMode::Json || self.diagnostics
     }
 
     /// The telemetry configuration implied by the flags, `None` when no
@@ -174,6 +198,8 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         profile_text: false,
         profile_by: ProfileBy::Judgement,
         log_json: None,
+        diagnostics: false,
+        crash_dir: None,
     };
     let mut deadline_ms: Option<u64> = None;
     let mut it = args.into_iter();
@@ -192,6 +218,11 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             }
             "--stats" => opts.stats = StatsMode::Text,
             "--stats=json" => opts.stats = StatsMode::Json,
+            "--diagnostics=json" => opts.diagnostics = true,
+            "--crash-dir" => {
+                let d = it.next().ok_or("--crash-dir needs a directory")?;
+                opts.crash_dir = Some(d);
+            }
             "--profile" => opts.profile = Some("trace.json".to_string()),
             "--profile-text" => opts.profile_text = true,
             "--log-json" => {
@@ -251,12 +282,29 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             _ if a.starts_with("--stats=") => {
                 return Err(format!("unknown stats format: {a} (try --stats=json)"));
             }
+            _ if a.starts_with("--crash-dir=") => {
+                let d = &a["--crash-dir=".len()..];
+                if d.is_empty() {
+                    return Err("--crash-dir= needs a directory".to_string());
+                }
+                opts.crash_dir = Some(d.to_string());
+            }
+            _ if a.starts_with("--diagnostics") => {
+                return Err(format!(
+                    "unknown diagnostics format: {a} (try --diagnostics=json)"
+                ));
+            }
             _ => rest.push(a),
         }
     }
     if let Some(ms) = deadline_ms {
         opts.limits = opts.limits.with_deadline_ms(ms);
         opts.deadline_ms = Some(ms);
+    }
+    if opts.diagnostics && opts.stats == StatsMode::Json {
+        return Err(
+            "--diagnostics=json conflicts with --stats=json (each claims stdout)".to_string(),
+        );
     }
     Ok((rest, opts))
 }
@@ -279,6 +327,25 @@ fn main() -> ExitCode {
     }
 
     match args.as_slice() {
+        [cmd] if cmd.as_str() == "explain" => {
+            for c in sdiag::CODES {
+                println!("{}  {}", c.code, c.summary);
+            }
+            ExitCode::SUCCESS
+        }
+        [cmd, code] if cmd.as_str() == "explain" => match sdiag::explain(code) {
+            Some(c) => {
+                println!("{} — {}", c.code, c.summary);
+                println!("  example: {}", c.example);
+                ExitCode::SUCCESS
+            }
+            None => {
+                eprintln!(
+                    "recmodc: unknown error code: {code} (run `recmodc explain` to list all)"
+                );
+                ExitCode::from(EXIT_USAGE)
+            }
+        },
         [flag, expr] if flag.as_str() == "-e" => run_source("<expr>", expr, &opts, Mode::Run),
         [cmd, paths @ ..] if cmd.as_str() == "check" && wants_batch(paths, &opts) => {
             run_batch(paths, &opts)
@@ -375,11 +442,12 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
     };
     let result = driver::compile_batch(&jobs, &config);
 
-    // With `--stats=json`, stdout must carry exactly one JSON document;
-    // the usual human-readable output moves to stderr.
+    // With `--stats=json` or `--diagnostics=json`, stdout must carry
+    // exactly one JSON document; the usual human-readable output moves
+    // to stderr.
     macro_rules! out {
         ($($t:tt)*) => {
-            if opts.stats == StatsMode::Json {
+            if opts.machine_stdout() {
                 eprintln!($($t)*)
             } else {
                 println!($($t)*)
@@ -410,6 +478,45 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
         result.ok_count(),
         failed
     );
+    let histogram = sdiag::histogram(result.outcomes.iter().flat_map(|o| &o.diags));
+    if !histogram.is_empty() {
+        let parts: Vec<String> = histogram
+            .iter()
+            .map(|(code, n)| format!("{code} x{n}"))
+            .collect();
+        out!("error codes: {}", parts.join(", "));
+    }
+
+    // Crash bundles for limit/internal outcomes; the driver captured
+    // the per-file recorder tail on the worker that compiled the file.
+    // Outcomes come back in input order, so they pair with `jobs`.
+    for (outcome, job) in result.outcomes.iter().zip(&jobs) {
+        if let Some(crash) = &outcome.crash {
+            write_crash_bundle(
+                opts,
+                &outcome.name,
+                &job.source,
+                status_label(outcome.status),
+                outcome.status.exit_code(),
+                crash,
+            );
+        }
+    }
+    if opts.diagnostics {
+        let files: Vec<(&str, &'static str, u8, &[Diagnostic])> = result
+            .outcomes
+            .iter()
+            .map(|o| {
+                (
+                    o.name.as_str(),
+                    status_label(o.status),
+                    o.status.exit_code(),
+                    o.diags.as_slice(),
+                )
+            })
+            .collect();
+        println!("{}", diagnostics_doc(files).to_pretty());
+    }
 
     if opts.trace.is_some() {
         if let Some(r) = &result.merged {
@@ -421,7 +528,7 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
     }
     if opts.profile_text {
         let text = render_batch_profile(&result, opts.profile_by);
-        if opts.stats == StatsMode::Json {
+        if opts.machine_stdout() {
             eprint!("{text}");
         } else {
             print!("{text}");
@@ -432,6 +539,7 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
     }
     match opts.stats {
         StatsMode::Off => {}
+        StatsMode::Text if opts.machine_stdout() => eprint!("{}", render_batch_stats(&result)),
         StatsMode::Text => print!("{}", render_batch_stats(&result)),
         StatsMode::Json => println!("{}", batch_stats_json(&result).to_pretty()),
     }
@@ -547,7 +655,7 @@ fn emit_single_profile(file: &str, opts: &Options, report: &recmod::telemetry::R
     }
     if opts.profile_text {
         let text = render_report_profile(report, opts.profile_by);
-        if opts.stats == StatsMode::Json {
+        if opts.machine_stdout() {
             eprint!("{text}");
         } else {
             print!("{text}");
@@ -610,6 +718,10 @@ fn write_log_json(path: &str, result: &recmod::driver::BatchResult) {
             ("stolen", Json::Bool(o.stolen)),
             ("start_nanos", Json::UInt(o.start_nanos)),
             ("nanos", Json::UInt(o.nanos)),
+            (
+                "diagnostics",
+                Json::Arr(o.diags.iter().map(Diagnostic::to_json).collect()),
+            ),
         ];
         if let Some(counters) = &o.counters {
             // `stage.X.nanos` deltas become the per-file stage times;
@@ -693,6 +805,15 @@ fn batch_stats_json(result: &recmod::driver::BatchResult) -> recmod::telemetry::
         ("workers", Json::UInt(result.workers.len() as u64)),
         ("wall_nanos", Json::UInt(result.wall_nanos)),
         (
+            "error_codes",
+            Json::Obj(
+                sdiag::histogram(result.outcomes.iter().flat_map(|o| &o.diags))
+                    .iter()
+                    .map(|(code, n)| ((*code).to_string(), Json::UInt(*n)))
+                    .collect(),
+            ),
+        ),
+        (
             "per_worker",
             Json::Arr(
                 result
@@ -767,22 +888,35 @@ fn run_pipeline(file: &str, src: &str, opts: &Options, mode: Mode) -> u8 {
     if let Some(config) = telemetry {
         recmod::telemetry::install(config);
     }
+    recmod::telemetry::diag::reset_recorder();
     // The last line of defense: any panic that slips past the
     // structured error paths is a compiler bug, reported as an
     // internal-error diagnostic rather than an unwound process.
     let caught = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
         run_source_inner(file, src, opts, mode)
     }));
-    let (code, observed) = match caught {
+    let (code, observed, diags) = match caught {
         Ok(x) => x,
         Err(payload) => {
             recmod::telemetry::count("internal.panics", 1);
             let msg = panic_message(&payload);
             eprintln!("{file}: internal error: panic: {msg}");
             eprintln!("{file}: this is a bug in recmodc, not in your program");
-            (EXIT_INTERNAL, None)
+            let diag = Diagnostic::internal("I002", format!("panic: {msg}"));
+            (EXIT_INTERNAL, None, vec![diag])
         }
     };
+    // Crash forensics must be captured on this thread (the flight
+    // recorder is thread-local) and before the telemetry sink is
+    // uninstalled (the counter snapshot needs it live).
+    if code == EXIT_LIMIT || code == EXIT_INTERNAL {
+        let crash = recmod::telemetry::diag::crash_data();
+        write_crash_bundle(opts, file, src, exit_status_label(code), code, &crash);
+    }
+    if opts.diagnostics {
+        let doc = diagnostics_doc([(file, exit_status_label(code), code, diags.as_slice())]);
+        println!("{}", doc.to_pretty());
+    }
     let report = if observing {
         recmod::telemetry::uninstall()
     } else {
@@ -801,12 +935,146 @@ fn run_pipeline(file: &str, src: &str, opts: &Options, mode: Mode) -> u8 {
             let stats = StatsReport::collect(&compiled, eval, report);
             match opts.stats {
                 StatsMode::Json => println!("{}", stats.to_json().to_pretty()),
+                StatsMode::Text if opts.machine_stdout() => eprint!("{}", stats.render_text()),
                 StatsMode::Text => print!("{}", stats.render_text()),
                 StatsMode::Off => unreachable!(),
             }
         }
     }
     code
+}
+
+/// The outcome label for a single-file exit code.
+fn exit_status_label(code: u8) -> &'static str {
+    match code {
+        0 => "ok",
+        EXIT_LIMIT => "limit",
+        EXIT_INTERNAL => "internal",
+        _ => "error",
+    }
+}
+
+/// The `--diagnostics=json` document: one schema-versioned object with
+/// a `files` array of `{path, status, exit, diagnostics}` records. The
+/// diagnostics arrays are never truncated by `--max-errors`.
+fn diagnostics_doc<'a>(
+    files: impl IntoIterator<Item = (&'a str, &'static str, u8, &'a [Diagnostic])>,
+) -> recmod::telemetry::json::Json {
+    use recmod::telemetry::json::Json;
+    let entries: Vec<Json> = files
+        .into_iter()
+        .map(|(path, status, exit, diags)| {
+            Json::obj([
+                ("path", Json::str(path)),
+                ("status", Json::str(status)),
+                ("exit", Json::UInt(exit as u64)),
+                (
+                    "diagnostics",
+                    Json::Arr(diags.iter().map(Diagnostic::to_json).collect()),
+                ),
+            ])
+        })
+        .collect();
+    Json::obj([
+        (
+            "schema_version",
+            Json::UInt(recmod::telemetry::SCHEMA_VERSION),
+        ),
+        ("kind", Json::str("diagnostics")),
+        ("files", Json::Arr(entries)),
+    ])
+}
+
+/// FNV-1a over the input; names crash bundles deterministically.
+fn fnv1a(parts: &[&[u8]]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for part in parts {
+        for b in *part {
+            h ^= u64::from(*b);
+            h = h.wrapping_mul(0x100_0000_01b3);
+        }
+        h ^= 0xff; // separator so ("ab","c") and ("a","bc") differ
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// Writes the crash bundle for a limit/internal exit: the flight
+/// recorder tail, a counter snapshot, the limits in force, and an input
+/// hash, as one schema-versioned JSON file under `--crash-dir` (default
+/// the system temp directory). Failure to write is reported but never
+/// changes the exit code — forensics must not mask the original error.
+fn write_crash_bundle(
+    opts: &Options,
+    file: &str,
+    src: &str,
+    status: &'static str,
+    exit: u8,
+    crash: &recmod::telemetry::diag::CrashData,
+) {
+    use recmod::telemetry::json::Json;
+    let dir = opts
+        .crash_dir
+        .as_ref()
+        .map(std::path::PathBuf::from)
+        .unwrap_or_else(std::env::temp_dir);
+    let hash = fnv1a(&[file.as_bytes(), src.as_bytes()]);
+    let path = dir.join(format!("recmod-crash-{hash:016x}.json"));
+    let events: Vec<Json> = crash
+        .events
+        .iter()
+        .map(|e| {
+            Json::obj([
+                ("seq", Json::UInt(e.seq)),
+                ("kind", Json::str(e.kind.label())),
+                ("name", Json::str(e.name)),
+                ("depth", Json::UInt(u64::from(e.depth))),
+            ])
+        })
+        .collect();
+    let limits = &opts.limits;
+    let mut pairs: Vec<(&'static str, Json)> = vec![
+        (
+            "schema_version",
+            Json::UInt(recmod::telemetry::SCHEMA_VERSION),
+        ),
+        ("kind", Json::str("crash")),
+        ("file", Json::str(file)),
+        ("status", Json::str(status)),
+        ("exit", Json::UInt(u64::from(exit))),
+        (
+            "input_fnv1a",
+            Json::Str(format!("{:016x}", fnv1a(&[src.as_bytes()]))),
+        ),
+        (
+            "limits",
+            Json::obj([
+                ("depth", Json::UInt(limits.max_depth as u64)),
+                ("nodes", Json::UInt(limits.max_nodes)),
+                ("fuel", Json::UInt(limits.fuel)),
+                ("eval_fuel", Json::UInt(limits.eval_fuel)),
+                ("eval_depth", Json::UInt(limits.eval_depth)),
+                ("deadline_ms", Json::UInt(limits.deadline_ms)),
+            ]),
+        ),
+        ("recorded", Json::UInt(crash.recorded)),
+        ("recorder", Json::Arr(events)),
+    ];
+    if let Some(counters) = &crash.counters {
+        pairs.push((
+            "counters",
+            Json::Obj(
+                counters
+                    .iter()
+                    .map(|(k, v)| ((*k).to_string(), Json::UInt(*v)))
+                    .collect(),
+            ),
+        ));
+    }
+    match std::fs::write(&path, Json::obj(pairs).to_pretty()) {
+        Ok(()) => eprintln!("crash bundle: wrote {}", path.display()),
+        Err(e) => eprintln!("recmodc: cannot write crash bundle {}: {e}", path.display()),
+    }
 }
 
 fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
@@ -819,37 +1087,47 @@ fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Prints up to `max_errors` diagnostics as `file:line:col: error: …`
-/// and classifies the batch into an exit code: internal errors dominate,
-/// then resource limits, then ordinary program errors.
-fn report_errors(file: &str, src: &str, errors: &[SurfaceError], max_errors: usize) -> u8 {
-    for e in errors.iter().take(max_errors) {
-        let (line, col) = e.span.line_col(src);
-        eprintln!("{file}:{line}:{col}: error: {e}");
+/// Prints up to `max_errors` diagnostics through the shared renderer
+/// (`file:line:col: error: … [CODE]`), classifies them into an exit
+/// code (internal errors dominate, then resource limits, then ordinary
+/// program errors), and hands back the full untruncated structured set.
+fn report_errors(
+    file: &str,
+    src: &str,
+    errors: &[SurfaceError],
+    max_errors: usize,
+) -> (u8, Vec<Diagnostic>) {
+    let diags = sdiag::from_errors(src, errors);
+    for d in diags.iter().take(max_errors) {
+        eprintln!("{}", sdiag::render_line(file, d));
     }
-    if errors.len() > max_errors {
-        eprintln!(
-            "{file}: ... and {} more error(s) (raise --max-errors to see them)",
-            errors.len() - max_errors
-        );
+    if diags.len() > max_errors {
+        eprintln!("{}", sdiag::render_elided(file, diags.len() - max_errors));
     }
-    if errors.iter().any(|e| e.is_internal()) {
+    let code = if errors.iter().any(|e| e.is_internal()) {
         EXIT_INTERNAL
     } else if errors.iter().any(|e| e.is_limit()) {
         EXIT_LIMIT
     } else {
         EXIT_USER
-    }
+    };
+    (code, diags)
 }
 
 type Observed = Option<(recmod::Compiled, Option<recmod::eval::EvalStats>)>;
 
-fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, Observed) {
-    // With `--stats=json`, stdout must carry exactly one JSON document;
-    // the usual human-readable output moves to stderr.
+fn run_source_inner(
+    file: &str,
+    src: &str,
+    opts: &Options,
+    mode: Mode,
+) -> (u8, Observed, Vec<Diagnostic>) {
+    // With `--stats=json` or `--diagnostics=json`, stdout must carry
+    // exactly one JSON document; the usual human-readable output moves
+    // to stderr.
     macro_rules! out {
         ($($t:tt)*) => {
-            if opts.stats == StatsMode::Json {
+            if opts.machine_stdout() {
                 eprintln!($($t)*)
             } else {
                 println!($($t)*)
@@ -859,8 +1137,8 @@ fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, O
     let compiled = match recmod::surface::compile_with_limits(src, &opts.limits) {
         Ok(c) => c,
         Err(errors) => {
-            let code = report_errors(file, src, &errors, opts.max_errors);
-            return (code, None);
+            let (code, diags) = report_errors(file, src, &errors, opts.max_errors);
+            return (code, None, diags);
         }
     };
     match mode {
@@ -869,7 +1147,7 @@ fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, O
                 out!("{name} : {describe}");
             }
             out!("ok");
-            (0, Some((compiled, None)))
+            (0, Some((compiled, None)), Vec::new())
         }
         Mode::Split => {
             for b in &compiled.elab.bindings {
@@ -885,7 +1163,7 @@ fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, O
                     term_to_string(&b.dynamic, &mut Names::new())
                 );
             }
-            (0, Some((compiled, None)))
+            (0, Some((compiled, None)), Vec::new())
         }
         Mode::Run => {
             if compiled.main.is_none() {
@@ -893,7 +1171,7 @@ fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, O
                     out!("{name} : {describe}");
                 }
                 eprintln!("(no main expression; add one after the declarations)");
-                return (0, Some((compiled, None)));
+                return (0, Some((compiled, None)), Vec::new());
             }
             // Already on the big-stack pipeline thread; evaluate inline.
             let term = compiled.program();
@@ -906,20 +1184,29 @@ fn run_source_inner(file: &str, src: &str, opts: &Options, mode: Mode) -> (u8, O
                     if opts.steps {
                         eprintln!("steps: {}", stats.steps);
                     }
-                    (0, Some((compiled, Some(stats))))
+                    (0, Some((compiled, Some(stats))), Vec::new())
                 }
                 Err(e) => {
                     eprintln!("{file}: runtime error: {e}");
-                    let code = match &e {
-                        e if e.is_limit() => EXIT_LIMIT,
+                    // Runtime failures carry a code too: resource-class
+                    // ones map onto the L taxonomy, stuck states are
+                    // compiler bugs; an ordinary `raise Fail` is the
+                    // program's own business and stays code-less.
+                    let (code, diag_code) = match &e {
+                        recmod::eval::EvalError::DepthExceeded => (EXIT_LIMIT, Some("L001")),
+                        recmod::eval::EvalError::Limit(l) => (EXIT_LIMIT, Some(l.kind.code())),
+                        e if e.is_limit() => (EXIT_LIMIT, Some("L003")),
                         // The kernel accepted this program, so a stuck
                         // or ill-formed runtime state is our bug.
                         recmod::eval::EvalError::Stuck(_)
                         | recmod::eval::EvalError::BlackHole
-                        | recmod::eval::EvalError::OpenTerm => EXIT_INTERNAL,
-                        _ => EXIT_USER,
+                        | recmod::eval::EvalError::OpenTerm => (EXIT_INTERNAL, Some("I001")),
+                        _ => (EXIT_USER, None),
                     };
-                    (code, None)
+                    let diags = diag_code
+                        .map(|c| vec![Diagnostic::internal(c, format!("runtime error: {e}"))])
+                        .unwrap_or_default();
+                    (code, None, diags)
                 }
             }
         }

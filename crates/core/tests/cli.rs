@@ -167,4 +167,221 @@ fn bad_usage_exits_two() {
     assert_eq!(code(&out), 2);
     let out = recmodc(&["run", "-", "--limits", "depth=banana"]);
     assert_eq!(code(&out), 2);
+    // Both flags claim stdout for one JSON document.
+    let out = recmodc(&["check", "-", "--diagnostics=json", "--stats=json"]);
+    assert_eq!(code(&out), 2);
+}
+
+/// A scratch directory unique to one test (temp-dir collisions across
+/// concurrent test binaries would make the bundle assertions flaky).
+fn scratch(test: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir()
+        .join("recmodc-cli-tests")
+        .join(format!("{test}-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("mkdir");
+    dir
+}
+
+/// The parsed `--diagnostics=json` document from stdout.
+fn diagnostics_doc(out: &Output) -> recmod::telemetry::json::Json {
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    recmod::telemetry::json::parse(&stdout)
+        .unwrap_or_else(|e| panic!("diagnostics stdout is not valid JSON ({e}):\n{stdout}"))
+}
+
+/// Every diagnostic object in a diagnostics document, flattened.
+fn all_diagnostics(doc: &recmod::telemetry::json::Json) -> Vec<&recmod::telemetry::json::Json> {
+    doc.get("files")
+        .and_then(|f| f.as_arr())
+        .expect("files array")
+        .iter()
+        .flat_map(|f| {
+            f.get("diagnostics")
+                .and_then(|d| d.as_arr())
+                .expect("diagnostics array")
+        })
+        .collect()
+}
+
+fn is_stable_code(code: &str) -> bool {
+    code.len() == 4
+        && matches!(code.as_bytes()[0], b'K' | b'S' | b'L' | b'I')
+        && code.as_bytes()[1..].iter().all(u8::is_ascii_digit)
+}
+
+#[test]
+fn batch_max_errors_truncates_text_but_not_json() {
+    let dir = scratch("batch-truncation");
+    // Three files, each with five independent syntax errors.
+    for file in 0..3 {
+        let mut src = String::new();
+        for i in 0..5 {
+            src.push_str(&format!("val x{i} = )\n"));
+        }
+        std::fs::write(dir.join(format!("f{file}.rm")), src).expect("write");
+    }
+    let out = recmodc(&[
+        "check",
+        "--jobs",
+        "2",
+        dir.to_str().expect("utf8 path"),
+        "--max-errors",
+        "2",
+        "--diagnostics=json",
+    ]);
+    assert_eq!(
+        code(&out),
+        1,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    // Text report: two diagnostics per file, then the elision note.
+    let err = String::from_utf8_lossy(&out.stderr);
+    for file in 0..3 {
+        let name = format!("f{file}.rm");
+        let shown = err
+            .lines()
+            .filter(|l| l.contains(&name) && l.contains(": error:"))
+            .count();
+        assert_eq!(shown, 2, "--max-errors 2 must cap {name}:\n{err}");
+        assert!(
+            err.lines()
+                .any(|l| l.contains(&name) && l.contains("3 more error(s)")),
+            "elision note missing for {name}:\n{err}"
+        );
+    }
+    // JSON stream: all five diagnostics per file survive.
+    let doc = diagnostics_doc(&out);
+    let files = doc.get("files").and_then(|f| f.as_arr()).expect("files");
+    assert_eq!(files.len(), 3);
+    for f in files {
+        let diags = f.get("diagnostics").and_then(|d| d.as_arr()).expect("arr");
+        assert_eq!(
+            diags.len(),
+            5,
+            "the machine-readable stream must not be truncated"
+        );
+    }
+}
+
+#[test]
+fn corpus_bad_diagnostics_carry_codes_and_provenance() {
+    let bad = concat!(env!("CARGO_MANIFEST_DIR"), "/../../tests/corpus/bad");
+    let out = recmodc(&["check", "--jobs", "2", bad, "--diagnostics=json"]);
+    assert_eq!(code(&out), 1);
+    let doc = diagnostics_doc(&out);
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(recmod::telemetry::SCHEMA_VERSION)
+    );
+    let diags = all_diagnostics(&doc);
+    assert!(!diags.is_empty(), "corpus/bad produces diagnostics");
+    for d in diags {
+        let code = d.get("code").and_then(|c| c.as_str()).expect("code");
+        assert!(is_stable_code(code), "malformed code {code}");
+        let provenance = d
+            .get("provenance")
+            .and_then(|p| p.as_arr())
+            .expect("provenance");
+        assert!(
+            !provenance.is_empty(),
+            "every diagnostic names the judgement frames that produced it"
+        );
+    }
+}
+
+#[test]
+fn mid_kernel_limit_diagnostics_anchor_to_the_declaration() {
+    let src = "val a = 1\nval b : int = a + 1\n";
+    let out = recmodc_stdin(
+        &["check", "-", "--limits", "fuel=1", "--diagnostics=json"],
+        src,
+    );
+    assert_eq!(code(&out), 3);
+    let doc = diagnostics_doc(&out);
+    let diags = all_diagnostics(&doc);
+    let limit = diags
+        .iter()
+        .find(|d| d.get("code").and_then(|c| c.as_str()) == Some("L003"))
+        .expect("a fuel-exhausted diagnostic");
+    // The kernel loses the source position mid-judgement; the
+    // elaborator re-anchors the diagnostic to the declaration it was
+    // checking rather than the whole file.
+    let line = limit
+        .get("span")
+        .and_then(|s| s.get("line"))
+        .and_then(|l| l.as_u64());
+    assert_eq!(line, Some(2), "limit anchors to the second declaration");
+}
+
+#[test]
+fn explain_describes_every_code() {
+    let out = recmodc(&["explain"]);
+    assert_eq!(code(&out), 0);
+    let listing = String::from_utf8_lossy(&out.stdout);
+    for code in ["K011", "S003", "L004", "I002"] {
+        assert!(listing.contains(code), "listing lacks {code}");
+    }
+    let out = recmodc(&["explain", "K011"]);
+    assert_eq!(code(&out), 0);
+    let text = String::from_utf8_lossy(&out.stdout);
+    assert!(text.contains("equivalent"), "summary missing: {text}");
+    assert!(text.contains("example:"), "example missing: {text}");
+    let out = recmodc(&["explain", "Z999"]);
+    assert_eq!(code(&out), 2);
+}
+
+#[test]
+fn limit_exit_writes_a_crash_bundle() {
+    let dir = scratch("crash-bundle");
+    let out = recmodc_stdin(
+        &[
+            "check",
+            "-",
+            "--deadline-ms",
+            "0",
+            "--crash-dir",
+            dir.to_str().expect("utf8 path"),
+        ],
+        "val x = 1\n",
+    );
+    assert_eq!(
+        code(&out),
+        3,
+        "stderr: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
+    let bundle = std::fs::read_dir(&dir)
+        .expect("read crash dir")
+        .filter_map(Result::ok)
+        .find(|e| {
+            let name = e.file_name();
+            let name = name.to_string_lossy();
+            name.starts_with("recmod-crash-") && name.ends_with(".json")
+        })
+        .expect("a recmod-crash-*.json bundle");
+    let text = std::fs::read_to_string(bundle.path()).expect("read bundle");
+    let doc = recmod::telemetry::json::parse(&text).expect("bundle is valid JSON");
+    assert_eq!(doc.get("kind").and_then(|k| k.as_str()), Some("crash"));
+    assert_eq!(doc.get("status").and_then(|s| s.as_str()), Some("limit"));
+    assert_eq!(doc.get("exit").and_then(|e| e.as_u64()), Some(3));
+    assert_eq!(
+        doc.get("schema_version").and_then(|v| v.as_u64()),
+        Some(recmod::telemetry::SCHEMA_VERSION)
+    );
+    let recorder = doc
+        .get("recorder")
+        .and_then(|r| r.as_arr())
+        .expect("recorder tail");
+    assert!(
+        recorder
+            .iter()
+            .any(|e| e.get("kind").and_then(|k| k.as_str()) == Some("limit")),
+        "the flight recorder saw the limit fire"
+    );
+    assert!(doc.get("limits").is_some(), "limits in force are recorded");
+    assert!(
+        doc.get("input_fnv1a").and_then(|h| h.as_str()).is_some(),
+        "input hash present"
+    );
 }

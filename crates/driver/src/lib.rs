@@ -35,9 +35,11 @@ use std::path::{Path, PathBuf};
 use std::sync::Mutex;
 use std::time::Instant;
 
+use recmod_surface::diag::{self as sdiag, Diagnostic};
 use recmod_surface::elab::Elaborator;
 use recmod_surface::error::SurfaceError;
 use recmod_surface::pipeline::compile_with_limits_in;
+use recmod_telemetry::diag::CrashData;
 use recmod_telemetry::{Config, Limits, Report};
 
 /// Process exit code for a clean batch.
@@ -110,6 +112,13 @@ pub struct FileOutcome {
     /// Fully rendered diagnostic lines (`name:line:col: error: …`),
     /// capped by `max_errors` with a trailing `… and N more` line.
     pub diagnostics: Vec<String>,
+    /// Structured diagnostics for the file, **never truncated** by
+    /// `max_errors` (the machine-readable stream must be complete).
+    pub diags: Vec<Diagnostic>,
+    /// Flight-recorder tail + counter snapshot captured on the worker
+    /// that compiled this file, present only for limit/internal
+    /// outcomes (the inputs a crash bundle is written for).
+    pub crash: Option<CrashData>,
     /// Index of the worker that compiled this file.
     pub worker: usize,
     /// Whether this file was stolen from another worker's deque.
@@ -345,6 +354,11 @@ pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
                     "{}: internal error: worker thread died before compiling this file",
                     jobs[i].name
                 )],
+                diags: vec![Diagnostic::internal(
+                    "I003",
+                    "worker thread died before compiling this file",
+                )],
+                crash: Some(CrashData::default()),
                 worker: 0,
                 stolen: false,
                 start_nanos: 0,
@@ -448,6 +462,9 @@ fn compile_one(
     config: &DriverConfig,
 ) -> FileOutcome {
     let t0 = Instant::now();
+    // Per-file flight recorder: a crash bundle should describe the file
+    // that crashed, not the worker's whole history.
+    recmod_telemetry::diag::reset_recorder();
     let start_nanos = recmod_telemetry::epoch_offset_nanos(t0).unwrap_or(0);
     let before = if config.file_counters {
         recmod_telemetry::snapshot_counters()
@@ -472,28 +489,43 @@ fn compile_one(
     let compile = || compile_with_limits_in(elab, &job.source);
     let result = catch_unwind(AssertUnwindSafe(compile));
 
-    let (status, summaries, diagnostics, returned) = match result {
+    let (status, summaries, diagnostics, diags, returned) = match result {
         Ok(Ok(compiled)) => {
             let summaries = compiled.summaries();
-            (FileStatus::Ok, summaries, Vec::new(), Some(compiled.elab))
+            (
+                FileStatus::Ok,
+                summaries,
+                Vec::new(),
+                Vec::new(),
+                Some(compiled.elab),
+            )
         }
         Ok(Err((errors, elab))) => {
             let status = classify(&errors);
-            let diagnostics =
-                render_diagnostics(&job.name, &job.source, &errors, config.max_errors);
-            (status, Vec::new(), diagnostics, Some(elab))
+            let diags = sdiag::from_errors(&job.source, &errors);
+            let diagnostics = render_diagnostics(&job.name, &diags, config.max_errors);
+            (status, Vec::new(), diagnostics, diags, Some(elab))
         }
         Err(panic) => {
             // The elaborator was consumed by the panicking call and its
             // caches may be mid-mutation; rebuild from scratch.
             recmod_telemetry::count("internal.panics", 1);
-            let diag = format!(
-                "{}: internal error: panic during compilation: {}",
-                job.name,
-                panic_message(&panic)
-            );
-            (FileStatus::Internal, Vec::new(), vec![diag], None)
+            let msg = format!("panic during compilation: {}", panic_message(&panic));
+            let diag = format!("{}: internal error: {msg}", job.name);
+            (
+                FileStatus::Internal,
+                Vec::new(),
+                vec![diag],
+                vec![Diagnostic::internal("I002", msg)],
+                None,
+            )
         }
+    };
+    // Capture the flight-recorder tail on this worker thread for the
+    // exit classes a crash bundle is written for.
+    let crash = match status {
+        FileStatus::Limit | FileStatus::Internal => Some(recmod_telemetry::diag::crash_data()),
+        FileStatus::Ok | FileStatus::Error => None,
     };
     *slot = match returned {
         Some(e) if config.warm => Some(e),
@@ -538,6 +570,8 @@ fn compile_one(
         status,
         summaries,
         diagnostics,
+        diags,
+        crash,
         worker: wid,
         stolen,
         start_nanos,
@@ -557,24 +591,17 @@ fn classify(errors: &[SurfaceError]) -> FileStatus {
 }
 
 /// Renders diagnostics exactly like the single-file CLI
-/// (`name:line:col: error: …`), capped at `max_errors` with an elision
-/// line, so batch output diffs cleanly against sequential output.
-fn render_diagnostics(
-    name: &str,
-    src: &str,
-    errors: &[SurfaceError],
-    max_errors: usize,
-) -> Vec<String> {
-    let mut lines = Vec::with_capacity(errors.len().min(max_errors) + 1);
-    for e in errors.iter().take(max_errors) {
-        let (line, col) = e.span.line_col(src);
-        lines.push(format!("{name}:{line}:{col}: error: {e}"));
+/// (`name:line:col: error: … [CODE]`, via the shared
+/// [`recmod_surface::diag`] renderer), capped at `max_errors` with an
+/// elision line, so batch output diffs cleanly against sequential
+/// output. The structured `diags` themselves are never truncated.
+fn render_diagnostics(name: &str, diags: &[Diagnostic], max_errors: usize) -> Vec<String> {
+    let mut lines = Vec::with_capacity(diags.len().min(max_errors) + 1);
+    for d in diags.iter().take(max_errors) {
+        lines.push(sdiag::render_line(name, d));
     }
-    if errors.len() > max_errors {
-        lines.push(format!(
-            "{name}: ... and {} more error(s) (raise --max-errors to see them)",
-            errors.len() - max_errors
-        ));
+    if diags.len() > max_errors {
+        lines.push(sdiag::render_elided(name, diags.len() - max_errors));
     }
     lines
 }

@@ -11,7 +11,7 @@ use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_kind, subst_con_kind};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::singleton::selfify;
 use crate::Tc;
@@ -32,7 +32,7 @@ impl Tc {
                 let (sig, _) = ctx.lookup_struct(*i)?;
                 match sig {
                     Sig::Struct(k, _) => Ok(selfify(c, &k)),
-                    s => Err(TypeError::Other(format!(
+                    s => raise(TypeError::Other(format!(
                         "structure variable with unresolved signature {}",
                         show::sig(&s)
                     ))),

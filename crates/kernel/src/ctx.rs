@@ -19,7 +19,7 @@ use std::cell::Cell;
 use recmod_syntax::ast::{Kind, Sig, Ty};
 use recmod_syntax::subst::{shift_kind, shift_sig, shift_ty};
 
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 
 thread_local! {
     /// Source of fresh context stamps; `0` is reserved for the empty
@@ -99,7 +99,7 @@ impl Ctx {
         if index < len {
             Ok(&self.entries[len - 1 - index])
         } else {
-            Err(TypeError::Unbound {
+            raise(TypeError::Unbound {
                 what: "variable",
                 index,
             })
@@ -110,7 +110,7 @@ impl Ctx {
     pub fn lookup_con(&self, index: usize) -> TcResult<Kind> {
         match self.entry(index)? {
             Entry::Con(k) => Ok(shift_kind(k, (index + 1) as isize, 0)),
-            _ => Err(TypeError::Unbound {
+            _ => raise(TypeError::Unbound {
                 what: "constructor variable",
                 index,
             }),
@@ -122,7 +122,7 @@ impl Ctx {
     pub fn lookup_term(&self, index: usize) -> TcResult<(Ty, bool)> {
         match self.entry(index)? {
             Entry::Term(t, v) => Ok((shift_ty(t, (index + 1) as isize, 0), *v)),
-            _ => Err(TypeError::Unbound {
+            _ => raise(TypeError::Unbound {
                 what: "term variable",
                 index,
             }),
@@ -134,7 +134,7 @@ impl Ctx {
     pub fn lookup_struct(&self, index: usize) -> TcResult<(Sig, bool)> {
         match self.entry(index)? {
             Entry::Struct(s, v) => Ok((shift_sig(s, (index + 1) as isize, 0), *v)),
-            _ => Err(TypeError::Unbound {
+            _ => raise(TypeError::Unbound {
                 what: "structure variable",
                 index,
             }),
@@ -237,7 +237,7 @@ mod tests {
         let ctx = Ctx::new();
         assert_eq!(
             ctx.lookup_con(0),
-            Err(TypeError::Unbound {
+            raise(TypeError::Unbound {
                 what: "variable",
                 index: 0
             })

@@ -28,7 +28,7 @@ use recmod_syntax::intern::{hc, NodeId};
 use recmod_syntax::subst::{shift_con, shift_kind, subst_con_kind};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::whnf::{is_contractive, unroll_mu};
 use crate::{RecMode, Tc};
@@ -110,19 +110,25 @@ impl Tc {
                 // Coinductive assumptions are de Bruijn syntax; under a new
                 // binder the same syntax denotes different variables, so
                 // start a fresh set rather than shift the old one.
-                self.con_equiv_at(ctx, &a1, &a2, k2, &mut Seen::new())
+                step(
+                    self.con_equiv_at(ctx, &a1, &a2, k2, &mut Seen::new()),
+                    "apply",
+                )
             }),
             Kind::Sigma(k1, k2) => {
                 let p1 = Con::Proj1(hc(c1.clone()));
                 let p2 = Con::Proj1(hc(c2.clone()));
-                self.con_equiv_at(ctx, &p1, &p2, k1, seen)?;
+                step(self.con_equiv_at(ctx, &p1, &p2, k1, seen), "fst")?;
                 let k2i = subst_con_kind(k2, &p1);
-                self.con_equiv_at(
-                    ctx,
-                    &Con::Proj2(hc(c1.clone())),
-                    &Con::Proj2(hc(c2.clone())),
-                    &k2i,
-                    seen,
+                step(
+                    self.con_equiv_at(
+                        ctx,
+                        &Con::Proj2(hc(c1.clone())),
+                        &Con::Proj2(hc(c2.clone())),
+                        &k2i,
+                        seen,
+                    ),
+                    "snd",
                 )
             }
             Kind::Type => self.con_eq_type(ctx, c1, c2, seen),
@@ -162,17 +168,20 @@ impl Tc {
                     st.mu_unrolls.set(st.mu_unrolls.get() + 2);
                     let ua = unroll_mu(&a)?;
                     let ub = unroll_mu(&b)?;
-                    self.con_eq_type(ctx, &ua, &ub, seen)
+                    step(self.con_eq_type(ctx, &ua, &ub, seen), "unroll")
                 }
                 RecMode::Iso => {
-                    self.kind_eq(ctx, ka, kb)?;
+                    step(self.kind_eq(ctx, ka, kb), "μ kind")?;
                     ctx.with_con((**ka).clone(), |ctx| {
                         let kin = shift_kind(ka, 1, 0);
                         // Fresh assumptions under the binder (see Pi case).
-                        self.con_equiv_at(ctx, ba, bb, &kin, &mut Seen::new())
+                        step(
+                            self.con_equiv_at(ctx, ba, bb, &kin, &mut Seen::new()),
+                            "μ body",
+                        )
                     })
                 }
-                _ => Err(TypeError::ConMismatch {
+                _ => raise(TypeError::ConMismatch {
                     left: show::con(&a),
                     right: show::con(&b),
                     at: "T".to_string(),
@@ -182,27 +191,31 @@ impl Tc {
                 self.note_assumption(seen, key);
                 crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                 let ua = unroll_mu(&a)?;
-                self.con_eq_type(ctx, &ua, &b, seen)
+                step(self.con_eq_type(ctx, &ua, &b, seen), "unroll")
             }
             (_, Con::Mu(_, _)) if self.mode() == RecMode::Equi && is_contractive(&b) => {
                 self.note_assumption(seen, key);
                 crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
                 let ub = unroll_mu(&b)?;
-                self.con_eq_type(ctx, &a, &ub, seen)
+                step(self.con_eq_type(ctx, &a, &ub, seen), "unroll")
             }
-            (Con::Arrow(a1, a2), Con::Arrow(b1, b2)) | (Con::Prod(a1, a2), Con::Prod(b1, b2)) => {
-                self.con_eq_type(ctx, a1, b1, seen)?;
-                self.con_eq_type(ctx, a2, b2, seen)
+            (Con::Arrow(a1, a2), Con::Arrow(b1, b2)) => {
+                step(self.con_eq_type(ctx, a1, b1, seen), "domain")?;
+                step(self.con_eq_type(ctx, a2, b2, seen), "codomain")
+            }
+            (Con::Prod(a1, a2), Con::Prod(b1, b2)) => {
+                step(self.con_eq_type(ctx, a1, b1, seen), "fst")?;
+                step(self.con_eq_type(ctx, a2, b2, seen), "snd")
             }
             (Con::Sum(xs), Con::Sum(ys)) if xs.len() == ys.len() => {
                 for (x, y) in xs.iter().zip(ys) {
-                    self.con_eq_type(ctx, x, y, seen)?;
+                    step(self.con_eq_type(ctx, x, y, seen), "summand")?;
                 }
                 Ok(())
             }
             (Con::Int, Con::Int) | (Con::Bool, Con::Bool) | (Con::UnitTy, Con::UnitTy) => Ok(()),
             _ if is_path(&a) && is_path(&b) => self.path_equiv(ctx, &a, &b, seen).map(|_| ()),
-            _ => Err(TypeError::ConMismatch {
+            _ => raise(TypeError::ConMismatch {
                 left: show::con(&a),
                 right: show::con(&b),
                 at: "T".to_string(),
@@ -227,33 +240,46 @@ impl Tc {
             (Con::Var(i), Con::Var(j)) if i == j => ctx.lookup_con(*i),
             (Con::Fst(i), Con::Fst(j)) if i == j => match self.natural_kind(ctx, p1)? {
                 Some(k) => Ok(k),
-                None => Err(TypeError::Internal(
+                None => raise(TypeError::Internal(
                     "natural_kind returned None for a Fst path".to_string(),
                 )),
             },
             (Con::App(f1, a1), Con::App(f2, a2)) => {
-                let fk = self.path_equiv(ctx, f1, f2, seen)?;
+                let fk = step(self.path_equiv(ctx, f1, f2, seen), "spine function")?;
                 let (k1, k2) = self.expect_pi(&fk)?;
-                self.con_equiv_at(ctx, a1, a2, &k1, seen)?;
+                step(self.con_equiv_at(ctx, a1, a2, &k1, seen), "spine argument")?;
                 Ok(subst_con_kind(&k2, a1))
             }
             (Con::Proj1(q1), Con::Proj1(q2)) => {
-                let qk = self.path_equiv(ctx, q1, q2, seen)?;
+                let qk = step(self.path_equiv(ctx, q1, q2, seen), "fst")?;
                 let (k1, _) = self.expect_sigma(&qk)?;
                 Ok(k1)
             }
             (Con::Proj2(q1), Con::Proj2(q2)) => {
-                let qk = self.path_equiv(ctx, q1, q2, seen)?;
+                let qk = step(self.path_equiv(ctx, q1, q2, seen), "snd")?;
                 let (_, k2) = self.expect_sigma(&qk)?;
                 Ok(subst_con_kind(&k2, &Con::Proj1(q1.clone())))
             }
-            _ => Err(TypeError::ConMismatch {
+            _ => raise(TypeError::ConMismatch {
                 left: show::con(p1),
                 right: show::con(p2),
                 at: "T".to_string(),
             }),
         }
     }
+}
+
+/// Tags a failing recursive equivalence check with the structural step
+/// it descended through (`domain`, `unroll`, `snd`, …). Steps accumulate
+/// innermost-first on the pending failure snapshot, giving diagnostics
+/// the path from the failing equation back to the equation the user
+/// asked about.
+#[inline]
+fn step<T>(r: TcResult<T>, s: &'static str) -> TcResult<T> {
+    if r.is_err() {
+        recmod_telemetry::diag::note_step(s);
+    }
+    r
 }
 
 fn is_path(c: &Con) -> bool {

@@ -144,11 +144,78 @@ impl TypeError {
     pub fn is_internal(&self) -> bool {
         matches!(self, TypeError::Internal(_))
     }
+
+    /// The stable error code for this failure class. Kernel judgement
+    /// failures are `K0xx`, resource limits `L0xx`, internal invariant
+    /// violations `I0xx`; codes never change meaning once assigned
+    /// (retired codes are not reused).
+    pub fn code(&self) -> &'static str {
+        match self {
+            TypeError::Unbound { .. } => "K001",
+            TypeError::NotAPiKind(_) => "K002",
+            TypeError::NotASigmaKind(_) => "K003",
+            TypeError::NotAFunction(_) => "K004",
+            TypeError::NotAProduct(_) => "K005",
+            TypeError::NotPolymorphic(_) => "K006",
+            TypeError::NotASum(_) => "K007",
+            TypeError::NotAMu(_) => "K008",
+            TypeError::KindMismatch { .. } => "K009",
+            TypeError::NotASubkind { .. } => "K010",
+            TypeError::ConMismatch { .. } => "K011",
+            TypeError::TyMismatch { .. } => "K012",
+            TypeError::NotASubtype { .. } => "K013",
+            TypeError::NotASubsignature { .. } => "K014",
+            TypeError::ValueRestriction(_) => "K015",
+            TypeError::RdsNotTransparent(_) => "K016",
+            TypeError::BranchCount { .. } => "K017",
+            TypeError::PrimArity { .. } => "K018",
+            TypeError::InjIndex { .. } => "K019",
+            TypeError::OpaqueStaticPart(_) => "K020",
+            TypeError::FuelExhausted { .. } => "L003",
+            TypeError::Limit(e) => e.kind.code(),
+            TypeError::Internal(_) => "I001",
+            TypeError::Other(_) => "K099",
+        }
+    }
+
+    /// The `expected`/`found` pair for mismatch-shaped failures
+    /// (pretty-printed in the paper's notation), if this error has one.
+    /// For [`TypeError::ConMismatch`] the pair is (left, right).
+    pub fn expected_found(&self) -> Option<(&str, &str)> {
+        match self {
+            TypeError::KindMismatch { expected, found }
+            | TypeError::NotASubkind { expected, found }
+            | TypeError::TyMismatch { expected, found }
+            | TypeError::NotASubtype { expected, found }
+            | TypeError::NotASubsignature { expected, found } => Some((expected, found)),
+            TypeError::ConMismatch { left, right, .. } => Some((left, right)),
+            _ => None,
+        }
+    }
+
+    /// Snapshots the active judgement-frame stack as this error's
+    /// derivation provenance (see `recmod_telemetry::diag`). Must be
+    /// called at construction time — by the time the error has
+    /// propagated out of the kernel the frames are gone.
+    #[inline]
+    pub fn noted(self) -> Self {
+        recmod_telemetry::diag::record_failure();
+        self
+    }
+}
+
+/// Constructs a failing [`TcResult`], snapshotting the active judgement
+/// frames as the error's derivation provenance. Every kernel error
+/// construction site goes through here (or [`TypeError::noted`]) so
+/// diagnostics can report the judgement stack that produced them.
+#[inline]
+pub fn raise<T>(e: TypeError) -> TcResult<T> {
+    Err(e.noted())
 }
 
 impl From<recmod_telemetry::LimitExceeded> for TypeError {
     fn from(e: recmod_telemetry::LimitExceeded) -> Self {
-        TypeError::Limit(e)
+        TypeError::Limit(e).noted()
     }
 }
 

@@ -3,7 +3,7 @@
 use recmod_syntax::ast::{Con, Kind};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::Tc;
 
@@ -33,7 +33,7 @@ impl Tc {
                 self.kind_eq(ctx, a1, a2)?;
                 ctx.with_con((**a1).clone(), |ctx| self.kind_eq(ctx, b1, b2))
             }
-            _ => Err(TypeError::KindMismatch {
+            _ => raise(TypeError::KindMismatch {
                 expected: show::kind(k1),
                 found: show::kind(k2),
             }),
@@ -59,7 +59,7 @@ impl Tc {
                 self.subkind(ctx, a1, a2)?;
                 ctx.with_con((**a1).clone(), |ctx| self.subkind(ctx, b1, b2))
             }
-            _ => Err(TypeError::NotASubkind {
+            _ => raise(TypeError::NotASubkind {
                 expected: show::kind(k2),
                 found: show::kind(k1),
             }),
@@ -70,7 +70,7 @@ impl Tc {
     pub(crate) fn expect_pi(&self, k: &Kind) -> TcResult<(Kind, Kind)> {
         match k {
             Kind::Pi(k1, k2) => Ok(((**k1).clone(), (**k2).clone())),
-            _ => Err(TypeError::NotAPiKind(show::kind(k))),
+            _ => raise(TypeError::NotAPiKind(show::kind(k))),
         }
     }
 
@@ -78,7 +78,7 @@ impl Tc {
     pub(crate) fn expect_sigma(&self, k: &Kind) -> TcResult<(Kind, Kind)> {
         match k {
             Kind::Sigma(k1, k2) => Ok(((**k1).clone(), (**k2).clone())),
-            _ => Err(TypeError::NotASigmaKind(show::kind(k))),
+            _ => raise(TypeError::NotASigmaKind(show::kind(k))),
         }
     }
 }

@@ -62,7 +62,7 @@ use recmod_syntax::ast::Con;
 use recmod_syntax::intern::NodeId;
 
 pub use ctx::{Ctx, Entry};
-pub use error::{TcResult, TypeError};
+pub use error::{raise, TcResult, TypeError};
 pub use recmod_telemetry::{LimitExceeded, LimitKind, Limits};
 pub use stats::{FuelOp, KernelStats, TcStats};
 
@@ -208,7 +208,7 @@ impl Tc {
         self.stats.record_fuel(op);
         let f = self.fuel.get();
         if f == 0 {
-            return Err(TypeError::FuelExhausted {
+            return raise(TypeError::FuelExhausted {
                 op: op.name(),
                 budget: self.budget.get(),
                 top: self.stats.top_fuel(3),
@@ -221,7 +221,7 @@ impl Tc {
         let tick = self.deadline_tick.get().wrapping_add(1);
         self.deadline_tick.set(tick);
         if tick.is_multiple_of(1024) && self.limits.deadline_passed() {
-            return Err(TypeError::Limit(self.limits.deadline_error("kernel")));
+            return raise(TypeError::Limit(self.limits.deadline_error("kernel")));
         }
         Ok(())
     }
@@ -238,7 +238,7 @@ impl Tc {
     pub fn descend(&self, stage: &'static str) -> TcResult<DepthGuard<'_>> {
         let d = self.depth.get();
         if d >= self.limits.max_depth {
-            return Err(TypeError::Limit(self.limits.depth_error(stage)));
+            return raise(TypeError::Limit(self.limits.depth_error(stage)));
         }
         self.depth.set(d + 1);
         Ok(DepthGuard { depth: &self.depth })

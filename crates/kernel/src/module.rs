@@ -19,7 +19,7 @@ use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_sig, shift_ty};
 
 use crate::ctx::{Ctx, Entry};
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::sig::{retarget_fst_to_cvar, selfify_sig};
 use crate::singleton::{kind_definition, strip_kind};
@@ -78,7 +78,7 @@ impl Tc {
                 let bt = ctx.with(Entry::Struct(target.clone(), false), |ctx| {
                     let inner = self.synth_module(ctx, body)?;
                     if !inner.valuable {
-                        return Err(TypeError::ValueRestriction(show::module(body)));
+                        return raise(TypeError::ValueRestriction(show::module(body)));
                     }
                     // The body must match the annotation *under* the
                     // recursive assumption s↑S.
@@ -124,17 +124,18 @@ impl Tc {
             Module::Seal(_, s) => {
                 let target = self.resolve_sig(ctx, s)?;
                 let Sig::Struct(k, _) = &target else {
-                    return Err(TypeError::Internal(
+                    return raise(TypeError::Internal(
                         "resolve_sig returned an unresolved rds".to_string(),
                     ));
                 };
-                kind_definition(k).ok_or_else(|| TypeError::OpaqueStaticPart(show::module(m)))
+                kind_definition(k)
+                    .ok_or_else(|| TypeError::OpaqueStaticPart(show::module(m)).noted())
             }
             Module::Fix(ann, body) => {
                 // Fig. 4: Fst(fix(s:S.M)) = μα:κ. (Fst of M)[α/Fst(s)]
                 let target = self.resolve_sig(ctx, ann)?;
                 let Sig::Struct(k, _) = &target else {
-                    return Err(TypeError::Internal(
+                    return raise(TypeError::Internal(
                         "resolve_sig returned an unresolved rds".to_string(),
                     ));
                 };

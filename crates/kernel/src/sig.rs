@@ -21,7 +21,7 @@ use recmod_syntax::intern::hc;
 use recmod_syntax::map::{map_con, map_ty, VarMap};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::kind::kind_mentions;
 use crate::show;
 use crate::singleton::{fully_transparent, kind_definition, selfify, strip_kind};
@@ -152,17 +152,17 @@ impl Tc {
             Sig::Struct(_, _) => Ok(s.clone()),
             Sig::Rds(inner) => {
                 let Sig::Struct(k, t) = &**inner else {
-                    return Err(TypeError::RdsNotTransparent(show::sig(inner)));
+                    return raise(TypeError::RdsNotTransparent(show::sig(inner)));
                 };
                 if !fully_transparent(k) {
-                    return Err(TypeError::RdsNotTransparent(show::sig(inner)));
+                    return raise(TypeError::RdsNotTransparent(show::sig(inner)));
                 }
                 // The ρ binder may be used only as `Fst(s)` inside the
                 // static part (and not at all as a term or whole module);
                 // reject ill-sorted references instead of letting the
                 // retargeting mappers trip their debug assertions.
                 if kind_mentions_wrong_sort(k, 0) {
-                    return Err(TypeError::Other(
+                    return raise(TypeError::Other(
                         "recursively-dependent signature uses its structure                          variable at a non-static sort"
                             .to_string(),
                     ));
@@ -170,7 +170,7 @@ impl Tc {
                 // The frame κ of the μ must not itself mention `s`.
                 let base = strip_kind(k);
                 if kind_mentions(&base, 0) {
-                    return Err(TypeError::RdsNotTransparent(show::sig(inner)));
+                    return raise(TypeError::RdsNotTransparent(show::sig(inner)));
                 }
                 // The μ's *annotation* sits outside the binder that replaces
                 // ρ, so outer references in the frame drop one index. (The μ
@@ -208,7 +208,7 @@ impl Tc {
                 self.kind_eq(ctx, k1, k2)?;
                 ctx.with_con((**k1).clone(), |ctx| self.ty_eq(ctx, t1, t2))
             }
-            _ => Err(TypeError::Internal(
+            _ => raise(TypeError::Internal(
                 "resolve_sig returned an unresolved rds".to_string(),
             )),
         }
@@ -224,21 +224,24 @@ impl Tc {
         let b = self.resolve_sig(ctx, s2)?;
         match (&a, &b) {
             (Sig::Struct(k1, t1), Sig::Struct(k2, t2)) => {
-                self.subkind(ctx, k1, k2)
-                    .map_err(|_| TypeError::NotASubsignature {
+                self.subkind(ctx, k1, k2).map_err(|_| {
+                    TypeError::NotASubsignature {
                         expected: show::sig(&b),
                         found: show::sig(&a),
-                    })?;
+                    }
+                    .noted()
+                })?;
                 ctx.with_con((**k1).clone(), |ctx| self.ty_sub(ctx, t1, t2))
                     .map_err(|e| match e {
                         e @ TypeError::FuelExhausted { .. } => e,
                         _ => TypeError::NotASubsignature {
                             expected: show::sig(&b),
                             found: show::sig(&a),
-                        },
+                        }
+                        .noted(),
                     })
             }
-            _ => Err(TypeError::Internal(
+            _ => raise(TypeError::Internal(
                 "resolve_sig returned an unresolved rds".to_string(),
             )),
         }

@@ -20,7 +20,7 @@ use recmod_syntax::ast::{Con, Kind, PrimOp, Sig, Term, Ty};
 use recmod_syntax::subst::{shift_ty, subst_con_ty};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::Tc;
 
@@ -64,7 +64,7 @@ impl Tc {
                 let (sig, valuable) = ctx.lookup_struct(*i)?;
                 match sig {
                     Sig::Struct(_, t) => Ok(Typing::new(subst_con_ty(&t, &Con::Fst(*i)), valuable)),
-                    s => Err(TypeError::Other(format!(
+                    s => raise(TypeError::Other(format!(
                         "structure variable with unresolved signature {}",
                         show::sig(&s)
                     ))),
@@ -88,7 +88,7 @@ impl Tc {
                 let (dom, cod, total) = match exposed {
                     Ty::Total(d, c) => (*d, *c, true),
                     Ty::Partial(d, c) => (*d, *c, false),
-                    other => return Err(TypeError::NotAFunction(show::ty(&other))),
+                    other => return raise(TypeError::NotAFunction(show::ty(&other))),
                 };
                 let at = self.synth_term(ctx, a)?;
                 self.ty_sub(ctx, &at.ty, &dom)?;
@@ -110,7 +110,7 @@ impl Tc {
                         let ty = if matches!(e, Term::Proj1(_)) { *l } else { *r };
                         Ok(Typing::new(ty, pt.valuable))
                     }
-                    other => Err(TypeError::NotAProduct(show::ty(&other))),
+                    other => raise(TypeError::NotAProduct(show::ty(&other))),
                 }
             }
             Term::TLam(k, body) => {
@@ -118,7 +118,7 @@ impl Tc {
                 let b = ctx.with_con((**k).clone(), |ctx| self.synth_term(ctx, body))?;
                 if !b.valuable {
                     // Λα:κ.e requires Γ[α:κ] ⊢ e ⇓ σ.
-                    return Err(TypeError::ValueRestriction(show::term(body)));
+                    return raise(TypeError::ValueRestriction(show::term(body)));
                 }
                 Ok(Typing::new(Ty::Forall(k.clone(), Box::new(b.ty)), true))
             }
@@ -129,7 +129,7 @@ impl Tc {
                         self.check_con(ctx, c, &k)?;
                         Ok(Typing::new(subst_con_ty(&body, c), ft.valuable))
                     }
-                    other => Err(TypeError::NotPolymorphic(show::ty(&other))),
+                    other => raise(TypeError::NotPolymorphic(show::ty(&other))),
                 }
             }
             Term::Fix(t, body) => {
@@ -137,7 +137,7 @@ impl Tc {
                 self.wf_ty(ctx, t)?;
                 let b = ctx.with_term((**t).clone(), false, |ctx| self.synth_term(ctx, body))?;
                 if !b.valuable {
-                    return Err(TypeError::ValueRestriction(show::term(body)));
+                    return raise(TypeError::ValueRestriction(show::term(body)));
                 }
                 let found = strengthen_ty(&b.ty);
                 self.ty_sub(ctx, &found, t)?;
@@ -147,7 +147,7 @@ impl Tc {
             Term::BoolLit(_) => Ok(Typing::new(Ty::Con(Con::Bool), true)),
             Term::Prim(op, args) => {
                 if args.len() != op.arity() {
-                    return Err(TypeError::PrimArity {
+                    return raise(TypeError::PrimArity {
                         op: op.name(),
                         expected: op.arity(),
                         found: args.len(),
@@ -177,10 +177,10 @@ impl Tc {
                 self.check_con(ctx, sum, &Kind::Type)?;
                 let w = self.whnf(ctx, sum)?;
                 let Con::Sum(cs) = &w else {
-                    return Err(TypeError::NotASum(show::con(&w)));
+                    return raise(TypeError::NotASum(show::con(&w)));
                 };
                 if *i >= cs.len() {
-                    return Err(TypeError::InjIndex {
+                    return raise(TypeError::InjIndex {
                         index: *i,
                         summands: cs.len(),
                     });
@@ -193,13 +193,13 @@ impl Tc {
                 let st = self.synth_term(ctx, scrut)?;
                 let exposed = self.expose_deep(ctx, &st.ty)?;
                 let Ty::Con(w) = exposed else {
-                    return Err(TypeError::NotASum(show::ty(&exposed)));
+                    return raise(TypeError::NotASum(show::ty(&exposed)));
                 };
                 let Con::Sum(cs) = self.whnf(ctx, &w)? else {
-                    return Err(TypeError::NotASum(show::con(&w)));
+                    return raise(TypeError::NotASum(show::con(&w)));
                 };
                 if cs.len() != branches.len() {
-                    return Err(TypeError::BranchCount {
+                    return raise(TypeError::BranchCount {
                         summands: cs.len(),
                         branches: branches.len(),
                     });
@@ -221,7 +221,7 @@ impl Tc {
                     Some(ty) => Ok(Typing::new(ty, valuable)),
                     // An empty case eliminates the void type; it may be
                     // given any type, but we have no annotation — reject.
-                    None => Err(TypeError::Other(
+                    None => raise(TypeError::Other(
                         "case on the empty sum requires a type annotation".to_string(),
                     )),
                 }
@@ -237,7 +237,7 @@ impl Tc {
                 let bt = self.synth_term(ctx, body)?;
                 let exposed = self.expose(ctx, &bt.ty)?;
                 let Ty::Con(w) = exposed else {
-                    return Err(TypeError::NotAMu(show::ty(&exposed)));
+                    return raise(TypeError::NotAMu(show::ty(&exposed)));
                 };
                 let unrolled = self.whnf_unroll(ctx, &w)?;
                 Ok(Typing::new(Ty::Con(unrolled), bt.valuable))
@@ -275,7 +275,7 @@ impl Tc {
         } else if self.ty_sub(ctx, b, a).is_ok() {
             Ok(a.clone())
         } else {
-            Err(TypeError::TyMismatch {
+            raise(TypeError::TyMismatch {
                 expected: show::ty(a),
                 found: show::ty(b),
             })

@@ -23,7 +23,7 @@ use recmod_syntax::ast::{Con, Term, Ty};
 use recmod_syntax::subst::{shift_term, subst_con_term, subst_term_term};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::Tc;
 
@@ -112,7 +112,7 @@ impl Tc {
                 self.term_eq(ctx, x1, x2)?;
                 ctx.with_term(Ty::Unit, true, |ctx| self.term_eq(ctx, b1, b2))
             }
-            _ => Err(TypeError::Other(format!(
+            _ => raise(TypeError::Other(format!(
                 "terms are not provably equal: {} vs {}",
                 show::term(&a),
                 show::term(&b)
@@ -176,7 +176,7 @@ impl Tc {
                     match s {
                         Term::Inj(i, _, payload) if is_value(&payload) => {
                             let Some(branch) = branches.get(i) else {
-                                return Err(TypeError::Other(
+                                return raise(TypeError::Other(
                                     "case branch index out of range".to_string(),
                                 ));
                             };

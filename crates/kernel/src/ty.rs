@@ -15,7 +15,7 @@
 use recmod_syntax::ast::{Con, Ty};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::Tc;
 
@@ -123,7 +123,7 @@ impl Tc {
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
                 _ => {
-                    return Err(TypeError::TyMismatch {
+                    return raise(TypeError::TyMismatch {
                         expected: show::ty(&a),
                         found: show::ty(&b),
                     })
@@ -171,7 +171,7 @@ impl Tc {
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
                 _ => {
-                    return Err(TypeError::NotASubtype {
+                    return raise(TypeError::NotASubtype {
                         expected: show::ty(&b),
                         found: show::ty(&a),
                     })

@@ -22,7 +22,7 @@ use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{subst_con_con, subst_con_kind};
 
 use crate::ctx::Ctx;
-use crate::error::{TcResult, TypeError};
+use crate::error::{raise, TcResult, TypeError};
 use crate::show;
 use crate::singleton::{fully_transparent, kind_definition};
 use crate::Tc;
@@ -37,7 +37,7 @@ use crate::Tc;
 pub fn unroll_mu(c: &Con) -> TcResult<Con> {
     match c {
         Con::Mu(_, body) => Ok(subst_con_con(body, c)),
-        _ => Err(TypeError::Internal(format!(
+        _ => raise(TypeError::Internal(format!(
             "unroll_mu: not a μ constructor: {}",
             show::con(c)
         ))),
@@ -345,7 +345,7 @@ impl Tc {
                 let (sig, _) = ctx.lookup_struct(*i)?;
                 match sig {
                     recmod_syntax::ast::Sig::Struct(k, _) => Ok(Some(k.take())),
-                    s => Err(TypeError::Other(format!(
+                    s => raise(TypeError::Other(format!(
                         "structure variable with unresolved signature {}",
                         show::sig(&s)
                     ))),
@@ -357,7 +357,7 @@ impl Tc {
                 };
                 match fk {
                     Kind::Pi(_, k2) => Ok(Some(subst_con_kind(&k2, a))),
-                    k => Err(TypeError::NotAPiKind(show::kind(&k))),
+                    k => raise(TypeError::NotAPiKind(show::kind(&k))),
                 }
             }
             Con::Proj1(p) => {
@@ -366,7 +366,7 @@ impl Tc {
                 };
                 match pk {
                     Kind::Sigma(k1, _) => Ok(Some(k1.take())),
-                    k => Err(TypeError::NotASigmaKind(show::kind(&k))),
+                    k => raise(TypeError::NotASigmaKind(show::kind(&k))),
                 }
             }
             Con::Proj2(p) => {
@@ -375,7 +375,7 @@ impl Tc {
                 };
                 match pk {
                     Kind::Sigma(_, k2) => Ok(Some(subst_con_kind(&k2, &Con::Proj1(p.clone())))),
-                    k => Err(TypeError::NotASigmaKind(show::kind(&k))),
+                    k => raise(TypeError::NotASigmaKind(show::kind(&k))),
                 }
             }
             _ => Ok(None),
@@ -388,7 +388,7 @@ impl Tc {
         let w = self.whnf(ctx, c)?;
         match w {
             Con::Mu(_, _) => unroll_mu(&w),
-            _ => Err(TypeError::NotAMu(show::con(&w))),
+            _ => raise(TypeError::NotAMu(show::con(&w))),
         }
     }
 }

@@ -19,7 +19,7 @@
 //! The output can be re-checked by the kernel in the pure structure
 //! fragment; [`crate::verify`] does exactly that.
 
-use recmod_kernel::{Ctx, Entry, Tc, TcResult, TypeError};
+use recmod_kernel::{raise, Ctx, Entry, Tc, TcResult, TypeError};
 use recmod_syntax::ast::{Con, Kind, Module, Sig, Term, Ty};
 use recmod_syntax::intern::hc;
 use recmod_syntax::map::{map_con, map_term, VarMap};
@@ -120,7 +120,7 @@ fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
         Module::Fix(ann, body) => {
             let resolved = tc.resolve_sig(ctx, ann)?;
             let Sig::Struct(kappa, sigma) = &resolved else {
-                return Err(TypeError::Internal(
+                return raise(TypeError::Internal(
                     "resolve_sig returned an unresolved rds".to_string(),
                 ));
             };
@@ -154,7 +154,7 @@ fn split_inner(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Split> {
 pub fn split_sig(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<(Kind, Ty)> {
     match tc.resolve_sig(ctx, s)? {
         Sig::Struct(k, t) => Ok((k.take(), *t)),
-        Sig::Rds(_) => Err(TypeError::Other(
+        Sig::Rds(_) => raise(TypeError::Other(
             "resolve_sig returned an unresolved rds".to_string(),
         )),
     }

@@ -10,7 +10,7 @@
 //! example corpus.
 
 use recmod_kernel::module::ModTyping;
-use recmod_kernel::{Ctx, Tc, TcResult, TypeError};
+use recmod_kernel::{raise, Ctx, Tc, TcResult, TypeError};
 use recmod_syntax::ast::Module;
 
 use crate::split::{is_pure_structure, split_module, Split};
@@ -63,7 +63,7 @@ pub fn check_split(tc: &Tc, ctx: &mut Ctx, m: &Module) -> TcResult<Verified> {
         let split = split_module(tc, ctx, m)?;
         let reassembled = split.clone().into_module();
         if !is_pure_structure(&reassembled) {
-            return Err(TypeError::Other(
+            return raise(TypeError::Other(
                 "phase splitting produced a non-structure module".to_string(),
             ));
         }

@@ -1,0 +1,472 @@
+//! Structured diagnostics: stable error codes, derivation provenance,
+//! JSON emission, and the `explain` registry.
+//!
+//! A [`Diagnostic`] is the presentation-layer view of a
+//! [`SurfaceError`]: everything the CLI, the batch driver, and the
+//! (future) language server need to show a failure — code, position,
+//! message, expected/found pair, notes, and the judgement stack that
+//! produced it — without holding onto the source text or the error
+//! value itself. Both the single-file CLI path and the parallel batch
+//! driver render their human-readable lines through [`render_line`] /
+//! [`render_elided`], so the two surfaces can never drift apart.
+
+use recmod_telemetry::json::Json;
+
+use crate::error::{ErrorKind, Span, SurfaceError};
+
+/// The schema version stamped on every diagnostics JSON document.
+/// Matches the telemetry schema version: the emitters evolve together.
+pub const SCHEMA_VERSION: u64 = recmod_telemetry::SCHEMA_VERSION;
+
+/// A fully rendered, self-contained diagnostic.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Stable error code (`K0xx` kernel, `S0xx` surface, `L0xx` limit,
+    /// `I0xx` internal).
+    pub code: &'static str,
+    /// Primary span (byte offsets into the source).
+    pub span: Span,
+    /// 1-based line of the span start.
+    pub line: usize,
+    /// 1-based column of the span start.
+    pub col: usize,
+    /// The human-readable message (the error's `Display` form).
+    pub message: String,
+    /// Pretty-printed expected side, for mismatch-shaped failures.
+    pub expected: Option<String>,
+    /// Pretty-printed found side, for mismatch-shaped failures.
+    pub found: Option<String>,
+    /// Related notes (resource-bound hints, comparison kinds, …).
+    pub notes: Vec<String>,
+    /// Derivation provenance: judgement frames active at failure,
+    /// outermost first.
+    pub provenance: Vec<&'static str>,
+    /// For constructor-equivalence failures: the structural path from
+    /// the failing equation outward, innermost step first.
+    pub equation_path: Vec<&'static str>,
+}
+
+impl Diagnostic {
+    /// Builds a diagnostic from a surface error and the source it
+    /// points into.
+    pub fn from_error(src: &str, e: &SurfaceError) -> Diagnostic {
+        let (line, col) = e.span.line_col(src);
+        let mut notes = Vec::new();
+        let mut expected = None;
+        let mut found = None;
+        match &e.kind {
+            ErrorKind::Type(te) => {
+                if let Some((exp, fnd)) = te.expected_found() {
+                    expected = Some(exp.to_string());
+                    found = Some(fnd.to_string());
+                }
+                if let recmod_kernel::TypeError::ConMismatch { at, .. } = te {
+                    notes.push(format!("constructors compared at kind {at}"));
+                }
+                if let recmod_kernel::TypeError::FuelExhausted { budget, .. } = te {
+                    notes.push(format!(
+                        "resource verdict, not a semantic one; raise the budget with --limits fuel=N (was {budget})"
+                    ));
+                }
+                if let recmod_kernel::TypeError::Limit(l) = te {
+                    notes.push(limit_note(l));
+                }
+            }
+            ErrorKind::Limit(l) => notes.push(limit_note(l)),
+            _ => {}
+        }
+        Diagnostic {
+            code: e.code(),
+            span: e.span,
+            line,
+            col,
+            message: e.to_string(),
+            expected,
+            found,
+            notes,
+            provenance: e.provenance.frames.clone(),
+            equation_path: e.provenance.equation.clone(),
+        }
+    }
+
+    /// Builds an internal-class diagnostic with no underlying
+    /// [`SurfaceError`] (worker death, caught panics).
+    pub fn internal(code: &'static str, message: impl Into<String>) -> Diagnostic {
+        Diagnostic {
+            code,
+            span: Span::default(),
+            line: 1,
+            col: 1,
+            message: message.into(),
+            expected: None,
+            found: None,
+            notes: Vec::new(),
+            provenance: Vec::new(),
+            equation_path: Vec::new(),
+        }
+    }
+
+    /// The JSON form (one element of a `diagnostics` array).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("code", Json::str(self.code)),
+            ("message", Json::Str(self.message.clone())),
+            (
+                "span",
+                Json::obj([
+                    ("start", Json::UInt(self.span.start as u64)),
+                    ("end", Json::UInt(self.span.end as u64)),
+                    ("line", Json::UInt(self.line as u64)),
+                    ("col", Json::UInt(self.col as u64)),
+                ]),
+            ),
+            (
+                "provenance",
+                Json::Arr(self.provenance.iter().map(|f| Json::str(*f)).collect()),
+            ),
+        ];
+        if !self.equation_path.is_empty() {
+            pairs.push((
+                "equation_path",
+                Json::Arr(self.equation_path.iter().map(|s| Json::str(*s)).collect()),
+            ));
+        }
+        if let Some(exp) = &self.expected {
+            pairs.push(("expected", Json::Str(exp.clone())));
+        }
+        if let Some(fnd) = &self.found {
+            pairs.push(("found", Json::Str(fnd.clone())));
+        }
+        if !self.notes.is_empty() {
+            pairs.push((
+                "notes",
+                Json::Arr(self.notes.iter().map(|n| Json::Str(n.clone())).collect()),
+            ));
+        }
+        Json::obj(pairs)
+    }
+}
+
+fn limit_note(l: &recmod_telemetry::LimitExceeded) -> String {
+    use recmod_telemetry::LimitKind;
+    let hint = match l.kind {
+        LimitKind::Depth => "raise with --limits depth=N",
+        LimitKind::Nodes => "raise with --limits nodes=N",
+        LimitKind::Fuel => "raise with --limits fuel=N",
+        LimitKind::Deadline => "raise with --deadline-ms N",
+    };
+    format!("resource verdict, not a semantic one; {hint}")
+}
+
+/// Converts every error of one file into diagnostics, in input order.
+pub fn from_errors(src: &str, errors: &[SurfaceError]) -> Vec<Diagnostic> {
+    errors
+        .iter()
+        .map(|e| Diagnostic::from_error(src, e))
+        .collect()
+}
+
+/// The canonical one-line human rendering, shared by the CLI and the
+/// batch driver: `file:line:col: error: message [CODE]`.
+pub fn render_line(file: &str, d: &Diagnostic) -> String {
+    format!(
+        "{file}:{}:{}: error: {} [{}]",
+        d.line, d.col, d.message, d.code
+    )
+}
+
+/// The canonical truncation line appended when `--max-errors` elides
+/// diagnostics from the human-readable report (the JSON stream is
+/// never truncated).
+pub fn render_elided(file: &str, elided: usize) -> String {
+    format!("{file}: ... and {elided} more error(s) (raise --max-errors to see them)")
+}
+
+/// Accumulates `code → count` over diagnostics (for batch summaries).
+pub fn histogram<'d>(
+    diags: impl IntoIterator<Item = &'d Diagnostic>,
+) -> std::collections::BTreeMap<&'static str, u64> {
+    let mut h = std::collections::BTreeMap::new();
+    for d in diags {
+        *h.entry(d.code).or_insert(0) += 1;
+    }
+    h
+}
+
+/// One entry in the `explain` registry.
+#[derive(Debug, Clone, Copy)]
+pub struct CodeInfo {
+    /// The stable code.
+    pub code: &'static str,
+    /// One-line description of the failure class.
+    pub summary: &'static str,
+    /// A short example (input or scenario) that produces it.
+    pub example: &'static str,
+}
+
+/// Every stable error code, its meaning, and an example. Codes are
+/// append-only: retired codes are never reused.
+pub const CODES: &[CodeInfo] = &[
+    CodeInfo {
+        code: "K001",
+        summary: "a de Bruijn index pointed past the context, or at the wrong sort of entry",
+        example: "internal elaborator output referencing a variable the kernel context lacks",
+    },
+    CodeInfo {
+        code: "K002",
+        summary: "a constructor was used at a Π kind but does not have one",
+        example: "applying a non-functional constructor: `type u = t int` where `t : T`",
+    },
+    CodeInfo {
+        code: "K003",
+        summary: "a constructor was used at a Σ kind but does not have one",
+        example: "projecting a component from a constructor that is not a pair",
+    },
+    CodeInfo {
+        code: "K004",
+        summary: "a term was applied but has no function type",
+        example: "val x = 1 2",
+    },
+    CodeInfo {
+        code: "K005",
+        summary: "a term was projected from but has no product type",
+        example: "val x = #1 3",
+    },
+    CodeInfo {
+        code: "K006",
+        summary: "a term was type-instantiated but has no ∀ type",
+        example: "instantiating a monomorphic value at a type argument",
+    },
+    CodeInfo {
+        code: "K007",
+        summary: "a case scrutinee (or inj annotation) is not a sum monotype",
+        example: "case 1 of x => x",
+    },
+    CodeInfo {
+        code: "K008",
+        summary: "a roll/unroll subject is not a μ monotype",
+        example: "unrolling a value of type int",
+    },
+    CodeInfo {
+        code: "K009",
+        summary: "two kinds failed to be equivalent",
+        example: "sealing a structure whose type component has the wrong arity",
+    },
+    CodeInfo {
+        code: "K010",
+        summary: "subkinding found ≤ expected failed",
+        example: "matching an opaque type component against a transparent specification",
+    },
+    CodeInfo {
+        code: "K011",
+        summary: "two constructors failed to be equivalent at a kind",
+        example: "type t = int matched against a signature demanding type t = bool",
+    },
+    CodeInfo {
+        code: "K012",
+        summary: "two types failed to be equivalent",
+        example: "val x : int = true",
+    },
+    CodeInfo {
+        code: "K013",
+        summary: "subtyping found ≤ expected failed",
+        example: "passing a total function where a more general type is required",
+    },
+    CodeInfo {
+        code: "K014",
+        summary: "signature matching failed",
+        example: "structure S :> sig val f : int -> int end = struct val f = true end",
+    },
+    CodeInfo {
+        code: "K015",
+        summary: "the value restriction rejected a non-valuable fix/Λ body",
+        example: "fix whose body performs an application before reaching a value",
+    },
+    CodeInfo {
+        code: "K016",
+        summary: "a recursively-dependent signature's static part is not fully transparent",
+        example: "structure rec X : sig type t val v : t end = ... (opaque t in an rds)",
+    },
+    CodeInfo {
+        code: "K017",
+        summary: "a case has the wrong number of branches for its scrutinee's sum",
+        example: "2-ary sum scrutinized by a 3-branch case",
+    },
+    CodeInfo {
+        code: "K018",
+        summary: "a primop was applied to the wrong number of arguments",
+        example: "`+` applied to one argument",
+    },
+    CodeInfo {
+        code: "K019",
+        summary: "an inj index is out of range for its sum annotation",
+        example: "inj 5 into a 2-ary sum",
+    },
+    CodeInfo {
+        code: "K020",
+        summary: "no statically-computable compile-time part (module sealed opaque where an rds must inspect it)",
+        example: "using an opaquely sealed module as the body of a recursive module",
+    },
+    CodeInfo {
+        code: "K099",
+        summary: "other kernel-level failure (see the message)",
+        example: "projecting a value component from a non-structure signature",
+    },
+    CodeInfo {
+        code: "S001",
+        summary: "lexical error: unexpected character",
+        example: "val x = @",
+    },
+    CodeInfo {
+        code: "S002",
+        summary: "parse error (the message says what was expected)",
+        example: "val = 3",
+    },
+    CodeInfo {
+        code: "S003",
+        summary: "unbound identifier",
+        example: "val x = mystery",
+    },
+    CodeInfo {
+        code: "S004",
+        summary: "a name is in scope but denotes the wrong kind of entity",
+        example: "opening a value binding as if it were a structure",
+    },
+    CodeInfo {
+        code: "S005",
+        summary: "a structure lacks a component its signature requires",
+        example: "structure S : sig val f : int end = struct end",
+    },
+    CodeInfo {
+        code: "S006",
+        summary: "duplicate binding within one structure or signature body",
+        example: "sig type t type t end",
+    },
+    CodeInfo {
+        code: "S099",
+        summary: "other surface-level failure (see the message)",
+        example: "an unsupported surface construct",
+    },
+    CodeInfo {
+        code: "L001",
+        summary: "recursion-depth limit hit (resource verdict, not semantic)",
+        example: "1000 nested parentheses under --limits depth=200",
+    },
+    CodeInfo {
+        code: "L002",
+        summary: "node/token budget hit (resource verdict, not semantic)",
+        example: "a machine-generated file beyond --limits nodes=N",
+    },
+    CodeInfo {
+        code: "L003",
+        summary: "fuel budget exhausted during normalization/equivalence (resource verdict)",
+        example: "equi-recursive equivalence on adversarial μ types under small --limits fuel=N",
+    },
+    CodeInfo {
+        code: "L004",
+        summary: "wall-clock deadline passed (resource verdict, not semantic)",
+        example: "any file under --deadline-ms 0",
+    },
+    CodeInfo {
+        code: "I001",
+        summary: "internal invariant violated — a checker bug surfaced as a diagnostic",
+        example: "resolve_sig returning an unresolved rds",
+    },
+    CodeInfo {
+        code: "I002",
+        summary: "the checker panicked; the panic was caught and converted to a diagnostic",
+        example: "a bug reaching an unwinding code path (please report)",
+    },
+    CodeInfo {
+        code: "I003",
+        summary: "a batch worker thread died before compiling the file",
+        example: "a worker killed by the OS mid-batch",
+    },
+];
+
+/// Looks up a code in the registry.
+pub fn explain(code: &str) -> Option<&'static CodeInfo> {
+    CODES.iter().find(|c| c.code.eq_ignore_ascii_case(code))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registry_is_sorted_and_unique() {
+        let mut seen = std::collections::BTreeSet::new();
+        for c in CODES {
+            assert!(seen.insert(c.code), "duplicate code {}", c.code);
+            assert!(!c.summary.is_empty() && !c.example.is_empty());
+        }
+    }
+
+    #[test]
+    fn every_emittable_code_is_registered() {
+        use recmod_kernel::TypeError;
+        let kernel_codes = [
+            TypeError::Unbound {
+                what: "x",
+                index: 0,
+            }
+            .code(),
+            TypeError::NotAPiKind(String::new()).code(),
+            TypeError::Internal(String::new()).code(),
+            TypeError::Other(String::new()).code(),
+        ];
+        for code in kernel_codes {
+            assert!(explain(code).is_some(), "unregistered code {code}");
+        }
+        for kind in [
+            recmod_telemetry::LimitKind::Depth,
+            recmod_telemetry::LimitKind::Nodes,
+            recmod_telemetry::LimitKind::Fuel,
+            recmod_telemetry::LimitKind::Deadline,
+        ] {
+            assert!(explain(kind.code()).is_some());
+        }
+    }
+
+    #[test]
+    fn diagnostics_render_with_codes() {
+        let src = "val x = mystery";
+        let Err(errs) =
+            crate::pipeline::compile_with_limits(src, &recmod_telemetry::Limits::default())
+        else {
+            panic!("unbound identifier should fail");
+        };
+        let diags = from_errors(src, &errs);
+        assert!(!diags.is_empty());
+        let d = &diags[0];
+        assert_eq!(d.code, "S003");
+        assert!(!d.provenance.is_empty(), "surface frames captured");
+        let line = render_line("demo.rm", d);
+        assert!(line.contains(": error: "), "text keeps the error: marker");
+        assert!(line.ends_with("[S003]"));
+        let json = d.to_json().to_compact();
+        let doc = recmod_telemetry::json::parse(&json).expect("valid JSON");
+        assert_eq!(doc.get("code").and_then(|c| c.as_str()), Some("S003"));
+    }
+
+    #[test]
+    fn type_errors_carry_kernel_provenance() {
+        let src = "val x : int = true";
+        let Err(errs) =
+            crate::pipeline::compile_with_limits(src, &recmod_telemetry::Limits::default())
+        else {
+            panic!("type mismatch should fail");
+        };
+        let diags = from_errors(src, &errs);
+        let d = diags
+            .iter()
+            .find(|d| d.code.starts_with('K'))
+            .expect("kernel code");
+        assert!(
+            d.provenance.iter().any(|f| f.starts_with("kernel.")),
+            "kernel frames in provenance: {:?}",
+            d.provenance
+        );
+        assert!(d.expected.is_some() && d.found.is_some());
+    }
+}

@@ -65,6 +65,10 @@ pub struct Elaborator {
     pub(crate) rec_depth: usize,
     /// Monotone call counter, used to amortize deadline clock reads.
     pub(crate) ticks: u64,
+    /// Span of the top-level declaration currently being elaborated.
+    /// Limit diagnostics raised deep in the kernel have no span of
+    /// their own; this anchors them to the declaration being checked.
+    pub(crate) current_decl: Span,
 }
 
 impl Elaborator {
@@ -90,6 +94,7 @@ impl Elaborator {
             gensym: 0,
             rec_depth: 0,
             ticks: 0,
+            current_decl: Span::default(),
         }
     }
 
@@ -106,6 +111,7 @@ impl Elaborator {
         self.gensym = 0;
         self.rec_depth = 0;
         self.ticks = 0;
+        self.current_decl = Span::default();
         self.tc.renew(limits);
     }
 
@@ -124,14 +130,14 @@ impl Elaborator {
         let limits = *self.tc.limits();
         if self.rec_depth >= limits.max_depth {
             return Err(SurfaceError::new(
-                span,
+                self.anchor(span),
                 ErrorKind::Limit(limits.depth_error("elaborate")),
             ));
         }
         self.ticks = self.ticks.wrapping_add(1);
         if self.ticks.is_multiple_of(256) && limits.deadline_passed() {
             return Err(SurfaceError::new(
-                span,
+                self.anchor(span),
                 ErrorKind::Limit(limits.deadline_error("elaborate")),
             ));
         }
@@ -162,11 +168,22 @@ impl Elaborator {
     }
 
     pub(crate) fn err<T>(&self, span: Span, kind: ErrorKind) -> SurfaceResult<T> {
-        Err(SurfaceError::new(span, kind))
+        Err(SurfaceError::new(self.anchor(span), kind))
     }
 
     pub(crate) fn terr(&self, span: Span, e: TypeError) -> SurfaceError {
-        SurfaceError::new(span, ErrorKind::Type(e))
+        SurfaceError::new(self.anchor(span), ErrorKind::Type(e))
+    }
+
+    /// Anchors a default (empty) span to the declaration currently
+    /// being elaborated, so deadline/fuel diagnostics raised mid-kernel
+    /// still point at a real source location.
+    pub(crate) fn anchor(&self, span: Span) -> Span {
+        if span == Span::default() {
+            self.current_decl
+        } else {
+            span
+        }
     }
 
     // ----- path resolution ------------------------------------------------

@@ -304,6 +304,7 @@ impl Elaborator {
     /// environment, and binding list.
     pub fn elab_topdec(&mut self, dec: &TopDec) -> SurfaceResult<()> {
         let _j = recmod_telemetry::judgement_span("surface.elab_topdec");
+        self.current_decl = dec.span();
         self.with_depth(dec.span(), |this| this.elab_topdec_inner(dec))
     }
 

@@ -47,6 +47,60 @@ impl Span {
     }
 }
 
+/// The derivation provenance a diagnostic carries: the judgement
+/// frames that were active when the underlying error was constructed,
+/// plus (for constructor-equivalence failures) the equation path from
+/// the failing equation outward.
+///
+/// Provenance is *metadata about* an error, not part of its identity:
+/// two errors with the same span and kind are the same diagnostic even
+/// if cache state made the checker take a different route to them
+/// (warm vs cold batch workers do exactly that). The `PartialEq` impl
+/// below encodes this by always comparing equal.
+#[derive(Debug, Clone, Default)]
+pub struct Provenance {
+    /// Active judgement frames at failure, outermost first.
+    pub frames: Vec<&'static str>,
+    /// For `con_equiv` failures: structural steps from the failing
+    /// equation outward (innermost first), e.g. `["domain", "unroll"]`.
+    pub equation: Vec<&'static str>,
+}
+
+impl Provenance {
+    /// Captures provenance for a freshly built error of kind `kind`.
+    ///
+    /// Kernel errors snapshot their frames at construction time (see
+    /// `recmod_kernel::error::raise`); that snapshot is pending in the
+    /// telemetry layer and is consumed here. Surface-native errors
+    /// (parse, scoping, …) are built while their own frames are still
+    /// live, so the current stack *is* the provenance.
+    fn capture(kind: &ErrorKind) -> Provenance {
+        use recmod_telemetry::diag;
+        let pending = match kind {
+            ErrorKind::Type(_) | ErrorKind::Limit(_) => diag::take_failure(),
+            _ => None,
+        };
+        match pending {
+            Some(f) => Provenance {
+                frames: f.frames,
+                equation: f.equation,
+            },
+            None => Provenance {
+                frames: diag::current_frames(),
+                equation: Vec::new(),
+            },
+        }
+    }
+}
+
+impl PartialEq for Provenance {
+    fn eq(&self, _: &Self) -> bool {
+        true
+    }
+}
+
+impl Eq for Provenance {}
+
 /// An error produced by the surface pipeline.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct SurfaceError {
@@ -54,6 +108,10 @@ pub struct SurfaceError {
     pub span: Span,
     /// What went wrong.
     pub kind: ErrorKind,
+    /// The judgement stack that produced the error (never part of the
+    /// error's identity — see [`Provenance`]). Boxed to keep the error
+    /// itself small: it travels through every `SurfaceResult`.
+    pub provenance: Box<Provenance>,
 }
 
 /// The category of a surface error.
@@ -88,10 +146,40 @@ pub enum ErrorKind {
     Other(String),
 }
 
+impl ErrorKind {
+    /// The stable error code for this failure class. Surface errors are
+    /// `S0xx`; kernel and limit errors delegate to their own taxonomies
+    /// (`K0xx`/`L0xx`/`I0xx`). Codes never change meaning once assigned.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ErrorKind::Lex(_) => "S001",
+            ErrorKind::Parse(_) => "S002",
+            ErrorKind::Unbound(_) => "S003",
+            ErrorKind::WrongEntity { .. } => "S004",
+            ErrorKind::MissingComponent { .. } => "S005",
+            ErrorKind::Duplicate(_) => "S006",
+            ErrorKind::Type(e) => e.code(),
+            ErrorKind::Limit(e) => e.kind.code(),
+            ErrorKind::Other(_) => "S099",
+        }
+    }
+}
+
 impl SurfaceError {
-    /// Builds an error.
+    /// Builds an error, capturing the active judgement frames (and any
+    /// pending kernel failure snapshot) as its derivation provenance.
     pub fn new(span: Span, kind: ErrorKind) -> Self {
-        SurfaceError { span, kind }
+        let provenance = Box::new(Provenance::capture(&kind));
+        SurfaceError {
+            span,
+            kind,
+            provenance,
+        }
+    }
+
+    /// The stable error code (see [`ErrorKind::code`]).
+    pub fn code(&self) -> &'static str {
+        self.kind.code()
     }
 
     /// Builds an internal-invariant error: a compiler bug surfaced as a

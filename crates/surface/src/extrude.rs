@@ -26,7 +26,7 @@
 //! the now fully transparent inner rds is resolved per Figure 5. The
 //! result is an ordinary signature with the abstract types in front.
 
-use recmod_kernel::{Ctx, Entry, Tc, TcResult, TypeError};
+use recmod_kernel::{raise, Ctx, Entry, Tc, TcResult, TypeError};
 use recmod_syntax::ast::{Con, Kind, Sig, Ty};
 use recmod_syntax::intern::hc;
 use recmod_syntax::subst::{shift_kind, shift_ty};
@@ -50,12 +50,12 @@ pub struct Extruded {
 /// the transparentized signature fails.
 pub fn extrude(tc: &Tc, ctx: &mut Ctx, s: &Sig) -> TcResult<Extruded> {
     let Sig::Rds(inner) = s else {
-        return Err(TypeError::Other(
+        return raise(TypeError::Other(
             "extrude expects a recursively-dependent signature".into(),
         ));
     };
     let Sig::Struct(kappa, sigma) = &**inner else {
-        return Err(TypeError::Other(
+        return raise(TypeError::Other(
             "extrude expects an rds over a flat signature".into(),
         ));
     };

@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod ast;
+pub mod diag;
 pub mod elab;
 mod elab_exp;
 mod elab_sig;
@@ -47,8 +48,9 @@ pub mod pipeline;
 pub mod shape;
 pub mod token;
 
+pub use diag::Diagnostic;
 pub use elab::Elaborator;
-pub use error::{ErrorKind, Span, SurfaceError, SurfaceResult};
+pub use error::{ErrorKind, Provenance, Span, SurfaceError, SurfaceResult};
 pub use parser::{parse, parse_exp, parse_with};
 pub use pipeline::{compile, compile_with, compile_with_limits, Compiled};
 pub use recmod_telemetry::{LimitExceeded, LimitKind, Limits};

@@ -38,6 +38,8 @@ pub fn parse(src: &str) -> SurfaceResult<Program> {
 /// never empty on `Err`. A resource-limit error ([`ErrorKind::Limit`])
 /// aborts recovery and is always the last entry.
 pub fn parse_with(src: &str, limits: &Limits) -> Result<Program, Vec<SurfaceError>> {
+    // The frame makes lex/parse errors carry non-empty provenance.
+    let _j = recmod_telemetry::judgement_span("surface.parse");
     let (toks, mut errors) = recmod_telemetry::stage("stage.lex", || lex_recover(src, limits));
     let mut p = Parser {
         toks,

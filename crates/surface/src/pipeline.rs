@@ -46,6 +46,9 @@ pub fn compile(src: &str) -> SurfaceResult<Compiled> {
 
 /// Compiles with a caller-supplied elaborator (custom kernel mode/fuel).
 pub fn compile_with(mut elab: Elaborator, src: &str) -> SurfaceResult<Compiled> {
+    // A failure snapshot swallowed by an earlier run on this thread must
+    // never become this run's provenance.
+    recmod_telemetry::diag::clear_failure();
     let prog = parse(src)?;
     let main = stage("stage.elab", || -> SurfaceResult<Option<Term>> {
         for d in &prog.decls {
@@ -96,6 +99,8 @@ pub fn compile_with_limits_in(
     mut elab: Elaborator,
     src: &str,
 ) -> Result<Compiled, (Vec<SurfaceError>, Elaborator)> {
+    // See `compile_with`: stale snapshots must not leak across runs.
+    recmod_telemetry::diag::clear_failure();
     let mut errors: Vec<SurfaceError> = Vec::new();
     let limits = *elab.tc.limits();
     let prog = match parse_with(src, &limits) {

@@ -78,6 +78,7 @@
 #![warn(missing_docs)]
 
 pub mod chrome_trace;
+pub mod diag;
 pub mod json;
 pub mod limits;
 pub mod names;
@@ -480,17 +481,37 @@ pub fn span(name: &'static str) -> SpanGuard {
     SpanGuard { active: true }
 }
 
-/// Opens a judgement-level profile span. Unlike [`span`], this is inert
-/// unless [`Config::profile`] was set: judgement spans fire once per
-/// judgement *instance* (like derivation tracing), far too many nodes
-/// for a plain `--stats` run to carry.
+/// Opens a judgement-level probe. Two things happen, independently:
+///
+/// * a frame named `name` is pushed on the always-on [`diag`] stack
+///   (and logged in the flight recorder), so a failure constructed
+///   while the guard lives can snapshot its derivation provenance;
+/// * if [`Config::profile`] was set, a real timed [`span`] opens too.
+///   Judgement spans fire once per judgement *instance* (like
+///   derivation tracing), far too many nodes for a plain `--stats` run
+///   to carry, so the timing half stays opt-in.
 #[must_use = "a span measures until the guard is dropped"]
 #[inline]
-pub fn judgement_span(name: &'static str) -> SpanGuard {
-    if !profiling_enabled() {
-        return SpanGuard { active: false };
+pub fn judgement_span(name: &'static str) -> JudgementGuard {
+    let frame = diag::enter(name);
+    let span = if profiling_enabled() {
+        span(name)
+    } else {
+        SpanGuard { active: false }
+    };
+    JudgementGuard {
+        _frame: frame,
+        _span: span,
     }
-    span(name)
+}
+
+/// Guard for a [`judgement_span`]: pops the provenance frame (always)
+/// and closes the profile span (when profiling) on drop.
+#[derive(Debug)]
+#[must_use = "a span measures until the guard is dropped"]
+pub struct JudgementGuard {
+    _frame: diag::FrameGuard,
+    _span: SpanGuard,
 }
 
 /// Guard for an open [`span`]; closes the span when dropped.

@@ -29,6 +29,29 @@ pub enum LimitKind {
     Deadline,
 }
 
+impl LimitKind {
+    /// Stable one-word label, used as the flight-recorder event name
+    /// and in crash bundles.
+    pub fn label(self) -> &'static str {
+        match self {
+            LimitKind::Depth => "depth",
+            LimitKind::Nodes => "nodes",
+            LimitKind::Fuel => "fuel",
+            LimitKind::Deadline => "deadline",
+        }
+    }
+
+    /// The stable error code for this limit class (`L0xx` taxonomy).
+    pub fn code(self) -> &'static str {
+        match self {
+            LimitKind::Depth => "L001",
+            LimitKind::Nodes => "L002",
+            LimitKind::Fuel => "L003",
+            LimitKind::Deadline => "L004",
+        }
+    }
+}
+
 impl fmt::Display for LimitKind {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.write_str(match self {
@@ -186,6 +209,7 @@ impl Limits {
 
     /// A [`LimitExceeded`] for this limit set's deadline, tagged `stage`.
     pub fn deadline_error(&self, stage: &'static str) -> LimitExceeded {
+        crate::diag::note_limit(stage, LimitKind::Deadline.label());
         LimitExceeded {
             stage,
             kind: LimitKind::Deadline,
@@ -195,6 +219,7 @@ impl Limits {
 
     /// A [`LimitExceeded`] for the depth bound, tagged `stage`.
     pub fn depth_error(&self, stage: &'static str) -> LimitExceeded {
+        crate::diag::note_limit(stage, LimitKind::Depth.label());
         LimitExceeded {
             stage,
             kind: LimitKind::Depth,
@@ -204,6 +229,7 @@ impl Limits {
 
     /// A [`LimitExceeded`] for the node budget, tagged `stage`.
     pub fn nodes_error(&self, stage: &'static str) -> LimitExceeded {
+        crate::diag::note_limit(stage, LimitKind::Nodes.label());
         LimitExceeded {
             stage,
             kind: LimitKind::Nodes,

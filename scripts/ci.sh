@@ -55,6 +55,69 @@ else
 fi
 echo "batch smoke: ok"
 
+echo "== diagnostics smoke (JSON emitters + crash bundle) =="
+# Gating: every JSON emitter round-trips through a real parser, and the
+# forensics path works end to end. Checks: (1) --diagnostics=json on the
+# mixed corpus exits 1 with a schema-versioned document where every
+# diagnostic carries a stable code and non-empty provenance; (2) the
+# per-file JSONL log embeds the same structured diagnostics; (3)
+# --stats=json parses; (4) a deliberate limit hit (deadline 0) exits 3
+# and drops a parseable recmod-crash-*.json bundle.
+CRASH_DIR=$(mktemp -d)
+if ./target/release/recmodc check --jobs 2 tests/corpus \
+    --diagnostics=json --log-json=/tmp/ci_diag_log.jsonl \
+    >/tmp/ci_diag.json 2>/dev/null; then
+  echo "diagnostics smoke: FAILED (mixed corpus should exit 1)"
+  exit 1
+else
+  code=$?
+  if [[ $code -ne 1 ]]; then
+    echo "diagnostics smoke: FAILED (mixed corpus exited $code, want 1)"
+    exit 1
+  fi
+fi
+./target/release/recmodc check --jobs 2 tests/corpus/ok --stats=json \
+  >/tmp/ci_stats.json 2>/dev/null
+if ./target/release/recmodc check --deadline-ms 0 --crash-dir "$CRASH_DIR" \
+    tests/corpus/ok/values.rm >/dev/null 2>/dev/null; then
+  echo "diagnostics smoke: FAILED (deadline 0 should exit 3)"
+  exit 1
+else
+  code=$?
+  if [[ $code -ne 3 ]]; then
+    echo "diagnostics smoke: FAILED (deadline 0 exited $code, want 3)"
+    exit 1
+  fi
+fi
+CRASH_DIR="$CRASH_DIR" python3 - <<'EOF'
+import glob, json, os, re
+
+doc = json.load(open("/tmp/ci_diag.json"))
+assert doc["schema_version"] >= 1 and doc["kind"] == "diagnostics"
+diags = [d for f in doc["files"] for d in f["diagnostics"]]
+assert diags, "mixed corpus must produce diagnostics"
+for d in diags:
+    assert re.fullmatch(r"[KSLI]\d{3}", d["code"]), d
+    assert d["provenance"], f"empty provenance on {d['code']}"
+    assert {"start", "end", "line", "col"} <= d["span"].keys()
+
+lines = [json.loads(l) for l in open("/tmp/ci_diag_log.jsonl")]
+assert lines[0]["kind"] == "meta"
+logged = [d for l in lines[1:] for d in l["diagnostics"]]
+assert sorted(d["code"] for d in logged) == sorted(d["code"] for d in diags)
+
+stats = json.load(open("/tmp/ci_stats.json"))
+assert stats["schema_version"] >= 1 and "error_codes" in stats
+
+bundles = glob.glob(os.path.join(os.environ["CRASH_DIR"], "recmod-crash-*.json"))
+assert len(bundles) == 1, bundles
+crash = json.load(open(bundles[0]))
+assert crash["kind"] == "crash" and crash["exit"] == 3
+assert crash["recorder"] and crash["limits"]["deadline_ms"] == 0
+EOF
+rm -rf "$CRASH_DIR"
+echo "diagnostics smoke: ok"
+
 echo "== profile smoke (non-gating) =="
 # The deep-profiling layer end to end: a profiled parallel batch must
 # still exit 0 and produce a parseable Chrome trace and JSONL event

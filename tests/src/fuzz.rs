@@ -715,22 +715,31 @@ fn case_thread_isolation(rng: &mut Rng) -> Result<(), String> {
 
 /// One compile on a fresh big-stack thread with a fresh interner and —
 /// when `profiled` — a full profiling sink. Returns the verdict (ok?),
-/// the rendered diagnostics, and whether any spans were recorded.
-/// A fresh thread per compile keeps the verdict a pure function of the
-/// source: neither run can warm the other's thread-local caches.
-fn compile_fresh(src: &str, profiled: bool) -> Result<(bool, Vec<String>, bool), String> {
+/// the rendered diagnostics, the stable error codes, and whether any
+/// spans were recorded. A fresh thread per compile keeps the verdict a
+/// pure function of the source: neither run can warm the other's
+/// thread-local caches.
+#[allow(clippy::type_complexity)]
+fn compile_fresh(
+    src: &str,
+    profiled: bool,
+) -> Result<(bool, Vec<String>, Vec<&'static str>, bool), String> {
     let src = src.to_string();
     let run = move || {
         if profiled {
             recmod::telemetry::install(recmod::telemetry::Config::profiled());
         }
         let limits = Limits::strict();
-        let (ok, diagnostics) = match recmod::surface::compile_with_limits(&src, &limits) {
-            Ok(_) => (true, Vec::new()),
-            Err(errors) => (false, errors.iter().map(|e| format!("{e}")).collect()),
+        let (ok, diagnostics, codes) = match recmod::surface::compile_with_limits(&src, &limits) {
+            Ok(_) => (true, Vec::new(), Vec::new()),
+            Err(errors) => (
+                false,
+                errors.iter().map(|e| format!("{e}")).collect(),
+                errors.iter().map(|e| e.code()).collect(),
+            ),
         };
         let spans = recmod::telemetry::uninstall().is_some_and(|r| !r.spans.is_empty());
-        (ok, diagnostics, spans)
+        (ok, diagnostics, codes, spans)
     };
     std::thread::Builder::new()
         .stack_size(recmod::driver::DEFAULT_STACK_SIZE)
@@ -740,11 +749,9 @@ fn compile_fresh(src: &str, profiled: bool) -> Result<(bool, Vec<String>, bool),
         .map_err(|_| "panic during profiled-differential compile".to_string())
 }
 
-/// Compiles the same program with and without a profiling sink: the
-/// verdicts must be byte-identical (judgement spans, counter samples,
-/// and the raised span cap may observe the pipeline but never steer
-/// it), and a successful profiled compile must record spans.
-fn case_profiled_differential(rng: &mut Rng) -> Result<(), String> {
+/// A base program for the observation-focused classes: a corpus entry
+/// or a generated expression, mutated half the time.
+fn observed_source(rng: &mut Rng) -> String {
     let base = match rng.below(4) {
         0 => recmod::corpus::OPAQUE_LIST.to_string(),
         1 => recmod::corpus::TRANSPARENT_LIST.to_string(),
@@ -756,17 +763,27 @@ fn case_profiled_differential(rng: &mut Rng) -> Result<(), String> {
             src
         }
     };
-    let src = if rng.chance(1, 2) {
+    if rng.chance(1, 2) {
         mutate(rng, &base)
     } else {
         base
-    };
-    let (plain_ok, plain_diags, _) = compile_fresh(&src, false)?;
-    let (prof_ok, prof_diags, prof_spans) = compile_fresh(&src, true)?;
-    if plain_ok != prof_ok || plain_diags != prof_diags {
+    }
+}
+
+/// Compiles the same program with and without a profiling sink: the
+/// verdicts must be byte-identical (judgement spans, counter samples,
+/// and the raised span cap may observe the pipeline but never steer
+/// it) — including the stable error codes — and a successful profiled
+/// compile must record spans.
+fn case_profiled_differential(rng: &mut Rng) -> Result<(), String> {
+    let src = observed_source(rng);
+    let (plain_ok, plain_diags, plain_codes, _) = compile_fresh(&src, false)?;
+    let (prof_ok, prof_diags, prof_codes, prof_spans) = compile_fresh(&src, true)?;
+    if plain_ok != prof_ok || plain_diags != prof_diags || plain_codes != prof_codes {
         return Err(format!(
             "profiling changed the verdict on {src:?}: \
-             plain ({plain_ok}, {plain_diags:?}) vs profiled ({prof_ok}, {prof_diags:?})"
+             plain ({plain_ok}, {plain_diags:?}, {plain_codes:?}) \
+             vs profiled ({prof_ok}, {prof_diags:?}, {prof_codes:?})"
         ));
     }
     if prof_ok && !prof_spans {
@@ -778,19 +795,82 @@ fn case_profiled_differential(rng: &mut Rng) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Class 8: diagnostics serialization totality
+// ---------------------------------------------------------------------
+
+/// Is `code` a well-formed stable error code (`K`/`S`/`L`/`I` + three
+/// digits)?
+fn well_formed_code(code: &str) -> bool {
+    code.len() == 4
+        && matches!(code.as_bytes()[0], b'K' | b'S' | b'L' | b'I')
+        && code.as_bytes()[1..].iter().all(u8::is_ascii_digit)
+}
+
+/// Compiles an arbitrary (often mutated) program under strict limits
+/// and asserts diagnostics serialization is *total*: every diagnostic
+/// carries a well-formed stable code and non-empty provenance, its JSON
+/// form parses back with the code intact, and the judgement frame stack
+/// is fully unwound when the compile returns (well-nested guards).
+fn case_diagnostics_total(rng: &mut Rng) -> Result<(), String> {
+    let src = observed_source(rng);
+    let run = {
+        let src = src.clone();
+        move || {
+            let limits = Limits::strict();
+            let diags = match recmod::surface::compile_with_limits(&src, &limits) {
+                Ok(_) => Vec::new(),
+                Err(errors) => recmod::surface::diag::from_errors(&src, &errors),
+            };
+            let depth = recmod::telemetry::diag::frame_depth();
+            (diags, depth)
+        }
+    };
+    let (diags, depth) = std::thread::Builder::new()
+        .stack_size(recmod::driver::DEFAULT_STACK_SIZE)
+        .spawn(run)
+        .map_err(|e| format!("spawn failed: {e}"))?
+        .join()
+        .map_err(|_| format!("panic while building diagnostics for {src:?}"))?;
+    if depth != 0 {
+        return Err(format!(
+            "provenance frames not well-nested: depth {depth} after compile of {src:?}"
+        ));
+    }
+    for d in &diags {
+        if !well_formed_code(d.code) {
+            return Err(format!("malformed code {:?} on {src:?}", d.code));
+        }
+        if d.provenance.is_empty() {
+            return Err(format!(
+                "empty provenance on {} diagnostic for {src:?}",
+                d.code
+            ));
+        }
+        let json = d.to_json().to_compact();
+        let doc = recmod::telemetry::json::parse(&json)
+            .map_err(|e| format!("diagnostic JSON does not parse back ({e}): {json}"))?;
+        if doc.get("code").and_then(|c| c.as_str()) != Some(d.code) {
+            return Err(format!("code lost in JSON round-trip: {json}"));
+        }
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
 /// Human-readable class name for a seed (for failure reports).
 pub fn case_class(seed: u64) -> &'static str {
-    match seed % 7 {
+    match seed % 8 {
         0 => "expression-differential",
         1 => "module-differential",
         2 => "ill-formed-input",
         3 => "kernel-mu",
         4 => "intern-differential",
         5 => "thread-isolation",
-        _ => "profiled-differential",
+        6 => "profiled-differential",
+        _ => "diagnostics-total",
     }
 }
 
@@ -799,14 +879,15 @@ pub fn case_class(seed: u64) -> &'static str {
 /// the caller to catch (they are always bugs).
 pub fn run_case(seed: u64) -> Result<(), String> {
     let mut rng = Rng::new(seed);
-    match seed % 7 {
+    match seed % 8 {
         0 => case_expression_differential(&mut rng),
         1 => case_module_differential(&mut rng),
         2 => case_ill_formed(&mut rng),
         3 => case_kernel_mu(&mut rng),
         4 => case_intern_differential(&mut rng),
         5 => case_thread_isolation(&mut rng),
-        _ => case_profiled_differential(&mut rng),
+        6 => case_profiled_differential(&mut rng),
+        _ => case_diagnostics_total(&mut rng),
     }
 }
 
