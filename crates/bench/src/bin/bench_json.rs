@@ -199,6 +199,12 @@ fn main() {
         });
     }
 
+    // Serve: per-request latency through a live one-worker compile
+    // server (warm elaborator, admission queue, supervision) against
+    // the same program compiled one-shot through a fresh pipeline —
+    // the service overhead plus warm-cache lift in one comparison.
+    run_serve_bench(&mut r);
+
     // Throughput: the corpus (replicated ×4 so there is enough work to
     // schedule) through the batch driver at 1/2/4/8 workers, warm
     // caches, plus a cold-cache jobs=1 run that rebuilds the pipeline
@@ -289,6 +295,43 @@ fn run_costs(compare: Option<String>, bless: bool) {
         diffs.len()
     );
     std::process::exit(1);
+}
+
+/// `serve_warm`: one request at a time through a live server (the warm
+/// path a long-lived client sees: queue, worker hand-off, warm
+/// elaborator, response marshalling) vs the identical program through a
+/// fresh pipeline per iteration. The ratio is the service's win once
+/// per-process startup is amortized away.
+fn run_serve_bench(r: &mut Runner) {
+    use recmod_driver::serve::{Request, ResponseStatus, ServeConfig, Server};
+    use std::sync::mpsc::channel;
+
+    let program = recmod_bench::corpus::list_program(true, 20);
+    if r.wants("serve_warm/list_opaque") {
+        let mut server = Server::start(ServeConfig {
+            workers: 1,
+            ..ServeConfig::default()
+        })
+        .expect("bench server failed to start");
+        let mut next_id = 0u64;
+        {
+            let server_ref = &server;
+            let program = &program;
+            r.add("serve_warm/list_opaque", move || {
+                let (tx, rx) = channel();
+                next_id += 1;
+                server_ref.submit(Request::new(next_id, "bench.rm", program.clone()), tx);
+                let resp = rx.recv().expect("bench server dropped a response");
+                assert_eq!(resp.status, ResponseStatus::Ok);
+                std::hint::black_box(&resp);
+            });
+        }
+        server.shutdown();
+    }
+    r.add("serve_warm/one_shot_baseline", || {
+        let c = recmod::compile(&program).unwrap();
+        std::hint::black_box(&c);
+    });
 }
 
 /// How many times the corpus is replicated into one throughput batch.

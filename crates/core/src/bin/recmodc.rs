@@ -6,6 +6,7 @@
 //! recmodc check <file.rml>     typecheck only, print binding signatures
 //! recmodc check [--jobs N] <file|dir>...   batch-check files/directories
 //! recmodc check --corpus       batch-check the built-in paper corpus
+//! recmodc serve [--socket PATH]  supervised compile service (JSON lines)
 //! recmodc split <file.rml>     print each binding's phase-split parts
 //! recmodc explain [CODE]       describe a diagnostic error code
 //! recmodc -e "<expr>"          evaluate one expression
@@ -88,6 +89,7 @@ fn usage() -> ExitCode {
         "usage: recmodc <run|check|split> <file|-> [options]\n       \
          recmodc check [--jobs N] <file|dir>... [options]\n       \
          recmodc check --corpus [options]\n       \
+         recmodc serve [--socket PATH] [--queue-depth N] [--faults SEED,RATE[,KIND]]\n       \
          recmodc explain [CODE]\n       \
          recmodc -e \"<expression>\" [options]\n\
          options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
@@ -95,7 +97,8 @@ fn usage() -> ExitCode {
          --jobs N --corpus --cold --crash-dir DIR\n         \
          --profile[=FILE] --profile-text --profile-by=judgement|stage|file\n         \
          --log-json FILE (batch only)\n\
-         exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error"
+         exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error\n         \
+         (per-response: 5 overloaded, 6 draining)"
     );
     ExitCode::from(EXIT_USAGE)
 }
@@ -147,6 +150,12 @@ struct Options {
     diagnostics: bool,
     /// `--crash-dir DIR`: where crash bundles land (default: temp dir).
     crash_dir: Option<String>,
+    /// `serve --socket PATH`: listen on a unix socket instead of stdio.
+    socket: Option<String>,
+    /// `serve --queue-depth N`: admission-queue bound (default 256).
+    queue_depth: Option<usize>,
+    /// `serve --faults SEED,RATE[,KIND]`: deterministic fault injection.
+    faults: Option<String>,
 }
 
 impl Options {
@@ -200,6 +209,9 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         log_json: None,
         diagnostics: false,
         crash_dir: None,
+        socket: None,
+        queue_depth: None,
+        faults: None,
     };
     let mut deadline_ms: Option<u64> = None;
     let mut it = args.into_iter();
@@ -222,6 +234,18 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             "--crash-dir" => {
                 let d = it.next().ok_or("--crash-dir needs a directory")?;
                 opts.crash_dir = Some(d);
+            }
+            "--socket" => {
+                let p = it.next().ok_or("--socket needs a path")?;
+                opts.socket = Some(p);
+            }
+            "--queue-depth" => {
+                let n = it.next().ok_or("--queue-depth needs a number")?;
+                opts.queue_depth = Some(n.parse().map_err(|_| format!("bad queue depth: {n}"))?);
+            }
+            "--faults" => {
+                let spec = it.next().ok_or("--faults needs SEED,RATE[,KIND]")?;
+                opts.faults = Some(spec);
             }
             "--profile" => opts.profile = Some("trace.json".to_string()),
             "--profile-text" => opts.profile_text = true,
@@ -281,6 +305,24 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
             }
             _ if a.starts_with("--stats=") => {
                 return Err(format!("unknown stats format: {a} (try --stats=json)"));
+            }
+            _ if a.starts_with("--socket=") => {
+                let p = &a["--socket=".len()..];
+                if p.is_empty() {
+                    return Err("--socket= needs a path".to_string());
+                }
+                opts.socket = Some(p.to_string());
+            }
+            _ if a.starts_with("--queue-depth=") => {
+                let n = &a["--queue-depth=".len()..];
+                opts.queue_depth = Some(n.parse().map_err(|_| format!("bad queue depth: {n}"))?);
+            }
+            _ if a.starts_with("--faults=") => {
+                let spec = &a["--faults=".len()..];
+                if spec.is_empty() {
+                    return Err("--faults= needs SEED,RATE[,KIND]".to_string());
+                }
+                opts.faults = Some(spec.to_string());
             }
             _ if a.starts_with("--crash-dir=") => {
                 let d = &a["--crash-dir=".len()..];
@@ -346,6 +388,7 @@ fn main() -> ExitCode {
                 ExitCode::from(EXIT_USAGE)
             }
         },
+        [cmd] if cmd.as_str() == "serve" => run_serve(&opts),
         [flag, expr] if flag.as_str() == "-e" => run_source("<expr>", expr, &opts, Mode::Run),
         [cmd, paths @ ..] if cmd.as_str() == "check" && wants_batch(paths, &opts) => {
             run_batch(paths, &opts)
@@ -398,6 +441,122 @@ fn wants_batch(paths: &[String], opts: &Options) -> bool {
         || paths
             .iter()
             .any(|p| p != "-" && std::path::Path::new(p).is_dir())
+}
+
+/// `recmodc serve`: a supervised compile service speaking line-delimited
+/// JSON over stdio (default) or a unix socket (`--socket PATH`). Each
+/// request line gets exactly one response line reusing the structured
+/// diagnostics schema; `--queue-depth` bounds admission (excess load is
+/// shed with status `overloaded`), `--jobs` sets the worker count, and
+/// `--faults SEED,RATE[,KIND]` arms deterministic fault injection for
+/// chaos testing. See README "Serve" for the wire schema.
+fn run_serve(opts: &Options) -> ExitCode {
+    use recmod::driver::serve::{serve_connection, ServeConfig, Server};
+
+    let faults = match &opts.faults {
+        Some(spec) => match recmod::telemetry::fault::FaultPlan::parse(spec) {
+            Ok(plan) => Some(plan),
+            Err(msg) => {
+                eprintln!("recmodc: {msg}");
+                return ExitCode::from(EXIT_USAGE);
+            }
+        },
+        None => None,
+    };
+    let defaults = ServeConfig::default();
+    let cfg = ServeConfig {
+        workers: opts.jobs.unwrap_or(defaults.workers),
+        queue_depth: opts.queue_depth.unwrap_or(defaults.queue_depth),
+        limits: opts.limits,
+        default_deadline_ms: opts.deadline_ms.or(defaults.default_deadline_ms),
+        max_errors: opts.max_errors,
+        faults,
+        crash_dir: Some(
+            opts.crash_dir
+                .as_ref()
+                .map(std::path::PathBuf::from)
+                .unwrap_or_else(std::env::temp_dir),
+        ),
+        log_events: true,
+        ..defaults
+    };
+    let mut server = match Server::start(cfg) {
+        Ok(s) => s,
+        Err(msg) => {
+            eprintln!("recmodc: {msg}");
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    };
+
+    let code = match &opts.socket {
+        Some(path) => serve_socket(&server, path),
+        None => {
+            let stdin = std::io::stdin();
+            serve_connection(&server, stdin.lock(), std::io::stdout());
+            ExitCode::SUCCESS
+        }
+    };
+    server.shutdown();
+    code
+}
+
+/// Accept loop for `serve --socket PATH`: one connection at a time,
+/// polling between accepts so a `shutdown` op received on any
+/// connection stops the listener. A stale socket file from a previous
+/// run is removed before binding.
+fn serve_socket(server: &recmod::driver::serve::Server, path: &str) -> ExitCode {
+    use std::os::unix::net::UnixListener;
+
+    let p = std::path::Path::new(path);
+    if p.exists() {
+        let _ = std::fs::remove_file(p);
+    }
+    let listener = match UnixListener::bind(p) {
+        Ok(l) => l,
+        Err(e) => {
+            eprintln!("recmodc: cannot bind {path}: {e}");
+            return ExitCode::from(EXIT_USER);
+        }
+    };
+    if let Err(e) = listener.set_nonblocking(true) {
+        eprintln!("recmodc: cannot poll {path}: {e}");
+        return ExitCode::from(EXIT_INTERNAL);
+    }
+    eprintln!("recmodc: serving on {path}");
+    loop {
+        match listener.accept() {
+            Ok((stream, _addr)) => {
+                // The listener polls, but each connection reads blocking.
+                if let Err(e) = stream.set_nonblocking(false) {
+                    eprintln!("recmodc: cannot configure connection: {e}");
+                    continue;
+                }
+                let reader = match stream.try_clone() {
+                    Ok(s) => std::io::BufReader::new(s),
+                    Err(e) => {
+                        eprintln!("recmodc: cannot clone connection: {e}");
+                        continue;
+                    }
+                };
+                recmod::driver::serve::serve_connection(server, reader, stream);
+                if server.is_draining() {
+                    break;
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                if server.is_draining() {
+                    break;
+                }
+                std::thread::sleep(std::time::Duration::from_millis(10));
+            }
+            Err(e) => {
+                eprintln!("recmodc: accept failed on {path}: {e}");
+                break;
+            }
+        }
+    }
+    let _ = std::fs::remove_file(p);
+    ExitCode::SUCCESS
 }
 
 fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
@@ -985,25 +1144,12 @@ fn diagnostics_doc<'a>(
     ])
 }
 
-/// FNV-1a over the input; names crash bundles deterministically.
-fn fnv1a(parts: &[&[u8]]) -> u64 {
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-    for part in parts {
-        for b in *part {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x100_0000_01b3);
-        }
-        h ^= 0xff; // separator so ("ab","c") and ("a","bc") differ
-        h = h.wrapping_mul(0x100_0000_01b3);
-    }
-    h
-}
-
-/// Writes the crash bundle for a limit/internal exit: the flight
-/// recorder tail, a counter snapshot, the limits in force, and an input
-/// hash, as one schema-versioned JSON file under `--crash-dir` (default
-/// the system temp directory). Failure to write is reported but never
-/// changes the exit code — forensics must not mask the original error.
+/// Writes the crash bundle for a limit/internal exit under `--crash-dir`
+/// (default the system temp directory) through the shared
+/// `telemetry::bundle` writer, whose filename discriminator keeps
+/// repeated failures on one input from overwriting each other. Failure
+/// to write is reported but never changes the exit code — forensics
+/// must not mask the original error.
 fn write_crash_bundle(
     opts: &Options,
     file: &str,
@@ -1012,68 +1158,22 @@ fn write_crash_bundle(
     exit: u8,
     crash: &recmod::telemetry::diag::CrashData,
 ) {
-    use recmod::telemetry::json::Json;
     let dir = opts
         .crash_dir
         .as_ref()
         .map(std::path::PathBuf::from)
         .unwrap_or_else(std::env::temp_dir);
-    let hash = fnv1a(&[file.as_bytes(), src.as_bytes()]);
-    let path = dir.join(format!("recmod-crash-{hash:016x}.json"));
-    let events: Vec<Json> = crash
-        .events
-        .iter()
-        .map(|e| {
-            Json::obj([
-                ("seq", Json::UInt(e.seq)),
-                ("kind", Json::str(e.kind.label())),
-                ("name", Json::str(e.name)),
-                ("depth", Json::UInt(u64::from(e.depth))),
-            ])
-        })
-        .collect();
-    let limits = &opts.limits;
-    let mut pairs: Vec<(&'static str, Json)> = vec![
-        (
-            "schema_version",
-            Json::UInt(recmod::telemetry::SCHEMA_VERSION),
-        ),
-        ("kind", Json::str("crash")),
-        ("file", Json::str(file)),
-        ("status", Json::str(status)),
-        ("exit", Json::UInt(u64::from(exit))),
-        (
-            "input_fnv1a",
-            Json::Str(format!("{:016x}", fnv1a(&[src.as_bytes()]))),
-        ),
-        (
-            "limits",
-            Json::obj([
-                ("depth", Json::UInt(limits.max_depth as u64)),
-                ("nodes", Json::UInt(limits.max_nodes)),
-                ("fuel", Json::UInt(limits.fuel)),
-                ("eval_fuel", Json::UInt(limits.eval_fuel)),
-                ("eval_depth", Json::UInt(limits.eval_depth)),
-                ("deadline_ms", Json::UInt(limits.deadline_ms)),
-            ]),
-        ),
-        ("recorded", Json::UInt(crash.recorded)),
-        ("recorder", Json::Arr(events)),
-    ];
-    if let Some(counters) = &crash.counters {
-        pairs.push((
-            "counters",
-            Json::Obj(
-                counters
-                    .iter()
-                    .map(|(k, v)| ((*k).to_string(), Json::UInt(*v)))
-                    .collect(),
-            ),
-        ));
-    }
-    match std::fs::write(&path, Json::obj(pairs).to_pretty()) {
-        Ok(()) => eprintln!("crash bundle: wrote {}", path.display()),
-        Err(e) => eprintln!("recmodc: cannot write crash bundle {}: {e}", path.display()),
+    match recmod::telemetry::bundle::write_bundle(
+        &dir,
+        file,
+        src,
+        status,
+        exit,
+        &opts.limits,
+        crash,
+    ) {
+        Ok(path) => eprintln!("crash bundle: wrote {}", path.display()),
+        Err(msg) => eprintln!("recmodc: {msg}"),
     }
 }
 

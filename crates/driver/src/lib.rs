@@ -29,6 +29,8 @@
 //! drops its (possibly poisoned) elaborator and rebuilds a fresh one,
 //! and every other file is unaffected.
 
+pub mod serve;
+
 use std::collections::VecDeque;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::path::{Path, PathBuf};
@@ -62,6 +64,11 @@ pub struct Job {
     pub name: String,
     /// The program source.
     pub source: String,
+    /// Per-job wall-clock deadline override in milliseconds. `None`
+    /// falls back to [`DriverConfig::deadline_ms`]. The compile service
+    /// uses this for per-request deadlines; deadlines are re-armed as
+    /// absolute instants when the job *starts*, never earlier.
+    pub deadline_ms: Option<u64>,
 }
 
 impl Job {
@@ -70,7 +77,14 @@ impl Job {
         Job {
             name: name.into(),
             source: source.into(),
+            deadline_ms: None,
         }
+    }
+
+    /// Overrides the per-job deadline (milliseconds from job start).
+    pub fn with_deadline_ms(mut self, ms: u64) -> Self {
+        self.deadline_ms = Some(ms);
+        self
     }
 }
 
@@ -215,6 +229,11 @@ pub struct DriverConfig {
     /// `telemetry`): each worker snapshots its counters around every
     /// file and stores the difference in [`FileOutcome::counters`].
     pub file_counters: bool,
+    /// Test-only fault hook: treat the first N worker spawns as if
+    /// [`std::thread::Builder::spawn_scoped`] had failed, exercising
+    /// the degraded path where surviving workers drain the missing
+    /// workers' deques. Leave at 0 outside regression tests.
+    pub fail_spawns: usize,
 }
 
 impl Default for DriverConfig {
@@ -228,6 +247,7 @@ impl Default for DriverConfig {
             stack_size: DEFAULT_STACK_SIZE,
             telemetry: None,
             file_counters: false,
+            fail_spawns: 0,
         }
     }
 }
@@ -275,6 +295,7 @@ fn read_job(path: &Path) -> Result<Job, String> {
     Ok(Job {
         name: path.display().to_string(),
         source,
+        deadline_ms: None,
     })
 }
 
@@ -313,6 +334,11 @@ pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
     std::thread::scope(|scope| {
         let mut handles = Vec::with_capacity(workers);
         for wid in 0..workers {
+            if wid < config.fail_spawns {
+                // Injected spawn failure (regression tests): behave
+                // exactly like the Err arm below.
+                continue;
+            }
             let builder = std::thread::Builder::new()
                 .name(format!("recmod-worker-{wid}"))
                 .stack_size(config.stack_size);
@@ -473,7 +499,7 @@ fn compile_one(
     };
     // Deadlines are absolute instants, so they must be re-armed here,
     // per file, not when the batch was configured.
-    let limits = match config.deadline_ms {
+    let limits = match job.deadline_ms.or(config.deadline_ms) {
         Some(ms) => config.limits.with_deadline_ms(ms),
         None => config.limits,
     };

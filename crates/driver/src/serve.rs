@@ -1,0 +1,1440 @@
+//! The supervised compile service behind `recmodc serve`.
+//!
+//! A long-lived typechecking daemon: line-delimited JSON requests come
+//! in over stdin or a unix socket, each carrying a source text plus
+//! optional per-request [`Limits`] and deadline, and every request gets
+//! **exactly one** line-delimited JSON response reusing the S15
+//! diagnostics document, the exit-class taxonomy, and
+//! [`SCHEMA_VERSION`]. The service is built from three pieces:
+//!
+//! * **Admission control** — a bounded queue ([`ServeConfig::queue_depth`]).
+//!   A full queue sheds the request with an explicit
+//!   [`ResponseStatus::Overloaded`] response (exit class
+//!   [`EXIT_OVERLOADED`]), never a silent drop; a draining server
+//!   rejects new work with [`ResponseStatus::Draining`]
+//!   ([`EXIT_DRAINING`]).
+//! * **Supervision** — requests compile on dedicated 512 MB worker
+//!   threads behind a per-request `catch_unwind`. A supervisor thread
+//!   reaps workers that die anyway (e.g. an injected
+//!   [`FaultKind::Kill`]), writes a crash bundle attributed to the
+//!   request id, retries or answers the orphaned request, and respawns
+//!   the worker. A watchdog flags requests that blow their deadline
+//!   past a grace period — cancellation itself is structural: the
+//!   kernel's own amortized [`Limits`] deadline checks unwind the
+//!   derivation with a normal `L004` limit error.
+//! * **Retry with backoff** — attempts that failed *transiently* (an
+//!   injected fault, a caught panic, a dead worker) are requeued with
+//!   exponential backoff up to [`ServeConfig::max_attempts`]; user
+//!   errors and genuine resource verdicts are never retried, so
+//!   verdicts stay deterministic and unfaulted requests answer
+//!   byte-identically to batch mode.
+//!
+//! Fault injection ([`recmod_telemetry::fault`]) is armed per request
+//! from a seeded [`FaultPlan`]: the plan decides a request's fate from
+//! `(seed, admission seq)` alone, so chaos runs are replayable and
+//! unperturbed requests never touch the fault layer at all.
+
+use std::collections::VecDeque;
+use std::io::{BufRead, Write};
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::Sender;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use recmod_surface::diag::{self as sdiag, Diagnostic};
+use recmod_surface::elab::Elaborator;
+use recmod_surface::pipeline::compile_with_limits_in;
+use recmod_telemetry::diag as tdiag;
+use recmod_telemetry::fault::{self, FaultKind, FaultPlan, Injection};
+use recmod_telemetry::json::Json;
+use recmod_telemetry::{bundle, Limits, SCHEMA_VERSION};
+
+use crate::{FileStatus, DEFAULT_STACK_SIZE};
+
+/// Exit class for a request shed by admission control.
+pub const EXIT_OVERLOADED: u8 = 5;
+/// Exit class for a request rejected because the server is draining.
+pub const EXIT_DRAINING: u8 = 6;
+/// Exit class for a malformed request (same class as CLI usage errors).
+pub const EXIT_INVALID: u8 = 2;
+
+/// How a response classifies its request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// Compiled cleanly.
+    Ok,
+    /// Ordinary (lex/parse/scope/type) diagnostics.
+    Error,
+    /// A genuine resource-limit verdict.
+    Limit,
+    /// An internal error that survived all retry attempts.
+    Internal,
+    /// Shed by admission control (queue full). Retry later.
+    Overloaded,
+    /// Rejected because the server is draining for shutdown.
+    Draining,
+    /// The request itself was malformed.
+    Invalid,
+}
+
+impl ResponseStatus {
+    /// Stable status label, matching the batch driver's file statuses
+    /// where the classes coincide.
+    pub fn label(self) -> &'static str {
+        match self {
+            ResponseStatus::Ok => "ok",
+            ResponseStatus::Error => "error",
+            ResponseStatus::Limit => "limit",
+            ResponseStatus::Internal => "internal",
+            ResponseStatus::Overloaded => "overloaded",
+            ResponseStatus::Draining => "draining",
+            ResponseStatus::Invalid => "invalid",
+        }
+    }
+
+    /// The exit class this status maps to (extends the CLI taxonomy
+    /// with [`EXIT_OVERLOADED`] and [`EXIT_DRAINING`]).
+    pub fn exit(self) -> u8 {
+        match self {
+            ResponseStatus::Ok => crate::EXIT_OK,
+            ResponseStatus::Error => crate::EXIT_USER,
+            ResponseStatus::Limit => crate::EXIT_LIMIT,
+            ResponseStatus::Internal => crate::EXIT_INTERNAL,
+            ResponseStatus::Overloaded => EXIT_OVERLOADED,
+            ResponseStatus::Draining => EXIT_DRAINING,
+            ResponseStatus::Invalid => EXIT_INVALID,
+        }
+    }
+}
+
+impl From<FileStatus> for ResponseStatus {
+    fn from(s: FileStatus) -> Self {
+        match s {
+            FileStatus::Ok => ResponseStatus::Ok,
+            FileStatus::Error => ResponseStatus::Error,
+            FileStatus::Limit => ResponseStatus::Limit,
+            FileStatus::Internal => ResponseStatus::Internal,
+        }
+    }
+}
+
+/// One parsed `check` request.
+#[derive(Debug, Clone)]
+pub struct Request {
+    /// Client-chosen correlation id, echoed verbatim in the response
+    /// (`Json::Null` when the request carried none).
+    pub id: Json,
+    /// Display name used to prefix rendered diagnostics.
+    pub name: String,
+    /// The program source.
+    pub source: String,
+    /// Per-request deadline override in milliseconds (falls back to
+    /// [`ServeConfig::default_deadline_ms`]).
+    pub deadline_ms: Option<u64>,
+    /// Per-request limits override (falls back to [`ServeConfig::limits`]).
+    pub limits: Option<Limits>,
+}
+
+impl Request {
+    /// A minimal check request for `source` with correlation id `id`.
+    pub fn new(id: u64, name: impl Into<String>, source: impl Into<String>) -> Self {
+        Request {
+            id: Json::UInt(id),
+            name: name.into(),
+            source: source.into(),
+            deadline_ms: None,
+            limits: None,
+        }
+    }
+}
+
+/// A parsed protocol operation.
+#[derive(Debug, Clone)]
+pub enum Op {
+    /// Compile a source text.
+    Check(Request),
+    /// Report server statistics.
+    Stats(Json),
+    /// Drain in-flight work and shut the server down.
+    Shutdown(Json),
+}
+
+/// Parses one request line. `base_limits` seeds any per-request
+/// `limits` override.
+///
+/// # Errors
+///
+/// Returns `(id, message)` for malformed lines — the id is whatever
+/// could be salvaged (else `Json::Null`), so even an invalid request
+/// gets a correlatable [`ResponseStatus::Invalid`] response.
+pub fn parse_op(line: &str, base_limits: Limits) -> Result<Op, (Json, String)> {
+    let doc = recmod_telemetry::json::parse(line)
+        .map_err(|e| (Json::Null, format!("malformed JSON: {e}")))?;
+    let id = doc.get("id").cloned().unwrap_or(Json::Null);
+    if !matches!(doc, Json::Obj(_)) {
+        return Err((id, "request must be a JSON object".to_string()));
+    }
+    let op = doc.get("op").and_then(Json::as_str).unwrap_or("check");
+    match op {
+        "stats" => Ok(Op::Stats(id)),
+        "shutdown" => Ok(Op::Shutdown(id)),
+        "check" => {
+            let source = doc
+                .get("source")
+                .and_then(Json::as_str)
+                .ok_or_else(|| {
+                    (
+                        id.clone(),
+                        "check request needs a string `source`".to_string(),
+                    )
+                })?
+                .to_string();
+            let name = doc
+                .get("name")
+                .and_then(Json::as_str)
+                .unwrap_or("<request>")
+                .to_string();
+            let deadline_ms = doc.get("deadline_ms").and_then(Json::as_u64);
+            let limits = match doc.get("limits") {
+                None => None,
+                Some(spec) => {
+                    Some(parse_limits_obj(spec, base_limits).map_err(|m| (id.clone(), m))?)
+                }
+            };
+            Ok(Op::Check(Request {
+                id,
+                name,
+                source,
+                deadline_ms,
+                limits,
+            }))
+        }
+        other => Err((
+            id,
+            format!("unknown op `{other}` (known: check, stats, shutdown)"),
+        )),
+    }
+}
+
+/// Applies a request's `limits` object (same keys as `--limits`:
+/// `depth`, `nodes`, `fuel`, `eval-fuel`, `eval-depth`) over `base`.
+fn parse_limits_obj(spec: &Json, base: Limits) -> Result<Limits, String> {
+    let Json::Obj(map) = spec else {
+        return Err("`limits` must be an object".to_string());
+    };
+    let mut limits = base;
+    for (key, value) in map {
+        let n = value
+            .as_u64()
+            .ok_or_else(|| format!("bad value for limit `{key}`"))?;
+        match key.as_str() {
+            "depth" => limits.max_depth = n as usize,
+            "nodes" => limits.max_nodes = n,
+            "fuel" => limits.fuel = n,
+            "eval-fuel" => limits.eval_fuel = n,
+            "eval-depth" => limits.eval_depth = n,
+            _ => {
+                return Err(format!(
+                    "unknown limit `{key}` (known: depth, nodes, fuel, eval-fuel, eval-depth)"
+                ))
+            }
+        }
+    }
+    Ok(limits)
+}
+
+/// One response. Every submitted request — including shed, rejected,
+/// and malformed ones — produces exactly one of these.
+#[derive(Debug, Clone)]
+pub struct Response {
+    /// The request's correlation id, echoed.
+    pub id: Json,
+    /// Outcome classification.
+    pub status: ResponseStatus,
+    /// Compile attempts consumed (0 for requests never admitted).
+    pub attempts: u32,
+    /// Labels of injected faults that fired across the attempts
+    /// (empty for unperturbed requests).
+    pub injected: Vec<&'static str>,
+    /// `(name, description)` pairs for top-level bindings (ok only).
+    pub summaries: Vec<(String, String)>,
+    /// Structured diagnostics (S15 schema, never truncated).
+    pub diags: Vec<Diagnostic>,
+    /// Rendered diagnostic lines, capped by [`ServeConfig::max_errors`].
+    pub rendered: Vec<String>,
+    /// Human-readable note for overloaded/draining/invalid/internal
+    /// responses.
+    pub message: Option<String>,
+    /// Server statistics (stats op only).
+    pub stats: Option<Json>,
+}
+
+impl Response {
+    fn plain(id: Json, status: ResponseStatus, message: impl Into<String>) -> Self {
+        Response {
+            id,
+            status,
+            attempts: 0,
+            injected: Vec::new(),
+            summaries: Vec::new(),
+            diags: Vec::new(),
+            rendered: Vec::new(),
+            message: Some(message.into()),
+            stats: None,
+        }
+    }
+
+    /// The schema-versioned JSON document for this response (emit with
+    /// `to_compact()` — the protocol is one response per line).
+    pub fn to_json(&self) -> Json {
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("kind", Json::str("response")),
+            ("id", self.id.clone()),
+            ("status", Json::str(self.status.label())),
+            ("exit", Json::UInt(u64::from(self.status.exit()))),
+            ("attempts", Json::UInt(u64::from(self.attempts))),
+        ];
+        if !self.injected.is_empty() {
+            pairs.push((
+                "injected",
+                Json::Arr(self.injected.iter().map(|l| Json::str(*l)).collect()),
+            ));
+        }
+        if !self.summaries.is_empty() {
+            pairs.push((
+                "summaries",
+                Json::Arr(
+                    self.summaries
+                        .iter()
+                        .map(|(n, d)| {
+                            Json::obj([
+                                ("name", Json::str(n.clone())),
+                                ("desc", Json::str(d.clone())),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ));
+        }
+        if !self.diags.is_empty() {
+            pairs.push((
+                "diagnostics",
+                Json::Arr(self.diags.iter().map(Diagnostic::to_json).collect()),
+            ));
+        }
+        if !self.rendered.is_empty() {
+            pairs.push((
+                "rendered",
+                Json::Arr(self.rendered.iter().map(|l| Json::str(l.clone())).collect()),
+            ));
+        }
+        if let Some(m) = &self.message {
+            pairs.push(("message", Json::str(m.clone())));
+        }
+        if let Some(s) = &self.stats {
+            pairs.push(("stats", s.clone()));
+        }
+        Json::obj(pairs)
+    }
+}
+
+/// Compile-service settings.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Worker threads (each with its own stack, interner, and warm
+    /// kernel caches).
+    pub workers: usize,
+    /// Admission-queue bound; requests beyond it are shed with
+    /// [`ResponseStatus::Overloaded`]. `0` sheds everything (useful to
+    /// smoke-test the shedding path).
+    pub queue_depth: usize,
+    /// Base resource limits for every request.
+    pub limits: Limits,
+    /// Default per-request wall-clock deadline. Deadlines are the
+    /// service's *cancellation* mechanism — the kernel's amortized
+    /// checks unwind structurally — so leaving this `None` means a
+    /// pathological request can only be flagged by the watchdog, never
+    /// cancelled.
+    pub default_deadline_ms: Option<u64>,
+    /// Rendered diagnostics per response before eliding the rest.
+    pub max_errors: usize,
+    /// Total compile attempts per request (1 = never retry).
+    pub max_attempts: u32,
+    /// Base retry backoff in milliseconds (doubles per attempt).
+    pub backoff_ms: u64,
+    /// Deterministic fault plan; `None` disables injection entirely.
+    pub faults: Option<FaultPlan>,
+    /// Per-worker thread stack size.
+    pub stack_size: usize,
+    /// Directory for crash bundles on limit/internal outcomes and
+    /// worker deaths; `None` disables bundle writing.
+    pub crash_dir: Option<PathBuf>,
+    /// Watchdog grace period: a request this far past its deadline is
+    /// flagged as overdue in the supervisor log and stats.
+    pub grace_ms: u64,
+    /// Emit supervisor events (worker death, respawn, overdue
+    /// requests) as JSON lines on stderr.
+    pub log_events: bool,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 1,
+            queue_depth: 256,
+            limits: Limits::default(),
+            default_deadline_ms: Some(30_000),
+            max_errors: 20,
+            max_attempts: 3,
+            backoff_ms: 5,
+            faults: None,
+            stack_size: DEFAULT_STACK_SIZE,
+            crash_dir: None,
+            grace_ms: 1_000,
+            log_events: false,
+        }
+    }
+}
+
+/// A snapshot of the service's counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ServerStats {
+    /// Requests admitted to the queue.
+    pub accepted: u64,
+    /// Requests answered (one response each).
+    pub completed: u64,
+    /// Requests shed by admission control.
+    pub shed: u64,
+    /// Requests rejected while draining.
+    pub rejected_draining: u64,
+    /// Malformed request lines answered with `invalid`.
+    pub invalid: u64,
+    /// Attempts requeued after a transient failure.
+    pub retries: u64,
+    /// Dead workers replaced by the supervisor.
+    pub respawns: u64,
+    /// Worker spawn attempts that failed outright.
+    pub spawn_failures: u64,
+    /// Requests flagged by the watchdog as past deadline + grace.
+    pub watchdog_late: u64,
+    /// Injected faults that fired, by kind.
+    pub injected_panic: u64,
+    /// Injected allocation-budget trips that fired.
+    pub injected_alloc: u64,
+    /// Injected deadline storms that fired.
+    pub injected_deadline: u64,
+    /// Injected worker kills that fired.
+    pub injected_kill: u64,
+    /// Worker threads ever spawned.
+    pub workers_spawned: u64,
+    /// Worker threads reaped (joined) — equals `workers_spawned` after
+    /// a clean shutdown, which is the "no leaked workers" invariant.
+    pub workers_joined: u64,
+    /// Requests whose worker finished with a non-empty diag frame
+    /// stack (flight-recorder imbalance; must stay 0).
+    pub frame_imbalance: u64,
+}
+
+impl ServerStats {
+    /// The stats document embedded in `stats` responses.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("accepted", Json::UInt(self.accepted)),
+            ("completed", Json::UInt(self.completed)),
+            ("shed", Json::UInt(self.shed)),
+            ("rejected_draining", Json::UInt(self.rejected_draining)),
+            ("invalid", Json::UInt(self.invalid)),
+            ("retries", Json::UInt(self.retries)),
+            ("respawns", Json::UInt(self.respawns)),
+            ("spawn_failures", Json::UInt(self.spawn_failures)),
+            ("watchdog_late", Json::UInt(self.watchdog_late)),
+            ("injected_panic", Json::UInt(self.injected_panic)),
+            ("injected_alloc", Json::UInt(self.injected_alloc)),
+            ("injected_deadline", Json::UInt(self.injected_deadline)),
+            ("injected_kill", Json::UInt(self.injected_kill)),
+            ("workers_spawned", Json::UInt(self.workers_spawned)),
+            ("workers_joined", Json::UInt(self.workers_joined)),
+            ("frame_imbalance", Json::UInt(self.frame_imbalance)),
+        ])
+    }
+}
+
+#[derive(Default)]
+struct Counters {
+    accepted: AtomicU64,
+    completed: AtomicU64,
+    shed: AtomicU64,
+    rejected_draining: AtomicU64,
+    invalid: AtomicU64,
+    retries: AtomicU64,
+    respawns: AtomicU64,
+    spawn_failures: AtomicU64,
+    watchdog_late: AtomicU64,
+    injected_panic: AtomicU64,
+    injected_alloc: AtomicU64,
+    injected_deadline: AtomicU64,
+    injected_kill: AtomicU64,
+    workers_spawned: AtomicU64,
+    workers_joined: AtomicU64,
+    frame_imbalance: AtomicU64,
+}
+
+impl Counters {
+    fn bump(c: &AtomicU64) {
+        c.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn fired(&self, kind: FaultKind) {
+        Counters::bump(match kind {
+            FaultKind::Panic => &self.injected_panic,
+            FaultKind::Alloc => &self.injected_alloc,
+            FaultKind::Deadline => &self.injected_deadline,
+            FaultKind::Kill => &self.injected_kill,
+        });
+    }
+
+    fn snapshot(&self) -> ServerStats {
+        let get = |c: &AtomicU64| c.load(Ordering::Relaxed);
+        ServerStats {
+            accepted: get(&self.accepted),
+            completed: get(&self.completed),
+            shed: get(&self.shed),
+            rejected_draining: get(&self.rejected_draining),
+            invalid: get(&self.invalid),
+            retries: get(&self.retries),
+            respawns: get(&self.respawns),
+            spawn_failures: get(&self.spawn_failures),
+            watchdog_late: get(&self.watchdog_late),
+            injected_panic: get(&self.injected_panic),
+            injected_alloc: get(&self.injected_alloc),
+            injected_deadline: get(&self.injected_deadline),
+            injected_kill: get(&self.injected_kill),
+            workers_spawned: get(&self.workers_spawned),
+            workers_joined: get(&self.workers_joined),
+            frame_imbalance: get(&self.frame_imbalance),
+        }
+    }
+}
+
+/// An admitted request waiting in, or taken from, the queue.
+struct Pending {
+    req: Request,
+    reply: Sender<Response>,
+    seq: u64,
+    attempts: u32,
+    injection: Option<Injection>,
+    not_before: Option<Instant>,
+    injected: Vec<&'static str>,
+}
+
+/// Queue state behind the admission mutex.
+struct State {
+    queue: VecDeque<Pending>,
+    draining: bool,
+    /// Requests currently being compiled (taken from the queue, not
+    /// yet answered or requeued).
+    inflight_count: usize,
+    next_seq: u64,
+    workers_alive: usize,
+}
+
+/// Per-worker slot the supervisor can inspect: the request being
+/// compiled (moved here for the compile's duration, so a dead worker's
+/// request is recoverable) plus forensics captured on the way down.
+#[derive(Default)]
+struct InFlight {
+    pending: Option<Pending>,
+    crash: Option<tdiag::CrashData>,
+    deadline: Option<Instant>,
+    flagged: bool,
+}
+
+struct Core {
+    cfg: ServeConfig,
+    state: Mutex<State>,
+    work: Condvar,
+    stats: Counters,
+    inflight: Vec<Mutex<InFlight>>,
+}
+
+/// Locks a service mutex, recovering from poisoning: all guarded state
+/// is plain data (queues, options, counters) that is never left
+/// half-mutated across a panic point.
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+impl Core {
+    fn log_event(&self, event: &str, fields: &[(&'static str, Json)]) {
+        if !self.cfg.log_events {
+            return;
+        }
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("kind", Json::str("supervisor")),
+            ("event", Json::str(event)),
+        ];
+        pairs.extend(fields.iter().cloned());
+        eprintln!("{}", Json::obj(pairs).to_compact());
+    }
+
+    /// Admission control: answers immediately when draining or full,
+    /// otherwise enqueues. Every path produces exactly one response.
+    fn submit(&self, req: Request, reply: Sender<Response>) {
+        let pending = {
+            let mut st = lock(&self.state);
+            if st.draining {
+                Counters::bump(&self.stats.rejected_draining);
+                drop(st);
+                let _ = reply.send(Response::plain(
+                    req.id,
+                    ResponseStatus::Draining,
+                    "server is draining; request rejected",
+                ));
+                return;
+            }
+            if st.queue.len() >= self.cfg.queue_depth {
+                Counters::bump(&self.stats.shed);
+                let depth = self.cfg.queue_depth;
+                drop(st);
+                let _ = reply.send(Response::plain(
+                    req.id,
+                    ResponseStatus::Overloaded,
+                    format!("admission queue full (depth {depth}); request shed"),
+                ));
+                return;
+            }
+            let seq = st.next_seq;
+            st.next_seq += 1;
+            Counters::bump(&self.stats.accepted);
+            let injection = self.cfg.faults.as_ref().and_then(|p| p.decide(seq));
+            st.queue.push_back(Pending {
+                req,
+                reply,
+                seq,
+                attempts: 0,
+                injection,
+                not_before: None,
+                injected: Vec::new(),
+            });
+            true
+        };
+        if pending {
+            self.work.notify_one();
+        }
+    }
+
+    /// Takes the next ready request, waiting as needed; `None` once
+    /// the server has fully drained (worker should exit).
+    fn next_work(&self) -> Option<Pending> {
+        let mut st = lock(&self.state);
+        loop {
+            let now = Instant::now();
+            if let Some(pos) = st
+                .queue
+                .iter()
+                .position(|p| p.not_before.is_none_or(|t| t <= now))
+            {
+                let p = st.queue.remove(pos)?;
+                st.inflight_count += 1;
+                return Some(p);
+            }
+            if st.draining && st.queue.is_empty() && st.inflight_count == 0 {
+                return None;
+            }
+            let wait = st
+                .queue
+                .iter()
+                .filter_map(|p| p.not_before)
+                .min()
+                .map(|t| t.saturating_duration_since(now))
+                .unwrap_or(Duration::from_millis(50))
+                .max(Duration::from_millis(1));
+            let (guard, _) = self
+                .work
+                .wait_timeout(st, wait)
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Requeues a transiently-failed attempt with exponential backoff.
+    fn retry(&self, mut p: Pending) {
+        Counters::bump(&self.stats.retries);
+        let shift = p.attempts.saturating_sub(1).min(6);
+        p.not_before = Some(Instant::now() + Duration::from_millis(self.cfg.backoff_ms << shift));
+        {
+            let mut st = lock(&self.state);
+            st.inflight_count = st.inflight_count.saturating_sub(1);
+            st.queue.push_back(p);
+        }
+        self.work.notify_all();
+    }
+
+    /// Sends the final response for an in-flight request.
+    fn finish(&self, p: Pending, mut resp: Response) {
+        resp.id = p.req.id;
+        resp.attempts = p.attempts;
+        resp.injected = p.injected;
+        {
+            let mut st = lock(&self.state);
+            st.inflight_count = st.inflight_count.saturating_sub(1);
+        }
+        Counters::bump(&self.stats.completed);
+        self.work.notify_all();
+        let _ = p.reply.send(resp);
+    }
+
+    fn write_bundle(
+        &self,
+        name: &str,
+        source: &str,
+        status: ResponseStatus,
+        limits: &Limits,
+        crash: &tdiag::CrashData,
+    ) -> Option<PathBuf> {
+        let dir = self.cfg.crash_dir.as_ref()?;
+        match bundle::write_bundle(
+            dir,
+            name,
+            source,
+            status.label(),
+            status.exit(),
+            limits,
+            crash,
+        ) {
+            Ok(path) => Some(path),
+            Err(e) => {
+                self.log_event("bundle-error", &[("message", Json::str(e))]);
+                None
+            }
+        }
+    }
+
+    /// Recovers the request a dead worker was compiling: crash bundle,
+    /// then retry (a worker death is transient by definition) or a
+    /// final internal response once attempts are exhausted.
+    fn handle_worker_death(&self, wid: usize) {
+        let (pending, crash) = {
+            let mut slot = lock(&self.inflight[wid]);
+            slot.deadline = None;
+            (slot.pending.take(), slot.crash.take())
+        };
+        let Some(p) = pending else { return };
+        self.log_event(
+            "request-orphaned",
+            &[
+                ("worker", Json::UInt(wid as u64)),
+                ("id", p.req.id.clone()),
+                ("seq", Json::UInt(p.seq)),
+                ("attempts", Json::UInt(u64::from(p.attempts))),
+            ],
+        );
+        let crash = crash.unwrap_or_default();
+        let limits = p.req.limits.unwrap_or(self.cfg.limits);
+        if let Some(path) = self.write_bundle(
+            &p.req.name,
+            &p.req.source,
+            ResponseStatus::Internal,
+            &limits,
+            &crash,
+        ) {
+            self.log_event(
+                "crash-bundle",
+                &[
+                    ("id", p.req.id.clone()),
+                    ("path", Json::str(path.display().to_string())),
+                ],
+            );
+        }
+        if p.attempts < self.cfg.max_attempts {
+            self.retry(p);
+        } else {
+            let resp = Response {
+                diags: vec![Diagnostic::internal(
+                    "I003",
+                    "worker thread died while compiling this request",
+                )],
+                rendered: vec![format!(
+                    "{}: internal error: worker thread died while compiling this request",
+                    p.req.name
+                )],
+                ..Response::plain(
+                    Json::Null,
+                    ResponseStatus::Internal,
+                    "worker thread died while compiling this request",
+                )
+            };
+            self.finish(p, resp);
+        }
+    }
+
+    /// Flags in-flight requests past deadline + grace (once each).
+    /// Cancellation itself is the kernel's structural deadline unwind;
+    /// the watchdog is the observer that proves liveness is monitored.
+    fn watchdog_scan(&self) {
+        let grace = Duration::from_millis(self.cfg.grace_ms);
+        for (wid, slot) in self.inflight.iter().enumerate() {
+            let mut s = lock(slot);
+            if s.pending.is_none() || s.flagged {
+                continue;
+            }
+            let Some(deadline) = s.deadline else { continue };
+            if Instant::now() > deadline + grace {
+                s.flagged = true;
+                let id = s
+                    .pending
+                    .as_ref()
+                    .map(|p| p.req.id.clone())
+                    .unwrap_or(Json::Null);
+                Counters::bump(&self.stats.watchdog_late);
+                self.log_event(
+                    "deadline-overrun",
+                    &[("worker", Json::UInt(wid as u64)), ("id", id)],
+                );
+            }
+        }
+    }
+
+    fn drained(&self) -> bool {
+        let st = lock(&self.state);
+        st.draining && st.queue.is_empty() && st.inflight_count == 0
+    }
+
+    /// Answers everything still queued with an internal error; the
+    /// last-resort path when no worker thread can be spawned at all.
+    fn fail_all_queued(&self, why: &str) {
+        let orphans: Vec<Pending> = {
+            let mut st = lock(&self.state);
+            st.queue.drain(..).collect()
+        };
+        for mut p in orphans {
+            p.attempts = p.attempts.max(1);
+            let resp = Response {
+                diags: vec![Diagnostic::internal("I003", why)],
+                rendered: vec![format!("{}: internal error: {why}", p.req.name)],
+                ..Response::plain(Json::Null, ResponseStatus::Internal, why)
+            };
+            self.finish(p, resp);
+        }
+    }
+}
+
+fn spawn_worker(core: &Arc<Core>, wid: usize) -> Option<JoinHandle<()>> {
+    let c = Arc::clone(core);
+    let res = std::thread::Builder::new()
+        .name(format!("recmod-serve-{wid}"))
+        .stack_size(core.cfg.stack_size)
+        .spawn(move || worker_loop(&c, wid));
+    match res {
+        Ok(handle) => {
+            Counters::bump(&core.stats.workers_spawned);
+            lock(&core.state).workers_alive += 1;
+            Some(handle)
+        }
+        Err(_) => {
+            Counters::bump(&core.stats.spawn_failures);
+            core.log_event("spawn-failed", &[("worker", Json::UInt(wid as u64))]);
+            None
+        }
+    }
+}
+
+fn worker_loop(core: &Arc<Core>, wid: usize) {
+    let mut elab: Option<Elaborator> = None;
+    while let Some(pending) = core.next_work() {
+        serve_one(core, wid, pending, &mut elab);
+    }
+}
+
+fn serve_one(
+    core: &Arc<Core>,
+    wid: usize,
+    mut pending: Pending,
+    slot_elab: &mut Option<Elaborator>,
+) {
+    // Per-request flight recorder, like the batch driver's per-file one.
+    tdiag::reset_recorder();
+    pending.attempts += 1;
+    let first_attempt = pending.attempts == 1;
+    let attempts = pending.attempts;
+    let max_attempts = core.cfg.max_attempts;
+    let injection = pending.injection;
+    let name = pending.req.name.clone();
+    let source = pending.req.source.clone();
+    let mut limits = pending.req.limits.unwrap_or(core.cfg.limits);
+    if let Some(ms) = pending.req.deadline_ms.or(core.cfg.default_deadline_ms) {
+        limits = limits.with_deadline_ms(ms);
+    }
+    // Park the request where the supervisor can recover it if this
+    // thread dies mid-compile.
+    {
+        let mut slot = lock(&core.inflight[wid]);
+        slot.deadline = limits.deadline;
+        slot.flagged = false;
+        slot.crash = None;
+        slot.pending = Some(pending);
+    }
+    // Arm the injected fault on the first attempt only: retries run
+    // unperturbed, which is what makes injected faults *transient* —
+    // the retried verdict converges to the unfaulted one.
+    if first_attempt {
+        if let Some(inj) = injection {
+            fault::arm(inj);
+        }
+    }
+
+    let elab = match slot_elab.take() {
+        Some(mut e) => {
+            e.renew(limits);
+            e
+        }
+        None => Elaborator::with_limits(limits),
+    };
+    #[allow(clippy::result_large_err)] // one call per request; never propagated
+    let compile = || compile_with_limits_in(elab, &source);
+    let result = catch_unwind(AssertUnwindSafe(compile));
+
+    // Always disarm, even after a caught unwind: no fault state (or
+    // deadline storm) may leak into the next request on this worker.
+    let fired = fault::disarm();
+    if let Some(kind) = fired {
+        core.stats.fired(kind);
+    }
+    if tdiag::frame_depth() != 0 {
+        Counters::bump(&core.stats.frame_imbalance);
+    }
+
+    // An injected kill must genuinely take the worker down so the
+    // supervisor's reap-and-respawn path is exercised: capture the
+    // forensics, leave the request parked for the supervisor, re-raise.
+    if let Err(payload) = &result {
+        if fault::injected_kind(payload.as_ref()) == Some(FaultKind::Kill) {
+            {
+                let mut slot = lock(&core.inflight[wid]);
+                slot.crash = Some(tdiag::crash_data());
+                if let Some(parked) = slot.pending.as_mut() {
+                    parked.injected.push(FaultKind::Kill.label());
+                }
+            }
+            if let Err(payload) = result {
+                resume_unwind(payload);
+            }
+            return; // unreachable; keeps the checker happy
+        }
+    }
+
+    let Some(mut pending) = lock(&core.inflight[wid]).pending.take() else {
+        return;
+    };
+    if let Some(kind) = fired {
+        pending.injected.push(kind.label());
+    }
+
+    let (status, summaries, diags, rendered, returned, panicked) = match result {
+        Ok(Ok(compiled)) => (
+            FileStatus::Ok,
+            compiled.summaries(),
+            Vec::new(),
+            Vec::new(),
+            Some(compiled.elab),
+            false,
+        ),
+        Ok(Err((errors, elab))) => {
+            let status = crate::classify(&errors);
+            let diags = sdiag::from_errors(&source, &errors);
+            let rendered = crate::render_diagnostics(&name, &diags, core.cfg.max_errors);
+            (status, Vec::new(), diags, rendered, Some(elab), false)
+        }
+        Err(panic) => {
+            let msg = format!("panic during compilation: {}", crate::panic_message(&panic));
+            let rendered = vec![format!("{name}: internal error: {msg}")];
+            (
+                FileStatus::Internal,
+                Vec::new(),
+                vec![Diagnostic::internal("I002", msg)],
+                rendered,
+                None,
+                true,
+            )
+        }
+    };
+    *slot_elab = returned;
+
+    // Transient failures retry with backoff; definitive verdicts (ok,
+    // user error, genuine limit, structured internal) never do.
+    let transient = match status {
+        FileStatus::Ok | FileStatus::Error => false,
+        FileStatus::Limit => fired.is_some(),
+        FileStatus::Internal => panicked,
+    };
+    if transient && attempts < max_attempts {
+        core.retry(pending);
+        return;
+    }
+
+    if matches!(status, FileStatus::Limit | FileStatus::Internal) {
+        let crash = tdiag::crash_data();
+        if let Some(path) = self_bundle(core, &name, &source, status, &limits, &crash) {
+            core.log_event(
+                "crash-bundle",
+                &[
+                    ("id", pending.req.id.clone()),
+                    ("path", Json::str(path.display().to_string())),
+                ],
+            );
+        }
+    }
+
+    let resp = Response {
+        id: Json::Null, // filled by finish()
+        status: status.into(),
+        attempts,
+        injected: Vec::new(), // filled by finish()
+        summaries,
+        diags,
+        rendered,
+        message: None,
+        stats: None,
+    };
+    core.finish(pending, resp);
+}
+
+fn self_bundle(
+    core: &Core,
+    name: &str,
+    source: &str,
+    status: FileStatus,
+    limits: &Limits,
+    crash: &tdiag::CrashData,
+) -> Option<PathBuf> {
+    core.write_bundle(name, source, status.into(), limits, crash)
+}
+
+fn supervisor_loop(core: &Arc<Core>) {
+    let workers = core.cfg.workers.max(1);
+    let mut handles: Vec<Option<JoinHandle<()>>> =
+        (0..workers).map(|wid| spawn_worker(core, wid)).collect();
+    loop {
+        for (wid, slot) in handles.iter_mut().enumerate() {
+            let finished = slot.as_ref().is_some_and(JoinHandle::is_finished);
+            if finished {
+                let died = slot.take().and_then(|h| h.join().err()).is_some();
+                Counters::bump(&core.stats.workers_joined);
+                {
+                    let mut st = lock(&core.state);
+                    st.workers_alive = st.workers_alive.saturating_sub(1);
+                }
+                core.work.notify_all();
+                if died {
+                    core.log_event("worker-died", &[("worker", Json::UInt(wid as u64))]);
+                    core.handle_worker_death(wid);
+                    if !core.drained() {
+                        Counters::bump(&core.stats.respawns);
+                        *slot = spawn_worker(core, wid);
+                        core.log_event("respawn", &[("worker", Json::UInt(wid as u64))]);
+                    }
+                }
+            } else if slot.is_none() && !core.drained() {
+                // A previous spawn attempt failed; keep trying while
+                // there is (or may be) work to do.
+                let has_work = {
+                    let st = lock(&core.state);
+                    !st.queue.is_empty() || st.inflight_count > 0 || !st.draining
+                };
+                if has_work {
+                    *slot = spawn_worker(core, wid);
+                }
+            }
+        }
+        if handles.iter().all(Option::is_none) {
+            if core.drained() {
+                break;
+            }
+            let stuck = {
+                let st = lock(&core.state);
+                !st.queue.is_empty()
+            };
+            if stuck {
+                // No worker could be (re)spawned and requests are
+                // waiting: answer them rather than wedge.
+                core.fail_all_queued("no worker threads available");
+            }
+            if lock(&core.state).draining {
+                break;
+            }
+        }
+        core.watchdog_scan();
+        std::thread::sleep(Duration::from_millis(2));
+    }
+    core.work.notify_all();
+}
+
+/// A running compile service. Dropping it (or calling
+/// [`Server::shutdown`]) drains in-flight work, joins every worker,
+/// and joins the supervisor — no leaked threads.
+pub struct Server {
+    core: Arc<Core>,
+    supervisor: Option<JoinHandle<()>>,
+}
+
+impl Server {
+    /// Starts the service: spawns the supervisor, which spawns the
+    /// workers.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the supervisor thread cannot be spawned
+    /// (workers failing to spawn is survivable — the supervisor keeps
+    /// retrying — but no supervisor means no service).
+    pub fn start(cfg: ServeConfig) -> Result<Server, String> {
+        let workers = cfg.workers.max(1);
+        let core = Arc::new(Core {
+            cfg,
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                draining: false,
+                inflight_count: 0,
+                next_seq: 0,
+                workers_alive: 0,
+            }),
+            work: Condvar::new(),
+            stats: Counters::default(),
+            inflight: (0..workers)
+                .map(|_| Mutex::new(InFlight::default()))
+                .collect(),
+        });
+        let c = Arc::clone(&core);
+        let supervisor = std::thread::Builder::new()
+            .name("recmod-supervise".to_string())
+            .spawn(move || supervisor_loop(&c))
+            .map_err(|e| format!("cannot spawn supervisor thread: {e}"))?;
+        Ok(Server {
+            core,
+            supervisor: Some(supervisor),
+        })
+    }
+
+    /// Submits a check request; its single response arrives on `reply`.
+    pub fn submit(&self, req: Request, reply: Sender<Response>) {
+        self.core.submit(req, reply);
+    }
+
+    /// A point-in-time snapshot of the service counters.
+    pub fn stats(&self) -> ServerStats {
+        self.core.stats.snapshot()
+    }
+
+    /// Is the server draining (new requests are being rejected)?
+    pub fn is_draining(&self) -> bool {
+        lock(&self.core.state).draining
+    }
+
+    /// Handles one protocol line: parse, dispatch, and answer on
+    /// `reply`. Returns `false` once a `shutdown` op has been served
+    /// (the connection loop should stop reading).
+    pub fn handle_line(&self, line: &str, reply: &Sender<Response>) -> bool {
+        match parse_op(line, self.core.cfg.limits) {
+            Err((id, message)) => {
+                Counters::bump(&self.core.stats.invalid);
+                let _ = reply.send(Response::plain(id, ResponseStatus::Invalid, message));
+                true
+            }
+            Ok(Op::Check(req)) => {
+                self.core.submit(req, reply.clone());
+                true
+            }
+            Ok(Op::Stats(id)) => {
+                let mut resp = Response::plain(id, ResponseStatus::Ok, "stats");
+                resp.stats = Some(self.stats().to_json());
+                let _ = reply.send(resp);
+                true
+            }
+            Ok(Op::Shutdown(id)) => {
+                self.drain();
+                let _ = reply.send(Response::plain(
+                    id,
+                    ResponseStatus::Ok,
+                    "drained; shutting down",
+                ));
+                false
+            }
+        }
+    }
+
+    /// Starts draining and blocks until every queued and in-flight
+    /// request has been answered and all workers have exited.
+    pub fn drain(&self) {
+        {
+            let mut st = lock(&self.core.state);
+            st.draining = true;
+        }
+        self.core.work.notify_all();
+        let mut st = lock(&self.core.state);
+        while !(st.queue.is_empty() && st.inflight_count == 0 && st.workers_alive == 0) {
+            let (guard, _) = self
+                .core
+                .work
+                .wait_timeout(st, Duration::from_millis(20))
+                .unwrap_or_else(|poisoned| poisoned.into_inner());
+            st = guard;
+        }
+    }
+
+    /// Drains and joins the supervisor. Idempotent.
+    pub fn shutdown(&mut self) {
+        self.drain();
+        if let Some(handle) = self.supervisor.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Serves one protocol connection: reads request lines from `reader`,
+/// writes one compact-JSON response line per request to `writer`
+/// (responses may arrive out of request order — correlate by id).
+/// Returns when the peer closes the stream or a `shutdown` op has been
+/// served; all responses for requests read from this connection are
+/// flushed before returning.
+pub fn serve_connection<R: BufRead, W: Write + Send>(server: &Server, reader: R, mut writer: W) {
+    let (tx, rx) = std::sync::mpsc::channel::<Response>();
+    std::thread::scope(|scope| {
+        let writer_handle = scope.spawn(move || {
+            let mut wedged = false;
+            for resp in rx {
+                if wedged {
+                    continue; // drain remaining responses; peer is gone
+                }
+                let line = resp.to_json().to_compact();
+                if writeln!(writer, "{line}")
+                    .and_then(|()| writer.flush())
+                    .is_err()
+                {
+                    wedged = true;
+                }
+            }
+        });
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            if !server.handle_line(&line, &tx) {
+                break;
+            }
+        }
+        // Closing our sender lets the writer exit once every pending
+        // request (each holding a sender clone) has answered.
+        drop(tx);
+        let _ = writer_handle.join();
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::mpsc::channel;
+
+    fn quiet_cfg() -> ServeConfig {
+        ServeConfig {
+            default_deadline_ms: Some(10_000),
+            ..ServeConfig::default()
+        }
+    }
+
+    /// A source with enough declarations that any injected fault
+    /// (trigger ≤ 64 judgement boundaries) is guaranteed to fire.
+    fn busy_source() -> String {
+        (0..80).map(|i| format!("val x{i} = {i} + {i}\n")).collect()
+    }
+
+    #[test]
+    fn ok_and_error_round_trip() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        let (tx, rx) = channel();
+        server.submit(Request::new(1, "ok.rm", "val x = 1 + 2"), tx.clone());
+        server.submit(Request::new(2, "bad.rm", "val y = zz"), tx);
+        let mut got = [None, None];
+        for _ in 0..2 {
+            let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            let idx = r.id.as_u64().unwrap() as usize - 1;
+            got[idx] = Some(r);
+        }
+        let ok = got[0].take().unwrap();
+        assert_eq!(ok.status, ResponseStatus::Ok);
+        assert_eq!(ok.attempts, 1);
+        assert!(!ok.summaries.is_empty());
+        let bad = got[1].take().unwrap();
+        assert_eq!(bad.status, ResponseStatus::Error);
+        assert!(!bad.diags.is_empty());
+        assert!(bad.rendered.iter().any(|l| l.contains("bad.rm:")));
+        server.shutdown();
+        let stats = server.stats();
+        assert_eq!(stats.accepted, 2);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.workers_spawned, stats.workers_joined);
+    }
+
+    #[test]
+    fn queue_depth_zero_sheds_with_overloaded() {
+        let mut server = Server::start(ServeConfig {
+            queue_depth: 0,
+            ..quiet_cfg()
+        })
+        .unwrap();
+        let (tx, rx) = channel();
+        server.submit(Request::new(7, "x.rm", "val x = 1"), tx);
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Overloaded);
+        assert_eq!(r.status.exit(), EXIT_OVERLOADED);
+        assert_eq!(r.id.as_u64(), Some(7));
+        server.shutdown();
+        assert_eq!(server.stats().shed, 1);
+    }
+
+    #[test]
+    fn draining_server_rejects_new_requests() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        server.drain();
+        let (tx, rx) = channel();
+        server.submit(Request::new(1, "x.rm", "val x = 1"), tx);
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Draining);
+        assert_eq!(r.status.exit(), EXIT_DRAINING);
+        server.shutdown();
+    }
+
+    #[test]
+    fn injected_kill_respawns_worker_and_answers() {
+        let mut server = Server::start(ServeConfig {
+            faults: Some(FaultPlan::always(11, Some(FaultKind::Kill))),
+            backoff_ms: 1,
+            ..quiet_cfg()
+        })
+        .unwrap();
+        let (tx, rx) = channel();
+        server.submit(Request::new(1, "k.rm", busy_source()), tx);
+        let r = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        // First attempt dies with the worker; the retry (unfaulted by
+        // construction) answers with the true verdict.
+        assert_eq!(r.status, ResponseStatus::Ok);
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.injected, vec!["kill"]);
+        server.shutdown();
+        let stats = server.stats();
+        assert!(stats.respawns >= 1, "worker death must respawn");
+        assert_eq!(stats.injected_kill, 1);
+        assert_eq!(stats.workers_spawned, stats.workers_joined);
+    }
+
+    #[test]
+    fn injected_panic_retries_to_the_unfaulted_verdict() {
+        let mut server = Server::start(ServeConfig {
+            faults: Some(FaultPlan::always(5, Some(FaultKind::Panic))),
+            backoff_ms: 1,
+            ..quiet_cfg()
+        })
+        .unwrap();
+        let (tx, rx) = channel();
+        server.submit(Request::new(1, "p.rm", busy_source()), tx);
+        let r = rx.recv_timeout(Duration::from_secs(60)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Ok);
+        assert_eq!(r.attempts, 2);
+        assert_eq!(r.injected, vec!["panic"]);
+        server.shutdown();
+        assert_eq!(server.stats().injected_panic, 1);
+        assert_eq!(server.stats().retries, 1);
+    }
+
+    #[test]
+    fn genuine_deadline_limit_is_not_retried() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        let (tx, rx) = channel();
+        let mut req = Request::new(1, "slow.rm", "val x = 1 + 2");
+        req.deadline_ms = Some(0);
+        server.submit(req, tx);
+        let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Limit);
+        assert_eq!(
+            r.attempts, 1,
+            "genuine limits are definitive, never retried"
+        );
+        assert!(r.diags.iter().any(|d| d.code == "L004"), "{:?}", r.diags);
+        server.shutdown();
+    }
+
+    #[test]
+    fn malformed_lines_get_invalid_responses() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        let (tx, rx) = channel();
+        assert!(server.handle_line("{not json", &tx));
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Invalid);
+        assert_eq!(r.status.exit(), EXIT_INVALID);
+        assert!(server.handle_line("{\"id\": 9, \"op\": \"bogus\"}", &tx));
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Invalid);
+        assert_eq!(r.id.as_u64(), Some(9));
+        assert!(server.handle_line("{\"id\": 3}", &tx));
+        let r = rx.recv_timeout(Duration::from_secs(10)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Invalid);
+        server.shutdown();
+        assert_eq!(server.stats().invalid, 3);
+    }
+
+    #[test]
+    fn per_request_limits_override() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        let (tx, rx) = channel();
+        assert!(server.handle_line(
+            "{\"id\": 1, \"source\": \"val x = 1 + 2\", \"limits\": {\"nodes\": 2}}",
+            &tx
+        ));
+        let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+        assert_eq!(r.status, ResponseStatus::Limit, "{:?}", r.rendered);
+        server.shutdown();
+    }
+
+    #[test]
+    fn stats_and_shutdown_ops_round_trip_over_a_connection() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        let input = "{\"id\": 1, \"source\": \"val x = 1 + 2\"}\n\
+                     {\"id\": 2, \"op\": \"stats\"}\n\
+                     {\"id\": 3, \"op\": \"shutdown\"}\n";
+        let mut out: Vec<u8> = Vec::new();
+        serve_connection(&server, input.as_bytes(), &mut out);
+        let text = String::from_utf8(out).unwrap();
+        let lines: Vec<&str> = text.lines().collect();
+        assert_eq!(lines.len(), 3, "{text}");
+        for line in &lines {
+            let doc = recmod_telemetry::json::parse(line).unwrap();
+            assert_eq!(doc.get("kind").and_then(Json::as_str), Some("response"));
+            assert_eq!(
+                doc.get("schema_version").and_then(Json::as_u64),
+                Some(SCHEMA_VERSION)
+            );
+        }
+        let stats_line = lines
+            .iter()
+            .find(|l| {
+                recmod_telemetry::json::parse(l)
+                    .unwrap()
+                    .get("id")
+                    .and_then(Json::as_u64)
+                    == Some(2)
+            })
+            .unwrap();
+        let doc = recmod_telemetry::json::parse(stats_line).unwrap();
+        assert!(doc.get("stats").is_some());
+        server.shutdown();
+    }
+}

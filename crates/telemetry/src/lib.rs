@@ -77,8 +77,10 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod bundle;
 pub mod chrome_trace;
 pub mod diag;
+pub mod fault;
 pub mod json;
 pub mod limits;
 pub mod names;
@@ -493,6 +495,7 @@ pub fn span(name: &'static str) -> SpanGuard {
 #[must_use = "a span measures until the guard is dropped"]
 #[inline]
 pub fn judgement_span(name: &'static str) -> JudgementGuard {
+    fault::tick();
     let frame = diag::enter(name);
     let span = if profiling_enabled() {
         span(name)

@@ -202,9 +202,12 @@ impl Limits {
     /// Has the wall-clock deadline passed? (False when none is set.)
     ///
     /// Reads the clock, so callers on hot paths should check only every
-    /// few hundred operations.
+    /// few hundred operations. Also reports `true` while an injected
+    /// deadline storm ([`crate::fault`]) is active on this thread, so
+    /// chaos testing exercises the same structural `L004` unwind a real
+    /// blown deadline takes.
     pub fn deadline_passed(&self) -> bool {
-        self.deadline.is_some_and(|d| Instant::now() >= d)
+        crate::fault::storm_active() || self.deadline.is_some_and(|d| Instant::now() >= d)
     }
 
     /// A [`LimitExceeded`] for this limit set's deadline, tagged `stage`.

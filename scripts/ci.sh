@@ -118,6 +118,73 @@ EOF
 rm -rf "$CRASH_DIR"
 echo "diagnostics smoke: ok"
 
+echo "== serve smoke (compile service round-trip, shedding, fault injection) =="
+# Gating: the supervised compile service end to end through the CLI.
+# Checks: (1) an ok and a bad request each get exactly one well-formed
+# response and a shutdown op drains cleanly with exit 0; (2) with
+# --queue-depth 0 every check request is shed with status `overloaded`
+# (exit class 5), never silently dropped; (3) with deterministic fault
+# injection (--faults=1,1.0,kill) the worker is killed mid-compile, the
+# supervisor respawns it, the request is retried to the clean verdict
+# (attempts 2, injected ["kill"]), and the *next* request is answered
+# by the respawned worker.
+python3 - <<'EOF'
+import json, subprocess
+
+BIN = "./target/release/recmodc"
+# Enough declarations that any injected fault trigger (1..=64 judgement
+# boundaries) fires mid-compile.
+BUSY = "\n".join(f"val x{i} = {i} + {i}" for i in range(80))
+
+def serve(args, requests):
+    p = subprocess.Popen([BIN, "serve", *args], stdin=subprocess.PIPE,
+                         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                         text=True)
+    out = []
+    for req in requests:
+        p.stdin.write(json.dumps(req) + "\n")
+        p.stdin.flush()
+        line = p.stdout.readline()
+        assert line, f"server wedged: no response to {req}"
+        out.append(json.loads(line))
+    p.stdin.close()
+    assert p.wait(timeout=60) == 0, "server did not exit cleanly"
+    return out
+
+# (1) ok + bad round-trip, stats, clean shutdown.
+ok, bad, stats, bye = serve([], [
+    {"id": 1, "source": "val x = 1 + 2"},
+    {"id": 2, "source": "val y = x +"},
+    {"op": "stats", "id": 3},
+    {"op": "shutdown", "id": 4},
+])
+assert ok["schema_version"] >= 1 and ok["kind"] == "response"
+assert ok["id"] == 1 and ok["status"] == "ok" and ok["exit"] == 0
+assert ok["summaries"] == [{"name": "x", "desc": "int"}]
+assert bad["id"] == 2 and bad["status"] == "error" and bad["exit"] == 1
+assert bad["diagnostics"] and all(d["code"] for d in bad["diagnostics"])
+assert stats["stats"]["accepted"] == 2 and stats["stats"]["completed"] == 2
+assert bye["status"] == "ok" and "drained" in bye["message"]
+
+# (2) admission control: queue depth 0 sheds with a structured verdict.
+shed, = serve(["--queue-depth", "0"], [{"id": 1, "source": "val x = 1"}])
+assert shed["status"] == "overloaded" and shed["exit"] == 5, shed
+
+# (3) injected worker kill: retried to the clean verdict on a respawned
+# worker, which then answers the next request too.
+first, second, stats = serve(["--faults=1,1.0,kill", "--jobs", "1"], [
+    {"id": 1, "source": BUSY},
+    {"id": 2, "source": BUSY},
+    {"op": "stats", "id": 3},
+])
+assert first["status"] == "ok" and first["attempts"] == 2, first
+assert first["injected"] == ["kill"], first
+assert second["status"] == "ok", second
+assert stats["stats"]["respawns"] >= 1, stats
+assert stats["stats"]["workers_spawned"] == stats["stats"]["workers_joined"] + 1
+EOF
+echo "serve smoke: ok"
+
 echo "== profile smoke (non-gating) =="
 # The deep-profiling layer end to end: a profiled parallel batch must
 # still exit 0 and produce a parseable Chrome trace and JSONL event

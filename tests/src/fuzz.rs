@@ -1,7 +1,7 @@
 //! The seeded fuzzing + differential harness.
 //!
 //! Every case is fully determined by one `u64` seed (SplitMix64), so a
-//! failure report is a reproduction recipe. A seed drives one of seven
+//! failure report is a reproduction recipe. A seed drives one of nine
 //! case classes:
 //!
 //! * **Expression differential** — a random well-typed expression
@@ -38,6 +38,16 @@
 //!   be identical (observation must not perturb the observed), no
 //!   compile may panic, and a successful profiled compile must actually
 //!   record spans.
+//! * **Diagnostics totality** — an arbitrary (often mutated) program is
+//!   compiled under strict limits and every diagnostic must carry a
+//!   well-formed stable code, non-empty provenance, and a JSON form
+//!   that parses back intact, with the judgement frame stack balanced.
+//! * **Chaos serve** — a batch of requests is driven through a live
+//!   compile server with deterministic fault injection armed (panics,
+//!   allocation trips, deadline storms, worker kills); every request
+//!   must get exactly one response, every verdict must match the
+//!   unfaulted batch driver's byte for byte, and the server must drain
+//!   with no leaked workers and a balanced flight recorder.
 //!
 //! The driver ([`run_case`]) reports `Err(description)` on any
 //! disagreement; panics are caught by the caller (`tests/fuzz.rs`)
@@ -857,12 +867,158 @@ fn case_diagnostics_total(rng: &mut Rng) -> Result<(), String> {
 }
 
 // ---------------------------------------------------------------------
+// Class 9: chaos serve (the compile service under fault injection)
+// ---------------------------------------------------------------------
+
+/// Drives a batch of (possibly mutated) programs through a live compile
+/// server with deterministic fault injection armed, then checks the
+/// service contract:
+///
+/// * exactly one well-formed response per request — no hang, no drop,
+///   no duplicate;
+/// * every verdict (status, rendered diagnostics, summaries) is
+///   byte-identical to the unfaulted `jobs=1` batch driver's on the
+///   same sources — faults fire on the first attempt only, so retries
+///   always converge to the clean verdict;
+/// * requests the plan left unfaulted never show retry or injection
+///   artifacts (`seq` equals the submission index because submission is
+///   single-threaded, so [`FaultPlan::decide`] replays the server's own
+///   fault schedule);
+/// * the server drains cleanly: nothing shed, every accepted request
+///   completed, every spawned worker joined (kills included — that is
+///   the respawn path), and the flight recorder's frame stack balanced
+///   around every compile.
+fn case_chaos_serve(rng: &mut Rng) -> Result<(), String> {
+    use recmod::driver::serve::{Request, ResponseStatus, ServeConfig, Server};
+    use recmod::driver::{compile_batch, DriverConfig, Job};
+    use recmod::telemetry::fault::FaultPlan;
+    use std::sync::mpsc::channel;
+    use std::time::Duration;
+
+    let n = rng.range(6, 13);
+    let sources: Vec<String> = (0..n).map(|_| observed_source(rng)).collect();
+    let plan = FaultPlan {
+        seed: rng.next_u64(),
+        rate_ppm: 400_000,
+        only: None,
+    };
+    let limits = Limits::strict();
+
+    // The unfaulted reference: the same sources through the batch
+    // driver on one warm worker, no deadline (a genuine wall-clock
+    // limit here would be schedule-dependent and break the comparison;
+    // injected deadline storms do not need a real deadline).
+    let jobs: Vec<Job> = sources
+        .iter()
+        .enumerate()
+        .map(|(i, s)| Job::new(format!("chaos{i}.rm"), s.clone()))
+        .collect();
+    let batch = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 1,
+            limits,
+            ..DriverConfig::default()
+        },
+    );
+
+    let mut server = Server::start(ServeConfig {
+        workers: 2,
+        queue_depth: n, // roomy: nothing may be shed
+        limits,
+        default_deadline_ms: None,
+        backoff_ms: 1,
+        faults: Some(plan),
+        crash_dir: None,
+        ..ServeConfig::default()
+    })
+    .map_err(|e| format!("server failed to start: {e}"))?;
+
+    // Single-threaded submission: request i is admission seq i.
+    let (tx, rx) = channel();
+    for (i, src) in sources.iter().enumerate() {
+        server.submit(
+            Request::new(i as u64, format!("chaos{i}.rm"), src.clone()),
+            tx.clone(),
+        );
+    }
+    drop(tx);
+
+    let mut responses: Vec<Option<recmod::driver::serve::Response>> =
+        (0..n).map(|_| None).collect();
+    for _ in 0..n {
+        let r = rx
+            .recv_timeout(Duration::from_secs(120))
+            .map_err(|_| "lost response: server wedged or dropped a request".to_string())?;
+        let Some(id) = r.id.as_u64() else {
+            return Err(format!("response with non-integer id: {:?}", r.id));
+        };
+        let slot = responses
+            .get_mut(id as usize)
+            .ok_or_else(|| format!("response for unknown id {id}"))?;
+        if slot.is_some() {
+            return Err(format!("duplicate response for id {id}"));
+        }
+        *slot = Some(r);
+    }
+    server.shutdown();
+    let stats = server.stats();
+
+    for (i, (slot, outcome)) in responses.iter().zip(&batch.outcomes).enumerate() {
+        let r = slot
+            .as_ref()
+            .ok_or_else(|| format!("no response for {i}"))?;
+        let faulted = plan.decide(i as u64).is_some();
+        if r.status != ResponseStatus::from(outcome.status) {
+            return Err(format!(
+                "chaos{i}.rm (faulted: {faulted}): serve status {} vs batch {:?}",
+                r.status.label(),
+                outcome.status
+            ));
+        }
+        if r.rendered != outcome.diagnostics || r.summaries != outcome.summaries {
+            return Err(format!(
+                "chaos{i}.rm (faulted: {faulted}): serve verdict diverges from batch\n\
+                 serve:  {:?}\n batch: {:?}",
+                r.rendered, outcome.diagnostics
+            ));
+        }
+        if !faulted && (r.attempts != 1 || !r.injected.is_empty()) {
+            return Err(format!(
+                "chaos{i}.rm was never faulted but shows attempts {} / injected {:?}",
+                r.attempts, r.injected
+            ));
+        }
+    }
+
+    if stats.shed != 0 || stats.accepted != n as u64 || stats.completed != n as u64 {
+        return Err(format!(
+            "request accounting broken: accepted {}, completed {}, shed {} (want {n}, {n}, 0)",
+            stats.accepted, stats.completed, stats.shed
+        ));
+    }
+    if stats.workers_spawned != stats.workers_joined {
+        return Err(format!(
+            "leaked workers: spawned {} joined {}",
+            stats.workers_spawned, stats.workers_joined
+        ));
+    }
+    if stats.frame_imbalance != 0 {
+        return Err(format!(
+            "flight recorder unbalanced {} times across compiles",
+            stats.frame_imbalance
+        ));
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
 // Driver
 // ---------------------------------------------------------------------
 
 /// Human-readable class name for a seed (for failure reports).
 pub fn case_class(seed: u64) -> &'static str {
-    match seed % 8 {
+    match seed % 9 {
         0 => "expression-differential",
         1 => "module-differential",
         2 => "ill-formed-input",
@@ -870,7 +1026,8 @@ pub fn case_class(seed: u64) -> &'static str {
         4 => "intern-differential",
         5 => "thread-isolation",
         6 => "profiled-differential",
-        _ => "diagnostics-total",
+        7 => "diagnostics-total",
+        _ => "chaos-serve",
     }
 }
 
@@ -879,7 +1036,7 @@ pub fn case_class(seed: u64) -> &'static str {
 /// the caller to catch (they are always bugs).
 pub fn run_case(seed: u64) -> Result<(), String> {
     let mut rng = Rng::new(seed);
-    match seed % 8 {
+    match seed % 9 {
         0 => case_expression_differential(&mut rng),
         1 => case_module_differential(&mut rng),
         2 => case_ill_formed(&mut rng),
@@ -887,7 +1044,8 @@ pub fn run_case(seed: u64) -> Result<(), String> {
         4 => case_intern_differential(&mut rng),
         5 => case_thread_isolation(&mut rng),
         6 => case_profiled_differential(&mut rng),
-        _ => case_diagnostics_total(&mut rng),
+        7 => case_diagnostics_total(&mut rng),
+        _ => case_chaos_serve(&mut rng),
     }
 }
 

@@ -105,6 +105,99 @@ fn merged_counters_are_the_sum_of_per_worker_counters() {
 }
 
 #[test]
+fn surviving_workers_drain_failed_spawns_deques() {
+    // Three workers requested, first two spawns fail: the one survivor
+    // must steal both dead deques and drain every file with the same
+    // verdicts and aggregate exit code as a clean run.
+    let jobs = corpus_jobs(2);
+    let clean = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 3,
+            ..DriverConfig::default()
+        },
+    );
+    let degraded = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 3,
+            fail_spawns: 2,
+            ..DriverConfig::default()
+        },
+    );
+    assert_eq!(degraded.exit_code(), clean.exit_code());
+    assert_eq!(render(&degraded.outcomes), render(&clean.outcomes));
+    for o in &degraded.outcomes {
+        assert_ne!(
+            o.status,
+            FileStatus::Internal,
+            "{} was dropped instead of drained",
+            o.name
+        );
+    }
+}
+
+#[test]
+fn all_spawns_failing_reports_internal_not_hang() {
+    // Nothing spawned: every file must still get an outcome — the I003
+    // "worker thread died" internal error — and the batch exits 4.
+    let jobs = corpus_jobs(1);
+    let res = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 2,
+            fail_spawns: 2,
+            ..DriverConfig::default()
+        },
+    );
+    assert_eq!(res.outcomes.len(), jobs.len());
+    for o in &res.outcomes {
+        assert_eq!(o.status, FileStatus::Internal);
+        assert!(
+            o.diags.iter().any(|d| d.code == "I003"),
+            "{} missing the worker-death diagnostic",
+            o.name
+        );
+    }
+    assert_eq!(res.exit_code(), 4);
+}
+
+#[test]
+fn warm_worker_rearms_deadline_between_files() {
+    // File 1 carries an impossible per-job deadline and must hit the
+    // limit; file 2 follows on the same warm worker with no deadline
+    // and must compile clean — the stale absolute deadline from file 1
+    // must not leak into file 2's limits.
+    let entries = recmod::corpus::all();
+    let entry = entries
+        .iter()
+        .find(|e| e.well_typed)
+        .expect("corpus has a well-typed entry");
+    let jobs = vec![
+        Job::new("doomed.rm", entry.source).with_deadline_ms(0),
+        Job::new("fine.rm", entry.source),
+    ];
+    let res = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 1,
+            ..DriverConfig::default()
+        },
+    );
+    assert_eq!(res.outcomes[0].status, FileStatus::Limit);
+    assert!(
+        res.outcomes[0].diags.iter().any(|d| d.code == "L004"),
+        "deadline limit should carry L004, got {:?}",
+        res.outcomes[0].diags
+    );
+    assert_eq!(
+        res.outcomes[1].status,
+        FileStatus::Ok,
+        "stale deadline poisoned the next file on the warm worker"
+    );
+}
+
+#[test]
 fn worker_attribution_covers_every_file() {
     let jobs = corpus_jobs(2);
     let res = compile_batch(

@@ -3,7 +3,10 @@
 //! it exactly.
 //!
 //! `FUZZ_ITERS` scales the run (CI uses 2000); the default keeps
-//! `cargo test` fast. Cases execute on a big-stack thread because
+//! `cargo test` fast. `FUZZ_CLASS=<name>` restricts the run to one case
+//! class (e.g. `chaos-serve` for a dedicated chaos campaign — see
+//! EXPERIMENTS.md R2); iterations then count only cases of that class.
+//! Cases execute on a big-stack thread because
 //! debug-build pipeline frames are large and the harness deliberately
 //! feeds the pipeline deep input; the limits layer — not the OS stack
 //! — must be what stops it.
@@ -26,10 +29,20 @@ fn iterations() -> u64 {
 #[test]
 fn seeded_fuzz_no_panics_no_differential_mismatches() {
     let iters = iterations();
+    let class = std::env::var("FUZZ_CLASS").ok();
     let failures = recmod::eval::run_big_stack(256, move || {
         let mut failures: Vec<String> = Vec::new();
-        for i in 0..iters {
+        let mut ran = 0u64;
+        let mut i = 0u64;
+        while ran < iters {
             let seed = SEED_BASE.wrapping_add(i);
+            i += 1;
+            if let Some(want) = &class {
+                if case_class(seed) != want {
+                    continue;
+                }
+            }
+            ran += 1;
             let outcome = catch_unwind(AssertUnwindSafe(|| run_case(seed)));
             match outcome {
                 Ok(Ok(())) => {}
@@ -63,7 +76,7 @@ fn seeded_fuzz_no_panics_no_differential_mismatches() {
 #[test]
 fn fuzz_cases_are_deterministic() {
     recmod::eval::run_big_stack(256, || {
-        for i in 0..8u64 {
+        for i in 0..9u64 {
             let seed = SEED_BASE.wrapping_add(i);
             let a = run_case(seed);
             let b = run_case(seed);
