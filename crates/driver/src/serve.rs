@@ -47,6 +47,7 @@ use std::time::{Duration, Instant};
 use recmod_surface::diag::{self as sdiag, Diagnostic};
 use recmod_surface::elab::Elaborator;
 use recmod_surface::pipeline::compile_with_limits_in;
+use recmod_syntax::intern::{self, InternStats};
 use recmod_telemetry::diag as tdiag;
 use recmod_telemetry::fault::{self, FaultKind, FaultPlan, Injection};
 use recmod_telemetry::json::Json;
@@ -520,6 +521,37 @@ impl Counters {
     }
 }
 
+/// A worker thread's interner health, snapshotted between requests.
+///
+/// The interning tables are thread-local, so only the worker itself can
+/// observe them; it publishes a plain-data snapshot here right after
+/// the between-requests [`intern::sweep_now`], and the `stats` op reads
+/// the slots from the connection thread. `swept_entries` accumulates
+/// the entries those sweeps reclaimed — occupancy (`con_entries` +
+/// `kind_entries`) measures the *live* working set, this measures the
+/// per-request garbage the sweeps are catching.
+#[derive(Default, Clone, Copy)]
+struct WorkerIntern {
+    stats: InternStats,
+    swept_entries: u64,
+    requests: u64,
+}
+
+impl WorkerIntern {
+    fn to_json(self, wid: usize) -> Json {
+        Json::obj([
+            ("worker", Json::UInt(wid as u64)),
+            ("requests", Json::UInt(self.requests)),
+            ("intern_hits", Json::UInt(self.stats.hits)),
+            ("intern_misses", Json::UInt(self.stats.misses)),
+            ("intern_sweeps", Json::UInt(self.stats.sweeps)),
+            ("con_entries", Json::UInt(self.stats.con_entries)),
+            ("kind_entries", Json::UInt(self.stats.kind_entries)),
+            ("swept_entries", Json::UInt(self.swept_entries)),
+        ])
+    }
+}
+
 /// An admitted request waiting in, or taken from, the queue.
 struct Pending {
     req: Request,
@@ -559,6 +591,7 @@ struct Core {
     work: Condvar,
     stats: Counters,
     inflight: Vec<Mutex<InFlight>>,
+    worker_intern: Vec<Mutex<WorkerIntern>>,
 }
 
 /// Locks a service mutex, recovering from poisoning: all guarded state
@@ -847,6 +880,19 @@ fn worker_loop(core: &Arc<Core>, wid: usize) {
     let mut elab: Option<Elaborator> = None;
     while let Some(pending) = core.next_work() {
         serve_one(core, wid, pending, &mut elab);
+        // Between requests, sweep the interner: the request's syntax
+        // just dropped its strong pointers, so the weak tables are
+        // mostly tombstones. Sweeping here (instead of waiting for the
+        // doubling high-water mark) bounds a long-lived worker's table
+        // occupancy by its live working set — the warm elaborator's
+        // prelude plus whatever the caches still pin — so repeated
+        // identical requests hold occupancy flat instead of ratcheting
+        // the high-water mark upward.
+        let swept = intern::sweep_now();
+        let mut slot = lock(&core.worker_intern[wid]);
+        slot.stats = intern::intern_stats();
+        slot.swept_entries += swept;
+        slot.requests += 1;
     }
 }
 
@@ -1106,6 +1152,9 @@ impl Server {
             inflight: (0..workers)
                 .map(|_| Mutex::new(InFlight::default()))
                 .collect(),
+            worker_intern: (0..workers)
+                .map(|_| Mutex::new(WorkerIntern::default()))
+                .collect(),
         });
         let c = Arc::clone(&core);
         let supervisor = std::thread::Builder::new()
@@ -1126,6 +1175,25 @@ impl Server {
     /// A point-in-time snapshot of the service counters.
     pub fn stats(&self) -> ServerStats {
         self.core.stats.snapshot()
+    }
+
+    /// The full stats document served by the `stats` op: the counter
+    /// snapshot plus a `workers` array reporting each worker's interner
+    /// health (table occupancy, sweep counts, entries reclaimed by the
+    /// between-requests sweeps) as last published by that worker.
+    pub fn stats_json(&self) -> Json {
+        let mut doc = self.stats().to_json();
+        let workers: Vec<Json> = self
+            .core
+            .worker_intern
+            .iter()
+            .enumerate()
+            .map(|(wid, m)| lock(m).to_json(wid))
+            .collect();
+        if let Json::Obj(map) = &mut doc {
+            map.insert("workers".to_owned(), Json::Arr(workers));
+        }
+        doc
     }
 
     /// Is the server draining (new requests are being rejected)?
@@ -1149,7 +1217,7 @@ impl Server {
             }
             Ok(Op::Stats(id)) => {
                 let mut resp = Response::plain(id, ResponseStatus::Ok, "stats");
-                resp.stats = Some(self.stats().to_json());
+                resp.stats = Some(self.stats_json());
                 let _ = reply.send(resp);
                 true
             }
@@ -1282,6 +1350,72 @@ mod tests {
         assert_eq!(stats.accepted, 2);
         assert_eq!(stats.completed, 2);
         assert_eq!(stats.workers_spawned, stats.workers_joined);
+    }
+
+    /// Polls the stats document until the (single) worker has published
+    /// a between-requests interner snapshot covering `want_requests`
+    /// completed requests, then returns that worker's entry. Polling is
+    /// needed because the worker publishes *after* sending the
+    /// response, so the caller's receive can race the snapshot.
+    fn worker_snapshot(server: &Server, want_requests: u64) -> Json {
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let doc = server.stats_json();
+            if let Some(Json::Arr(ws)) = doc.get("workers") {
+                if let Some(w) = ws.iter().find(|w| {
+                    w.get("requests").and_then(Json::as_u64).unwrap_or(0) >= want_requests
+                }) {
+                    return w.clone();
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "worker never published an interner snapshot for {want_requests} requests"
+            );
+            std::thread::sleep(Duration::from_millis(10));
+        }
+    }
+
+    #[test]
+    fn worker_intern_occupancy_stabilizes_across_identical_requests() {
+        let mut server = Server::start(quiet_cfg()).unwrap();
+        let src = busy_source();
+        let run_one = |id: u64| {
+            let (tx, rx) = channel();
+            server.submit(Request::new(id, "same.rm", src.clone()), tx);
+            let r = rx.recv_timeout(Duration::from_secs(30)).unwrap();
+            assert_eq!(r.status, ResponseStatus::Ok);
+        };
+        for id in 1..=4 {
+            run_one(id);
+        }
+        let early = worker_snapshot(&server, 4);
+        for id in 5..=10 {
+            run_one(id);
+        }
+        let late = worker_snapshot(&server, 10);
+        let occupancy = |w: &Json| {
+            w.get("con_entries").and_then(Json::as_u64).unwrap()
+                + w.get("kind_entries").and_then(Json::as_u64).unwrap()
+        };
+        // The between-requests sweep plus `Tc::renew`'s dead-stamp
+        // pruning bound the warm worker's tables by its live working
+        // set: six more copies of the same request must not grow them.
+        assert!(
+            occupancy(&late) <= occupancy(&early),
+            "interner occupancy grew on identical requests: {} then {}",
+            occupancy(&early),
+            occupancy(&late),
+        );
+        assert!(
+            late.get("intern_sweeps").and_then(Json::as_u64).unwrap() >= 10,
+            "every request boundary should sweep"
+        );
+        assert!(
+            late.get("swept_entries").and_then(Json::as_u64).unwrap() > 0,
+            "sweeps should reclaim the per-request garbage"
+        );
+        server.shutdown();
     }
 
     #[test]

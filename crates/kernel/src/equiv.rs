@@ -21,8 +21,6 @@
 //!   assumption (validating Shao's equation, paper §5), but a `μ` is
 //!   never equal to a non-`μ`.
 
-use std::collections::HashSet;
-
 use recmod_syntax::ast::{Con, Kind};
 use recmod_syntax::intern::{hc, NodeId};
 use recmod_syntax::subst::{shift_con, shift_kind, subst_con_kind};
@@ -30,7 +28,6 @@ use recmod_syntax::subst::{shift_con, shift_kind, subst_con_kind};
 use crate::ctx::Ctx;
 use crate::error::{raise, TcResult, TypeError};
 use crate::show;
-use crate::whnf::{is_contractive, unroll_mu};
 use crate::{RecMode, Tc};
 
 /// The set of constructor pairs currently assumed equal (coinduction),
@@ -40,7 +37,7 @@ use crate::{RecMode, Tc};
 /// syntax under a new binder denotes different variables — so every
 /// comparison that descends under a binder starts a fresh set (see the
 /// `Pi` and iso-`μ` cases).
-type Seen = HashSet<(NodeId, NodeId)>;
+type Seen = recmod_syntax::fxhash::FxHashSet<(NodeId, NodeId)>;
 
 /// The interned id of a constructor (a shallow clone plus one table
 /// probe — children are already interned).
@@ -57,7 +54,7 @@ impl Tc {
     /// assumption the run relied on — is promoted to the persistent
     /// proven-pair table, so the next query over the same ids is O(1).
     pub fn con_equiv(&self, ctx: &mut Ctx, c1: &Con, c2: &Con, k: &Kind) -> TcResult<()> {
-        let mut seen = Seen::new();
+        let mut seen = Seen::default();
         self.con_equiv_at(ctx, c1, c2, k, &mut seen)?;
         // The run closed, so its assumptions form a valid bisimulation
         // (Brandt–Henglein): record them as facts. Everything in `seen`
@@ -111,7 +108,7 @@ impl Tc {
                 // binder the same syntax denotes different variables, so
                 // start a fresh set rather than shift the old one.
                 step(
-                    self.con_equiv_at(ctx, &a1, &a2, k2, &mut Seen::new()),
+                    self.con_equiv_at(ctx, &a1, &a2, k2, &mut Seen::default()),
                     "apply",
                 )
             }),
@@ -162,12 +159,14 @@ impl Tc {
             // vacuous constructors like μα:T.α are inert (equal only to
             // themselves, which the syntactic fast path already handled).
             (Con::Mu(ka, ba), Con::Mu(kb, bb)) => match self.mode() {
-                RecMode::Equi | RecMode::IsoShao if is_contractive(&a) && is_contractive(&b) => {
+                RecMode::Equi | RecMode::IsoShao
+                    if self.is_contractive_cached(&a) && self.is_contractive_cached(&b) =>
+                {
                     self.note_assumption(seen, key);
                     let st = self.stat_cells();
                     st.mu_unrolls.set(st.mu_unrolls.get() + 2);
-                    let ua = unroll_mu(&a)?;
-                    let ub = unroll_mu(&b)?;
+                    let ua = self.unroll_mu_cached(&a)?;
+                    let ub = self.unroll_mu_cached(&b)?;
                     step(self.con_eq_type(ctx, &ua, &ub, seen), "unroll")
                 }
                 RecMode::Iso => {
@@ -176,7 +175,7 @@ impl Tc {
                         let kin = shift_kind(ka, 1, 0);
                         // Fresh assumptions under the binder (see Pi case).
                         step(
-                            self.con_equiv_at(ctx, ba, bb, &kin, &mut Seen::new()),
+                            self.con_equiv_at(ctx, ba, bb, &kin, &mut Seen::default()),
                             "μ body",
                         )
                     })
@@ -187,16 +186,20 @@ impl Tc {
                     at: "T".to_string(),
                 }),
             },
-            (Con::Mu(_, _), _) if self.mode() == RecMode::Equi && is_contractive(&a) => {
+            (Con::Mu(_, _), _)
+                if self.mode() == RecMode::Equi && self.is_contractive_cached(&a) =>
+            {
                 self.note_assumption(seen, key);
                 crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                let ua = unroll_mu(&a)?;
+                let ua = self.unroll_mu_cached(&a)?;
                 step(self.con_eq_type(ctx, &ua, &b, seen), "unroll")
             }
-            (_, Con::Mu(_, _)) if self.mode() == RecMode::Equi && is_contractive(&b) => {
+            (_, Con::Mu(_, _))
+                if self.mode() == RecMode::Equi && self.is_contractive_cached(&b) =>
+            {
                 self.note_assumption(seen, key);
                 crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                let ub = unroll_mu(&b)?;
+                let ub = self.unroll_mu_cached(&b)?;
                 step(self.con_eq_type(ctx, &a, &ub, seen), "unroll")
             }
             (Con::Arrow(a1, a2), Con::Arrow(b1, b2)) => {

@@ -114,6 +114,11 @@ pub struct TcStats {
     pub(crate) whnf_cache_misses: Cell<u64>,
     pub(crate) equiv_ptr_eqs: Cell<u64>,
     pub(crate) equiv_cache_hits: Cell<u64>,
+    pub(crate) eval_steps: Cell<u64>,
+    pub(crate) quote_nodes: Cell<u64>,
+    pub(crate) env_allocs: Cell<u64>,
+    pub(crate) synth_cache_hits: Cell<u64>,
+    pub(crate) synth_cache_misses: Cell<u64>,
 }
 
 impl TcStats {
@@ -156,6 +161,11 @@ impl TcStats {
             whnf_cache_misses: self.whnf_cache_misses.get(),
             equiv_ptr_eqs: self.equiv_ptr_eqs.get(),
             equiv_cache_hits: self.equiv_cache_hits.get(),
+            eval_steps: self.eval_steps.get(),
+            quote_nodes: self.quote_nodes.get(),
+            env_allocs: self.env_allocs.get(),
+            synth_cache_hits: self.synth_cache_hits.get(),
+            synth_cache_misses: self.synth_cache_misses.get(),
         }
     }
 
@@ -173,6 +183,11 @@ impl TcStats {
         self.whnf_cache_misses.set(0);
         self.equiv_ptr_eqs.set(0);
         self.equiv_cache_hits.set(0);
+        self.eval_steps.set(0);
+        self.quote_nodes.set(0);
+        self.env_allocs.set(0);
+        self.synth_cache_hits.set(0);
+        self.synth_cache_misses.set(0);
     }
 }
 
@@ -200,6 +215,17 @@ pub struct KernelStats {
     pub equiv_ptr_eqs: u64,
     /// Kind-`T` equivalence queries answered from the proven-pair table.
     pub equiv_cache_hits: u64,
+    /// NbE machine transitions (the environment-machine analogue of
+    /// `whnf_steps`, which counts only the substitution engine's loop).
+    pub eval_steps: u64,
+    /// Readback (quote) operations performed by the NbE machine.
+    pub quote_nodes: u64,
+    /// Environment nodes allocated in the NbE bump arena.
+    pub env_allocs: u64,
+    /// Kind syntheses answered from the memo table (NbE engine only).
+    pub synth_cache_hits: u64,
+    /// Kind syntheses that ran the synthesis rules (NbE engine only).
+    pub synth_cache_misses: u64,
 }
 
 impl KernelStats {
@@ -242,6 +268,15 @@ impl KernelStats {
             equiv_cache_hits: self
                 .equiv_cache_hits
                 .saturating_sub(earlier.equiv_cache_hits),
+            eval_steps: self.eval_steps.saturating_sub(earlier.eval_steps),
+            quote_nodes: self.quote_nodes.saturating_sub(earlier.quote_nodes),
+            env_allocs: self.env_allocs.saturating_sub(earlier.env_allocs),
+            synth_cache_hits: self
+                .synth_cache_hits
+                .saturating_sub(earlier.synth_cache_hits),
+            synth_cache_misses: self
+                .synth_cache_misses
+                .saturating_sub(earlier.synth_cache_misses),
         }
     }
 }

@@ -73,7 +73,7 @@ impl Tc {
                 break;
             }
             self.burn(crate::stats::FuelOp::TypeExpose)?;
-            let u = crate::whnf::unroll_mu(c)?;
+            let u = self.unroll_mu_cached(c)?;
             e = self.expose(ctx, &Ty::Con(u))?;
         }
         Ok(e)
@@ -84,7 +84,7 @@ impl Tc {
     fn unrollable(&self, c: &Con) -> bool {
         self.mode() == crate::RecMode::Equi
             && matches!(c, Con::Mu(_, _))
-            && crate::whnf::is_contractive(c)
+            && self.is_contractive_cached(c)
     }
 
     /// `Γ ⊢ σ₁ = σ₂ type` — type equivalence.
@@ -114,12 +114,12 @@ impl Tc {
                 // structure: unroll the μ (equi mode) and retry.
                 (Ty::Con(c), _) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::TypeEquiv)?;
-                    let u = crate::whnf::unroll_mu(c)?;
+                    let u = self.unroll_mu_cached(c)?;
                     a = self.expose(ctx, &Ty::Con(u))?;
                 }
                 (_, Ty::Con(c)) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::TypeEquiv)?;
-                    let u = crate::whnf::unroll_mu(c)?;
+                    let u = self.unroll_mu_cached(c)?;
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
                 _ => {
@@ -162,12 +162,12 @@ impl Tc {
                 }
                 (Ty::Con(c), _) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::Subtype)?;
-                    let u = crate::whnf::unroll_mu(c)?;
+                    let u = self.unroll_mu_cached(c)?;
                     a = self.expose(ctx, &Ty::Con(u))?;
                 }
                 (_, Ty::Con(c)) if self.unrollable(c) => {
                     self.burn(crate::stats::FuelOp::Subtype)?;
-                    let u = crate::whnf::unroll_mu(c)?;
+                    let u = self.unroll_mu_cached(c)?;
                     b = self.expose(ctx, &Ty::Con(u))?;
                 }
                 _ => {

@@ -16,6 +16,15 @@
 //!
 //! Heads that remain are: `λ`, pairs, `*`, the monotype formers, `μ` at
 //! an opaque kind, and stuck paths of non-singleton natural kind.
+//!
+//! Two engines implement this relation (see [`crate::EquivEngine`]):
+//! the NbE-style environment machine in [`crate::nbe`] (the default,
+//! S17) and the substitution loop in this module ([`Tc::whnf_uncached`]
+//! internally), kept alive behind `RECMOD_EQUIV=subst` as the reference
+//! for differential testing. Both are held to identical outputs and
+//! errors; they differ only in fuel/counter accounting (`whnf_steps`
+//! counts the substitution loop, `eval_steps`/`quote_nodes`/`env_allocs`
+//! the machine).
 
 use recmod_syntax::ast::{Con, Kind};
 use recmod_syntax::intern::hc;
@@ -247,7 +256,10 @@ impl Tc {
         }
         crate::stats::TcStats::bump(&self.stat_cells().whnf_cache_misses);
         recmod_telemetry::count("kernel.whnf_cache_miss", 1);
-        let out = self.whnf_uncached(ctx, c)?;
+        let out = match self.engine() {
+            crate::EquivEngine::Nbe => crate::nbe::machine_whnf(self, ctx, c)?,
+            crate::EquivEngine::Subst => self.whnf_uncached(ctx, c)?,
+        };
         self.whnf_remember(key, out.clone());
         Ok(out)
     }
@@ -262,9 +274,9 @@ impl Tc {
                     let f = self.whnf(ctx, &f)?;
                     match f {
                         Con::Lam(_, body) => c = subst_con_con(&body, &a),
-                        Con::Mu(_, _) if is_contractive(&f) => {
+                        Con::Mu(_, _) if self.is_contractive_cached(&f) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::App(hc(unroll_mu(&f)?), a);
+                            c = Con::App(hc(self.unroll_mu_cached(&f)?), a);
                         }
                         _ => {
                             let stuck = Con::App(hc(f), a);
@@ -279,9 +291,9 @@ impl Tc {
                     let p = self.whnf(ctx, &p)?;
                     match p {
                         Con::Pair(l, _) => c = l.take(),
-                        Con::Mu(_, _) if is_contractive(&p) => {
+                        Con::Mu(_, _) if self.is_contractive_cached(&p) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::Proj1(hc(unroll_mu(&p)?));
+                            c = Con::Proj1(hc(self.unroll_mu_cached(&p)?));
                         }
                         _ => {
                             let stuck = Con::Proj1(hc(p));
@@ -296,9 +308,9 @@ impl Tc {
                     let p = self.whnf(ctx, &p)?;
                     match p {
                         Con::Pair(_, r) => c = r.take(),
-                        Con::Mu(_, _) if is_contractive(&p) => {
+                        Con::Mu(_, _) if self.is_contractive_cached(&p) => {
                             crate::stats::TcStats::bump(&self.stat_cells().mu_unrolls);
-                            c = Con::Proj2(hc(unroll_mu(&p)?));
+                            c = Con::Proj2(hc(self.unroll_mu_cached(&p)?));
                         }
                         _ => {
                             let stuck = Con::Proj2(hc(p));
@@ -387,7 +399,7 @@ impl Tc {
     pub fn whnf_unroll(&self, ctx: &mut Ctx, c: &Con) -> TcResult<Con> {
         let w = self.whnf(ctx, c)?;
         match w {
-            Con::Mu(_, _) => unroll_mu(&w),
+            Con::Mu(_, _) => self.unroll_mu_cached(&w),
             _ => raise(TypeError::NotAMu(show::con(&w))),
         }
     }

@@ -1,0 +1,123 @@
+//! A fast, non-cryptographic hasher for the interner and the kernel's
+//! memo tables (S17).
+//!
+//! Every [`hc`](crate::intern::hc) call hashes a shallow node (an enum
+//! discriminant plus child [`NodeId`](crate::intern::NodeId)s), and
+//! every kernel cache probe hashes a couple of `u64`s. `std`'s default
+//! SipHash is DoS-resistant but pays ~an order of magnitude more per
+//! word than needed here; none of these tables hold attacker-chosen
+//! keys with collision-flooding consequences beyond slow compiles the
+//! fuel meter already bounds. This is the word-at-a-time
+//! multiply-rotate scheme used by the Firefox and rustc hash tables
+//! (FxHash): `state = (state.rotl(5) ^ word) * K` with a golden-ratio
+//! derived odd constant — two or three cycles per word, good dispersion
+//! in the low bits `HashMap` uses.
+
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplier: 2^64 / φ, forced odd — the classic Fibonacci-hashing
+/// constant, which diffuses each xor'd word across the high bits.
+const K: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+
+/// Word-at-a-time multiply-rotate hasher. Not cryptographic; do not use
+/// for keys an adversary controls (see the module doc for why the
+/// interner and memo tables qualify).
+#[derive(Default)]
+pub struct FxHasher {
+    state: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn mix(&mut self, word: u64) {
+        self.state = (self.state.rotate_left(5) ^ word).wrapping_mul(K);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.state
+    }
+
+    #[inline]
+    fn write(&mut self, mut bytes: &[u8]) {
+        while let Some((chunk, rest)) = bytes.split_first_chunk::<8>() {
+            self.mix(u64::from_le_bytes(*chunk));
+            bytes = rest;
+        }
+        if let Some((chunk, rest)) = bytes.split_first_chunk::<4>() {
+            self.mix(u64::from(u32::from_le_bytes(*chunk)));
+            bytes = rest;
+        }
+        for &b in bytes {
+            self.mix(u64::from(b));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.mix(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.mix(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.mix(n as u64);
+    }
+}
+
+/// `BuildHasher` for [`FxHasher`] — plug into `HashMap::with_hasher`.
+pub type FxBuildHasher = BuildHasherDefault<FxHasher>;
+
+/// A `HashMap` keyed with [`FxHasher`].
+pub type FxHashMap<K, V> = std::collections::HashMap<K, V, FxBuildHasher>;
+
+/// A `HashSet` keyed with [`FxHasher`].
+pub type FxHashSet<T> = std::collections::HashSet<T, FxBuildHasher>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::hash::{BuildHasher, Hash};
+
+    fn hash_of<T: Hash>(v: T) -> u64 {
+        FxBuildHasher::default().hash_one(v)
+    }
+
+    #[test]
+    fn equal_values_hash_equal_and_nearby_values_disperse() {
+        assert_eq!(hash_of((3u64, 7u64)), hash_of((3u64, 7u64)));
+        // Low bits (the ones HashMap uses) must differ for adjacent ids.
+        let mask = 0xff;
+        let h: Vec<u64> = (0u64..16).map(|i| hash_of(i) & mask).collect();
+        let distinct: std::collections::HashSet<_> = h.iter().collect();
+        assert!(distinct.len() >= 12, "low bits collide too much: {h:?}");
+    }
+
+    #[test]
+    fn byte_stream_matches_word_writes_for_whole_words() {
+        // `write` on an 8-byte chunk must agree with `write_u64` so
+        // `#[derive(Hash)]` types hash consistently however the std
+        // implementation feeds them.
+        let mut a = FxHasher::default();
+        a.write(&42u64.to_le_bytes());
+        let mut b = FxHasher::default();
+        b.write_u64(42);
+        assert_eq!(a.finish(), b.finish());
+    }
+}

@@ -36,6 +36,7 @@
 
 pub mod ast;
 pub mod dsl;
+pub mod fxhash;
 pub mod intern;
 pub mod map;
 pub mod pretty;

@@ -95,7 +95,12 @@ use std::time::Instant;
 /// Version stamped into every JSON document this workspace emits
 /// (`--stats=json`, `bench_json`, trace/log/cost files). Bump on any
 /// breaking change to a schema; golden tests assert the current value.
-pub const SCHEMA_VERSION: u64 = 1;
+///
+/// History: 2 = S17 NbE engine (the `--stats` kernel section gained
+/// `equiv_engine` and the eval/quote/synth-cache counters, the kernel
+/// caches text line was renamed, and the golden cost model's fuel
+/// accounting changed engines); 1 = original.
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// Span-node budget used by profiling configs: judgement-level spans
 /// are orders of magnitude more numerous than stage spans, so the

@@ -29,6 +29,14 @@ cargo test --workspace -q
 echo "== bounded fuzz (2000 seeded iterations) =="
 FUZZ_ITERS=2000 cargo test -q -p recmod-tests --release --test fuzz
 
+echo "== NbE engine differential (2000 dedicated iterations) =="
+# The NbE machine vs the legacy substitution engine on random well- and
+# ill-kinded constructors plus whole-program compiles: verdicts, stable
+# codes, and rendered diagnostics must be identical (EXPERIMENTS.md R1
+# documents a 50k-iteration campaign of this class).
+FUZZ_CLASS=nbe-differential FUZZ_ITERS=2000 \
+  cargo test -q -p recmod-tests --release --test fuzz seeded
+
 echo "== cost-model gate (counters vs tests/golden_costs.json) =="
 # Deterministic per-example counters (fuel, unrolls, cache traffic —
 # never wall clocks) compared against the checked-in baseline. Gating:
@@ -209,9 +217,11 @@ echo "== bench smoke (non-gating) =="
 # well-formed JSON. Timings from CI machines are noise, so nothing is
 # compared — failures here are reported but do not fail the gate.
 if ./target/release/bench_json --json --samples 3 --target-ms 2 \
+    --baseline BENCH_nbe.json \
     >/tmp/bench_smoke.json 2>/dev/null \
     && python3 -c 'import json,sys; json.load(open("/tmp/bench_smoke.json"))' 2>/dev/null \
-    && grep -q '"name": "throughput/' /tmp/bench_smoke.json; then
+    && grep -q '"name": "throughput/' /tmp/bench_smoke.json \
+    && grep -q '"name": "nbe_ab/' /tmp/bench_smoke.json; then
   echo "bench smoke: ok ($(grep -c '"name"' /tmp/bench_smoke.json) cases)"
 else
   echo "bench smoke: FAILED (non-gating, continuing)"

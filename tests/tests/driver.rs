@@ -198,6 +198,39 @@ fn warm_worker_rearms_deadline_between_files() {
 }
 
 #[test]
+fn warm_worker_does_not_leak_type_equivalences_between_files() {
+    // File 1 makes `A.t` transparently equal to `int` and uses it at
+    // `int`. File 2, on the same warm worker, redefines `A.t` as `bool`
+    // and makes the same use — which must now be rejected. Any kernel
+    // memo entry from file 1 that survived `Tc::renew` in a form file 2
+    // could hit (for instance, keyed without a fresh context stamp, or
+    // an NbE environment left in the arena) would wrongly equate the
+    // new `t` with `int` and accept it. File 3 repeats file 1 to show
+    // the warm path still accepts what it should.
+    let with_int = "structure A = struct\n  type t = int\n  val x : t = 1\nend\n";
+    let with_bool = "structure A = struct\n  type t = bool\n  val x : t = 1\nend\n";
+    let jobs = vec![
+        Job::new("int.rm", with_int),
+        Job::new("bool.rm", with_bool),
+        Job::new("int_again.rm", with_int),
+    ];
+    let res = compile_batch(
+        &jobs,
+        &DriverConfig {
+            jobs: 1,
+            ..DriverConfig::default()
+        },
+    );
+    assert_eq!(res.outcomes[0].status, FileStatus::Ok);
+    assert_eq!(
+        res.outcomes[1].status,
+        FileStatus::Error,
+        "a stale `t = int` equivalence leaked across Tc::renew"
+    );
+    assert_eq!(res.outcomes[2].status, FileStatus::Ok);
+}
+
+#[test]
 fn worker_attribution_covers_every_file() {
     let jobs = corpus_jobs(2);
     let res = compile_batch(

@@ -76,7 +76,7 @@ fn seeded_fuzz_no_panics_no_differential_mismatches() {
 #[test]
 fn fuzz_cases_are_deterministic() {
     recmod::eval::run_big_stack(256, || {
-        for i in 0..9u64 {
+        for i in 0..10u64 {
             let seed = SEED_BASE.wrapping_add(i);
             let a = run_case(seed);
             let b = run_case(seed);
