@@ -217,6 +217,10 @@ fn main() {
     // per file — isolating the warm-cache lift from the parallel lift.
     run_throughput(&mut r);
 
+    // Artifact cache: cold vs in-process-warm vs cross-run-warm (a
+    // pre-populated on-disk cache replaying every verdict).
+    run_cache_bench(&mut r);
+
     let mut cases = r.cases;
     if let Some(baseline) = &baseline {
         for c in &mut cases {
@@ -395,15 +399,39 @@ fn run_serve_bench(r: &mut Runner) {
 /// How many times the corpus is replicated into one throughput batch.
 const CORPUS_REPLICAS: usize = 4;
 
-fn run_throughput(r: &mut Runner) {
+/// The corpus ×[`CORPUS_REPLICAS`] as one batch of driver jobs.
+fn corpus_jobs() -> Vec<Job> {
     let entries = recmod::corpus::all();
-    let jobs: Vec<Job> = (0..CORPUS_REPLICAS)
+    (0..CORPUS_REPLICAS)
         .flat_map(|rep| {
             entries
                 .iter()
                 .map(move |e| Job::new(format!("{}#{rep}", e.name), e.source))
         })
-        .collect();
+        .collect()
+}
+
+/// One extra **untimed** telemetry pass over the batch: the timed runs
+/// stay observation-free, and the merged worker counters give the
+/// whnf/interner hit rates the timed configuration actually sees.
+fn batch_hit_rates(jobs: &[Job], cfg: &DriverConfig) -> (Option<f64>, Option<f64>) {
+    let tcfg = DriverConfig {
+        telemetry: Some(recmod::telemetry::Config::default()),
+        ..cfg.clone()
+    };
+    let res = compile_batch(jobs, &tcfg);
+    let Some(merged) = &res.merged else {
+        return (None, None);
+    };
+    let get = |name: &str| merged.counters.get(name).copied().unwrap_or(0);
+    (
+        rate(get("kernel.whnf_cache_hit"), get("kernel.whnf_cache_miss")),
+        rate(get("syntax.intern_hit"), get("syntax.intern_miss")),
+    )
+}
+
+fn run_throughput(r: &mut Runner) {
+    let jobs = corpus_jobs();
     let n_programs = jobs.len();
 
     let run_one = |r: &mut Runner, name: String, workers: usize, warm: bool| -> Option<u64> {
@@ -424,14 +452,15 @@ fn run_throughput(r: &mut Runner) {
             std::hint::black_box(&res);
         });
         eprintln!("measured {name}: {} ns", stats.median_ns);
+        let (whnf_hit_rate, intern_hit_rate) = batch_hit_rates(&jobs, &cfg);
         r.cases.push(Case {
             name,
             median_ns: stats.median_ns,
             min_ns: stats.min_ns,
             max_ns: stats.max_ns,
             iters: stats.iters,
-            whnf_hit_rate: None,
-            intern_hit_rate: None,
+            whnf_hit_rate,
+            intern_hit_rate,
             programs_per_sec: Some(n_programs as f64 * 1e9 / stats.median_ns as f64),
             scaling_efficiency: None,
             speedup_vs_baseline: None,
@@ -441,6 +470,14 @@ fn run_throughput(r: &mut Runner) {
 
     let cold = run_one(r, "throughput/corpus_x4/jobs1_cold".into(), 1, false);
     let t1 = run_one(r, "throughput/corpus_x4/jobs1".into(), 1, true);
+    if t1.is_some() {
+        // The jobs=1 run is its own scaling baseline: efficiency 1 by
+        // definition, recorded explicitly so downstream tooling never
+        // has to special-case a null.
+        if let Some(case) = r.cases.last_mut() {
+            case.scaling_efficiency = Some(1.0);
+        }
+    }
     if let (Some(cold), Some(t1)) = (cold, t1) {
         eprintln!("warm-cache lift at jobs=1: {:.2}x", cold as f64 / t1 as f64);
     }
@@ -458,6 +495,96 @@ fn run_throughput(r: &mut Runner) {
             }
         }
     }
+}
+
+/// `cache/corpus_x4/{cold,warm,cross_run_warm}`: the artifact cache's
+/// effect on corpus throughput at jobs=1.
+///
+/// * `cold` — no artifact cache, per-worker caches rebuilt per file:
+///   what a fresh process pays with caching disabled;
+/// * `warm` — no artifact cache, warm per-worker caches: the in-process
+///   ceiling without persistence;
+/// * `cross_run_warm` — a **pre-populated** artifact cache with cold
+///   per-worker caches: what a fresh process pays when a previous run
+///   already stored every verdict (every file replays from disk, the
+///   pipeline never runs).
+fn run_cache_bench(r: &mut Runner) {
+    let jobs = corpus_jobs();
+    let n_programs = jobs.len();
+    let cache_dir = std::env::temp_dir().join(format!("recmod-bench-cache-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+
+    let run_one = |r: &mut Runner, name: String, cfg: &DriverConfig| {
+        if !r.wants(&name) {
+            return;
+        }
+        let stats = bench_quiet(r.cfg, || {
+            let res = compile_batch(&jobs, cfg);
+            assert!(res
+                .outcomes
+                .iter()
+                .all(|o| o.status != FileStatus::Internal));
+            assert!(res.cache_warnings.is_empty(), "cache bench hit C-warnings");
+            std::hint::black_box(&res);
+        });
+        eprintln!("measured {name}: {} ns", stats.median_ns);
+        let (whnf_hit_rate, intern_hit_rate) = batch_hit_rates(&jobs, cfg);
+        r.cases.push(Case {
+            name,
+            median_ns: stats.median_ns,
+            min_ns: stats.min_ns,
+            max_ns: stats.max_ns,
+            iters: stats.iters,
+            whnf_hit_rate,
+            intern_hit_rate,
+            programs_per_sec: Some(n_programs as f64 * 1e9 / stats.median_ns as f64),
+            scaling_efficiency: None,
+            speedup_vs_baseline: None,
+        });
+    };
+
+    let cold_cfg = DriverConfig {
+        jobs: 1,
+        warm: false,
+        ..DriverConfig::default()
+    };
+    run_one(r, "cache/corpus_x4/cold".into(), &cold_cfg);
+    let warm_cfg = DriverConfig {
+        jobs: 1,
+        warm: true,
+        ..DriverConfig::default()
+    };
+    run_one(r, "cache/corpus_x4/warm".into(), &warm_cfg);
+
+    let cached_cfg = DriverConfig {
+        cache: Some(recmod_driver::cache::CacheConfig::new(cache_dir.clone())),
+        ..cold_cfg
+    };
+    if r.wants("cache/corpus_x4/cross_run_warm") {
+        // Populate once (the "previous run"), then measure pure-hit
+        // replay; the populating pass is not timed.
+        let seeded = compile_batch(&jobs, &cached_cfg);
+        assert!(seeded.cache_warnings.is_empty(), "cache seeding warned");
+    }
+    run_one(r, "cache/corpus_x4/cross_run_warm".into(), &cached_cfg);
+
+    let cases = &r.cases;
+    let median_of = |name: &str| {
+        cases
+            .iter()
+            .find(|c| c.name.ends_with(name))
+            .map(|c| c.median_ns)
+    };
+    if let (Some(cold), Some(xrw)) = (
+        median_of("cache/corpus_x4/cold"),
+        median_of("cache/corpus_x4/cross_run_warm"),
+    ) {
+        eprintln!(
+            "cross-run-warm lift vs cold: {:.2}x",
+            cold as f64 / xrw as f64
+        );
+    }
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }
 
 fn run(cfg: BenchConfig, name: &str, f: impl FnMut()) -> Case {

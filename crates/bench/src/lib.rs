@@ -57,6 +57,12 @@ pub fn list_run_stats(
     n: usize,
 ) -> (recmod::eval::EvalStats, recmod::kernel::KernelStats) {
     recmod::eval::run_big_stack(512, move || {
+        // Pin interned nodes for the duration: id-keyed kernel memo hit
+        // counts are a pure function of the source only when re-interned
+        // nodes keep their ids (see `costs::measure_in_thread`) —
+        // without this, the first-ever compile in a process reports
+        // slightly different whnf hit/miss/fuel splits than later ones.
+        let _pin = recmod::syntax::intern::pin_thread();
         let program = corpus::list_program(opaque, n);
         let compiled = recmod::compile(&program).expect("list program compiles");
         let kernel = compiled.elab.tc.stats();

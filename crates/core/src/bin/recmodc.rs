@@ -15,9 +15,9 @@
 //! `<file.rml>` may be `-` to read the program from stdin. Batch mode
 //! engages for `check` whenever `--jobs`/`--corpus` is given, more than
 //! one path is named, or a path is a directory (searched recursively
-//! for `*.rm`); it compiles files in parallel on shared-nothing worker
-//! threads with warm per-worker caches and prints per-file diagnostics
-//! prefixed by the file name, in input order.
+//! for `*.rm`); it compiles files in parallel on worker threads sharing
+//! the global interner, with warm per-worker caches, and prints
+//! per-file diagnostics prefixed by the file name, in input order.
 //!
 //! Options:
 //!
@@ -59,7 +59,15 @@
 //! * `--crash-dir DIR` — where limit/internal exits (codes 3 and 4)
 //!   write their crash bundle, a `recmod-crash-<hash>.json` holding the
 //!   flight-recorder tail, counters, limits, and an input hash
-//!   (default: the system temp directory).
+//!   (default: the system temp directory);
+//! * `--cache-dir DIR` — batch `check` and `serve`: consult and fill a
+//!   content-addressed on-disk artifact cache keyed by source bytes ×
+//!   limits × schema version × equivalence engine. Hits skip the
+//!   pipeline entirely and replay the stored verdict and diagnostics;
+//!   cache trouble (I/O errors, corrupt entries, an uncreatable
+//!   directory) degrades to a C-coded warning on stderr, never a
+//!   failure. See README "Caching";
+//! * `--no-cache` — ignore `--cache-dir` (run everything uncached).
 //!
 //! Exit codes: `0` success, `1` program error (syntax/type/runtime),
 //! `2` usage, `3` resource limit hit, `4` internal error (a compiler
@@ -94,7 +102,7 @@ fn usage() -> ExitCode {
          recmodc -e \"<expression>\" [options]\n\
          options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
          --max-errors N --stats[=json] --diagnostics=json --trace[=DEPTH]\n         \
-         --jobs N --corpus --cold --crash-dir DIR\n         \
+         --jobs N --corpus --cold --crash-dir DIR --cache-dir DIR --no-cache\n         \
          --profile[=FILE] --profile-text --profile-by=judgement|stage|file\n         \
          --log-json FILE (batch only)\n\
          exit codes: 0 ok, 1 program error, 2 usage, 3 limit hit, 4 internal error\n         \
@@ -156,6 +164,11 @@ struct Options {
     queue_depth: Option<usize>,
     /// `serve --faults SEED,RATE[,KIND]`: deterministic fault injection.
     faults: Option<String>,
+    /// `--cache-dir DIR`: content-addressed artifact cache for batch
+    /// `check` and `serve` (single-file `check file.rm` stays uncached).
+    cache_dir: Option<String>,
+    /// `--no-cache`: ignore `--cache-dir`, run everything uncached.
+    no_cache: bool,
 }
 
 impl Options {
@@ -168,6 +181,17 @@ impl Options {
     /// human-readable line moves to stderr.
     fn machine_stdout(&self) -> bool {
         self.stats == StatsMode::Json || self.diagnostics
+    }
+
+    /// The artifact-cache configuration implied by the flags: `None`
+    /// unless `--cache-dir` was given, and `--no-cache` wins over it.
+    fn cache_config(&self) -> Option<recmod::driver::cache::CacheConfig> {
+        if self.no_cache {
+            return None;
+        }
+        self.cache_dir
+            .as_ref()
+            .map(|d| recmod::driver::cache::CacheConfig::new(std::path::PathBuf::from(d)))
     }
 
     /// The telemetry configuration implied by the flags, `None` when no
@@ -212,6 +236,8 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         socket: None,
         queue_depth: None,
         faults: None,
+        cache_dir: None,
+        no_cache: false,
     };
     let mut deadline_ms: Option<u64> = None;
     let mut it = args.into_iter();
@@ -247,6 +273,11 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
                 let spec = it.next().ok_or("--faults needs SEED,RATE[,KIND]")?;
                 opts.faults = Some(spec);
             }
+            "--cache-dir" => {
+                let d = it.next().ok_or("--cache-dir needs a directory")?;
+                opts.cache_dir = Some(d);
+            }
+            "--no-cache" => opts.no_cache = true,
             "--profile" => opts.profile = Some("trace.json".to_string()),
             "--profile-text" => opts.profile_text = true,
             "--log-json" => {
@@ -323,6 +354,13 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
                     return Err("--faults= needs SEED,RATE[,KIND]".to_string());
                 }
                 opts.faults = Some(spec.to_string());
+            }
+            _ if a.starts_with("--cache-dir=") => {
+                let d = &a["--cache-dir=".len()..];
+                if d.is_empty() {
+                    return Err("--cache-dir= needs a directory".to_string());
+                }
+                opts.cache_dir = Some(d.to_string());
             }
             _ if a.starts_with("--crash-dir=") => {
                 let d = &a["--crash-dir=".len()..];
@@ -478,6 +516,7 @@ fn run_serve(opts: &Options) -> ExitCode {
                 .unwrap_or_else(std::env::temp_dir),
         ),
         log_events: true,
+        cache: opts.cache_config(),
         ..defaults
     };
     let mut server = match Server::start(cfg) {
@@ -496,6 +535,9 @@ fn run_serve(opts: &Options) -> ExitCode {
             ExitCode::SUCCESS
         }
     };
+    for w in server.cache_warnings() {
+        eprintln!("{}", w.render());
+    }
     server.shutdown();
     code
 }
@@ -597,9 +639,13 @@ fn run_batch(paths: &[String], opts: &Options) -> ExitCode {
         max_errors: opts.max_errors,
         warm: !opts.cold,
         telemetry,
+        cache: opts.cache_config(),
         ..driver::DriverConfig::default()
     };
     let result = driver::compile_batch(&jobs, &config);
+    for w in &result.cache_warnings {
+        eprintln!("{}", w.render());
+    }
 
     // With `--stats=json` or `--diagnostics=json`, stdout must carry
     // exactly one JSON document; the usual human-readable output moves

@@ -1,21 +1,25 @@
-//! Parallel batch compilation: a shared-nothing work-stealing driver
-//! with warm per-worker caches.
+//! Parallel batch compilation: a work-stealing driver with warm
+//! per-worker caches over a shared global interner.
 //!
-//! The pipeline's hot state — the hash-consing interner, the kernel's
-//! whnf memo and equivalence cache, the telemetry sink — is all
-//! thread-local by design (the interner's `HC<T>` is deliberately
-//! `!Send`). That shape makes batch compilation embarrassingly
-//! parallel: give each worker thread its own pipeline and never share
-//! a node between two workers. This crate supplies the missing piece,
-//! a zero-dependency work-stealing scheduler:
+//! The pipeline's *mutable* hot state — the kernel's whnf memo and
+//! equivalence cache, the telemetry sink — is thread-local by design,
+//! so workers never contend on it and reports merge after the fact.
+//! The *immutable* hot state, the hash-consed syntax spine, is the
+//! opposite: since S18 the interner is process-global and sharded
+//! (`recmod_syntax::intern`), so `HC<T>` is `Send + Sync` and N
+//! workers share one canonical node per distinct subtree instead of
+//! re-interning N copies. Per-worker memo tables stay sound because
+//! `NodeId`s are now canonical process-wide — a memo key means the
+//! same structure on every thread, it is merely *private* warmth.
+//! This crate supplies the scheduler, a zero-dependency work-stealer:
 //!
 //! * jobs are pre-seeded round-robin into one deque per worker;
 //! * a worker pops from the **front** of its own deque and, when that
 //!   runs dry, steals from the **back** of a victim's — owner and
 //!   thief touch opposite ends, so contention on the per-deque mutex
 //!   is brief and the stolen work is the coldest;
-//! * each worker keeps its elaborator (and hence interner, whnf memo,
-//!   and equivalence cache) **warm across files** via
+//! * each worker keeps its elaborator (and hence whnf memo and
+//!   equivalence cache) **warm across files** via
 //!   [`Elaborator::renew`], which resets per-program state but keeps
 //!   the memo tables — sound because context stamps are never reused
 //!   within a thread and the empty context is stamp 0 everywhere;
@@ -24,11 +28,17 @@
 //!   scheduling; per-worker telemetry reports are merged with
 //!   [`Report::merge`].
 //!
+//! Batches can additionally consult a content-addressed on-disk
+//! artifact cache ([`cache`]) before compiling: verdicts for
+//! previously-seen (source, limits, schema, engine) tuples are replayed
+//! without touching the pipeline.
+//!
 //! A panic inside one file's compilation is caught at the file
 //! boundary: the file reports [`FileStatus::Internal`], the worker
 //! drops its (possibly poisoned) elaborator and rebuilds a fresh one,
 //! and every other file is unaffected.
 
+pub mod cache;
 pub mod serve;
 
 use std::collections::VecDeque;
@@ -176,6 +186,10 @@ pub struct BatchResult {
     pub merged: Option<Report>,
     /// Wall-clock nanoseconds for the whole batch.
     pub wall_nanos: u64,
+    /// Deduplicated cache-health warnings (`C001`–`C003`), empty when
+    /// no cache was configured or the cache behaved. Callers print
+    /// these to stderr; they never affect verdicts or exit codes.
+    pub cache_warnings: Vec<cache::CacheWarning>,
 }
 
 impl BatchResult {
@@ -234,6 +248,12 @@ pub struct DriverConfig {
     /// the degraded path where surviving workers drain the missing
     /// workers' deques. Leave at 0 outside regression tests.
     pub fail_spawns: usize,
+    /// Consult (and populate) an on-disk artifact cache before
+    /// compiling each file. `None` disables caching. The cache is
+    /// advisory: any cache-layer failure degrades to compiling and is
+    /// reported in [`BatchResult::cache_warnings`], never in the
+    /// verdicts.
+    pub cache: Option<cache::CacheConfig>,
 }
 
 impl Default for DriverConfig {
@@ -248,6 +268,7 @@ impl Default for DriverConfig {
             telemetry: None,
             file_counters: false,
             fail_spawns: 0,
+            cache: None,
         }
     }
 }
@@ -301,13 +322,22 @@ fn read_job(path: &Path) -> Result<Job, String> {
 
 /// Compiles every job and returns the outcomes in input order.
 ///
-/// Spawns `config.jobs` shared-nothing workers (clamped to the job
-/// count), each with its own stack, interner, kernel caches, and
-/// telemetry sink; idle workers steal from the back of busy workers'
+/// Spawns `config.jobs` workers (clamped to the job count), each with
+/// its own stack, kernel caches, and telemetry sink over the shared
+/// global interner; idle workers steal from the back of busy workers'
 /// deques. See the crate docs for the determinism and warm-cache
-/// arguments.
+/// arguments. When [`DriverConfig::cache`] is set, each file consults
+/// the artifact cache before compiling and stores its verdict after.
 pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
     let t0 = Instant::now();
+    let (opened_cache, mut cache_warnings) = match &config.cache {
+        None => (None, Vec::new()),
+        Some(cfg) => match cache::Cache::open(cfg) {
+            Ok(c) => (Some(c), Vec::new()),
+            Err(w) => (None, vec![w]),
+        },
+    };
+    let artifact_cache = opened_cache.as_ref();
     // Pin every worker's sink to the batch start so spans, samples, and
     // per-file events from different workers share one timeline.
     let config = &DriverConfig {
@@ -342,7 +372,9 @@ pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
             let builder = std::thread::Builder::new()
                 .name(format!("recmod-worker-{wid}"))
                 .stack_size(config.stack_size);
-            match builder.spawn_scoped(scope, move || worker_loop(wid, jobs, queues, config)) {
+            match builder.spawn_scoped(scope, move || {
+                worker_loop(wid, jobs, queues, config, artifact_cache)
+            }) {
                 Ok(handle) => handles.push(handle),
                 Err(_) => {
                     // Out of threads/memory: the workers that did spawn
@@ -403,11 +435,16 @@ pub fn compile_batch(jobs: &[Job], config: &DriverConfig) -> BatchResult {
         None
     };
 
+    if let Some(c) = artifact_cache {
+        cache_warnings.extend(c.take_warnings());
+    }
+
     BatchResult {
         outcomes,
         workers: summaries,
         merged,
         wall_nanos: t0.elapsed().as_nanos() as u64,
+        cache_warnings,
     }
 }
 
@@ -418,6 +455,7 @@ fn worker_loop(
     jobs: &[Job],
     queues: &[Mutex<VecDeque<usize>>],
     config: &DriverConfig,
+    artifact_cache: Option<&cache::Cache>,
 ) -> WorkerOut {
     if let Some(cfg) = &config.telemetry {
         recmod_telemetry::install(cfg.clone());
@@ -429,7 +467,7 @@ fn worker_loop(
         if stolen {
             steals += 1;
         }
-        let out = compile_one(wid, stolen, &jobs[idx], &mut elab, config);
+        let out = compile_one(wid, stolen, &jobs[idx], &mut elab, config, artifact_cache);
         outs.push((idx, out));
     }
     recmod_telemetry::count("driver.files", outs.len() as u64);
@@ -486,6 +524,7 @@ fn compile_one(
     job: &Job,
     slot: &mut Option<Elaborator>,
     config: &DriverConfig,
+    artifact_cache: Option<&cache::Cache>,
 ) -> FileOutcome {
     let t0 = Instant::now();
     // Per-file flight recorder: a crash bundle should describe the file
@@ -503,6 +542,36 @@ fn compile_one(
         Some(ms) => config.limits.with_deadline_ms(ms),
         None => config.limits,
     };
+    // Content-address of this compile, computed once: consulted before
+    // the pipeline, reused to store the verdict after it. Rendered
+    // lines are rebuilt from the structured diagnostics on a hit, so
+    // hits are byte-identical to compiles even under a different
+    // display name or --max-errors.
+    let ckey = artifact_cache.map(|c| {
+        (
+            c,
+            cache::key(&job.source, &limits, recmod_kernel::resolve_engine().name()),
+        )
+    });
+    if let Some((c, k)) = ckey {
+        if let cache::Outcome::Hit(entry) = c.load(k) {
+            let entry = *entry;
+            let diagnostics = render_diagnostics(&job.name, &entry.diags, config.max_errors);
+            return FileOutcome {
+                name: job.name.clone(),
+                status: entry.status,
+                summaries: entry.summaries,
+                diagnostics,
+                diags: entry.diags,
+                crash: None,
+                worker: wid,
+                stolen,
+                start_nanos,
+                nanos: t0.elapsed().as_nanos() as u64,
+                counters: counter_delta(before),
+            };
+        }
+    }
     let elab = match slot.take() {
         Some(mut e) if config.warm => {
             e.renew(limits);
@@ -558,21 +627,21 @@ fn compile_one(
         _ => None,
     };
 
-    let counters = match before {
-        Some(before) => recmod_telemetry::snapshot_counters().map(|after| {
-            after
-                .into_iter()
-                .map(|(name, v)| {
-                    (
-                        name,
-                        v.saturating_sub(before.get(name).copied().unwrap_or(0)),
-                    )
-                })
-                .filter(|&(_, v)| v > 0)
-                .collect()
-        }),
-        None => None,
-    };
+    let counters = counter_delta(before);
+    if let (Some((c, k)), FileStatus::Ok | FileStatus::Error) = (ckey, status) {
+        c.store(
+            k,
+            &cache::Entry {
+                status,
+                summaries: summaries.clone(),
+                diags: diags.clone(),
+                counters: counters
+                    .as_ref()
+                    .map(|m| m.iter().map(|(&n, &v)| (n.to_string(), v)).collect())
+                    .unwrap_or_default(),
+            },
+        );
+    }
     if recmod_telemetry::profiling_enabled() {
         // One counter-track sample per file boundary: cumulative cache
         // hit/miss counters plus gauges the sink cannot see (interner
@@ -604,6 +673,26 @@ fn compile_one(
         nanos: t0.elapsed().as_nanos() as u64,
         counters,
     }
+}
+
+/// Subtracts a `file_counters` snapshot from the current counters,
+/// keeping only the counters that moved.
+fn counter_delta(
+    before: Option<std::collections::BTreeMap<&'static str, u64>>,
+) -> Option<std::collections::BTreeMap<&'static str, u64>> {
+    let before = before?;
+    recmod_telemetry::snapshot_counters().map(|after| {
+        after
+            .into_iter()
+            .map(|(name, v)| {
+                (
+                    name,
+                    v.saturating_sub(before.get(name).copied().unwrap_or(0)),
+                )
+            })
+            .filter(|&(_, v)| v > 0)
+            .collect()
+    })
 }
 
 fn classify(errors: &[SurfaceError]) -> FileStatus {

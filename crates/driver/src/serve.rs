@@ -380,6 +380,10 @@ pub struct ServeConfig {
     /// Emit supervisor events (worker death, respawn, overdue
     /// requests) as JSON lines on stderr.
     pub log_events: bool,
+    /// Consult (and populate) the on-disk artifact cache before
+    /// compiling each request. Advisory: cache-layer failures degrade
+    /// to compiling and surface as `C00x` warnings, never in verdicts.
+    pub cache: Option<crate::cache::CacheConfig>,
 }
 
 impl Default for ServeConfig {
@@ -397,6 +401,7 @@ impl Default for ServeConfig {
             crash_dir: None,
             grace_ms: 1_000,
             log_events: false,
+            cache: None,
         }
     }
 }
@@ -592,6 +597,7 @@ struct Core {
     stats: Counters,
     inflight: Vec<Mutex<InFlight>>,
     worker_intern: Vec<Mutex<WorkerIntern>>,
+    artifact_cache: Option<crate::cache::Cache>,
 }
 
 /// Locks a service mutex, recovering from poisoning: all guarded state
@@ -915,6 +921,31 @@ fn serve_one(
     if let Some(ms) = pending.req.deadline_ms.or(core.cfg.default_deadline_ms) {
         limits = limits.with_deadline_ms(ms);
     }
+    // Consult the artifact cache before paying for the pipeline — but
+    // never when a fault is armed for this request: injected faults
+    // must reach the compile they were aimed at.
+    if injection.is_none() {
+        if let Some(c) = core.artifact_cache.as_ref() {
+            let k = crate::cache::key(&source, &limits, recmod_kernel::resolve_engine().name());
+            if let crate::cache::Outcome::Hit(entry) = c.load(k) {
+                let entry = *entry;
+                let rendered = crate::render_diagnostics(&name, &entry.diags, core.cfg.max_errors);
+                let resp = Response {
+                    id: Json::Null, // filled by finish()
+                    status: entry.status.into(),
+                    attempts,
+                    injected: Vec::new(), // filled by finish()
+                    summaries: entry.summaries,
+                    diags: entry.diags,
+                    rendered,
+                    message: None,
+                    stats: None,
+                };
+                core.finish(pending, resp);
+                return;
+            }
+        }
+    }
     // Park the request where the supervisor can recover it if this
     // thread dies mid-compile.
     {
@@ -1020,6 +1051,23 @@ fn serve_one(
     if transient && attempts < max_attempts {
         core.retry(pending);
         return;
+    }
+
+    // Store deterministic verdicts that no fault touched: a fired
+    // injection may have perturbed the run even when the verdict class
+    // looks cacheable.
+    if matches!(status, FileStatus::Ok | FileStatus::Error) && fired.is_none() {
+        if let Some(c) = core.artifact_cache.as_ref() {
+            c.store(
+                crate::cache::key(&source, &limits, recmod_kernel::resolve_engine().name()),
+                &crate::cache::Entry {
+                    status,
+                    summaries: summaries.clone(),
+                    diags: diags.clone(),
+                    counters: std::collections::BTreeMap::new(),
+                },
+            );
+        }
     }
 
     if matches!(status, FileStatus::Limit | FileStatus::Internal) {
@@ -1138,8 +1186,16 @@ impl Server {
     /// retrying — but no supervisor means no service).
     pub fn start(cfg: ServeConfig) -> Result<Server, String> {
         let workers = cfg.workers.max(1);
+        // An unusable cache directory degrades to serving uncached: the
+        // C003 warning goes to stderr once, the service still starts.
+        let artifact_cache = cfg.cache.as_ref().and_then(|c| {
+            crate::cache::Cache::open(c)
+                .map_err(|w| eprintln!("{}", w.render()))
+                .ok()
+        });
         let core = Arc::new(Core {
             cfg,
+            artifact_cache,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 draining: false,
@@ -1199,6 +1255,17 @@ impl Server {
     /// Is the server draining (new requests are being rejected)?
     pub fn is_draining(&self) -> bool {
         lock(&self.core.state).draining
+    }
+
+    /// Drains the artifact cache's accumulated health warnings
+    /// (`C001`/`C002`). The CLI prints them to stderr when a connection
+    /// closes; they never affect responses.
+    pub fn cache_warnings(&self) -> Vec<crate::cache::CacheWarning> {
+        self.core
+            .artifact_cache
+            .as_ref()
+            .map(crate::cache::Cache::take_warnings)
+            .unwrap_or_default()
     }
 
     /// Handles one protocol line: parse, dispatch, and answer on

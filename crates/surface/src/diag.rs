@@ -145,6 +145,89 @@ impl Diagnostic {
         }
         Json::obj(pairs)
     }
+
+    /// Rebuilds a diagnostic from its [`to_json`](Self::to_json) form.
+    ///
+    /// Exists for the driver's on-disk artifact cache, which stores
+    /// structured diagnostics and replays them on a hit. Codes resolve
+    /// through the [`CODES`] registry so a cached diagnostic shares the
+    /// registry's canonical `&'static str`; provenance/equation frames
+    /// (an open set of judgement names) go through a bounded intern
+    /// table. Returns `None` on any missing or mistyped field — callers
+    /// treat that as a cache miss, never an error.
+    pub fn from_json(doc: &Json) -> Option<Diagnostic> {
+        let code_str = doc.get("code")?.as_str()?;
+        let code = match explain(code_str) {
+            Some(info) => info.code,
+            None => static_str(code_str),
+        };
+        let span = doc.get("span")?;
+        let usize_of = |j: &Json| j.as_u64().map(|v| v as usize);
+        let frames = |j: Option<&Json>| -> Option<Vec<&'static str>> {
+            match j {
+                None => Some(Vec::new()),
+                Some(j) => j
+                    .as_arr()?
+                    .iter()
+                    .map(|f| f.as_str().map(static_str))
+                    .collect(),
+            }
+        };
+        let strings = |j: Option<&Json>| -> Option<Vec<String>> {
+            match j {
+                None => Some(Vec::new()),
+                Some(j) => j
+                    .as_arr()?
+                    .iter()
+                    .map(|s| s.as_str().map(str::to_string))
+                    .collect(),
+            }
+        };
+        Some(Diagnostic {
+            code,
+            span: Span {
+                start: usize_of(span.get("start")?)?,
+                end: usize_of(span.get("end")?)?,
+            },
+            line: usize_of(span.get("line")?)?,
+            col: usize_of(span.get("col")?)?,
+            message: doc.get("message")?.as_str()?.to_string(),
+            expected: match doc.get("expected") {
+                Some(j) => Some(j.as_str()?.to_string()),
+                None => None,
+            },
+            found: match doc.get("found") {
+                Some(j) => Some(j.as_str()?.to_string()),
+                None => None,
+            },
+            notes: strings(doc.get("notes"))?,
+            provenance: frames(doc.get("provenance"))?,
+            equation_path: frames(doc.get("equation_path"))?,
+        })
+    }
+}
+
+/// Interns a string into the process-wide leak table, deduplicated.
+///
+/// Used only when deserializing cached diagnostics, whose
+/// provenance/equation frames and codes are `&'static str` in live
+/// diagnostics. The population is bounded by the finite set of
+/// judgement names and codes the compiler can ever emit (plus whatever
+/// a corrupt-but-checksum-valid cache entry smuggles in, which the
+/// size-capped cache bounds), so the leak is bounded too.
+fn static_str(s: &str) -> &'static str {
+    use std::sync::Mutex;
+    static TABLE: Mutex<std::collections::BTreeSet<&'static str>> =
+        Mutex::new(std::collections::BTreeSet::new());
+    let mut table = TABLE
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(existing) = table.get(s) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(s.to_string().into_boxed_str());
+    table.insert(leaked);
+    leaked
 }
 
 fn limit_note(l: &recmod_telemetry::LimitExceeded) -> String {
@@ -381,6 +464,26 @@ pub const CODES: &[CodeInfo] = &[
         code: "I003",
         summary: "a batch worker thread died before compiling the file",
         example: "a worker killed by the OS mid-batch",
+    },
+    // C-codes are cache-layer *warnings*: they describe the artifact
+    // cache's own health, never a property of the compiled program, so
+    // they are reported on stderr and excluded from file diagnostics
+    // (verdicts and exit codes are byte-identical with and without a
+    // cache).
+    CodeInfo {
+        code: "C001",
+        summary: "artifact-cache I/O error; the entry was recompiled (warning, not a failure)",
+        example: "an unreadable cache file under --cache-dir, e.g. permissions changed",
+    },
+    CodeInfo {
+        code: "C002",
+        summary: "corrupt artifact-cache entry skipped; the file was recompiled (warning)",
+        example: "a truncated or bit-flipped entry failing its checksum",
+    },
+    CodeInfo {
+        code: "C003",
+        summary: "artifact-cache directory could not be created; caching disabled for the run",
+        example: "--cache-dir pointing into a read-only tree",
     },
 ];
 

@@ -3,7 +3,7 @@
 //! The recursive spine of [`Con`](crate::ast::Con) and
 //! [`Kind`](crate::ast::Kind) is built from [`HC<T>`] pointers instead of
 //! `Box<T>`: every structurally-distinct node is interned once in a
-//! per-thread table and assigned a stable [`NodeId`]. Consequences:
+//! process-global table and assigned a stable [`NodeId`]. Consequences:
 //!
 //! * **O(1) equality** — two `HC` pointers are equal iff their ids are
 //!   equal, which (by the interning invariant) holds iff the subtrees
@@ -17,28 +17,45 @@
 //!   use it to return the *same pointer* for subtrees they cannot touch
 //!   (see [`crate::map`]).
 //!
-//! The table is thread-local (like the telemetry sinks), so `HC` is
-//! deliberately `!Send`: ids from different threads are unrelated, and
-//! the `Rc` representation lets the compiler enforce that interned
-//! syntax never crosses a thread boundary. The whole pipeline already
-//! runs inside one `run_big_stack` thread and ships only plain-data
-//! summaries out, so this matches the existing architecture.
+//! # Sharded global table
+//!
+//! The table is process-global and hash-partitioned into
+//! [`SHARD_COUNT`] shards, each behind its own `Mutex`. A node's shard
+//! is chosen from the high bits of its FxHash, so two threads interning
+//! unrelated structure almost always take different locks; two threads
+//! interning the *same* structure serialize briefly and walk away with
+//! the same `Arc`. `HC` is therefore `Send + Sync`: `--jobs N` workers
+//! share one canonical spine per distinct subtree instead of rebuilding
+//! N copies, and a `NodeId` means the same thing on every thread.
+//!
+//! Lock discipline: each `intern` call takes exactly one shard lock
+//! (try-lock first so contention is observable, then block), does an
+//! O(1) probe/insert under it, and releases before returning. No code
+//! path takes two shard locks at once, so there is no lock-order hazard.
+//! Statistics stay in per-thread `Cell`s — the shards carry no hot
+//! shared counters.
+//!
+//! `NodeId`s are process-stable but **never persisted**: the driver's
+//! on-disk artifact cache stores rendered verdicts keyed by source
+//! hashes, never ids, because a fresh process reassigns ids in
+//! first-intern order.
 //!
 //! The table holds weak references: dropping the last strong `HC` to a
-//! node makes its entry collectable, and dead entries are swept when the
-//! table doubles past a high-water mark, so long sessions do not leak.
+//! node makes its entry collectable, and dead entries are swept when a
+//! shard doubles past a high-water mark, so long sessions do not leak.
 
-use std::cell::{Cell, RefCell};
+use std::cell::Cell;
 use std::fmt;
-use std::hash::Hash;
+use std::hash::{BuildHasher, Hash};
 use std::ops::Deref;
-use std::rc::{Rc, Weak};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, LazyLock, Mutex, TryLockError, Weak};
 
 use crate::ast::{Con, Kind};
 
 /// A stable identifier for one structurally-distinct syntax node.
 ///
-/// Ids are unique within a thread for the lifetime of the process (they
+/// Ids are unique process-wide for the lifetime of the process (they
 /// are never reused, even after a node is collected and re-interned —
 /// the counter only moves forward; a re-interned node gets a fresh id,
 /// which is sound because stale ids no longer have live holders).
@@ -54,11 +71,11 @@ struct Node<T> {
 ///
 /// Build one with [`hc`] (or [`Internable::intern`]); pattern-match
 /// through it with `&*` / autoderef, exactly like the `Box` it replaces.
-pub struct HC<T: Internable>(Rc<Node<T>>);
+pub struct HC<T: Internable>(Arc<Node<T>>);
 
 impl<T: Internable> HC<T> {
     /// The node's interning id. Equal ids ⟺ structurally equal subtrees
-    /// (within one thread).
+    /// (process-wide).
     pub fn id(&self) -> NodeId {
         self.0.id
     }
@@ -72,7 +89,7 @@ impl<T: Internable> HC<T> {
     /// Pointer identity (implies — and with interning, is implied by —
     /// structural equality).
     pub fn ptr_eq(a: &Self, b: &Self) -> bool {
-        Rc::ptr_eq(&a.0, &b.0)
+        Arc::ptr_eq(&a.0, &b.0)
     }
 
     /// The underlying node by reference.
@@ -89,7 +106,7 @@ impl<T: Internable> HC<T> {
 
 impl<T: Internable> Clone for HC<T> {
     fn clone(&self) -> Self {
-        HC(Rc::clone(&self.0))
+        HC(Arc::clone(&self.0))
     }
 }
 
@@ -120,12 +137,12 @@ impl<T: Internable + fmt::Debug> fmt::Debug for HC<T> {
 }
 
 /// Syntax classes that participate in hash-consing.
-pub trait Internable: Clone + Eq + Hash + Sized + 'static {
+pub trait Internable: Clone + Eq + Hash + Send + Sync + Sized + 'static {
     /// Computes this node's free-variable upper bound from its children's
     /// *cached* bounds — must not recurse into subtrees.
     fn fv_bound_shallow(&self) -> usize;
 
-    /// Interns the node in this thread's table, returning the canonical
+    /// Interns the node in the global table, returning the canonical
     /// pointer for its structure.
     fn intern(self) -> HC<Self>;
 }
@@ -136,61 +153,163 @@ pub fn hc<T: Internable>(t: T) -> HC<T> {
 }
 
 // ---------------------------------------------------------------------------
-// The per-thread tables
+// The sharded global tables
 // ---------------------------------------------------------------------------
 
-struct Table<T> {
+/// Number of hash-partitioned shards per table. 16 keeps the per-shard
+/// `Mutex` uncontended at the `--jobs` levels the driver supports (≤ 8
+/// workers) while the `LazyLock` arrays stay small.
+pub const SHARD_COUNT: usize = 16;
+
+/// Ids start at 1 so 0 can serve as an "absent" sentinel in debug dumps.
+static NEXT_ID: AtomicU64 = AtomicU64::new(1);
+
+struct Shard<T> {
     map: crate::fxhash::FxHashMap<T, Weak<Node<T>>>,
-    next_id: u64,
     sweep_at: usize,
 }
 
-impl<T: Internable> Table<T> {
+impl<T: Internable> Shard<T> {
     fn new() -> Self {
-        Table {
+        Shard {
             map: crate::fxhash::FxHashMap::default(),
-            next_id: 1,
-            sweep_at: 1 << 12,
+            sweep_at: 1 << 10,
+        }
+    }
+}
+
+struct ShardedTable<T> {
+    shards: [Mutex<Shard<T>>; SHARD_COUNT],
+}
+
+impl<T: Internable> ShardedTable<T> {
+    fn new() -> Self {
+        ShardedTable {
+            shards: std::array::from_fn(|_| Mutex::new(Shard::new())),
         }
     }
 
-    fn intern(&mut self, t: T, stats: &InternCells) -> HC<T> {
-        if let Some(rc) = self.map.get(&t).and_then(Weak::upgrade) {
-            stats.hits.set(stats.hits.get() + 1);
+    /// Locks one shard, recovering from poisoning: the maps hold only
+    /// weak entries, so the worst a panicking thread can leave behind is
+    /// a half-inserted tombstone, which the next sweep reclaims.
+    fn lock_shard(&self, idx: usize, cells: &InternCells) -> std::sync::MutexGuard<'_, Shard<T>> {
+        match self.shards[idx].try_lock() {
+            Ok(guard) => guard,
+            Err(TryLockError::WouldBlock) => {
+                cells.contended.set(cells.contended.get() + 1);
+                recmod_telemetry::count("intern.shard.contended", 1);
+                self.shards[idx]
+                    .lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+            }
+            Err(TryLockError::Poisoned(p)) => p.into_inner(),
+        }
+    }
+
+    fn intern(&self, t: T, cells: &InternCells) -> HC<T> {
+        // One hash computation picks the shard *and* probes its map
+        // (FxHashMap uses the same builder). The top bits select the
+        // shard so the map's in-bucket distribution (low bits) stays
+        // independent of the partition.
+        let hash = crate::fxhash::FxBuildHasher::default().hash_one(&t);
+        let idx = (hash >> (64 - SHARD_COUNT.trailing_zeros())) as usize & (SHARD_COUNT - 1);
+        let mut shard = self.lock_shard(idx, cells);
+        if let Some(rc) = shard.map.get(&t).and_then(Weak::upgrade) {
+            cells.hits.set(cells.hits.get() + 1);
             recmod_telemetry::count("syntax.intern_hit", 1);
             return HC(rc);
         }
-        stats.misses.set(stats.misses.get() + 1);
+        cells.misses.set(cells.misses.get() + 1);
         recmod_telemetry::count("syntax.intern_miss", 1);
-        let id = self.next_id;
-        self.next_id += 1;
+        let id = NEXT_ID.fetch_add(1, Ordering::Relaxed);
         let fv_bound = t.fv_bound_shallow();
-        let rc = Rc::new(Node {
+        let rc = Arc::new(Node {
             id,
             fv_bound,
             value: t.clone(),
         });
-        self.map.insert(t, Rc::downgrade(&rc));
-        if self.map.len() >= self.sweep_at {
-            self.map.retain(|_, w| w.strong_count() > 0);
-            stats.sweeps.set(stats.sweeps.get() + 1);
-            self.sweep_at = (self.map.len() * 2).max(1 << 12);
+        shard.map.insert(t, Arc::downgrade(&rc));
+        if shard.map.len() >= shard.sweep_at {
+            shard.map.retain(|_, w| w.strong_count() > 0);
+            cells.sweeps.set(cells.sweeps.get() + 1);
+            shard.sweep_at = (shard.map.len() * 2).max(1 << 10);
         }
         HC(rc)
     }
+
+    fn entries(&self) -> u64 {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .map
+                    .len() as u64
+            })
+            .sum()
+    }
+
+    fn sweep(&self, cells: &InternCells) -> u64 {
+        let mut reclaimed = 0u64;
+        for shard in &self.shards {
+            let mut s = shard
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            let before = s.map.len();
+            s.map.retain(|_, w| w.strong_count() > 0);
+            reclaimed += (before - s.map.len()) as u64;
+            s.sweep_at = (s.map.len() * 2).max(1 << 10);
+        }
+        cells.sweeps.set(cells.sweeps.get() + 1);
+        reclaimed
+    }
 }
+
+static CON_TABLE: LazyLock<ShardedTable<Con>> = LazyLock::new(ShardedTable::new);
+static KIND_TABLE: LazyLock<ShardedTable<Kind>> = LazyLock::new(ShardedTable::new);
 
 #[derive(Default)]
 struct InternCells {
     hits: Cell<u64>,
     misses: Cell<u64>,
     sweeps: Cell<u64>,
+    contended: Cell<u64>,
 }
 
 thread_local! {
-    static CON_TABLE: RefCell<Table<Con>> = RefCell::new(Table::new());
-    static KIND_TABLE: RefCell<Table<Kind>> = RefCell::new(Table::new());
     static CELLS: InternCells = InternCells::default();
+    static PIN_CON: std::cell::RefCell<Option<Vec<HC<Con>>>> = const { std::cell::RefCell::new(None) };
+    static PIN_KIND: std::cell::RefCell<Option<Vec<HC<Kind>>>> = const { std::cell::RefCell::new(None) };
+}
+
+/// RAII guard from [`pin_thread`]; dropping it releases the pins.
+pub struct PinGuard {
+    _priv: (),
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        PIN_CON.with(|p| *p.borrow_mut() = None);
+        PIN_KIND.with(|p| *p.borrow_mut() = None);
+    }
+}
+
+/// Keeps every node this thread interns alive until the returned guard
+/// drops.
+///
+/// With the global table, whether a *re*-interned node keeps its
+/// [`NodeId`] depends on whether any thread still holds it — so
+/// id-keyed memo hit counts (the kernel's whnf/synth caches) would
+/// depend on unrelated threads' liveness. The deterministic cost model
+/// (`bench_json --costs`) pins the measuring thread's nodes so every
+/// re-intern finds a live entry and the memo-hit pattern is a pure
+/// function of the source text again. Not for production paths: pinned
+/// nodes are exempt from sweeping by construction, so memory grows with
+/// every distinct node interned while the guard lives.
+pub fn pin_thread() -> PinGuard {
+    PIN_CON.with(|p| *p.borrow_mut() = Some(Vec::new()));
+    PIN_KIND.with(|p| *p.borrow_mut() = Some(Vec::new()));
+    PinGuard { _priv: () }
 }
 
 impl Internable for Con {
@@ -211,7 +330,13 @@ impl Internable for Con {
     }
 
     fn intern(self) -> HC<Con> {
-        CON_TABLE.with(|t| CELLS.with(|s| t.borrow_mut().intern(self, s)))
+        let node = CELLS.with(|s| CON_TABLE.intern(self, s));
+        PIN_CON.with(|p| {
+            if let Some(pins) = p.borrow_mut().as_mut() {
+                pins.push(node.clone());
+            }
+        });
+        node
     }
 }
 
@@ -227,7 +352,13 @@ impl Internable for Kind {
     }
 
     fn intern(self) -> HC<Kind> {
-        KIND_TABLE.with(|t| CELLS.with(|s| t.borrow_mut().intern(self, s)))
+        let node = CELLS.with(|s| KIND_TABLE.intern(self, s));
+        PIN_KIND.with(|p| {
+            if let Some(pins) = p.borrow_mut().as_mut() {
+                pins.push(node.clone());
+            }
+        });
+        node
     }
 }
 
@@ -235,7 +366,9 @@ impl Internable for Kind {
 // Statistics
 // ---------------------------------------------------------------------------
 
-/// A snapshot of this thread's interning activity (plain data, `Send`).
+/// A snapshot of this thread's interning activity against the global
+/// table (plain data, `Send`). Hit/miss/sweep/contention counters are
+/// per-thread; entry counts are global (the table is shared).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct InternStats {
     /// Interning requests answered by an existing node.
@@ -244,9 +377,13 @@ pub struct InternStats {
     pub misses: u64,
     /// Dead-entry sweeps performed.
     pub sweeps: u64,
-    /// Entries currently in the constructor table (live + uncollected).
+    /// Shard locks that were busy on first try (contention events).
+    pub contended: u64,
+    /// Entries currently in the constructor table (live + uncollected),
+    /// summed across shards.
     pub con_entries: u64,
-    /// Entries currently in the kind table (live + uncollected).
+    /// Entries currently in the kind table (live + uncollected), summed
+    /// across shards.
     pub kind_entries: u64,
 }
 
@@ -262,21 +399,30 @@ impl InternStats {
     }
 }
 
-/// Snapshots this thread's interning counters and table sizes.
+/// Snapshots this thread's interning counters and the global table
+/// sizes.
 pub fn intern_stats() -> InternStats {
-    let (hits, misses, sweeps) = CELLS.with(|s| (s.hits.get(), s.misses.get(), s.sweeps.get()));
+    let (hits, misses, sweeps, contended) = CELLS.with(|s| {
+        (
+            s.hits.get(),
+            s.misses.get(),
+            s.sweeps.get(),
+            s.contended.get(),
+        )
+    });
     InternStats {
         hits,
         misses,
         sweeps,
-        con_entries: CON_TABLE.with(|t| t.borrow().map.len() as u64),
-        kind_entries: KIND_TABLE.with(|t| t.borrow().map.len() as u64),
+        contended,
+        con_entries: CON_TABLE.entries(),
+        kind_entries: KIND_TABLE.entries(),
     }
 }
 
-/// Sweeps dead entries from this thread's tables immediately, without
-/// waiting for the doubling high-water mark, and resets the mark to fit
-/// the surviving population.
+/// Sweeps dead entries from every shard of both global tables
+/// immediately, without waiting for the doubling high-water mark, and
+/// resets each shard's mark to fit its surviving population.
 ///
 /// Long-lived worker threads (`recmodc serve`) call this between
 /// requests: each compile drops its strong `HC` pointers when the
@@ -284,25 +430,20 @@ pub fn intern_stats() -> InternStats {
 /// request boundaries. Sweeping there bounds steady-state occupancy by
 /// the *live* working set instead of the doubling schedule's high-water
 /// mark. Returns the number of entries reclaimed across both tables.
+/// Safe (if wasteful) to call concurrently from several threads: each
+/// shard is swept under its own lock.
 pub fn sweep_now() -> u64 {
-    fn sweep_one<T: Internable>(table: &RefCell<Table<T>>, stats: &InternCells) -> u64 {
-        let mut t = table.borrow_mut();
-        let before = t.map.len();
-        t.map.retain(|_, w| w.strong_count() > 0);
-        stats.sweeps.set(stats.sweeps.get() + 1);
-        t.sweep_at = (t.map.len() * 2).max(1 << 12);
-        (before - t.map.len()) as u64
-    }
-    CELLS.with(|s| CON_TABLE.with(|t| sweep_one(t, s)) + KIND_TABLE.with(|t| sweep_one(t, s)))
+    CELLS.with(|s| CON_TABLE.sweep(s) + KIND_TABLE.sweep(s))
 }
 
-/// Zeroes this thread's interning hit/miss/sweep counters (table contents
-/// are left alone — canonical nodes stay canonical).
+/// Zeroes this thread's interning hit/miss/sweep/contention counters
+/// (table contents are left alone — canonical nodes stay canonical).
 pub fn reset_intern_stats() {
     CELLS.with(|s| {
         s.hits.set(0);
         s.misses.set(0);
         s.sweeps.set(0);
+        s.contended.set(0);
     });
 }
 
@@ -354,7 +495,7 @@ mod tests {
         let again = hc(cprod(cvar(271_828), cvar(271_828)));
         assert_eq!(live.id(), again.id());
         // A second sweep with nothing newly dead reclaims nothing new
-        // from these nodes (other tests on the thread may add noise, so
+        // from these nodes (other tests in the process may add noise, so
         // only check it does not panic and the live id is stable).
         sweep_now();
         assert_eq!(live.id(), hc(cprod(cvar(271_828), cvar(271_828))).id());
@@ -367,5 +508,38 @@ mod tests {
         let _x = hc(cprod(cvar(41), cvar(41)));
         let after = intern_stats();
         assert!(after.misses > before.misses || after.hits > before.hits);
+    }
+
+    #[test]
+    fn concurrent_interning_yields_one_canonical_id() {
+        // N threads race to intern the same family of structurally-equal
+        // nodes; every thread must come back with the same NodeId per
+        // structure, and hc() on this thread must agree.
+        let mk = |i: usize| carrow(cvar(900_000 + i), cprod(Con::Int, cvar(900_000 + i)));
+        let n_threads = 8;
+        // Each thread keeps its HCs alive (ids are only canonical across
+        // *live* holders: once every strong pointer drops, re-interning
+        // mints a fresh id by design).
+        let per_thread: Vec<Vec<HC<Con>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..n_threads)
+                .map(|_| scope.spawn(move || (0..64).map(|i| hc(mk(i))).collect::<Vec<_>>()))
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        });
+        let ids0: Vec<NodeId> = per_thread[0].iter().map(HC::id).collect();
+        for nodes in &per_thread {
+            let ids: Vec<NodeId> = nodes.iter().map(HC::id).collect();
+            assert_eq!(ids, ids0, "all threads see one canonical id");
+        }
+        for (i, id) in ids0.iter().enumerate() {
+            assert_eq!(hc(mk(i)).id(), *id, "main thread agrees with workers");
+        }
+    }
+
+    #[test]
+    fn hc_is_send_and_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HC<Con>>();
+        assert_send_sync::<HC<Kind>>();
     }
 }

@@ -358,15 +358,18 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (input is a &str, so
-                    // boundaries are valid).
-                    let rest = &self.bytes[self.pos..];
-                    let s = std::str::from_utf8(rest).map_err(|_| self.err("bad utf-8"))?;
-                    let Some(c) = s.chars().next() else {
-                        return Err(self.err("bad utf-8"));
-                    };
-                    out.push(c);
-                    self.pos += c.len_utf8();
+                    // Copy the whole run of unescaped bytes in one go.
+                    // `"` and `\` are ASCII, so stopping at them never
+                    // splits a multi-byte scalar (continuation bytes
+                    // are ≥ 0x80), and validating just the run keeps
+                    // parsing linear in the input size.
+                    let start = self.pos;
+                    while matches!(self.peek(), Some(c) if c != b'"' && c != b'\\') {
+                        self.pos += 1;
+                    }
+                    let run = std::str::from_utf8(&self.bytes[start..self.pos])
+                        .map_err(|_| self.err("bad utf-8"))?;
+                    out.push_str(run);
                 }
             }
         }

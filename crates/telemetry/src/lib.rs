@@ -96,11 +96,15 @@ use std::time::Instant;
 /// (`--stats=json`, `bench_json`, trace/log/cost files). Bump on any
 /// breaking change to a schema; golden tests assert the current value.
 ///
-/// History: 2 = S17 NbE engine (the `--stats` kernel section gained
-/// `equiv_engine` and the eval/quote/synth-cache counters, the kernel
-/// caches text line was renamed, and the golden cost model's fuel
-/// accounting changed engines); 1 = original.
-pub const SCHEMA_VERSION: u64 = 2;
+/// History: 3 = sharded global interner + on-disk artifact cache (the
+/// golden cost model dropped the now warmth-dependent
+/// `syntax.intern_*` counters, `--stats` gained interner contention,
+/// and cache entries embed this version in their key); 2 = S17 NbE
+/// engine (the `--stats` kernel section gained `equiv_engine` and the
+/// eval/quote/synth-cache counters, the kernel caches text line was
+/// renamed, and the golden cost model's fuel accounting changed
+/// engines); 1 = original.
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// Span-node budget used by profiling configs: judgement-level spans
 /// are orders of magnitude more numerous than stage spans, so the

@@ -15,9 +15,13 @@
 //!   that are reproducible on a noisy 1-CPU container.
 
 /// The namespaces production counters may use. Test-only counters (in
-/// `#[cfg(test)]` code and fuzz harnesses) are exempt.
+/// `#[cfg(test)]` code and fuzz harnesses) are exempt. `cache` is the
+/// driver's on-disk artifact cache; `intern` is the sharded global
+/// interner's shard-level traffic (per-node hit/miss stays under
+/// `syntax.intern_*` for continuity).
 pub const NAMESPACES: &[&str] = &[
-    "kernel", "syntax", "surface", "phase", "eval", "driver", "stage", "internal",
+    "kernel", "syntax", "surface", "phase", "eval", "driver", "stage", "internal", "cache",
+    "intern",
 ];
 
 /// Is `name` a well-formed production counter name: a known namespace,
@@ -69,6 +73,14 @@ mod tests {
             "kernel.eval_steps",
             "kernel.quote_nodes",
             "kernel.env_allocs",
+            // S18 sharded interner + artifact cache counters.
+            "intern.shard.contended",
+            "cache.hit",
+            "cache.miss",
+            "cache.store",
+            "cache.corrupt_skipped",
+            "cache.io_error",
+            "cache.gc_evicted",
         ] {
             assert!(is_well_formed(name), "{name} should be well-formed");
         }

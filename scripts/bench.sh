@@ -5,7 +5,7 @@
 #
 #   scripts/bench.sh                 # print the machine-readable run
 #   scripts/bench.sh --out FILE      # also write the JSON document to FILE
-#   scripts/bench.sh --only throughput --out BENCH_parallel.json
+#   scripts/bench.sh --only corpus_x4 --out BENCH_parallel.json
 #
 # Pass-through flags: --samples N, --target-ms M, --only SUBSTR,
 # --baseline FILE (see bench_json.rs).

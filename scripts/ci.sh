@@ -63,6 +63,48 @@ else
 fi
 echo "batch smoke: ok"
 
+echo "== cache smoke (artifact cache: hits, byte-identity, opt-out) =="
+# Gating: the content-addressed artifact cache end to end through the
+# CLI. Checks: (1) a second run against a freshly-populated --cache-dir
+# serves every file from the cache (counters: cache.hit == driver.files,
+# zero misses) and its stdout is byte-identical to the cold run's; (2)
+# --no-cache produces the same stdout and exit code as the cached runs
+# (the cache may change *when* work happens, never *what* is printed).
+CACHE_DIR=$(mktemp -d)/entries
+run_corpus() { # run_corpus <outfile> [extra flags...]
+  local out="$1"; shift
+  set +e
+  ./target/release/recmodc check --jobs 2 --corpus "$@" >"$out" 2>/dev/null
+  local code=$?
+  set -e
+  if [[ $code -ne 1 ]]; then
+    echo "cache smoke: FAILED (mixed corpus exited $code, want 1)"
+    exit 1
+  fi
+}
+run_corpus /tmp/ci_cache_cold.txt --cache-dir "$CACHE_DIR"
+run_corpus /tmp/ci_cache_warm.txt --cache-dir "$CACHE_DIR"
+run_corpus /tmp/ci_cache_off.txt --no-cache --cache-dir "$CACHE_DIR"
+cmp -s /tmp/ci_cache_cold.txt /tmp/ci_cache_warm.txt || {
+  echo "cache smoke: FAILED (cold vs warm stdout differs)"; exit 1; }
+cmp -s /tmp/ci_cache_cold.txt /tmp/ci_cache_off.txt || {
+  echo "cache smoke: FAILED (cached vs --no-cache stdout differs)"; exit 1; }
+set +e
+./target/release/recmodc check --jobs 2 --corpus --cache-dir "$CACHE_DIR" \
+  --stats=json >/tmp/ci_cache_stats.json 2>/dev/null
+set -e
+python3 - <<'EOF'
+import json
+stats = json.load(open("/tmp/ci_cache_stats.json"))
+c = stats["counters"]
+files = c["driver.files"]
+assert files > 0, "corpus batch compiled nothing"
+assert c.get("cache.hit", 0) == files, f"want {files} hits, got {c}"
+assert c.get("cache.miss", 0) == 0, f"warm run missed: {c}"
+EOF
+rm -rf "$(dirname "$CACHE_DIR")"
+echo "cache smoke: ok"
+
 echo "== diagnostics smoke (JSON emitters + crash bundle) =="
 # Gating: every JSON emitter round-trips through a real parser, and the
 # forensics path works end to end. Checks: (1) --diagnostics=json on the
