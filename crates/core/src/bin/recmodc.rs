@@ -41,8 +41,10 @@
 //!   trace (default `trace.json`): per-worker thread lanes, one
 //!   complete-duration event per judgement/stage span and per file,
 //!   counter tracks (cache hit rates, interner occupancy, fuel), and
-//!   instant events for limit hits and internal errors. Load the file
-//!   at <https://ui.perfetto.dev>;
+//!   instant events for limit hits and internal errors. Under `serve`,
+//!   profiles the whole session: one event per compile attempt plus
+//!   supervision instants (sheds, faults, respawns, drain). Load the
+//!   file at <https://ui.perfetto.dev>;
 //! * `--profile-text` — print a flat + top-down text profile computed
 //!   from the span tree (self/total time and call counts);
 //! * `--profile-by=judgement|stage|file` — pivot for `--profile-text`
@@ -50,7 +52,12 @@
 //! * `--log-json FILE` — batch mode: write a structured JSONL event log,
 //!   one event per file (path, outcome, exit class, stage times, counter
 //!   deltas, worker id, steal flag, structured diagnostics) after a
-//!   `meta` header line;
+//!   `meta` header line; serve mode: the `--metrics-interval` heartbeat
+//!   appends its metrics documents here;
+//! * `--metrics-interval SECS` — serve mode (with `--log-json`): append
+//!   one compact metrics document to the log every `SECS` seconds;
+//! * `--metrics-text` — serve mode: print the session's final metrics
+//!   as Prometheus exposition text on exit;
 //! * `--diagnostics=json` — print one schema-versioned JSON document on
 //!   stdout holding every diagnostic (stable code, span, provenance
 //!   chain, expected/found, equation path); never truncated by
@@ -97,7 +104,8 @@ fn usage() -> ExitCode {
         "usage: recmodc <run|check|split> <file|-> [options]\n       \
          recmodc check [--jobs N] <file|dir>... [options]\n       \
          recmodc check --corpus [options]\n       \
-         recmodc serve [--socket PATH] [--queue-depth N] [--faults SEED,RATE[,KIND]]\n       \
+         recmodc serve [--socket PATH] [--queue-depth N] [--faults SEED,RATE[,KIND]]\n             \
+         [--metrics-interval SECS] [--metrics-text] [--profile[=FILE]] [--log-json FILE]\n       \
          recmodc explain [CODE]\n       \
          recmodc -e \"<expression>\" [options]\n\
          options: --steps --fuel N --limits K=V,... --deadline-ms N\n         \
@@ -164,6 +172,12 @@ struct Options {
     queue_depth: Option<usize>,
     /// `serve --faults SEED,RATE[,KIND]`: deterministic fault injection.
     faults: Option<String>,
+    /// `serve --metrics-interval SECS`: periodic metrics heartbeat
+    /// appended to the `--log-json` file.
+    metrics_interval: Option<u64>,
+    /// `serve --metrics-text`: print the session's final metrics as
+    /// Prometheus exposition text when the service exits.
+    metrics_text: bool,
     /// `--cache-dir DIR`: content-addressed artifact cache for batch
     /// `check` and `serve` (single-file `check file.rm` stays uncached).
     cache_dir: Option<String>,
@@ -236,6 +250,8 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
         socket: None,
         queue_depth: None,
         faults: None,
+        metrics_interval: None,
+        metrics_text: false,
         cache_dir: None,
         no_cache: false,
     };
@@ -273,6 +289,11 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
                 let spec = it.next().ok_or("--faults needs SEED,RATE[,KIND]")?;
                 opts.faults = Some(spec);
             }
+            "--metrics-interval" => {
+                let n = it.next().ok_or("--metrics-interval needs seconds")?;
+                opts.metrics_interval = Some(parse_metrics_interval(&n)?);
+            }
+            "--metrics-text" => opts.metrics_text = true,
             "--cache-dir" => {
                 let d = it.next().ok_or("--cache-dir needs a directory")?;
                 opts.cache_dir = Some(d);
@@ -355,6 +376,10 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
                 }
                 opts.faults = Some(spec.to_string());
             }
+            _ if a.starts_with("--metrics-interval=") => {
+                let n = &a["--metrics-interval=".len()..];
+                opts.metrics_interval = Some(parse_metrics_interval(n)?);
+            }
             _ if a.starts_with("--cache-dir=") => {
                 let d = &a["--cache-dir=".len()..];
                 if d.is_empty() {
@@ -389,6 +414,17 @@ fn parse_options(args: Vec<String>) -> Result<(Vec<String>, Options), String> {
     Ok((rest, opts))
 }
 
+/// Parses a `--metrics-interval` seconds value (at least 1).
+fn parse_metrics_interval(n: &str) -> Result<u64, String> {
+    let secs: u64 = n
+        .parse()
+        .map_err(|_| format!("bad metrics interval: {n}"))?;
+    if secs == 0 {
+        return Err("--metrics-interval must be at least 1 second".to_string());
+    }
+    Ok(secs)
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     let (args, opts) = match parse_options(args) {
@@ -401,8 +437,19 @@ fn main() -> ExitCode {
 
     let is_batch = matches!(args.as_slice(),
         [cmd, paths @ ..] if cmd.as_str() == "check" && wants_batch(paths, &opts));
-    if opts.log_json.is_some() && !is_batch {
-        eprintln!("recmodc: --log-json only applies to batch mode (check --jobs/--corpus/dir)");
+    let is_serve = matches!(args.as_slice(), [cmd] if cmd.as_str() == "serve");
+    if opts.log_json.is_some() && !is_batch && !is_serve {
+        eprintln!(
+            "recmodc: --log-json only applies to batch mode (check --jobs/--corpus/dir) or serve"
+        );
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if opts.metrics_interval.is_some() && !(is_serve && opts.log_json.is_some()) {
+        eprintln!("recmodc: --metrics-interval needs serve mode and --log-json FILE");
+        return ExitCode::from(EXIT_USAGE);
+    }
+    if opts.metrics_text && !is_serve {
+        eprintln!("recmodc: --metrics-text only applies to serve mode");
         return ExitCode::from(EXIT_USAGE);
     }
 
@@ -502,6 +549,9 @@ fn run_serve(opts: &Options) -> ExitCode {
         None => None,
     };
     let defaults = ServeConfig::default();
+    // Seeding trace ids from the fault plan makes a chaos replay
+    // reproduce not just the verdicts but the trace ids too.
+    let trace_seed = faults.as_ref().map(|p| p.seed).unwrap_or(0);
     let cfg = ServeConfig {
         workers: opts.jobs.unwrap_or(defaults.workers),
         queue_depth: opts.queue_depth.unwrap_or(defaults.queue_depth),
@@ -517,6 +567,8 @@ fn run_serve(opts: &Options) -> ExitCode {
         ),
         log_events: true,
         cache: opts.cache_config(),
+        trace_seed,
+        profile: opts.profile.is_some(),
         ..defaults
     };
     let mut server = match Server::start(cfg) {
@@ -527,19 +579,88 @@ fn run_serve(opts: &Options) -> ExitCode {
         }
     };
 
-    let code = match &opts.socket {
-        Some(path) => serve_socket(&server, path),
-        None => {
-            let stdin = std::io::stdin();
-            serve_connection(&server, stdin.lock(), std::io::stdout());
-            ExitCode::SUCCESS
+    let heartbeat_stop = std::sync::atomic::AtomicBool::new(false);
+    let code = std::thread::scope(|scope| {
+        if let (Some(secs), Some(path)) = (opts.metrics_interval, opts.log_json.as_deref()) {
+            let server = &server;
+            let stop = &heartbeat_stop;
+            scope.spawn(move || serve_heartbeat(server, path, secs, stop));
         }
-    };
+        let code = match &opts.socket {
+            Some(path) => serve_socket(&server, path),
+            None => {
+                let stdin = std::io::stdin();
+                serve_connection(&server, stdin.lock(), std::io::stdout());
+                ExitCode::SUCCESS
+            }
+        };
+        heartbeat_stop.store(true, std::sync::atomic::Ordering::Release);
+        code
+    });
     for w in server.cache_warnings() {
         eprintln!("{}", w.render());
     }
     server.shutdown();
+    if let Some(path) = &opts.profile {
+        match server.session_trace_json() {
+            Some(doc) => match std::fs::write(path, doc.to_compact()) {
+                Ok(()) => eprintln!(
+                    "profile: wrote Chrome trace to {path} (open at https://ui.perfetto.dev)"
+                ),
+                Err(e) => eprintln!("recmodc: cannot write {path}: {e}"),
+            },
+            None => eprintln!("recmodc: no session profile recorded"),
+        }
+    }
+    if opts.metrics_text {
+        // The peer may already have closed stdout (it saw the shutdown
+        // response); losing the scrape then is fine, panicking is not.
+        use std::io::Write as _;
+        let _ = std::io::stdout().write_all(server.metrics_text().as_bytes());
+    }
     code
+}
+
+/// The `--metrics-interval` heartbeat: appends one compact metrics
+/// document per tick to the `--log-json` file until the serve loop
+/// signals `stop`. File trouble disables the heartbeat with a warning;
+/// it never takes the service down.
+fn serve_heartbeat(
+    server: &recmod::driver::serve::Server,
+    path: &str,
+    secs: u64,
+    stop: &std::sync::atomic::AtomicBool,
+) {
+    use std::io::Write as _;
+    let mut file = match std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("recmodc: cannot open {path} for the metrics heartbeat: {e}");
+            return;
+        }
+    };
+    let interval = std::time::Duration::from_secs(secs);
+    let mut next = std::time::Instant::now() + interval;
+    // Polling keeps shutdown prompt without a dedicated wakeup channel.
+    while !stop.load(std::sync::atomic::Ordering::Acquire) {
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        if std::time::Instant::now() < next {
+            continue;
+        }
+        next += interval;
+        let line = server.metrics_json(false).to_compact();
+        if writeln!(file, "{line}")
+            .and_then(|()| file.flush())
+            .is_err()
+        {
+            eprintln!("recmodc: metrics heartbeat cannot write {path}; stopping it");
+            return;
+        }
+    }
 }
 
 /// Accept loop for `serve --socket PATH`: one connection at a time,

@@ -134,6 +134,69 @@ pub struct Cache {
     dir: PathBuf,
     max_bytes: u64,
     warnings: Mutex<Vec<CacheWarning>>,
+    counters: CacheCounters,
+}
+
+/// Process-wide cache activity counters, shared by every worker using
+/// this [`Cache`]. These mirror the per-thread `cache.*` telemetry
+/// counters: the serve daemon's workers run without a telemetry sink
+/// installed (the S14 counters are batch-scoped), so the service's
+/// `stats`/`metrics` surfaces read these relaxed atomics instead.
+#[derive(Debug, Default)]
+struct CacheCounters {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    stores: AtomicU64,
+    corrupt_skipped: AtomicU64,
+    io_errors: AtomicU64,
+    gc_evicted: AtomicU64,
+}
+
+/// A plain-data snapshot of a [`Cache`]'s activity since it was
+/// opened. `io_errors` counts `C001` degradations and
+/// `corrupt_skipped` counts `C002`s; a `C003` (directory uncreatable)
+/// means no `Cache` exists at all, which the serve layer reports as
+/// `open_failed`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Lookups answered from a verified entry.
+    pub hits: u64,
+    /// Lookups that found nothing (or a schema-skewed entry).
+    pub misses: u64,
+    /// Verdicts written (atomic temp + rename completed).
+    pub stores: u64,
+    /// Entries skipped for failed parse/checksum (`C002`).
+    pub corrupt_skipped: u64,
+    /// Reads/writes lost to I/O trouble (`C001`).
+    pub io_errors: u64,
+    /// Entries evicted by the size-capped GC.
+    pub gc_evicted: u64,
+}
+
+impl CacheStats {
+    /// Hit ratio in `[0, 1]` over completed lookups; `0` before any.
+    pub fn hit_ratio(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+
+    /// The counter object embedded in `stats`/`metrics` documents
+    /// (`io_errors` = `C001` events, `corrupt_skipped` = `C002`).
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("hits", Json::UInt(self.hits)),
+            ("misses", Json::UInt(self.misses)),
+            ("stores", Json::UInt(self.stores)),
+            ("corrupt_skipped", Json::UInt(self.corrupt_skipped)),
+            ("io_errors", Json::UInt(self.io_errors)),
+            ("gc_evicted", Json::UInt(self.gc_evicted)),
+            ("hit_ratio", Json::Float(self.hit_ratio())),
+        ])
+    }
 }
 
 /// Computes the content address of a compile: the verdict is a pure
@@ -173,6 +236,7 @@ impl Cache {
                 dir: config.dir.clone(),
                 max_bytes: config.max_bytes,
                 warnings: Mutex::new(Vec::new()),
+                counters: CacheCounters::default(),
             }),
             Err(e) => Err(CacheWarning {
                 code: "C003",
@@ -204,6 +268,18 @@ impl Cache {
         }
     }
 
+    /// Snapshots the process-wide activity counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.counters.hits.load(Ordering::Relaxed),
+            misses: self.counters.misses.load(Ordering::Relaxed),
+            stores: self.counters.stores.load(Ordering::Relaxed),
+            corrupt_skipped: self.counters.corrupt_skipped.load(Ordering::Relaxed),
+            io_errors: self.counters.io_errors.load(Ordering::Relaxed),
+            gc_evicted: self.counters.gc_evicted.load(Ordering::Relaxed),
+        }
+    }
+
     /// Drains the deduplicated warning log (call once per batch).
     pub fn take_warnings(&self) -> Vec<CacheWarning> {
         std::mem::take(
@@ -223,10 +299,12 @@ impl Cache {
             Ok(text) => text,
             Err(e) if e.kind() == ErrorKind::NotFound => {
                 recmod_telemetry::count("cache.miss", 1);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 return Outcome::Miss;
             }
             Err(e) => {
                 recmod_telemetry::count("cache.io_error", 1);
+                self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                 self.warn("C001", format!("cannot read {}: {e}", path.display()));
                 return Outcome::IoError;
             }
@@ -250,14 +328,19 @@ impl Cache {
                     }
                 }
                 recmod_telemetry::count("cache.hit", 1);
+                self.counters.hits.fetch_add(1, Ordering::Relaxed);
                 Outcome::Hit(entry)
             }
             Verified::Skew => {
                 recmod_telemetry::count("cache.miss", 1);
+                self.counters.misses.fetch_add(1, Ordering::Relaxed);
                 Outcome::Skew
             }
             Verified::Corrupt(why) => {
                 recmod_telemetry::count("cache.corrupt_skipped", 1);
+                self.counters
+                    .corrupt_skipped
+                    .fetch_add(1, Ordering::Relaxed);
                 self.warn(
                     "C002",
                     format!("corrupt entry {} skipped ({why})", path.display()),
@@ -289,10 +372,12 @@ impl Cache {
         match result {
             Ok(()) => {
                 recmod_telemetry::count("cache.store", 1);
+                self.counters.stores.fetch_add(1, Ordering::Relaxed);
                 self.gc();
             }
             Err(e) => {
                 recmod_telemetry::count("cache.io_error", 1);
+                self.counters.io_errors.fetch_add(1, Ordering::Relaxed);
                 let _ = std::fs::remove_file(&tmp);
                 self.warn("C001", format!("cannot write entry for {key:016x}: {e}"));
             }
@@ -329,6 +414,7 @@ impl Cache {
             }
             if std::fs::remove_file(&path).is_ok() {
                 recmod_telemetry::count("cache.gc_evicted", 1);
+                self.counters.gc_evicted.fetch_add(1, Ordering::Relaxed);
                 total = total.saturating_sub(len);
             }
         }

@@ -33,6 +33,21 @@
 //! from a seeded [`FaultPlan`]: the plan decides a request's fate from
 //! `(seed, admission seq)` alone, so chaos runs are replayable and
 //! unperturbed requests never touch the fault layer at all.
+//!
+//! **Live telemetry.** Every request is measured: end-to-end latency,
+//! queue wait, compile time, and deterministic work units (flight
+//! recorder events) feed lock-free log-bucketed
+//! [`Histogram`]s, and every admitted request carries a trace id —
+//! derived bijectively from its admission seq, so ids are unique and
+//! identical across seeded `--faults` replays. A request with
+//! `trace: true` gets its span events (queue → cache → pipeline stages
+//! → attempts) echoed in the response; the `metrics` op serves the
+//! [`METRICS_SCHEMA_VERSION`]-stamped distribution document (or a
+//! deterministic, wall-clock-free subset for replay comparison); and a
+//! profiled session ([`ServeConfig::profile`]) accumulates per-worker
+//! lanes plus shed/fault/respawn/drain instants for Chrome-trace
+//! export. None of this touches the S14 cost counters: metrics are
+//! side atomics, so the tolerance-0 golden-cost gate is unaffected.
 
 use std::collections::VecDeque;
 use std::io::{BufRead, Write};
@@ -48,12 +63,19 @@ use recmod_surface::diag::{self as sdiag, Diagnostic};
 use recmod_surface::elab::Elaborator;
 use recmod_surface::pipeline::compile_with_limits_in;
 use recmod_syntax::intern::{self, InternStats};
+use recmod_telemetry::chrome_trace::{self, FileEvent, Lane, Mark};
 use recmod_telemetry::diag as tdiag;
 use recmod_telemetry::fault::{self, FaultKind, FaultPlan, Injection};
 use recmod_telemetry::json::Json;
-use recmod_telemetry::{bundle, Limits, SCHEMA_VERSION};
+use recmod_telemetry::metrics::{Histogram, PromText};
+use recmod_telemetry::{bundle, Config, Limits, Report, SCHEMA_VERSION};
 
 use crate::{FileStatus, DEFAULT_STACK_SIZE};
+
+/// Version of the `metrics` op document. Independent of the global
+/// [`SCHEMA_VERSION`] (which the document also carries): bump this
+/// when the metrics key set or semantics change.
+pub const METRICS_SCHEMA_VERSION: u64 = 1;
 
 /// Exit class for a request shed by admission control.
 pub const EXIT_OVERLOADED: u8 = 5;
@@ -122,6 +144,39 @@ impl From<FileStatus> for ResponseStatus {
     }
 }
 
+/// Derives a request's trace id from its admission sequence number:
+/// the SplitMix64 finalizer (the same mixer [`FaultPlan::decide`]
+/// uses) over `seed ^ seq·φ`. Every step is bijective, so ids are
+/// unique per admission seq, and `(seed, seq)` alone determines the
+/// id — a seeded `--faults` replay reproduces the exact ids.
+fn derive_trace_id(seed: u64, seq: u64) -> u64 {
+    let mut z = seed ^ seq.wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// One structured span event of a request's trace: what happened
+/// (`serve.queue`, `serve.cache`, a pipeline `stage.*`,
+/// `serve.attempt`), when (nanoseconds since the server epoch), and
+/// for how long.
+fn trace_event(name: &str, detail: Option<String>, start_nanos: u64, dur_nanos: u64) -> Json {
+    let mut pairs = vec![
+        ("name", Json::str(name)),
+        ("start_nanos", Json::UInt(start_nanos)),
+        ("dur_nanos", Json::UInt(dur_nanos)),
+    ];
+    if let Some(d) = detail {
+        pairs.push(("detail", Json::Str(d)));
+    }
+    Json::obj(pairs)
+}
+
+/// Nanoseconds from `epoch` to `at` (0 if `at` precedes it).
+fn nanos_since(epoch: Instant, at: Instant) -> u64 {
+    at.saturating_duration_since(epoch).as_nanos() as u64
+}
+
 /// One parsed `check` request.
 #[derive(Debug, Clone)]
 pub struct Request {
@@ -137,6 +192,9 @@ pub struct Request {
     pub deadline_ms: Option<u64>,
     /// Per-request limits override (falls back to [`ServeConfig::limits`]).
     pub limits: Option<Limits>,
+    /// Echo the request's span events (queue wait, cache lookup,
+    /// pipeline stages, attempts) in the response's `trace` field.
+    pub trace: bool,
 }
 
 impl Request {
@@ -148,6 +206,7 @@ impl Request {
             source: source.into(),
             deadline_ms: None,
             limits: None,
+            trace: false,
         }
     }
 }
@@ -159,6 +218,18 @@ pub enum Op {
     Check(Request),
     /// Report server statistics.
     Stats(Json),
+    /// Report the live metrics document (histograms, gauges, cache and
+    /// interner health).
+    Metrics {
+        /// Correlation id to echo.
+        id: Json,
+        /// Restrict the document to its replay-deterministic subset
+        /// (no wall clocks or scheduling-dependent gauges).
+        deterministic: bool,
+        /// Render Prometheus text (in the `metrics` field as a string)
+        /// instead of the JSON document.
+        text: bool,
+    },
     /// Drain in-flight work and shut the server down.
     Shutdown(Json),
 }
@@ -181,6 +252,11 @@ pub fn parse_op(line: &str, base_limits: Limits) -> Result<Op, (Json, String)> {
     let op = doc.get("op").and_then(Json::as_str).unwrap_or("check");
     match op {
         "stats" => Ok(Op::Stats(id)),
+        "metrics" => Ok(Op::Metrics {
+            id,
+            deterministic: matches!(doc.get("deterministic"), Some(Json::Bool(true))),
+            text: matches!(doc.get("format").and_then(Json::as_str), Some("text")),
+        }),
         "shutdown" => Ok(Op::Shutdown(id)),
         "check" => {
             let source = doc
@@ -211,11 +287,12 @@ pub fn parse_op(line: &str, base_limits: Limits) -> Result<Op, (Json, String)> {
                 source,
                 deadline_ms,
                 limits,
+                trace: matches!(doc.get("trace"), Some(Json::Bool(true))),
             }))
         }
         other => Err((
             id,
-            format!("unknown op `{other}` (known: check, stats, shutdown)"),
+            format!("unknown op `{other}` (known: check, metrics, stats, shutdown)"),
         )),
     }
 }
@@ -271,6 +348,14 @@ pub struct Response {
     pub message: Option<String>,
     /// Server statistics (stats op only).
     pub stats: Option<Json>,
+    /// The request's trace id, `{:016x}`-rendered (admitted requests
+    /// only; deterministic under seeded `--faults` replay).
+    pub trace_id: Option<String>,
+    /// Span events for the request (`trace: true` requests only).
+    pub trace: Option<Json>,
+    /// The metrics document (metrics op only; a JSON object, or a
+    /// string of Prometheus text when the op asked for `format: text`).
+    pub metrics: Option<Json>,
 }
 
 impl Response {
@@ -285,6 +370,9 @@ impl Response {
             rendered: Vec::new(),
             message: Some(message.into()),
             stats: None,
+            trace_id: None,
+            trace: None,
+            metrics: None,
         }
     }
 
@@ -339,6 +427,15 @@ impl Response {
         if let Some(s) = &self.stats {
             pairs.push(("stats", s.clone()));
         }
+        if let Some(t) = &self.trace_id {
+            pairs.push(("trace_id", Json::str(t.clone())));
+        }
+        if let Some(t) = &self.trace {
+            pairs.push(("trace", t.clone()));
+        }
+        if let Some(m) = &self.metrics {
+            pairs.push(("metrics", m.clone()));
+        }
         Json::obj(pairs)
     }
 }
@@ -384,6 +481,14 @@ pub struct ServeConfig {
     /// compiling each request. Advisory: cache-layer failures degrade
     /// to compiling and surface as `C00x` warnings, never in verdicts.
     pub cache: Option<crate::cache::CacheConfig>,
+    /// Seed for per-request trace ids. The CLI uses the `--faults`
+    /// plan seed when one is given (so a chaos replay reproduces the
+    /// ids), else 0 — ids are unique per admission seq either way.
+    pub trace_seed: u64,
+    /// Profile the whole session: accumulate per-worker span lanes and
+    /// supervision instants for Chrome-trace export via
+    /// [`Server::session_trace_json`].
+    pub profile: bool,
 }
 
 impl Default for ServeConfig {
@@ -402,6 +507,8 @@ impl Default for ServeConfig {
             grace_ms: 1_000,
             log_events: false,
             cache: None,
+            trace_seed: 0,
+            profile: false,
         }
     }
 }
@@ -566,6 +673,17 @@ struct Pending {
     injection: Option<Injection>,
     not_before: Option<Instant>,
     injected: Vec<&'static str>,
+    /// Derived at admission (see [`derive_trace_id`]); rendered into
+    /// every response for an admitted request.
+    trace_id: u64,
+    /// Admission instant: end-to-end latency is measured from here.
+    queued_at: Instant,
+    /// Last (re)enqueue instant: per-attempt queue wait is measured
+    /// from here (equals `queued_at` until a retry requeues).
+    last_enqueued: Instant,
+    /// Accumulated span events across attempts (see [`trace_event`]);
+    /// echoed in the response when the request asked for `trace`.
+    events: Vec<Json>,
 }
 
 /// Queue state behind the admission mutex.
@@ -588,6 +706,42 @@ struct InFlight {
     crash: Option<tdiag::CrashData>,
     deadline: Option<Instant>,
     flagged: bool,
+    /// When the worker started this attempt; the supervisor uses it to
+    /// close the attempt's span event if the worker dies.
+    started: Option<Instant>,
+}
+
+/// The service's latency/work distributions. All [`Histogram`]s, so
+/// recording on the hot path is a few relaxed atomics — no locks, no
+/// sink traffic, no S14 counter perturbation.
+#[derive(Default)]
+struct ServeMetrics {
+    /// End-to-end per-request latency (admission to response), nanos.
+    latency: Histogram,
+    /// Queue wait per attempt (admission/requeue to dispatch), nanos.
+    queue_wait: Histogram,
+    /// Compile wall time per attempt, nanos.
+    compile: Histogram,
+    /// Deterministic work units per attempt: flight-recorder events
+    /// across the dispatch (pure function of source and limits for
+    /// completed attempts, so this distribution is byte-stable across
+    /// seeded replays).
+    work: Histogram,
+}
+
+/// Accumulated state of a profiled serve session ([`ServeConfig::profile`]):
+/// per-worker span lanes, one file event per attempt, and supervision
+/// instants, exported as one Chrome trace by
+/// [`Server::session_trace_json`].
+struct SessionProfile {
+    /// Per-worker merged reports (lane index = worker id).
+    lanes: Vec<Report>,
+    /// The supervisor's (empty) lane, so its tid gets a name.
+    supervisor: Report,
+    /// One complete event per compile attempt.
+    files: Vec<FileEvent>,
+    /// Instants: sheds, fired faults, worker deaths, respawns, drain.
+    marks: Vec<Mark>,
 }
 
 struct Core {
@@ -598,7 +752,43 @@ struct Core {
     inflight: Vec<Mutex<InFlight>>,
     worker_intern: Vec<Mutex<WorkerIntern>>,
     artifact_cache: Option<crate::cache::Cache>,
+    /// `cfg.cache` was given but the directory was unusable (`C003`);
+    /// the service runs uncached and the metrics document says so.
+    cache_open_failed: bool,
+    /// The service clock origin: uptime, span offsets, and session
+    /// marks are all measured from here.
+    epoch: Instant,
+    metrics: ServeMetrics,
+    /// Final response statuses, indexed by [`status_index`].
+    status_counts: [AtomicU64; 7],
+    /// Per-worker busy nanoseconds (time spent serving attempts).
+    worker_busy: Vec<AtomicU64>,
+    session: Option<Mutex<SessionProfile>>,
 }
+
+/// Index of a status in [`Core::status_counts`].
+fn status_index(status: ResponseStatus) -> usize {
+    match status {
+        ResponseStatus::Ok => 0,
+        ResponseStatus::Error => 1,
+        ResponseStatus::Limit => 2,
+        ResponseStatus::Internal => 3,
+        ResponseStatus::Overloaded => 4,
+        ResponseStatus::Draining => 5,
+        ResponseStatus::Invalid => 6,
+    }
+}
+
+/// The status labels, in [`status_index`] order.
+const STATUS_LABELS: [&str; 7] = [
+    "ok",
+    "error",
+    "limit",
+    "internal",
+    "overloaded",
+    "draining",
+    "invalid",
+];
 
 /// Locks a service mutex, recovering from poisoning: all guarded state
 /// is plain data (queues, options, counters) that is never left
@@ -608,6 +798,45 @@ fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
 }
 
 impl Core {
+    /// Nanoseconds since the service epoch.
+    fn now_nanos(&self) -> u64 {
+        self.epoch.elapsed().as_nanos() as u64
+    }
+
+    /// The supervisor's lane id (one past the worker lanes).
+    fn supervisor_tid(&self) -> u64 {
+        self.inflight.len() as u64
+    }
+
+    fn status_bump(&self, status: ResponseStatus) {
+        self.status_counts[status_index(status)].fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a session-profile instant (no-op unless profiling).
+    fn mark(&self, name: impl Into<String>, tid: u64) {
+        if let Some(sess) = &self.session {
+            let at_nanos = self.now_nanos();
+            lock(sess).marks.push(Mark {
+                name: name.into(),
+                tid,
+                at_nanos,
+            });
+        }
+    }
+
+    /// Records a completed attempt on the session profile: the file
+    /// event for the timeline, plus the attempt's merged span report
+    /// when the worker captured one. No-op unless profiling.
+    fn session_attempt(&self, wid: usize, file: FileEvent, report: Option<Report>) {
+        if let Some(sess) = &self.session {
+            let mut s = lock(sess);
+            s.files.push(file);
+            if let (Some(lane), Some(r)) = (s.lanes.get_mut(wid), report) {
+                lane.absorb(r);
+            }
+        }
+    }
+
     fn log_event(&self, event: &str, fields: &[(&'static str, Json)]) {
         if !self.cfg.log_events {
             return;
@@ -627,7 +856,9 @@ impl Core {
             let mut st = lock(&self.state);
             if st.draining {
                 Counters::bump(&self.stats.rejected_draining);
+                self.status_bump(ResponseStatus::Draining);
                 drop(st);
+                self.mark("rejected-draining", self.supervisor_tid());
                 let _ = reply.send(Response::plain(
                     req.id,
                     ResponseStatus::Draining,
@@ -637,8 +868,10 @@ impl Core {
             }
             if st.queue.len() >= self.cfg.queue_depth {
                 Counters::bump(&self.stats.shed);
+                self.status_bump(ResponseStatus::Overloaded);
                 let depth = self.cfg.queue_depth;
                 drop(st);
+                self.mark("shed", self.supervisor_tid());
                 let _ = reply.send(Response::plain(
                     req.id,
                     ResponseStatus::Overloaded,
@@ -658,6 +891,10 @@ impl Core {
                 injection,
                 not_before: None,
                 injected: Vec::new(),
+                trace_id: derive_trace_id(self.cfg.trace_seed, seq),
+                queued_at: Instant::now(),
+                last_enqueued: Instant::now(),
+                events: Vec::new(),
             });
             true
         };
@@ -704,6 +941,7 @@ impl Core {
     fn retry(&self, mut p: Pending) {
         Counters::bump(&self.stats.retries);
         let shift = p.attempts.saturating_sub(1).min(6);
+        p.last_enqueued = Instant::now();
         p.not_before = Some(Instant::now() + Duration::from_millis(self.cfg.backoff_ms << shift));
         {
             let mut st = lock(&self.state);
@@ -713,11 +951,20 @@ impl Core {
         self.work.notify_all();
     }
 
-    /// Sends the final response for an in-flight request.
+    /// Sends the final response for an in-flight request, recording
+    /// its end-to-end latency, status count, and trace document.
     fn finish(&self, p: Pending, mut resp: Response) {
         resp.id = p.req.id;
         resp.attempts = p.attempts;
         resp.injected = p.injected;
+        resp.trace_id = Some(format!("{:016x}", p.trace_id));
+        if p.req.trace {
+            resp.trace = Some(Json::obj([("events", Json::Arr(p.events))]));
+        }
+        self.metrics
+            .latency
+            .record(p.queued_at.elapsed().as_nanos() as u64);
+        self.status_bump(resp.status);
         {
             let mut st = lock(&self.state);
             st.inflight_count = st.inflight_count.saturating_sub(1);
@@ -757,12 +1004,35 @@ impl Core {
     /// then retry (a worker death is transient by definition) or a
     /// final internal response once attempts are exhausted.
     fn handle_worker_death(&self, wid: usize) {
-        let (pending, crash) = {
+        let (pending, crash, started) = {
             let mut slot = lock(&self.inflight[wid]);
             slot.deadline = None;
-            (slot.pending.take(), slot.crash.take())
+            (slot.pending.take(), slot.crash.take(), slot.started.take())
         };
-        let Some(p) = pending else { return };
+        let Some(mut p) = pending else { return };
+        // Close the dead attempt's span: the worker can't anymore.
+        // Keeping the queue/attempt event pairing balanced even across
+        // kills is what makes trace balance a checkable invariant.
+        let started = started.unwrap_or_else(Instant::now);
+        let busy = started.elapsed().as_nanos() as u64;
+        self.worker_busy[wid].fetch_add(busy, Ordering::Relaxed);
+        p.events.push(trace_event(
+            "serve.attempt",
+            Some(format!("worker={wid} worker-died")),
+            nanos_since(self.epoch, started),
+            busy,
+        ));
+        self.session_attempt(
+            wid,
+            FileEvent {
+                name: p.req.name.clone(),
+                tid: wid as u64,
+                start_nanos: nanos_since(self.epoch, started),
+                dur_nanos: busy,
+                instant: Some("worker-died".to_string()),
+            },
+            None,
+        );
         self.log_event(
             "request-orphaned",
             &[
@@ -830,6 +1100,7 @@ impl Core {
                     .map(|p| p.req.id.clone())
                     .unwrap_or(Json::Null);
                 Counters::bump(&self.stats.watchdog_late);
+                self.mark("deadline-overrun", wid as u64);
                 self.log_event(
                     "deadline-overrun",
                     &[("worker", Json::UInt(wid as u64)), ("id", id)],
@@ -876,6 +1147,7 @@ fn spawn_worker(core: &Arc<Core>, wid: usize) -> Option<JoinHandle<()>> {
         }
         Err(_) => {
             Counters::bump(&core.stats.spawn_failures);
+            core.mark("spawn-failed", wid as u64);
             core.log_event("spawn-failed", &[("worker", Json::UInt(wid as u64))]);
             None
         }
@@ -911,6 +1183,11 @@ fn serve_one(
     // Per-request flight recorder, like the batch driver's per-file one.
     tdiag::reset_recorder();
     pending.attempts += 1;
+    // A balanced enter/exit pair marking the dispatch in the recorder.
+    // The guard drops immediately: a frame held across the compile
+    // would be snapshotted into diagnostic provenance and break the
+    // batch/serve verdict byte-equality the chaos fuzzer checks.
+    drop(tdiag::enter("serve.dispatch"));
     let first_attempt = pending.attempts == 1;
     let attempts = pending.attempts;
     let max_attempts = core.cfg.max_attempts;
@@ -921,13 +1198,53 @@ fn serve_one(
     if let Some(ms) = pending.req.deadline_ms.or(core.cfg.default_deadline_ms) {
         limits = limits.with_deadline_ms(ms);
     }
+    let dispatched = Instant::now();
+    let queue_wait = dispatched.saturating_duration_since(pending.last_enqueued);
+    core.metrics.queue_wait.record(queue_wait.as_nanos() as u64);
+    pending.events.push(trace_event(
+        "serve.queue",
+        None,
+        nanos_since(core.epoch, pending.last_enqueued),
+        queue_wait.as_nanos() as u64,
+    ));
+    // A per-request profiled sink captures pipeline stage spans for
+    // traced requests and session profiling. Untraced, unprofiled
+    // requests never install one: their hot path stays sink-free, and
+    // either way the deterministic S14 cost counters are untouched.
+    let sink = pending.req.trace || core.session.is_some();
+    if sink {
+        recmod_telemetry::install(Config {
+            epoch: Some(core.epoch),
+            ..Config::profiled()
+        });
+    }
     // Consult the artifact cache before paying for the pipeline — but
     // never when a fault is armed for this request: injected faults
     // must reach the compile they were aimed at.
     if injection.is_none() {
         if let Some(c) = core.artifact_cache.as_ref() {
             let k = crate::cache::key(&source, &limits, recmod_kernel::resolve_engine().name());
-            if let crate::cache::Outcome::Hit(entry) = c.load(k) {
+            let looked_up = Instant::now();
+            let outcome = {
+                // A recorder frame held across the lookup only: the
+                // cache layer constructs no diagnostics, so no
+                // provenance snapshot can observe this frame.
+                let _frame = tdiag::enter("serve.cache");
+                c.load(k)
+            };
+            let hit = matches!(outcome, crate::cache::Outcome::Hit(_));
+            pending.events.push(trace_event(
+                "serve.cache",
+                Some(if hit { "hit" } else { "miss" }.to_string()),
+                nanos_since(core.epoch, looked_up),
+                looked_up.elapsed().as_nanos() as u64,
+            ));
+            if let crate::cache::Outcome::Hit(entry) = outcome {
+                let report = if sink {
+                    recmod_telemetry::uninstall()
+                } else {
+                    None
+                };
                 let entry = *entry;
                 let rendered = crate::render_diagnostics(&name, &entry.diags, core.cfg.max_errors);
                 let resp = Response {
@@ -940,7 +1257,30 @@ fn serve_one(
                     rendered,
                     message: None,
                     stats: None,
+                    trace_id: None, // filled by finish()
+                    trace: None,
+                    metrics: None,
                 };
+                core.metrics.work.record(tdiag::recorder_seq());
+                let busy = dispatched.elapsed().as_nanos() as u64;
+                core.worker_busy[wid].fetch_add(busy, Ordering::Relaxed);
+                pending.events.push(trace_event(
+                    "serve.attempt",
+                    Some(format!("worker={wid} cache-hit")),
+                    nanos_since(core.epoch, dispatched),
+                    busy,
+                ));
+                core.session_attempt(
+                    wid,
+                    FileEvent {
+                        name: name.clone(),
+                        tid: wid as u64,
+                        start_nanos: nanos_since(core.epoch, dispatched),
+                        dur_nanos: busy,
+                        instant: None,
+                    },
+                    report,
+                );
                 core.finish(pending, resp);
                 return;
             }
@@ -953,6 +1293,7 @@ fn serve_one(
         slot.deadline = limits.deadline;
         slot.flagged = false;
         slot.crash = None;
+        slot.started = Some(dispatched);
         slot.pending = Some(pending);
     }
     // Arm the injected fault on the first attempt only: retries run
@@ -973,13 +1314,18 @@ fn serve_one(
     };
     #[allow(clippy::result_large_err)] // one call per request; never propagated
     let compile = || compile_with_limits_in(elab, &source);
+    let compile_started = Instant::now();
     let result = catch_unwind(AssertUnwindSafe(compile));
+    core.metrics
+        .compile
+        .record(compile_started.elapsed().as_nanos() as u64);
 
     // Always disarm, even after a caught unwind: no fault state (or
     // deadline storm) may leak into the next request on this worker.
     let fired = fault::disarm();
     if let Some(kind) = fired {
         core.stats.fired(kind);
+        core.mark(format!("fault-{}", kind.label()), wid as u64);
     }
     if tdiag::frame_depth() != 0 {
         Counters::bump(&core.stats.frame_imbalance);
@@ -997,6 +1343,12 @@ fn serve_one(
                     parked.injected.push(FaultKind::Kill.label());
                 }
             }
+            // The thread is about to die; retire its sink first so the
+            // attempt's partial report doesn't dangle in thread-local
+            // destruction order.
+            if sink {
+                let _ = recmod_telemetry::uninstall();
+            }
             if let Err(payload) = result {
                 resume_unwind(payload);
             }
@@ -1005,10 +1357,32 @@ fn serve_one(
     }
 
     let Some(mut pending) = lock(&core.inflight[wid]).pending.take() else {
+        if sink {
+            let _ = recmod_telemetry::uninstall();
+        }
         return;
     };
+    let report = if sink {
+        recmod_telemetry::uninstall()
+    } else {
+        None
+    };
+    // Deterministic work units: flight-recorder events across the
+    // attempt. A pure function of (source, limits, injection) — wall
+    // clocks never enter the recorder — so this histogram is
+    // byte-stable across seeded replays.
+    core.metrics.work.record(tdiag::recorder_seq());
     if let Some(kind) = fired {
         pending.injected.push(kind.label());
+    }
+    if pending.req.trace {
+        if let Some(r) = &report {
+            for span in &r.spans {
+                pending
+                    .events
+                    .push(trace_event(span.name, None, span.start_nanos, span.nanos));
+            }
+        }
     }
 
     let (status, summaries, diags, rendered, returned, panicked) = match result {
@@ -1040,6 +1414,33 @@ fn serve_one(
         }
     };
     *slot_elab = returned;
+
+    let busy = dispatched.elapsed().as_nanos() as u64;
+    core.worker_busy[wid].fetch_add(busy, Ordering::Relaxed);
+    pending.events.push(trace_event(
+        "serve.attempt",
+        Some(format!(
+            "worker={wid} status={}",
+            ResponseStatus::from(status).label()
+        )),
+        nanos_since(core.epoch, dispatched),
+        busy,
+    ));
+    core.session_attempt(
+        wid,
+        FileEvent {
+            name: name.clone(),
+            tid: wid as u64,
+            start_nanos: nanos_since(core.epoch, dispatched),
+            dur_nanos: busy,
+            instant: match status {
+                FileStatus::Limit => Some("limit".to_string()),
+                FileStatus::Internal => Some("internal".to_string()),
+                FileStatus::Ok | FileStatus::Error => None,
+            },
+        },
+        report,
+    );
 
     // Transient failures retry with backoff; definitive verdicts (ok,
     // user error, genuine limit, structured internal) never do.
@@ -1093,6 +1494,9 @@ fn serve_one(
         rendered,
         message: None,
         stats: None,
+        trace_id: None, // filled by finish()
+        trace: None,
+        metrics: None,
     };
     core.finish(pending, resp);
 }
@@ -1124,11 +1528,13 @@ fn supervisor_loop(core: &Arc<Core>) {
                 }
                 core.work.notify_all();
                 if died {
+                    core.mark("worker-died", wid as u64);
                     core.log_event("worker-died", &[("worker", Json::UInt(wid as u64))]);
                     core.handle_worker_death(wid);
                     if !core.drained() {
                         Counters::bump(&core.stats.respawns);
                         *slot = spawn_worker(core, wid);
+                        core.mark("respawn", wid as u64);
                         core.log_event("respawn", &[("worker", Json::UInt(wid as u64))]);
                     }
                 }
@@ -1193,9 +1599,19 @@ impl Server {
                 .map_err(|w| eprintln!("{}", w.render()))
                 .ok()
         });
+        let cache_open_failed = cfg.cache.is_some() && artifact_cache.is_none();
+        let session = cfg.profile.then(|| {
+            Mutex::new(SessionProfile {
+                lanes: vec![Report::default(); workers],
+                supervisor: Report::default(),
+                files: Vec::new(),
+                marks: Vec::new(),
+            })
+        });
         let core = Arc::new(Core {
             cfg,
             artifact_cache,
+            cache_open_failed,
             state: Mutex::new(State {
                 queue: VecDeque::new(),
                 draining: false,
@@ -1211,6 +1627,11 @@ impl Server {
             worker_intern: (0..workers)
                 .map(|_| Mutex::new(WorkerIntern::default()))
                 .collect(),
+            epoch: Instant::now(),
+            metrics: ServeMetrics::default(),
+            status_counts: std::array::from_fn(|_| AtomicU64::new(0)),
+            worker_busy: (0..workers).map(|_| AtomicU64::new(0)).collect(),
+            session,
         });
         let c = Arc::clone(&core);
         let supervisor = std::thread::Builder::new()
@@ -1248,8 +1669,279 @@ impl Server {
             .collect();
         if let Json::Obj(map) = &mut doc {
             map.insert("workers".to_owned(), Json::Arr(workers));
+            map.insert("cache".to_owned(), self.cache_json());
         }
         doc
+    }
+
+    /// The cache-health object shared by the `stats` and `metrics`
+    /// documents: the `cache.*` counters (hits/misses/stores, `C001`
+    /// I/O errors, `C002` corrupt entries, GC evictions) plus whether
+    /// the cache is enabled and whether opening it failed (`C003`).
+    fn cache_json(&self) -> Json {
+        let mut pairs = vec![
+            ("enabled", Json::Bool(self.core.artifact_cache.is_some())),
+            ("open_failed", Json::Bool(self.core.cache_open_failed)),
+        ];
+        if let Some(cache) = &self.core.artifact_cache {
+            pairs.push(("counters", cache.stats().to_json()));
+        }
+        Json::obj(pairs)
+    }
+
+    /// Response statuses counted so far, keyed by label.
+    fn status_json(&self) -> Json {
+        let pairs: Vec<(&'static str, Json)> = STATUS_LABELS
+            .iter()
+            .zip(self.core.status_counts.iter())
+            .map(|(label, c)| (*label, Json::UInt(c.load(Ordering::Relaxed))))
+            .collect();
+        Json::obj(pairs)
+    }
+
+    /// The live metrics document served by the `metrics` op:
+    /// [`METRICS_SCHEMA_VERSION`]-stamped, carrying the request
+    /// counters, response-status counts, queue gauges, the four
+    /// latency/work [`Histogram`]s, cache health, and interner
+    /// occupancy.
+    ///
+    /// With `deterministic`, the document is restricted to the subset
+    /// that is a pure function of the request sequence and the fault
+    /// plan — no wall clocks, no scheduling-dependent gauges — so two
+    /// seeded `--faults` replays of the same requests render
+    /// byte-identical documents.
+    pub fn metrics_json(&self, deterministic: bool) -> Json {
+        let core = &self.core;
+        let stats = self.stats();
+        let requests = if deterministic {
+            // Excludes watchdog_late, spawn_failures, and the
+            // workers_spawned/joined pair: all scheduling-dependent.
+            Json::obj([
+                ("accepted", Json::UInt(stats.accepted)),
+                ("completed", Json::UInt(stats.completed)),
+                ("shed", Json::UInt(stats.shed)),
+                ("rejected_draining", Json::UInt(stats.rejected_draining)),
+                ("invalid", Json::UInt(stats.invalid)),
+                ("retries", Json::UInt(stats.retries)),
+                ("respawns", Json::UInt(stats.respawns)),
+                ("injected_panic", Json::UInt(stats.injected_panic)),
+                ("injected_alloc", Json::UInt(stats.injected_alloc)),
+                ("injected_deadline", Json::UInt(stats.injected_deadline)),
+                ("injected_kill", Json::UInt(stats.injected_kill)),
+                ("frame_imbalance", Json::UInt(stats.frame_imbalance)),
+            ])
+        } else {
+            stats.to_json()
+        };
+        let mut pairs: Vec<(&'static str, Json)> = vec![
+            ("schema_version", Json::UInt(SCHEMA_VERSION)),
+            ("kind", Json::str("metrics")),
+            ("metrics_schema_version", Json::UInt(METRICS_SCHEMA_VERSION)),
+            ("deterministic", Json::Bool(deterministic)),
+            ("requests", requests),
+            ("status", self.status_json()),
+            ("work_units", core.metrics.work.snapshot().to_json()),
+        ];
+        if deterministic {
+            return Json::obj(pairs);
+        }
+        let uptime = core.now_nanos();
+        let (depth, inflight, alive) = {
+            let st = lock(&core.state);
+            (st.queue.len(), st.inflight_count, st.workers_alive)
+        };
+        pairs.push(("uptime_nanos", Json::UInt(uptime)));
+        pairs.push((
+            "queue",
+            Json::obj([
+                ("depth", Json::UInt(depth as u64)),
+                ("capacity", Json::UInt(core.cfg.queue_depth as u64)),
+                ("inflight", Json::UInt(inflight as u64)),
+                ("workers_alive", Json::UInt(alive as u64)),
+                ("workers_configured", Json::UInt(core.inflight.len() as u64)),
+            ]),
+        ));
+        pairs.push(("latency_nanos", core.metrics.latency.snapshot().to_json()));
+        pairs.push((
+            "queue_wait_nanos",
+            core.metrics.queue_wait.snapshot().to_json(),
+        ));
+        pairs.push(("compile_nanos", core.metrics.compile.snapshot().to_json()));
+        pairs.push(("cache", self.cache_json()));
+        let contended: u64 = core
+            .worker_intern
+            .iter()
+            .map(|m| lock(m).stats.contended)
+            .sum();
+        let shards = intern::shard_occupancy();
+        pairs.push((
+            "intern",
+            Json::obj([
+                ("contended", Json::UInt(contended)),
+                ("entries", Json::UInt(shards.iter().sum())),
+                (
+                    "shards",
+                    Json::Arr(shards.iter().map(|&n| Json::UInt(n)).collect()),
+                ),
+            ]),
+        ));
+        let workers: Vec<Json> = core
+            .worker_busy
+            .iter()
+            .enumerate()
+            .map(|(wid, busy)| {
+                let busy = busy.load(Ordering::Relaxed);
+                let utilization = if uptime == 0 {
+                    0.0
+                } else {
+                    busy as f64 / uptime as f64
+                };
+                Json::obj([
+                    ("worker", Json::UInt(wid as u64)),
+                    ("busy_nanos", Json::UInt(busy)),
+                    ("utilization", Json::Float(utilization)),
+                ])
+            })
+            .collect();
+        pairs.push(("workers", Json::Arr(workers)));
+        Json::obj(pairs)
+    }
+
+    /// The metrics document rendered as Prometheus exposition text
+    /// (time histograms in seconds, ratios as gauges), for scraping
+    /// without a JSON-aware collector.
+    pub fn metrics_text(&self) -> String {
+        let core = &self.core;
+        let stats = self.stats();
+        let mut out = PromText::new();
+        for (event, n) in [
+            ("accepted", stats.accepted),
+            ("completed", stats.completed),
+            ("shed", stats.shed),
+            ("rejected_draining", stats.rejected_draining),
+            ("invalid", stats.invalid),
+            ("retries", stats.retries),
+            ("respawns", stats.respawns),
+            ("spawn_failures", stats.spawn_failures),
+            ("watchdog_late", stats.watchdog_late),
+            ("injected_panic", stats.injected_panic),
+            ("injected_alloc", stats.injected_alloc),
+            ("injected_deadline", stats.injected_deadline),
+            ("injected_kill", stats.injected_kill),
+            ("frame_imbalance", stats.frame_imbalance),
+        ] {
+            out.counter("recmod_serve_requests_total", &[("event", event)], n);
+        }
+        for (label, c) in STATUS_LABELS.iter().zip(core.status_counts.iter()) {
+            out.counter(
+                "recmod_serve_responses_total",
+                &[("status", label)],
+                c.load(Ordering::Relaxed),
+            );
+        }
+        let uptime = core.now_nanos();
+        let (depth, inflight, alive) = {
+            let st = lock(&core.state);
+            (st.queue.len(), st.inflight_count, st.workers_alive)
+        };
+        out.gauge("recmod_serve_uptime_seconds", &[], uptime as f64 / 1e9);
+        out.gauge("recmod_serve_queue_depth", &[], depth as f64);
+        out.gauge(
+            "recmod_serve_queue_capacity",
+            &[],
+            core.cfg.queue_depth as f64,
+        );
+        out.gauge("recmod_serve_inflight", &[], inflight as f64);
+        out.gauge("recmod_serve_workers_alive", &[], alive as f64);
+        out.histogram(
+            "recmod_serve_latency_seconds",
+            &core.metrics.latency.snapshot(),
+            1e9,
+        );
+        out.histogram(
+            "recmod_serve_queue_wait_seconds",
+            &core.metrics.queue_wait.snapshot(),
+            1e9,
+        );
+        out.histogram(
+            "recmod_serve_compile_seconds",
+            &core.metrics.compile.snapshot(),
+            1e9,
+        );
+        out.histogram(
+            "recmod_serve_work_units",
+            &core.metrics.work.snapshot(),
+            1.0,
+        );
+        if let Some(cache) = &core.artifact_cache {
+            let c = cache.stats();
+            for (event, n) in [
+                ("hit", c.hits),
+                ("miss", c.misses),
+                ("store", c.stores),
+                ("corrupt_skipped", c.corrupt_skipped),
+                ("io_error", c.io_errors),
+                ("gc_evicted", c.gc_evicted),
+            ] {
+                out.counter("recmod_cache_events_total", &[("event", event)], n);
+            }
+            out.gauge("recmod_cache_hit_ratio", &[], c.hit_ratio());
+        }
+        let contended: u64 = core
+            .worker_intern
+            .iter()
+            .map(|m| lock(m).stats.contended)
+            .sum();
+        out.counter("recmod_intern_shard_contended_total", &[], contended);
+        let mut shard_label = String::new();
+        for (i, &n) in intern::shard_occupancy().iter().enumerate() {
+            shard_label.clear();
+            shard_label.push_str(&i.to_string());
+            out.gauge(
+                "recmod_intern_shard_entries",
+                &[("shard", &shard_label)],
+                n as f64,
+            );
+        }
+        for (wid, busy) in core.worker_busy.iter().enumerate() {
+            out.gauge(
+                "recmod_worker_busy_seconds",
+                &[("worker", &wid.to_string())],
+                busy.load(Ordering::Relaxed) as f64 / 1e9,
+            );
+        }
+        out.finish()
+    }
+
+    /// Exports the profiled session ([`ServeConfig::profile`]) as one
+    /// Chrome-trace document: per-worker span lanes, one complete
+    /// event per compile attempt, and supervision instants (sheds,
+    /// fired faults, deaths, respawns, drain) on a supervisor lane.
+    /// `None` when the session is not being profiled.
+    pub fn session_trace_json(&self) -> Option<Json> {
+        let sess = self.core.session.as_ref()?;
+        let s = lock(sess);
+        let mut lanes: Vec<Lane<'_>> = s
+            .lanes
+            .iter()
+            .enumerate()
+            .map(|(wid, report)| Lane {
+                tid: wid as u64,
+                name: format!("worker {wid}"),
+                report,
+            })
+            .collect();
+        lanes.push(Lane {
+            tid: self.core.supervisor_tid(),
+            name: "supervisor".to_string(),
+            report: &s.supervisor,
+        });
+        Some(chrome_trace::export_session(
+            "recmodc serve",
+            &lanes,
+            &s.files,
+            &s.marks,
+        ))
     }
 
     /// Is the server draining (new requests are being rejected)?
@@ -1275,6 +1967,7 @@ impl Server {
         match parse_op(line, self.core.cfg.limits) {
             Err((id, message)) => {
                 Counters::bump(&self.core.stats.invalid);
+                self.core.status_bump(ResponseStatus::Invalid);
                 let _ = reply.send(Response::plain(id, ResponseStatus::Invalid, message));
                 true
             }
@@ -1285,6 +1978,20 @@ impl Server {
             Ok(Op::Stats(id)) => {
                 let mut resp = Response::plain(id, ResponseStatus::Ok, "stats");
                 resp.stats = Some(self.stats_json());
+                let _ = reply.send(resp);
+                true
+            }
+            Ok(Op::Metrics {
+                id,
+                deterministic,
+                text,
+            }) => {
+                let mut resp = Response::plain(id, ResponseStatus::Ok, "metrics");
+                resp.metrics = Some(if text {
+                    Json::Str(self.metrics_text())
+                } else {
+                    self.metrics_json(deterministic)
+                });
                 let _ = reply.send(resp);
                 true
             }
@@ -1303,9 +2010,14 @@ impl Server {
     /// Starts draining and blocks until every queued and in-flight
     /// request has been answered and all workers have exited.
     pub fn drain(&self) {
-        {
+        let newly_draining = {
             let mut st = lock(&self.core.state);
+            let newly = !st.draining;
             st.draining = true;
+            newly
+        };
+        if newly_draining {
+            self.core.mark("drain", self.core.supervisor_tid());
         }
         self.core.work.notify_all();
         let mut st = lock(&self.core.state);

@@ -238,15 +238,17 @@ impl<T: Internable> ShardedTable<T> {
     }
 
     fn entries(&self) -> u64 {
-        self.shards
-            .iter()
-            .map(|s| {
-                s.lock()
-                    .unwrap_or_else(std::sync::PoisonError::into_inner)
-                    .map
-                    .len() as u64
-            })
-            .sum()
+        self.per_shard().iter().sum()
+    }
+
+    fn per_shard(&self) -> [u64; SHARD_COUNT] {
+        std::array::from_fn(|i| {
+            self.shards[i]
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner)
+                .map
+                .len() as u64
+        })
     }
 
     fn sweep(&self, cells: &InternCells) -> u64 {
@@ -418,6 +420,18 @@ pub fn intern_stats() -> InternStats {
         con_entries: CON_TABLE.entries(),
         kind_entries: KIND_TABLE.entries(),
     }
+}
+
+/// Per-shard occupancy of the global tables: slot `i` is the entry
+/// count (live + uncollected tombstones) of shard `i` of the
+/// constructor table plus shard `i` of the kind table. The serve
+/// metrics surface exposes these as gauges so a skewed shard
+/// distribution (a bad hash partition) is visible in production, not
+/// just in the jobs-8 saturation bench.
+pub fn shard_occupancy() -> [u64; SHARD_COUNT] {
+    let con = CON_TABLE.per_shard();
+    let kind = KIND_TABLE.per_shard();
+    std::array::from_fn(|i| con[i] + kind[i])
 }
 
 /// Sweeps dead entries from every shard of both global tables

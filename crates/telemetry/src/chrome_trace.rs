@@ -50,6 +50,20 @@ pub struct FileEvent {
     pub instant: Option<String>,
 }
 
+/// A standalone instant event on a lane, independent of any file: the
+/// serve session profiler uses these to mark supervision incidents
+/// (faults fired, requests shed, workers dying and respawning, drain)
+/// on the timeline.
+#[derive(Debug, Clone)]
+pub struct Mark {
+    /// Instant label shown in the trace viewer, e.g. `fault-kill`.
+    pub name: String,
+    /// Lane (worker index, or a dedicated supervisor lane).
+    pub tid: u64,
+    /// Offset in nanoseconds since the shared epoch.
+    pub at_nanos: u64,
+}
+
 /// Hit/miss counter pairs turned into derived `…hit_rate` tracks.
 const RATE_PAIRS: &[(&str, &str, &str)] = &[
     (
@@ -157,6 +171,18 @@ fn sample_events(s: &CounterSample, tid: u64, out: &mut Vec<Json>) {
 /// Exports the lanes and file events as one Trace Event Format JSON
 /// document (object form, with `schema_version` and `traceEvents`).
 pub fn export(process_name: &str, lanes: &[Lane<'_>], files: &[FileEvent]) -> Json {
+    export_session(process_name, lanes, files, &[])
+}
+
+/// [`export`] plus standalone instant [`Mark`]s: the serve-session
+/// variant, where supervision incidents (sheds, faults, respawns,
+/// drain) appear as instants alongside the per-request lanes.
+pub fn export_session(
+    process_name: &str,
+    lanes: &[Lane<'_>],
+    files: &[FileEvent],
+    marks: &[Mark],
+) -> Json {
     let mut events = Vec::new();
     events.push(meta("process_name", None, process_name));
     for lane in lanes {
@@ -175,6 +201,9 @@ pub fn export(process_name: &str, lanes: &[Lane<'_>], files: &[FileEvent]) -> Js
         if let Some(label) = &f.instant {
             events.push(instant(label, f.tid, f.start_nanos + f.dur_nanos));
         }
+    }
+    for m in marks {
+        events.push(instant(&m.name, m.tid, m.at_nanos));
     }
     Json::obj([
         ("schema_version", Json::UInt(SCHEMA_VERSION)),

@@ -83,6 +83,7 @@ pub mod diag;
 pub mod fault;
 pub mod json;
 pub mod limits;
+pub mod metrics;
 pub mod names;
 pub mod profile;
 

@@ -235,6 +235,72 @@ assert stats["stats"]["workers_spawned"] == stats["stats"]["workers_joined"] + 1
 EOF
 echo "serve smoke: ok"
 
+echo "== metrics smoke (serve telemetry: histograms, determinism, exposition) =="
+# Gating: the live-telemetry surface end to end through the CLI.
+# Checks: (1) after driving N requests the `metrics` op returns a
+# schema-versioned document whose latency histogram counts sum to N
+# with p99 >= p50; (2) the deterministic subset is byte-stable across
+# two identical seeded --faults replays of the same requests; (3) the
+# Prometheus text rendering parses as `name{labels} value` lines.
+python3 - <<'EOF'
+import json, subprocess
+
+BIN = "./target/release/recmodc"
+
+def serve(args, requests):
+    p = subprocess.Popen([BIN, "serve", *args], stdin=subprocess.PIPE,
+                         stdout=subprocess.PIPE, stderr=subprocess.DEVNULL,
+                         text=True)
+    out = []
+    for req in requests:
+        p.stdin.write(json.dumps(req) + "\n")
+        p.stdin.flush()
+        line = p.stdout.readline()
+        assert line, f"server wedged: no response to {req}"
+        out.append(json.loads(line))
+    p.stdin.close()
+    assert p.wait(timeout=60) == 0, "server did not exit cleanly"
+    return out
+
+# (1) drive N requests, then scrape the metrics document.
+N = 8
+reqs = [{"id": i, "source": f"val x{i} = {i} + {i}"} for i in range(N)]
+*_, m, text, bye = serve(["--jobs", "2"], reqs + [
+    {"op": "metrics", "id": 100},
+    {"op": "metrics", "id": 101, "format": "text"},
+    {"op": "shutdown", "id": 102},
+])
+doc = m["metrics"]
+assert doc["schema_version"] >= 1 and doc["kind"] == "metrics"
+assert doc["metrics_schema_version"] >= 1
+for h in ("latency_nanos", "queue_wait_nanos", "compile_nanos", "work_units"):
+    hist = doc[h]
+    assert sum(b["count"] for b in hist["buckets"]) == hist["count"] == N, (h, hist)
+    assert hist["p50"] <= hist["p90"] <= hist["p99"] <= hist["max"], (h, hist)
+assert doc["requests"]["accepted"] == N and doc["requests"]["completed"] == N
+assert doc["status"]["ok"] == N
+assert doc["queue"]["depth"] == 0 and doc["queue"]["inflight"] == 0
+
+# (2) deterministic subset: byte-stable across two seeded fault replays.
+def replay():
+    out = serve(["--jobs", "2", "--faults=7,0.5,panic"], reqs + [
+        {"op": "metrics", "id": 100, "deterministic": True},
+        {"op": "shutdown", "id": 102},
+    ])
+    return json.dumps(out[-2]["metrics"], sort_keys=True)
+a, b = replay(), replay()
+assert a == b, f"deterministic metrics diverged across replays:\n{a}\n{b}"
+
+# (3) Prometheus text: every line is a comment or `name{labels} value`.
+lines = text["metrics"].splitlines()
+assert any(l.startswith("# TYPE recmod_serve_latency_seconds histogram")
+           for l in lines), lines[:5]
+assert f'recmod_serve_requests_total{{event="completed"}} {N}' in lines
+for l in lines:
+    assert l.startswith("# ") or len(l.split(" ")) == 2, f"bad line: {l}"
+EOF
+echo "metrics smoke: ok"
+
 echo "== profile smoke (non-gating) =="
 # The deep-profiling layer end to end: a profiled parallel batch must
 # still exit 0 and produce a parseable Chrome trace and JSONL event

@@ -939,11 +939,18 @@ fn case_diagnostics_total(rng: &mut Rng) -> Result<(), String> {
 /// * the server drains cleanly: nothing shed, every accepted request
 ///   completed, every spawned worker joined (kills included — that is
 ///   the respawn path), and the flight recorder's frame stack balanced
-///   around every compile.
+///   around every compile;
+/// * telemetry holds under chaos: every response carries a unique
+///   16-hex trace id, requests that asked for `trace: true` (half of
+///   them — which also proves verdicts do not diverge with tracing on)
+///   get balanced span events (one `serve.queue` and one
+///   `serve.attempt` per attempt, killed attempts included), and
+///   untraced requests get no trace at all.
 fn case_chaos_serve(rng: &mut Rng) -> Result<(), String> {
     use recmod::driver::serve::{Request, ResponseStatus, ServeConfig, Server};
     use recmod::driver::{compile_batch, DriverConfig, Job};
     use recmod::telemetry::fault::FaultPlan;
+    use recmod::telemetry::json::Json;
     use std::sync::mpsc::channel;
     use std::time::Duration;
 
@@ -982,17 +989,19 @@ fn case_chaos_serve(rng: &mut Rng) -> Result<(), String> {
         backoff_ms: 1,
         faults: Some(plan),
         crash_dir: None,
+        trace_seed: plan.seed,
         ..ServeConfig::default()
     })
     .map_err(|e| format!("server failed to start: {e}"))?;
 
-    // Single-threaded submission: request i is admission seq i.
+    // Single-threaded submission: request i is admission seq i. Every
+    // other request asks for its trace — the verdict comparison below
+    // covers both traced and untraced requests.
     let (tx, rx) = channel();
     for (i, src) in sources.iter().enumerate() {
-        server.submit(
-            Request::new(i as u64, format!("chaos{i}.rm"), src.clone()),
-            tx.clone(),
-        );
+        let mut req = Request::new(i as u64, format!("chaos{i}.rm"), src.clone());
+        req.trace = i % 2 == 0;
+        server.submit(req, tx.clone());
     }
     drop(tx);
 
@@ -1060,6 +1069,47 @@ fn case_chaos_serve(rng: &mut Rng) -> Result<(), String> {
             "flight recorder unbalanced {} times across compiles",
             stats.frame_imbalance
         ));
+    }
+
+    let mut trace_ids = std::collections::BTreeSet::new();
+    for (i, slot) in responses.iter().enumerate() {
+        let Some(r) = slot.as_ref() else { continue };
+        let tid = r
+            .trace_id
+            .as_ref()
+            .ok_or_else(|| format!("chaos{i}.rm: admitted response without a trace id"))?;
+        if tid.len() != 16 || !tid.bytes().all(|b| b.is_ascii_hexdigit()) {
+            return Err(format!("chaos{i}.rm: malformed trace id `{tid}`"));
+        }
+        if !trace_ids.insert(tid.clone()) {
+            return Err(format!("chaos{i}.rm: duplicate trace id `{tid}`"));
+        }
+        if i % 2 == 0 {
+            let events = r
+                .trace
+                .as_ref()
+                .and_then(|t| t.get("events"))
+                .and_then(Json::as_arr)
+                .ok_or_else(|| format!("chaos{i}.rm asked for a trace but got none"))?;
+            let named = |name: &str| {
+                events
+                    .iter()
+                    .filter(|e| e.get("name").and_then(Json::as_str) == Some(name))
+                    .count()
+            };
+            let (queues, attempts) = (named("serve.queue"), named("serve.attempt"));
+            if queues != r.attempts as usize || attempts != r.attempts as usize {
+                return Err(format!(
+                    "chaos{i}.rm: unbalanced span events over {} attempt(s): \
+                     {queues} serve.queue, {attempts} serve.attempt",
+                    r.attempts
+                ));
+            }
+        } else if r.trace.is_some() {
+            return Err(format!(
+                "chaos{i}.rm never asked for a trace but one was echoed"
+            ));
+        }
     }
     Ok(())
 }
